@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// figure experiments: distance evaluation, Gonzalez, matching, the
+// sequential solvers, and the streaming update/query paths.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "datasets/blobs.h"
+#include "matching/capacitated_matching.h"
+#include "matching/hopcroft_karp.h"
+#include "metric/metric.h"
+#include "sequential/chen_matroid_center.h"
+#include "sequential/gonzalez.h"
+#include "sequential/jones_fair_center.h"
+
+namespace fkc {
+namespace {
+
+std::vector<Point> MakePoints(int n, int dim, int ell = 4) {
+  datasets::BlobsOptions options;
+  options.num_points = n;
+  options.dimension = dim;
+  options.ell = ell;
+  return datasets::GenerateBlobs(options);
+}
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  const EuclideanMetric metric;
+  const auto points = MakePoints(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric.Distance(points[0], points[1]));
+  }
+}
+BENCHMARK(BM_EuclideanDistance)->Arg(3)->Arg(7)->Arg(54);
+
+void BM_Gonzalez(benchmark::State& state) {
+  const EuclideanMetric metric;
+  const auto points = MakePoints(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GonzalezKCenter(metric, points, 14));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gonzalez)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  BipartiteGraph graph(n, n);
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.NextBernoulli(0.2)) graph.AddEdge(l, r);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximumBipartiteMatching(graph));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CapacitatedMatching(benchmark::State& state) {
+  const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  std::vector<std::vector<int>> allowed(14);
+  Rng rng(7);
+  for (auto& row : allowed) {
+    for (int c = 0; c < 7; ++c) {
+      if (rng.NextBernoulli(0.5)) row.push_back(c);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximumCapacitatedMatching(allowed, constraint));
+  }
+}
+BENCHMARK(BM_CapacitatedMatching);
+
+void BM_JonesSolver(benchmark::State& state) {
+  const EuclideanMetric metric;
+  const auto points = MakePoints(static_cast<int>(state.range(0)), 3, 7);
+  const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  const JonesFairCenter solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(metric, points, constraint));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JonesSolver)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_ChenSolver(benchmark::State& state) {
+  const EuclideanMetric metric;
+  const auto points = MakePoints(static_cast<int>(state.range(0)), 3, 7);
+  const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  const ChenMatroidCenter solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(metric, points, constraint));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChenSolver)->Range(256, 1024)->Complexity(benchmark::oNSquared);
+
+// The streaming update path at the two delta extremes (cost per arrival).
+void BM_SlidingWindowUpdate(benchmark::State& state) {
+  const EuclideanMetric metric;
+  const JonesFairCenter jones;
+  const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  const auto points = MakePoints(20000, 3, 7);
+
+  SlidingWindowOptions options;
+  options.window_size = 2000;
+  options.delta = static_cast<double>(state.range(0)) / 10.0;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, constraint, &metric, &jones);
+  size_t cursor = 0;
+  // Warm up to steady state.
+  for (int i = 0; i < 4000; ++i) {
+    window.Update(points[cursor++ % points.size()]);
+  }
+  for (auto _ : state) {
+    window.Update(points[cursor++ % points.size()]);
+  }
+}
+BENCHMARK(BM_SlidingWindowUpdate)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_SlidingWindowQuery(benchmark::State& state) {
+  const EuclideanMetric metric;
+  const JonesFairCenter jones;
+  const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  const auto points = MakePoints(8000, 3, 7);
+
+  SlidingWindowOptions options;
+  options.window_size = 2000;
+  options.delta = static_cast<double>(state.range(0)) / 10.0;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, constraint, &metric, &jones);
+  for (const Point& p : points) window.Update(p);
+  for (auto _ : state) {
+    auto result = window.Query();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SlidingWindowQuery)->Arg(5)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace fkc
+
+BENCHMARK_MAIN();

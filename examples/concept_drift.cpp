@@ -1,0 +1,91 @@
+// Concept drift: why sliding windows, not insertion-only streaming.
+//
+// The stream moves through three regimes (different locations and scales).
+// An insertion-only summary keeps representatives of everything it ever saw
+// — its centers lag in regions the analyst no longer cares about. The
+// sliding-window algorithm forgets expired data by construction and tracks
+// each regime within one window length.
+//
+// The insertion-only comparator is the library's one-pass doubling summary
+// (core/insertion_only_fair_center.h) — the massive-data-model algorithm the
+// paper's sliding-window contribution supersedes.
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "core/insertion_only_fair_center.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+#include "sequential/radius.h"
+#include "stream/reference_window.h"
+
+int main() {
+  const int64_t window_size = 1000;
+  const int64_t regime_length = 2500;
+  const fkc::ColorConstraint constraint({2, 2});
+  const fkc::EuclideanMetric metric;
+  const fkc::JonesFairCenter jones;
+
+  fkc::SlidingWindowOptions sliding_options;
+  sliding_options.window_size = window_size;
+  sliding_options.delta = 1.0;
+  sliding_options.adaptive_range = true;
+  fkc::FairCenterSlidingWindow sliding(sliding_options, constraint, &metric,
+                                       &jones);
+
+  fkc::InsertionOnlyOptions insertion_options;
+  fkc::InsertionOnlyFairCenter insertion_only(insertion_options, constraint,
+                                              &metric, &jones);
+
+  fkc::ReferenceWindow truth(window_size);
+  fkc::Rng rng(7);
+
+  struct Regime {
+    const char* name;
+    double center;
+    double spread;
+  };
+  const Regime regimes[] = {{"city A (wide)", 0.0, 200.0},
+                            {"city B (tight)", 10000.0, 5.0},
+                            {"city C (medium)", -5000.0, 50.0}};
+
+  std::printf("%16s %8s %16s %16s\n", "regime", "t", "sliding_radius",
+              "insertion_radius");
+  int64_t t = 0;
+  for (const Regime& regime : regimes) {
+    for (int64_t i = 0; i < regime_length; ++i) {
+      ++t;
+      fkc::Point p({regime.center + rng.NextGaussian(0, regime.spread),
+                    rng.NextGaussian(0, regime.spread)},
+                   static_cast<int>(rng.NextBounded(2)));
+      p.arrival = t;
+      truth.Update(p);
+      sliding.Update(p);
+      insertion_only.Update(p);
+
+      if (i == regime_length - 1) {  // end of each regime
+        auto sliding_result = sliding.Query();
+        auto prefix_result = insertion_only.Query();
+        if (!sliding_result.ok() || !prefix_result.ok()) {
+          std::fprintf(stderr, "query failed\n");
+          return 1;
+        }
+        // Both evaluated on the *current window* — what the analyst needs.
+        const auto window_points = truth.Snapshot();
+        const double sliding_radius = fkc::ClusteringRadius(
+            metric, window_points, sliding_result.value().centers);
+        const double prefix_radius = fkc::ClusteringRadius(
+            metric, window_points, prefix_result.value().centers);
+        std::printf("%16s %8lld %16.3f %16.3f\n", regime.name,
+                    static_cast<long long>(t), sliding_radius, prefix_radius);
+      }
+    }
+  }
+
+  std::printf(
+      "\nAfter each drift the sliding-window radius reflects only the live "
+      "regime, while\nthe insertion-only summary pays for covering regimes "
+      "that already left the window.\nIts centers can even sit in dead "
+      "regions — useless for decisions about the present.\n");
+  return 0;
+}

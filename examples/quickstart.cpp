@@ -1,0 +1,70 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Streams colored 2-d points through a sliding window and periodically asks
+// for a fair center set: at most k_i centers of each color i, covering every
+// point of the current window with minimal radius.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+
+int main() {
+  // 1. The fairness constraint: two demographic groups, at most 2 centers
+  //    from group 0 and at most 1 from group 1.
+  const fkc::ColorConstraint constraint({2, 1});
+
+  // 2. The metric space and the sequential solver used on query coresets
+  //    (Jones et al. 2020, the best known 3-approximation).
+  const fkc::EuclideanMetric metric;
+  const fkc::JonesFairCenter solver;
+
+  // 3. The sliding window. adaptive_range means the algorithm estimates the
+  //    distance scales of the data by itself (the "OursOblivious" variant of
+  //    the paper) — nothing about the stream needs to be known up front.
+  fkc::SlidingWindowOptions options;
+  options.window_size = 1000;  // queries answer for the last 1000 points
+  options.delta = 1.0;         // coreset precision (smaller = more accurate)
+  options.adaptive_range = true;
+  fkc::FairCenterSlidingWindow window(options, constraint, &metric, &solver);
+
+  // 4. Stream synthetic data: three drifting Gaussian clusters whose points
+  //    belong to group 0 with probability 0.7.
+  fkc::Rng rng(42);
+  for (int t = 1; t <= 5000; ++t) {
+    const double cluster = static_cast<double>(rng.NextBounded(3)) * 50.0;
+    const double drift = t * 0.01;  // slow concept drift
+    fkc::Coordinates coords = {cluster + drift + rng.NextGaussian(0, 1.0),
+                               cluster - drift + rng.NextGaussian(0, 1.0)};
+    const int group = rng.NextBernoulli(0.7) ? 0 : 1;
+    window.Update(std::move(coords), group);
+
+    // 5. Query every 1000 arrivals. The query cost is independent of the
+    //    window size: the sequential solver only ever sees a small coreset.
+    if (t % 1000 == 0) {
+      fkc::QueryStats stats;
+      auto solution = window.Query(&stats);
+      if (!solution.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     solution.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "t=%5d  radius=%7.3f  centers=%zu  coreset=%lld points  "
+          "memory=%lld points (window holds %lld)\n",
+          t, solution.value().radius, solution.value().centers.size(),
+          static_cast<long long>(stats.coreset_size),
+          static_cast<long long>(window.Memory().TotalPoints()),
+          static_cast<long long>(window.WindowPopulation()));
+      for (const fkc::Point& center : solution.value().centers) {
+        std::printf("    center %s\n", center.ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}

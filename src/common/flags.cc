@@ -1,0 +1,104 @@
+#include "common/flags.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkc {
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target,
+                          const std::string& help) {
+  flags_[name] = {Type::kInt64, target, help};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_[name] = {Type::kDouble, target, help};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_[name] = {Type::kBool, target, help};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_[name] = {Type::kString, target, help};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  FlagInfo& info = it->second;
+  switch (info.type) {
+    case Type::kInt64: {
+      auto parsed = ParseInt(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<int64_t*>(info.target) = parsed.value();
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<double*>(info.target) = parsed.value();
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(info.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument("bad boolean for --" + name + ": '" +
+                                       value + "'");
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(info.target) = value;
+      return Status::OK();
+  }
+  return Status::InvalidArgument("corrupt flag registry");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_args_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      const bool is_bool = it != flags_.end() && it->second.type == Type::kBool;
+      if (!is_bool && i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+    }
+    FKC_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    out += "  --" + name + "  " + info.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace fkc

@@ -1,0 +1,64 @@
+// A tiny command-line flag parser for bench and example binaries.
+//
+// Usage:
+//   FlagParser flags;
+//   int64_t window = 10000;
+//   flags.AddInt64("window", &window, "window size in points");
+//   FKC_CHECK_OK(flags.Parse(argc, argv));
+//
+// Accepted syntaxes: --name=value, --name value, and --flag for booleans.
+#ifndef FKC_COMMON_FLAGS_H_
+#define FKC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkc {
+
+/// Registers typed flags backed by caller-owned variables and parses argv.
+class FlagParser {
+ public:
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv, writing values into the registered targets. Unknown flags
+  /// are errors; positional (non-flag) arguments are collected and available
+  /// via positional_args(). Recognizes --help and returns OK with
+  /// help_requested() set.
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+  const std::vector<std::string>& positional_args() const {
+    return positional_args_;
+  }
+
+  /// A formatted usage string listing every registered flag.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct FlagInfo {
+    Type type;
+    void* target;
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_args_;
+  bool help_requested_ = false;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_COMMON_FLAGS_H_

@@ -1,0 +1,87 @@
+// Minimal logging and assertion macros.
+//
+// CHECK-style macros abort on violation and are kept in release builds: the
+// sliding-window structures carry non-obvious invariants (TTL ordering,
+// attractor separation) whose violation indicates a bug, never a user error.
+#ifndef FKC_COMMON_LOGGING_H_
+#define FKC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fkc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that actually reaches stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::string prefix_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fkc
+
+#define FKC_LOG(level)                                                  \
+  ::fkc::internal::LogMessage(::fkc::LogLevel::k##level, __FILE__, __LINE__)
+
+#define FKC_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else /* NOLINT */                                               \
+    ::fkc::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define FKC_CHECK_OP(lhs, rhs, op)                                      \
+  FKC_CHECK((lhs)op(rhs)) << " (" << (lhs) << " vs " << (rhs) << ") "
+
+#define FKC_CHECK_EQ(lhs, rhs) FKC_CHECK_OP(lhs, rhs, ==)
+#define FKC_CHECK_NE(lhs, rhs) FKC_CHECK_OP(lhs, rhs, !=)
+#define FKC_CHECK_LE(lhs, rhs) FKC_CHECK_OP(lhs, rhs, <=)
+#define FKC_CHECK_LT(lhs, rhs) FKC_CHECK_OP(lhs, rhs, <)
+#define FKC_CHECK_GE(lhs, rhs) FKC_CHECK_OP(lhs, rhs, >=)
+#define FKC_CHECK_GT(lhs, rhs) FKC_CHECK_OP(lhs, rhs, >)
+
+/// Checks that a Status-returning expression is OK.
+#define FKC_CHECK_OK(expr)                            \
+  do {                                                \
+    ::fkc::Status _fkc_st = (expr);                   \
+    FKC_CHECK(_fkc_st.ok()) << _fkc_st.ToString();    \
+  } while (false)
+
+#endif  // FKC_COMMON_LOGGING_H_

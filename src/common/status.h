@@ -1,0 +1,113 @@
+// Status / Result error handling in the RocksDB / Arrow style: recoverable
+// failures travel as values, programming errors abort via CHECK (logging.h).
+#ifndef FKC_COMMON_STATUS_H_
+#define FKC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fkc {
+
+/// Error taxonomy for recoverable failures surfaced through Status/Result.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInfeasible,  ///< no solution satisfies the fairness / matroid constraint
+  kIoError,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Accessing the value of an errored Result aborts, so
+/// callers must test ok() (or use ValueOr) first.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : payload_(std::move(value)) {}
+  /* implicit */ Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace fkc
+
+/// Propagates a non-OK Status from the current function.
+#define FKC_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::fkc::Status _fkc_status = (expr);      \
+    if (!_fkc_status.ok()) return _fkc_status; \
+  } while (false)
+
+#endif  // FKC_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+#include "common/stopwatch.h"
+
+#include <algorithm>
+
+namespace fkc {
+
+void TimingAccumulator::AddNanos(int64_t nanos) {
+  ++count_;
+  total_nanos_ += nanos;
+  max_nanos_ = std::max(max_nanos_, nanos);
+}
+
+double TimingAccumulator::MeanMillis() const {
+  if (count_ == 0) return 0.0;
+  return (total_nanos_ * 1e-6) / static_cast<double>(count_);
+}
+
+void TimingAccumulator::Reset() {
+  count_ = 0;
+  total_nanos_ = 0;
+  max_nanos_ = 0;
+}
+
+}  // namespace fkc

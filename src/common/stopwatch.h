@@ -1,0 +1,55 @@
+// Wall-clock timing used by the bench harness and the metrics recorder.
+#ifndef FKC_COMMON_STOPWATCH_H_
+#define FKC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fkc {
+
+/// Measures elapsed wall time with nanosecond resolution.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() * 1e-3; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Incrementally accumulates timing samples and exposes summary statistics.
+class TimingAccumulator {
+ public:
+  void AddNanos(int64_t nanos);
+
+  int64_t count() const { return count_; }
+  double TotalMillis() const { return total_nanos_ * 1e-6; }
+  /// Mean per-sample time in milliseconds; 0 when empty.
+  double MeanMillis() const;
+  double MaxMillis() const { return max_nanos_ * 1e-6; }
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  int64_t total_nanos_ = 0;
+  int64_t max_nanos_ = 0;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_COMMON_STOPWATCH_H_

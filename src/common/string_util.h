@@ -1,0 +1,35 @@
+// Small string helpers shared by the CSV loader, flag parser and benches.
+#ifndef FKC_COMMON_STRING_UTIL_H_
+#define FKC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkc {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Parses a double / integer, rejecting trailing garbage.
+Result<double> ParseDouble(std::string_view input);
+Result<int64_t> ParseInt(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fkc
+
+#endif  // FKC_COMMON_STRING_UTIL_H_

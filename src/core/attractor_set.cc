@@ -1,0 +1,100 @@
+#include "core/attractor_set.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+int CountColor(const AttractorEntry& entry, int color) {
+  int count = 0;
+  for (const Point& p : entry.representatives) {
+    if (p.color == color) ++count;
+  }
+  return count;
+}
+
+void AddRepresentativeWithCap(AttractorEntry* entry, const Point& p, int cap) {
+  FKC_CHECK_GE(cap, 1) << "the paper requires positive per-color caps";
+  entry->representatives.push_back(p);
+  if (CountColor(*entry, p.color) > cap) {
+    // Evict the minimum-TTL (oldest-arrival) representative of this color.
+    int victim = -1;
+    int64_t oldest = INT64_MAX;
+    for (size_t i = 0; i < entry->representatives.size(); ++i) {
+      const Point& q = entry->representatives[i];
+      if (q.color == p.color && q.arrival < oldest) {
+        oldest = q.arrival;
+        victim = static_cast<int>(i);
+      }
+    }
+    FKC_CHECK_GE(victim, 0);
+    entry->representatives.erase(entry->representatives.begin() + victim);
+  }
+}
+
+void ExpireEntries(std::vector<AttractorEntry>* entries,
+                   std::vector<Point>* orphans, int64_t now,
+                   int64_t window_size) {
+  auto is_expired = [&](const Point& p) {
+    return !IsActive(p, now, window_size);
+  };
+  size_t write = 0;
+  for (size_t read = 0; read < entries->size(); ++read) {
+    AttractorEntry& entry = (*entries)[read];
+    if (is_expired(entry.attractor)) {
+      // The attractor leaves; its live representatives become orphans.
+      for (Point& rep : entry.representatives) {
+        if (!is_expired(rep)) orphans->push_back(std::move(rep));
+      }
+      continue;
+    }
+    if (write != read) (*entries)[write] = std::move(entry);
+    ++write;
+  }
+  entries->resize(write);
+}
+
+void ExpirePoints(std::vector<Point>* points, int64_t now,
+                  int64_t window_size) {
+  points->erase(std::remove_if(points->begin(), points->end(),
+                               [&](const Point& p) {
+                                 return !IsActive(p, now, window_size);
+                               }),
+                points->end());
+}
+
+void DropEntriesOlderThan(std::vector<AttractorEntry>* entries,
+                          std::vector<Point>* orphans, int64_t threshold) {
+  size_t write = 0;
+  for (size_t read = 0; read < entries->size(); ++read) {
+    AttractorEntry& entry = (*entries)[read];
+    if (entry.attractor.arrival < threshold) {
+      for (Point& rep : entry.representatives) {
+        if (rep.arrival >= threshold) orphans->push_back(std::move(rep));
+      }
+      continue;
+    }
+    if (write != read) (*entries)[write] = std::move(entry);
+    ++write;
+  }
+  entries->resize(write);
+}
+
+void DropPointsOlderThan(std::vector<Point>* points, int64_t threshold) {
+  points->erase(std::remove_if(points->begin(), points->end(),
+                               [&](const Point& p) {
+                                 return p.arrival < threshold;
+                               }),
+                points->end());
+}
+
+int64_t CountRepresentatives(const std::vector<AttractorEntry>& entries) {
+  int64_t total = 0;
+  for (const AttractorEntry& entry : entries) {
+    total += static_cast<int64_t>(entry.representatives.size());
+  }
+  return total;
+}
+
+}  // namespace fkc

@@ -1,0 +1,260 @@
+// Checkpoint serialization for FairCenterSlidingWindow (declared in
+// fair_center_sliding_window.h). Format: whitespace-separated tokens,
+// self-describing counts, hex-float coordinates for bit-exact round trips.
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/fair_center_sliding_window.h"
+
+namespace fkc {
+namespace {
+
+constexpr const char* kMagic = "fkc-checkpoint-v1";
+
+// --- Writer helpers. ---
+
+void WriteDouble(std::ostringstream* out, double value) {
+  *out << StrFormat("%a", value) << ' ';
+}
+
+void WritePoint(std::ostringstream* out, const Point& p) {
+  *out << p.coords.size() << ' ';
+  for (double x : p.coords) WriteDouble(out, x);
+  *out << p.color << ' ' << p.arrival << ' ' << p.id << ' ';
+}
+
+void WriteEntries(std::ostringstream* out,
+                  const std::vector<AttractorEntry>& entries) {
+  *out << entries.size() << ' ';
+  for (const AttractorEntry& entry : entries) {
+    WritePoint(out, entry.attractor);
+    *out << entry.representatives.size() << ' ';
+    for (const Point& rep : entry.representatives) WritePoint(out, rep);
+  }
+}
+
+void WritePoints(std::ostringstream* out, const std::vector<Point>& points) {
+  *out << points.size() << ' ';
+  for (const Point& p : points) WritePoint(out, p);
+}
+
+// --- Reader: a sequential whitespace tokenizer with typed extraction. ---
+
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& bytes) : in_(bytes) {}
+
+  Status NextToken(std::string* out) {
+    if (!(in_ >> *out)) return Status::InvalidArgument("truncated checkpoint");
+    return Status::OK();
+  }
+
+  Status NextInt(int64_t* out) {
+    std::string token;
+    FKC_RETURN_IF_ERROR(NextToken(&token));
+    auto parsed = ParseInt(token);
+    if (!parsed.ok()) return parsed.status();
+    *out = parsed.value();
+    return Status::OK();
+  }
+
+  Status NextSize(size_t* out, size_t limit = 1u << 28) {
+    int64_t value = 0;
+    FKC_RETURN_IF_ERROR(NextInt(&value));
+    if (value < 0 || static_cast<size_t>(value) > limit) {
+      return Status::InvalidArgument("implausible count in checkpoint");
+    }
+    *out = static_cast<size_t>(value);
+    return Status::OK();
+  }
+
+  Status NextDouble(double* out) {
+    std::string token;
+    FKC_RETURN_IF_ERROR(NextToken(&token));
+    // strtod handles the %a hex-float format exactly.
+    auto parsed = ParseDouble(token);
+    if (!parsed.ok()) return parsed.status();
+    *out = parsed.value();
+    return Status::OK();
+  }
+
+  Status NextPoint(Point* out) {
+    size_t dim = 0;
+    FKC_RETURN_IF_ERROR(NextSize(&dim, 1u << 20));
+    out->coords.resize(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      FKC_RETURN_IF_ERROR(NextDouble(&out->coords[d]));
+    }
+    int64_t color = 0, arrival = 0, id = 0;
+    FKC_RETURN_IF_ERROR(NextInt(&color));
+    FKC_RETURN_IF_ERROR(NextInt(&arrival));
+    FKC_RETURN_IF_ERROR(NextInt(&id));
+    out->color = static_cast<int>(color);
+    out->arrival = arrival;
+    out->id = static_cast<uint64_t>(id);
+    return Status::OK();
+  }
+
+  Status NextPoints(std::vector<Point>* out) {
+    size_t count = 0;
+    FKC_RETURN_IF_ERROR(NextSize(&count));
+    out->resize(count);
+    for (Point& p : *out) FKC_RETURN_IF_ERROR(NextPoint(&p));
+    return Status::OK();
+  }
+
+  Status NextEntries(std::vector<AttractorEntry>* out) {
+    size_t count = 0;
+    FKC_RETURN_IF_ERROR(NextSize(&count));
+    out->resize(count);
+    for (AttractorEntry& entry : *out) {
+      FKC_RETURN_IF_ERROR(NextPoint(&entry.attractor));
+      FKC_RETURN_IF_ERROR(NextPoints(&entry.representatives));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace
+
+std::string FairCenterSlidingWindow::SerializeState() const {
+  std::ostringstream out;
+  out << kMagic << ' ';
+
+  // Options.
+  out << options_.window_size << ' ';
+  WriteDouble(&out, options_.beta);
+  WriteDouble(&out, options_.delta);
+  out << static_cast<int>(options_.variant) << ' '
+      << (options_.adaptive_range ? 1 : 0) << ' ';
+  WriteDouble(&out, options_.d_min);
+  WriteDouble(&out, options_.d_max);
+  out << options_.adaptive_slack_exponents << ' '
+      << (options_.warm_start_new_guesses ? 1 : 0) << ' ';
+
+  // Constraint.
+  out << constraint_.ell() << ' ';
+  for (int cap : constraint_.caps()) out << cap << ' ';
+
+  // Clocks and the latest point.
+  out << now_ << ' ' << next_id_ << ' ';
+  out << (last_point_.has_value() ? 1 : 0) << ' ';
+  if (last_point_.has_value()) WritePoint(&out, *last_point_);
+
+  // Adaptive-range tracker.
+  if (options_.adaptive_range) {
+    const auto buckets = estimator_->DumpBuckets();
+    out << buckets.size() << ' ';
+    for (const auto& [exponent, seen] : buckets) {
+      out << exponent << ' ' << seen << ' ';
+    }
+  }
+
+  // Guess structures.
+  out << guesses_.size() << ' ';
+  for (const auto& [exponent, guess] : guesses_) {
+    out << exponent << ' ';
+    WriteEntries(&out, guess.v_entries());
+    WritePoints(&out, guess.v_orphans());
+    WriteEntries(&out, guess.c_entries());
+    WritePoints(&out, guess.c_orphans());
+  }
+  return out.str();
+}
+
+Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
+    const std::string& bytes, const Metric* metric,
+    const FairCenterSolver* solver) {
+  TokenReader reader(bytes);
+  std::string magic;
+  FKC_RETURN_IF_ERROR(reader.NextToken(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an fkc checkpoint (bad magic '" +
+                                   magic + "')");
+  }
+
+  SlidingWindowOptions options;
+  int64_t variant = 0, adaptive = 0, slack = 0, warm = 0;
+  FKC_RETURN_IF_ERROR(reader.NextInt(&options.window_size));
+  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.beta));
+  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.delta));
+  FKC_RETURN_IF_ERROR(reader.NextInt(&variant));
+  FKC_RETURN_IF_ERROR(reader.NextInt(&adaptive));
+  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.d_min));
+  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.d_max));
+  FKC_RETURN_IF_ERROR(reader.NextInt(&slack));
+  FKC_RETURN_IF_ERROR(reader.NextInt(&warm));
+  if (variant < 0 || variant > 1) {
+    return Status::InvalidArgument("bad variant in checkpoint");
+  }
+  options.variant = static_cast<CoreVariant>(variant);
+  options.adaptive_range = adaptive != 0;
+  options.adaptive_slack_exponents = static_cast<int>(slack);
+  options.warm_start_new_guesses = warm != 0;
+
+  size_t ell = 0;
+  FKC_RETURN_IF_ERROR(reader.NextSize(&ell, 1u << 20));
+  std::vector<int> caps(ell);
+  for (size_t c = 0; c < ell; ++c) {
+    int64_t cap = 0;
+    FKC_RETURN_IF_ERROR(reader.NextInt(&cap));
+    if (cap < 0) return Status::InvalidArgument("negative cap in checkpoint");
+    caps[c] = static_cast<int>(cap);
+  }
+
+  FairCenterSlidingWindow window(options, ColorConstraint(std::move(caps)),
+                                 metric, solver);
+
+  int64_t next_id = 0;
+  FKC_RETURN_IF_ERROR(reader.NextInt(&window.now_));
+  FKC_RETURN_IF_ERROR(reader.NextInt(&next_id));
+  window.next_id_ = static_cast<uint64_t>(next_id);
+
+  int64_t has_last = 0;
+  FKC_RETURN_IF_ERROR(reader.NextInt(&has_last));
+  if (has_last != 0) {
+    Point last;
+    FKC_RETURN_IF_ERROR(reader.NextPoint(&last));
+    window.last_point_ = std::move(last);
+  }
+
+  if (options.adaptive_range) {
+    size_t bucket_count = 0;
+    FKC_RETURN_IF_ERROR(reader.NextSize(&bucket_count));
+    std::vector<std::pair<int, int64_t>> buckets(bucket_count);
+    for (auto& [exponent, seen] : buckets) {
+      int64_t e = 0;
+      FKC_RETURN_IF_ERROR(reader.NextInt(&e));
+      FKC_RETURN_IF_ERROR(reader.NextInt(&seen));
+      exponent = static_cast<int>(e);
+    }
+    window.estimator_->RestoreBuckets(buckets, window.now_);
+  }
+
+  size_t guess_count = 0;
+  FKC_RETURN_IF_ERROR(reader.NextSize(&guess_count));
+  window.guesses_.clear();  // fixed-range ctor pre-creates the ladder
+  for (size_t g = 0; g < guess_count; ++g) {
+    int64_t exponent = 0;
+    FKC_RETURN_IF_ERROR(reader.NextInt(&exponent));
+    std::vector<AttractorEntry> v_entries, c_entries;
+    std::vector<Point> v_orphans, c_orphans;
+    FKC_RETURN_IF_ERROR(reader.NextEntries(&v_entries));
+    FKC_RETURN_IF_ERROR(reader.NextPoints(&v_orphans));
+    FKC_RETURN_IF_ERROR(reader.NextEntries(&c_entries));
+    FKC_RETURN_IF_ERROR(reader.NextPoints(&c_orphans));
+
+    GuessStructure guess(window.ladder_.Value(static_cast<int>(exponent)),
+                         options.delta, options.window_size,
+                         window.constraint_, options.variant);
+    guess.RestoreState(std::move(v_entries), std::move(v_orphans),
+                       std::move(c_entries), std::move(c_orphans));
+    window.guesses_.emplace(static_cast<int>(exponent), std::move(guess));
+  }
+  return window;
+}
+
+}  // namespace fkc

@@ -1,0 +1,24 @@
+#include "core/fair_center_lite.h"
+
+namespace fkc {
+namespace {
+
+SlidingWindowOptions LiteOptions(SlidingWindowOptions options) {
+  options.variant = CoreVariant::kValidationOnly;
+  // Without coreset structures delta only appears in the analysis; pin it to
+  // 4, the value at which the full algorithm's coreset degenerates to the
+  // validation set (paper, Section 4 "delta = 4 is equivalent...").
+  options.delta = 4.0;
+  return options;
+}
+
+}  // namespace
+
+FairCenterLite::FairCenterLite(SlidingWindowOptions options,
+                               ColorConstraint constraint,
+                               const Metric* metric,
+                               const FairCenterSolver* solver)
+    : window_(LiteOptions(std::move(options)), std::move(constraint), metric,
+              solver) {}
+
+}  // namespace fkc

@@ -1,0 +1,49 @@
+// The Corollary-2 variant: a dimension-oblivious sliding-window fair-center
+// algorithm. It drops the coreset family entirely and instead maintains, per
+// v-attractor, a maximal independent set of recently attracted points;
+// Query runs the sequential solver on the validation points.
+//
+// Trade-off versus the full algorithm (Theorem 1): space and update time
+// shrink to O(k^2 log Delta / eps) — no exponential dependence on the
+// doubling dimension — at the price of a weaker (31 + O(eps)) approximation
+// guarantee. Empirically (paper, Section 4.1) this matches the delta = 4
+// configuration of the full algorithm.
+#ifndef FKC_CORE_FAIR_CENTER_LITE_H_
+#define FKC_CORE_FAIR_CENTER_LITE_H_
+
+#include "core/fair_center_sliding_window.h"
+
+namespace fkc {
+
+/// Thin wrapper fixing the Corollary-2 configuration.
+class FairCenterLite {
+ public:
+  /// `options.variant` and `options.delta` are overridden (delta is
+  /// irrelevant without coreset structures; it is pinned to 4, the value for
+  /// which the full algorithm degenerates to this one).
+  FairCenterLite(SlidingWindowOptions options, ColorConstraint constraint,
+                 const Metric* metric, const FairCenterSolver* solver);
+
+  void Update(Coordinates coords, int color) {
+    window_.Update(std::move(coords), color);
+  }
+  void Update(Point p) { window_.Update(std::move(p)); }
+
+  Result<FairCenterSolution> Query(QueryStats* stats = nullptr) {
+    return window_.Query(stats);
+  }
+
+  MemoryStats Memory() const { return window_.Memory(); }
+  int64_t now() const { return window_.now(); }
+  int64_t WindowPopulation() const { return window_.WindowPopulation(); }
+
+  /// Access to the underlying window (diagnostics, tests).
+  const FairCenterSlidingWindow& window() const { return window_; }
+
+ private:
+  FairCenterSlidingWindow window_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_CORE_FAIR_CENTER_LITE_H_

@@ -1,0 +1,244 @@
+#include "core/fair_center_sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace fkc {
+namespace {
+
+// Safety bound on how far Query() may extend the adaptive ladder upward in
+// one call; 64 exponents cover any double-representable distance range.
+constexpr int kMaxUpwardExtensions = 64;
+
+}  // namespace
+
+double DeltaForEpsilon(double epsilon, double beta, double alpha) {
+  FKC_CHECK_GT(epsilon, 0.0);
+  return epsilon / ((1.0 + beta) * (1.0 + 2.0 * alpha));
+}
+
+double EpsilonForDelta(double delta, double beta, double alpha) {
+  FKC_CHECK_GT(delta, 0.0);
+  return delta * (1.0 + beta) * (1.0 + 2.0 * alpha);
+}
+
+FairCenterSlidingWindow::FairCenterSlidingWindow(SlidingWindowOptions options,
+                                                 ColorConstraint constraint,
+                                                 const Metric* metric,
+                                                 const FairCenterSolver* solver)
+    : options_(std::move(options)),
+      constraint_(std::move(constraint)),
+      metric_(metric),
+      solver_(solver),
+      ladder_(options_.beta) {
+  FKC_CHECK(metric_ != nullptr);
+  FKC_CHECK(solver_ != nullptr);
+  FKC_CHECK_GT(options_.window_size, 0);
+  FKC_CHECK_GT(options_.delta, 0.0);
+  FKC_CHECK_GT(constraint_.TotalK(), 0);
+
+  if (options_.adaptive_range) {
+    estimator_ = std::make_unique<WindowDistanceEstimator>(
+        ladder_, options_.window_size);
+  } else {
+    FKC_CHECK_GT(options_.d_min, 0.0)
+        << "fixed-range mode requires the stream's distance bounds";
+    FKC_CHECK_GE(options_.d_max, options_.d_min);
+    for (int exponent : ladder_.Range(options_.d_min, options_.d_max)) {
+      guesses_.emplace(
+          exponent,
+          GuessStructure(ladder_.Value(exponent), options_.delta,
+                         options_.window_size, constraint_,
+                         options_.variant));
+    }
+  }
+}
+
+void FairCenterSlidingWindow::Update(Coordinates coords, int color) {
+  Update(Point(std::move(coords), color));
+}
+
+void FairCenterSlidingWindow::Update(Point p) {
+  ++now_;
+  p.arrival = now_;
+  p.id = next_id_++;
+  FKC_CHECK_GE(p.color, 0);
+  FKC_CHECK_LT(p.color, constraint_.ell());
+
+  if (options_.adaptive_range) {
+    estimator_->BeginStep(now_);
+    if (last_point_.has_value() &&
+        IsActive(*last_point_, now_, options_.window_size)) {
+      estimator_->ObserveDistance(metric_->Distance(p, *last_point_));
+    }
+    // Create structures for any newly witnessed scale before inserting p, so
+    // that p itself lands in them.
+    ReconcileAdaptiveRange();
+  }
+
+  // Only the topmost guess feeds the estimator: the range tracker consults
+  // just its smallest and largest live buckets, and the top guess's
+  // attractors span the window's coarsest scales while d(p, prev) witnesses
+  // the finest. Observing every guess would triple the update cost for no
+  // extra information.
+  const int top_exponent =
+      guesses_.empty() ? 0 : guesses_.rbegin()->first;
+  for (auto& [exponent, guess] : guesses_) {
+    DistanceObserver* observer =
+        (options_.adaptive_range && exponent == top_exponent)
+            ? estimator_.get()
+            : nullptr;
+    guess.Update(p, now_, *metric_, observer);
+  }
+
+  if (options_.adaptive_range) {
+    // Distances observed against stored attractors may have widened the
+    // range; newly created guesses are seeded by replay (which includes p,
+    // now stored in the neighbors).
+    ReconcileAdaptiveRange();
+  }
+
+  last_point_ = std::move(p);
+}
+
+void FairCenterSlidingWindow::ReconcileAdaptiveRange() {
+  if (!estimator_->HasRange()) return;
+  // Slack only above: Query must find a guess with gamma >= diameter / 2, so
+  // headroom over the largest witnessed scale avoids on-demand extension,
+  // while guesses below the smallest witnessed distance are all invalid and
+  // pure overhead.
+  const int lo = estimator_->MinExponent();
+  const int hi = estimator_->MaxExponent() + options_.adaptive_slack_exponents;
+
+  // Retire guesses that left the range (the memory savings the paper
+  // attributes to OursOblivious).
+  for (auto it = guesses_.begin(); it != guesses_.end();) {
+    if (it->first < lo || it->first > hi) {
+      it = guesses_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (int exponent = lo; exponent <= hi; ++exponent) {
+    if (!guesses_.contains(exponent)) CreateGuess(exponent);
+  }
+}
+
+void FairCenterSlidingWindow::CreateGuess(int exponent) {
+  GuessStructure fresh(ladder_.Value(exponent), options_.delta,
+                       options_.window_size, constraint_, options_.variant);
+  if (!options_.warm_start_new_guesses) {
+    guesses_.emplace(exponent, std::move(fresh));
+    return;
+  }
+  // Warm-up: replay the stored points of the nearest existing guess so the
+  // new scale does not start blind to the current window.
+  const GuessStructure* donor = nullptr;
+  int best_distance = std::numeric_limits<int>::max();
+  for (const auto& [e, guess] : guesses_) {
+    const int d = std::abs(e - exponent);
+    if (d < best_distance) {
+      best_distance = d;
+      donor = &guess;
+    }
+  }
+  if (donor != nullptr) donor->ReplayInto(&fresh, now_, *metric_);
+  guesses_.emplace(exponent, std::move(fresh));
+}
+
+bool FairCenterSlidingWindow::GuessPasses(const GuessStructure& guess) const {
+  if (!guess.IsValid()) return false;
+  const int k = constraint_.TotalK();
+  const double threshold = 2.0 * guess.gamma();
+  std::vector<Point> cover;
+  for (const Point& q : guess.ValidationPoints()) {
+    if (cover.empty() || DistanceToSet(*metric_, q, cover) > threshold) {
+      cover.push_back(q);
+      if (static_cast<int>(cover.size()) > k) return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Point>> FairCenterSlidingWindow::SelectCoreset(
+    QueryStats* stats) {
+  if (stats != nullptr) *stats = QueryStats{};
+  if (now_ == 0) return std::vector<Point>{};  // empty window
+
+  // Expire lazily in case no Update happened since construction of some
+  // guesses (idempotent otherwise).
+  for (auto& [exponent, guess] : guesses_) guess.ExpireOnly(now_);
+
+  // Degenerate window: no structure exists only when no positive distance
+  // was ever witnessed, i.e. all active points share one location — the most
+  // recent point is an exact 1-point coreset.
+  if (guesses_.empty()) {
+    FKC_CHECK(last_point_.has_value());
+    if (stats != nullptr) stats->coreset_size = 1;
+    return std::vector<Point>{*last_point_};
+  }
+
+  int inspected = 0;
+  for (int attempt = 0;; ++attempt) {
+    for (auto& [exponent, guess] : guesses_) {
+      ++inspected;
+      if (!GuessPasses(guess)) continue;
+      std::vector<Point> coreset = guess.CoresetPoints();
+      if (stats != nullptr) {
+        stats->guess = guess.gamma();
+        stats->coreset_size = static_cast<int64_t>(coreset.size());
+        stats->guesses_inspected = inspected;
+      }
+      return coreset;
+    }
+    // No guess passed. In adaptive mode the estimated range may lag an
+    // abrupt diameter growth: extend the ladder upward and retry.
+    if (!options_.adaptive_range || attempt >= kMaxUpwardExtensions) break;
+    const int top = guesses_.rbegin()->first;
+    CreateGuess(top + 1);
+    // Only the new top guess needs scanning next round, but re-scanning the
+    // (few) existing guesses keeps the loop simple.
+  }
+  return Status::FailedPrecondition(
+      "no guess accepted the window; in fixed-range mode this means "
+      "[d_min, d_max] does not cover the stream");
+}
+
+Result<FairCenterSolution> FairCenterSlidingWindow::Query(QueryStats* stats) {
+  auto coreset = SelectCoreset(stats);
+  if (!coreset.ok()) return coreset.status();
+  if (coreset.value().empty()) return FairCenterSolution{};
+
+  Stopwatch solver_timer;
+  auto solved = solver_->Solve(*metric_, coreset.value(), constraint_);
+  if (stats != nullptr) stats->solver_millis = solver_timer.ElapsedMillis();
+  return solved;
+}
+
+Result<RobustFairCenterSolution> FairCenterSlidingWindow::QueryRobust(
+    int num_outliers, QueryStats* stats) {
+  auto coreset = SelectCoreset(stats);
+  if (!coreset.ok()) return coreset.status();
+  if (coreset.value().empty()) return RobustFairCenterSolution{};
+
+  Stopwatch solver_timer;
+  auto solved = SolveRobustFairCenter(*metric_, coreset.value(), constraint_,
+                                      num_outliers);
+  if (stats != nullptr) stats->solver_millis = solver_timer.ElapsedMillis();
+  return solved;
+}
+
+MemoryStats FairCenterSlidingWindow::Memory() const {
+  MemoryStats stats;
+  for (const auto& [exponent, guess] : guesses_) stats += guess.Memory();
+  return stats;
+}
+
+int64_t FairCenterSlidingWindow::WindowPopulation() const {
+  return std::min(now_, options_.window_size);
+}
+
+}  // namespace fkc

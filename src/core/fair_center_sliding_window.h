@@ -1,0 +1,192 @@
+// The paper's primary contribution: fair center clustering in sliding
+// windows. At any time t, Query() returns an (alpha + epsilon)-approximate
+// fair-center solution for the window of the n most recent stream points,
+// using space and time independent of n (Theorems 1-3).
+//
+// Two operating modes, matching the paper's experiments:
+//   * fixed range ("Ours"): the stream's minimum and maximum pairwise
+//     distances are known up front and fix the guess ladder;
+//   * adaptive range ("OursOblivious"): the ladder follows running estimates
+//     of the current window's distance range, instantiating guess structures
+//     lazily and retiring ones that fall out of range.
+// The variant knob selects the full coreset algorithm (Theorem 1) or the
+// dimension-oblivious validation-only algorithm (Corollary 2).
+#ifndef FKC_CORE_FAIR_CENTER_SLIDING_WINDOW_H_
+#define FKC_CORE_FAIR_CENTER_SLIDING_WINDOW_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "core/distance_estimator.h"
+#include "core/guess_ladder.h"
+#include "core/guess_structure.h"
+#include "core/memory_footprint.h"
+#include "matroid/color_constraint.h"
+#include "metric/metric.h"
+#include "sequential/fair_center_solver.h"
+#include "sequential/robust_fair_center.h"
+
+namespace fkc {
+
+/// Configuration of the sliding-window algorithm.
+struct SlidingWindowOptions {
+  /// Window size n: queries answer for the last n stream points.
+  int64_t window_size = 10000;
+
+  /// Guess ladder progression: consecutive guesses differ by (1 + beta).
+  /// The paper's experiments fix beta = 2.
+  double beta = 2.0;
+
+  /// Coreset precision delta in (0, 4]: c-attractors keep pairwise distance
+  /// > delta*gamma/2. Smaller delta = larger, more accurate coresets. The
+  /// experiments sweep delta in {0.5, ..., 4}. For an epsilon-guarantee use
+  /// DeltaForEpsilon().
+  double delta = 0.5;
+
+  /// Full coreset algorithm (Theorem 1) or validation-only (Corollary 2).
+  CoreVariant variant = CoreVariant::kFull;
+
+  /// false: fixed-range mode; d_min / d_max below are required ("Ours").
+  /// true: adaptive mode; the range is estimated online ("OursOblivious").
+  bool adaptive_range = false;
+
+  /// Stream-wide distance bounds for fixed-range mode.
+  double d_min = 0.0;
+  double d_max = 0.0;
+
+  /// Adaptive mode: extra guess exponents kept on both ends of the
+  /// estimated range as a safety margin.
+  int adaptive_slack_exponents = 1;
+
+  /// Adaptive mode: seed freshly instantiated guess structures by replaying
+  /// the stored points of the nearest existing guess, so a newly witnessed
+  /// scale does not start blind to the current window. Disable only for
+  /// ablation (bench/ablation_warmstart) — cold structures degrade quality
+  /// for up to one window length after every range shift.
+  bool warm_start_new_guesses = true;
+};
+
+/// Theorem 1 parameter rule: the delta achieving an (alpha+epsilon)
+/// approximation is epsilon / ((1+beta)(1+2*alpha)).
+double DeltaForEpsilon(double epsilon, double beta, double alpha);
+
+/// Inverse of DeltaForEpsilon: the epsilon guaranteed by a given delta.
+double EpsilonForDelta(double delta, double beta, double alpha);
+
+/// Per-query diagnostics.
+struct QueryStats {
+  double guess = 0.0;          ///< the selected gamma-hat
+  int64_t coreset_size = 0;    ///< points handed to the sequential solver
+  int guesses_inspected = 0;   ///< ladder entries examined by Query
+  double solver_millis = 0.0;  ///< time spent inside the sequential solver
+};
+
+/// Streaming fair-center clustering over a sliding window.
+///
+/// Typical use:
+///   FairCenterSlidingWindow window(options, constraint, &metric, &solver);
+///   for each stream point: window.Update(coords, color);
+///   auto solution = window.Query();
+class FairCenterSlidingWindow {
+ public:
+  /// `metric` and `solver` must outlive the window. Every color that occurs
+  /// in the stream must have a cap >= 1 (the paper assumes positive k_i).
+  FairCenterSlidingWindow(SlidingWindowOptions options,
+                          ColorConstraint constraint, const Metric* metric,
+                          const FairCenterSolver* solver);
+
+  /// Feeds the next stream point; arrival time and id are assigned
+  /// internally (one logical time step per call).
+  void Update(Coordinates coords, int color);
+  void Update(Point p);
+
+  /// Computes a fair-center solution for the current window (Algorithm 3).
+  /// Fails with kFailedPrecondition in fixed-range mode if the configured
+  /// [d_min, d_max] does not cover the data.
+  Result<FairCenterSolution> Query(QueryStats* stats = nullptr);
+
+  /// Extension (paper's future-work direction): outlier-tolerant query.
+  /// Selects the coreset exactly as Query does, then runs the robust
+  /// bicriteria solver on it with budget `num_outliers`.
+  ///
+  /// Heuristic caveat, documented rather than hidden: coreset points carry
+  /// implicit multiplicity (each stands for up to k_i same-color window
+  /// points within delta*gamma), so discarding one coreset point can
+  /// correspond to discarding several window points. The returned center set
+  /// is always cap-feasible; the outlier accounting is exact only on the
+  /// coreset.
+  Result<RobustFairCenterSolution> QueryRobust(int num_outliers,
+                                               QueryStats* stats = nullptr);
+
+  /// Checkpointing (stream-processor state save/restore): serializes the
+  /// complete algorithm state — options, constraint, clocks, every guess
+  /// structure, and the adaptive-range tracker — into a self-describing
+  /// text format with exact (hex-float) coordinates. The metric and solver
+  /// are code, not state, and are re-supplied on restore.
+  std::string SerializeState() const;
+
+  /// Reconstructs a window from SerializeState output. The restored window
+  /// behaves identically to the original under any future Update/Query
+  /// sequence. Returns kInvalidArgument on malformed or version-mismatched
+  /// input.
+  static Result<FairCenterSlidingWindow> DeserializeState(
+      const std::string& bytes, const Metric* metric,
+      const FairCenterSolver* solver);
+
+  /// Stored-point counts (the paper's memory metric).
+  MemoryStats Memory() const;
+
+  /// Logical time = number of points consumed so far.
+  int64_t now() const { return now_; }
+
+  /// Number of points currently in the window: min(now, window_size).
+  int64_t WindowPopulation() const;
+
+  const SlidingWindowOptions& options() const { return options_; }
+  const ColorConstraint& constraint() const { return constraint_; }
+
+ private:
+  /// The guess-selection front half of Algorithm 3: expires stale points,
+  /// finds the first guess whose validation points admit a k-point 2*gamma
+  /// cover, and returns its coreset (R for the full variant, RV for the
+  /// Corollary-2 variant). Returns an empty vector for an empty window and
+  /// the latest point alone for an all-duplicates window.
+  Result<std::vector<Point>> SelectCoreset(QueryStats* stats);
+
+  /// Creates missing guess structures for the adaptive range and retires the
+  /// ones that left it. New structures are warmed by replaying the stored
+  /// points of the nearest existing guess.
+  void ReconcileAdaptiveRange();
+
+  /// Instantiates a guess structure for `exponent`, seeded from the nearest
+  /// existing structure (if any).
+  void CreateGuess(int exponent);
+
+  /// Algorithm 3's per-guess acceptance test: RV admits a greedy 2*gamma
+  /// cover with at most k centers.
+  bool GuessPasses(const GuessStructure& guess) const;
+
+  SlidingWindowOptions options_;
+  ColorConstraint constraint_;
+  const Metric* metric_;
+  const FairCenterSolver* solver_;
+
+  GuessLadder ladder_;
+  /// Guess structures keyed by ladder exponent (ascending iteration order).
+  std::map<int, GuessStructure> guesses_;
+
+  /// Adaptive mode machinery.
+  std::unique_ptr<WindowDistanceEstimator> estimator_;
+
+  int64_t now_ = 0;
+  uint64_t next_id_ = 1;
+  /// Most recent arrival: bootstraps the estimator and serves as the
+  /// fallback solution when the window holds a single distinct location.
+  std::optional<Point> last_point_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_CORE_FAIR_CENTER_SLIDING_WINDOW_H_

@@ -1,0 +1,47 @@
+#include "core/guess_ladder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+GuessLadder::GuessLadder(double beta) : beta_(beta) {
+  FKC_CHECK_GT(beta, 0.0);
+  log_base_ = std::log1p(beta);
+}
+
+double GuessLadder::Value(int exponent) const {
+  return std::exp(log_base_ * exponent);
+}
+
+int GuessLadder::FloorExponent(double value) const {
+  FKC_CHECK_GT(value, 0.0);
+  // Relative tolerance absorbs floating-point drift at bucket boundaries
+  // (e.g. Value(1) = 2.9999999999999996 for beta = 2): a value within one
+  // part in 1e12 of a guess is treated as equal to it.
+  constexpr double kRelTol = 1e-12;
+  int e = static_cast<int>(std::floor(std::log(value) / log_base_ + 1e-9));
+  while (Value(e) > value * (1.0 + kRelTol)) --e;
+  while (Value(e + 1) <= value * (1.0 + kRelTol)) ++e;
+  return e;
+}
+
+int GuessLadder::CeilExponent(double value) const {
+  FKC_CHECK_GT(value, 0.0);
+  constexpr double kRelTol = 1e-12;
+  const int e = FloorExponent(value);
+  return Value(e) >= value * (1.0 - kRelTol) ? e : e + 1;
+}
+
+std::vector<int> GuessLadder::Range(double d_min, double d_max) const {
+  FKC_CHECK_GT(d_min, 0.0);
+  FKC_CHECK_GE(d_max, d_min);
+  std::vector<int> exponents;
+  for (int e = FloorExponent(d_min); e <= CeilExponent(d_max); ++e) {
+    exponents.push_back(e);
+  }
+  return exponents;
+}
+
+}  // namespace fkc

@@ -1,0 +1,196 @@
+#include "core/guess_structure.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+GuessStructure::GuessStructure(double gamma, double delta, int64_t window_size,
+                               const ColorConstraint& constraint,
+                               CoreVariant variant)
+    : gamma_(gamma),
+      delta_(delta),
+      window_size_(window_size),
+      constraint_(constraint),
+      variant_(variant) {
+  FKC_CHECK_GT(gamma, 0.0);
+  FKC_CHECK_GT(delta, 0.0);
+  FKC_CHECK_GT(window_size, 0);
+  
+}
+
+void GuessStructure::ExpireOnly(int64_t now) {
+  ExpireEntries(&v_entries_, &v_orphans_, now, window_size_);
+  ExpirePoints(&v_orphans_, now, window_size_);
+  ExpireEntries(&c_entries_, &c_orphans_, now, window_size_);
+  ExpirePoints(&c_orphans_, now, window_size_);
+}
+
+void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
+                            DistanceObserver* observer) {
+  FKC_CHECK_GE(constraint_.cap(p.color), 1)
+      << "arriving point has a zero-cap color; the paper requires k_i >= 1";
+  ExpireOnly(now);
+
+  // --- Validation phase: assign p to a v-attractor (lines 1-10). ---
+  int v_target = -1;
+  for (size_t i = 0; i < v_entries_.size(); ++i) {
+    const double d = metric.Distance(p, v_entries_[i].attractor);
+    if (observer != nullptr) observer->ObserveDistance(d);
+    if (d <= 2.0 * gamma_ && v_target == -1) {
+      v_target = static_cast<int>(i);
+      // Keep scanning so the observer sees every attractor distance; the
+      // paper picks an arbitrary element of EV and the first works.
+      if (observer == nullptr) break;
+    }
+  }
+
+  if (v_target == -1) {
+    // p becomes a new v-attractor and its own representative.
+    v_entries_.push_back(AttractorEntry{p, {p}});
+    Cleanup(now);
+  } else {
+    AttractorEntry& entry = v_entries_[v_target];
+    if (variant_ == CoreVariant::kFull) {
+      // Single representative: replace by the newcomer (line 10). The old
+      // representative leaves RV entirely — it is superseded, not orphaned.
+      entry.representatives.assign(1, p);
+    } else {
+      // Corollary 2: maintain a maximal independent set of the most recent
+      // attracted points. To mirror the coreset balancing rule, re-target to
+      // the eligible attractor with the fewest same-color representatives.
+      int best = v_target;
+      int best_count = CountColor(entry, p.color);
+      for (size_t i = v_target + 1; i < v_entries_.size(); ++i) {
+        if (metric.Distance(p, v_entries_[i].attractor) <= 2.0 * gamma_) {
+          const int count = CountColor(v_entries_[i], p.color);
+          if (count < best_count) {
+            best_count = count;
+            best = static_cast<int>(i);
+          }
+        }
+      }
+      AddRepresentativeWithCap(&v_entries_[best], p,
+                               constraint_.cap(p.color));
+    }
+  }
+
+  // --- Coreset phase: assign p to a c-attractor (lines 11-20). ---
+  if (variant_ != CoreVariant::kFull) return;
+
+  const double c_threshold = delta_ * gamma_ / 2.0;
+  int c_target = -1;
+  int c_target_count = std::numeric_limits<int>::max();
+  for (size_t i = 0; i < c_entries_.size(); ++i) {
+    const double d = metric.Distance(p, c_entries_[i].attractor);
+    if (d <= c_threshold) {
+      const int count = CountColor(c_entries_[i], p.color);
+      if (count < c_target_count) {
+        c_target_count = count;
+        c_target = static_cast<int>(i);
+      }
+    }
+  }
+  if (c_target == -1) {
+    c_entries_.push_back(AttractorEntry{p, {p}});
+  } else {
+    AddRepresentativeWithCap(&c_entries_[c_target], p,
+                             constraint_.cap(p.color));
+  }
+}
+
+void GuessStructure::Cleanup(int64_t now) {
+  (void)now;
+  const int k = constraint_.TotalK();
+
+  // Line 1-2: with k+2 v-attractors, evict the oldest; its representatives
+  // survive as orphans (subject to the threshold below).
+  if (static_cast<int>(v_entries_.size()) == k + 2) {
+    size_t victim = 0;
+    for (size_t i = 1; i < v_entries_.size(); ++i) {
+      if (v_entries_[i].attractor.arrival <
+          v_entries_[victim].attractor.arrival) {
+        victim = i;
+      }
+    }
+    for (Point& rep : v_entries_[victim].representatives) {
+      v_orphans_.push_back(std::move(rep));
+    }
+    v_entries_.erase(v_entries_.begin() + victim);
+  }
+
+  // Lines 3-5: with k+1 v-attractors the guess is invalid until the oldest
+  // of them expires; points older than that are useless and are dropped
+  // from A, RV, and R.
+  if (static_cast<int>(v_entries_.size()) == k + 1) {
+    int64_t threshold = std::numeric_limits<int64_t>::max();
+    for (const AttractorEntry& entry : v_entries_) {
+      threshold = std::min(threshold, entry.attractor.arrival);
+    }
+    DropPointsOlderThan(&v_orphans_, threshold);
+    DropEntriesOlderThan(&c_entries_, &c_orphans_, threshold);
+    DropPointsOlderThan(&c_orphans_, threshold);
+  }
+}
+
+std::vector<Point> GuessStructure::ValidationPoints() const {
+  std::vector<Point> rv;
+  for (const AttractorEntry& entry : v_entries_) {
+    rv.insert(rv.end(), entry.representatives.begin(),
+              entry.representatives.end());
+  }
+  rv.insert(rv.end(), v_orphans_.begin(), v_orphans_.end());
+  return rv;
+}
+
+std::vector<Point> GuessStructure::CoresetPoints() const {
+  if (variant_ == CoreVariant::kValidationOnly) return ValidationPoints();
+  std::vector<Point> r;
+  for (const AttractorEntry& entry : c_entries_) {
+    r.insert(r.end(), entry.representatives.begin(),
+             entry.representatives.end());
+  }
+  r.insert(r.end(), c_orphans_.begin(), c_orphans_.end());
+  return r;
+}
+
+MemoryStats GuessStructure::Memory() const {
+  MemoryStats stats;
+  stats.guesses = 1;
+  stats.v_attractors = static_cast<int64_t>(v_entries_.size());
+  stats.v_representatives =
+      CountRepresentatives(v_entries_) + static_cast<int64_t>(v_orphans_.size());
+  stats.c_attractors = static_cast<int64_t>(c_entries_.size());
+  stats.c_representatives =
+      CountRepresentatives(c_entries_) + static_cast<int64_t>(c_orphans_.size());
+  return stats;
+}
+
+void GuessStructure::ReplayInto(GuessStructure* sink, int64_t now,
+                                const Metric& metric) const {
+  std::vector<Point> stored;
+  auto harvest = [&stored](const std::vector<AttractorEntry>& entries,
+                           const std::vector<Point>& orphans) {
+    for (const AttractorEntry& entry : entries) {
+      stored.push_back(entry.attractor);
+      stored.insert(stored.end(), entry.representatives.begin(),
+                    entry.representatives.end());
+    }
+    stored.insert(stored.end(), orphans.begin(), orphans.end());
+  };
+  harvest(v_entries_, v_orphans_);
+  harvest(c_entries_, c_orphans_);
+
+  std::sort(stored.begin(), stored.end(),
+            [](const Point& a, const Point& b) { return a.arrival < b.arrival; });
+  uint64_t last_id = 0;
+  for (const Point& p : stored) {
+    if (p.id == last_id && last_id != 0) continue;  // attractor == its rep
+    last_id = p.id;
+    sink->Update(p, now, metric, nullptr);
+  }
+}
+
+}  // namespace fkc

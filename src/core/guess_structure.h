@@ -1,0 +1,127 @@
+// Per-guess state and update logic: Algorithms 1 (Update) and 2 (Cleanup) of
+// the paper, for one guess gamma of the ladder.
+//
+// For each guess the algorithm maintains two families of active points:
+//   validation points — AV (v-attractors, pairwise > 2*gamma, at most k+1
+//     outside Cleanup) and RV (one recent representative per live attractor,
+//     plus orphaned representatives of expired/evicted attractors);
+//   coreset points — A (c-attractors, pairwise > delta*gamma/2, size bounded
+//     only by the doubling-dimension analysis) and R (per-attractor maximal
+//     independent representative sets, plus orphans).
+//
+// The Corollary-2 variant (kValidationOnly) drops the coreset family and
+// upgrades each v-representative to a maximal independent set.
+#ifndef FKC_CORE_GUESS_STRUCTURE_H_
+#define FKC_CORE_GUESS_STRUCTURE_H_
+
+#include <vector>
+
+#include "core/attractor_set.h"
+#include "core/memory_footprint.h"
+#include "matroid/color_constraint.h"
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// Algorithm variant selector.
+enum class CoreVariant {
+  kFull,            ///< validation + coreset points (Theorem 1)
+  kValidationOnly,  ///< Corollary 2: independent sets on validation points
+};
+
+/// Receives every distance the structure evaluates between the arriving
+/// point and a stored active point. The adaptive-range tracker of
+/// OursOblivious listens here.
+class DistanceObserver {
+ public:
+  virtual ~DistanceObserver() = default;
+  virtual void ObserveDistance(double distance) = 0;
+};
+
+/// State of one guess gamma.
+class GuessStructure {
+ public:
+  /// The constraint is copied (it is a small cap vector), keeping the
+  /// structure self-contained and safely movable. All caps of colors that
+  /// occur in the stream must be >= 1 (the paper assumes positive k_i).
+  GuessStructure(double gamma, double delta, int64_t window_size,
+                 const ColorConstraint& constraint, CoreVariant variant);
+
+  /// Algorithm 1 body for this guess: expiry, v-assignment (with Cleanup on
+  /// new v-attractors), c-assignment. `observer` may be null.
+  void Update(const Point& p, int64_t now, const Metric& metric,
+              DistanceObserver* observer);
+
+  /// Removes expired points without inserting (used before queries that may
+  /// happen after the structure stopped receiving updates).
+  void ExpireOnly(int64_t now);
+
+  double gamma() const { return gamma_; }
+
+  /// |AV| <= k, the validity test of Query (Algorithm 3).
+  bool IsValid() const {
+    return static_cast<int>(v_entries_.size()) <= constraint_.TotalK();
+  }
+
+  int64_t v_attractor_count() const {
+    return static_cast<int64_t>(v_entries_.size());
+  }
+  int64_t c_attractor_count() const {
+    return static_cast<int64_t>(c_entries_.size());
+  }
+
+  /// RV: live representatives plus orphans.
+  std::vector<Point> ValidationPoints() const;
+
+  /// R: coreset representatives plus orphans. In the kValidationOnly
+  /// variant this equals ValidationPoints() (Query runs A on RV there).
+  std::vector<Point> CoresetPoints() const;
+
+  MemoryStats Memory() const;
+
+  /// Replays every currently stored point (attractors and representatives,
+  /// sorted by arrival) into `sink` via its Update. Used to warm up freshly
+  /// instantiated guesses in the adaptive-range variant.
+  void ReplayInto(GuessStructure* sink, int64_t now,
+                  const Metric& metric) const;
+
+  /// Introspection for tests, invariant checks, and diagnostics.
+  const std::vector<AttractorEntry>& v_entries() const { return v_entries_; }
+  const std::vector<AttractorEntry>& c_entries() const { return c_entries_; }
+  const std::vector<Point>& v_orphans() const { return v_orphans_; }
+  const std::vector<Point>& c_orphans() const { return c_orphans_; }
+
+  /// Overwrites the stored sets verbatim — checkpoint restore only
+  /// (core/checkpoint.cc); the caller is responsible for state validity.
+  void RestoreState(std::vector<AttractorEntry> v_entries,
+                    std::vector<Point> v_orphans,
+                    std::vector<AttractorEntry> c_entries,
+                    std::vector<Point> c_orphans) {
+    v_entries_ = std::move(v_entries);
+    v_orphans_ = std::move(v_orphans);
+    c_entries_ = std::move(c_entries);
+    c_orphans_ = std::move(c_orphans);
+  }
+
+ private:
+  void Cleanup(int64_t now);
+
+  double gamma_;
+  double delta_;
+  int64_t window_size_;
+  ColorConstraint constraint_;
+  CoreVariant variant_;
+
+  // Validation family. In kFull each entry holds exactly one representative.
+  std::vector<AttractorEntry> v_entries_;
+  std::vector<Point> v_orphans_;
+
+  // Coreset family (kFull only).
+  std::vector<AttractorEntry> c_entries_;
+  std::vector<Point> c_orphans_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_CORE_GUESS_STRUCTURE_H_

@@ -1,0 +1,26 @@
+#include "core/memory_footprint.h"
+
+#include "common/string_util.h"
+
+namespace fkc {
+
+MemoryStats& MemoryStats::operator+=(const MemoryStats& other) {
+  v_attractors += other.v_attractors;
+  v_representatives += other.v_representatives;
+  c_attractors += other.c_attractors;
+  c_representatives += other.c_representatives;
+  guesses += other.guesses;
+  return *this;
+}
+
+std::string MemoryStats::ToString() const {
+  return StrFormat(
+      "guesses=%lld AV=%lld RV=%lld A=%lld R=%lld total=%lld",
+      static_cast<long long>(guesses), static_cast<long long>(v_attractors),
+      static_cast<long long>(v_representatives),
+      static_cast<long long>(c_attractors),
+      static_cast<long long>(c_representatives),
+      static_cast<long long>(TotalPoints()));
+}
+
+}  // namespace fkc

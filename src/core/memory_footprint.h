@@ -1,0 +1,33 @@
+// Memory accounting in the paper's unit: number of stored points. Every
+// experiment plots "memory (points)", so the structures report exact slot
+// counts rather than bytes.
+#ifndef FKC_CORE_MEMORY_FOOTPRINT_H_
+#define FKC_CORE_MEMORY_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fkc {
+
+/// Stored-point counts, broken down by structure kind.
+struct MemoryStats {
+  int64_t v_attractors = 0;       ///< |AV| summed over guesses
+  int64_t v_representatives = 0;  ///< |RV| (live reps + orphans)
+  int64_t c_attractors = 0;       ///< |A|
+  int64_t c_representatives = 0;  ///< |R| (live rep sets + orphans)
+  int64_t guesses = 0;            ///< number of instantiated guess structures
+
+  /// Total stored point slots — the paper's "number of points in memory".
+  int64_t TotalPoints() const {
+    return v_attractors + v_representatives + c_attractors +
+           c_representatives;
+  }
+
+  MemoryStats& operator+=(const MemoryStats& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_CORE_MEMORY_FOOTPRINT_H_

@@ -1,0 +1,39 @@
+#include "datasets/blobs.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fkc {
+namespace datasets {
+
+std::vector<Point> GenerateBlobs(const BlobsOptions& options) {
+  FKC_CHECK_GT(options.num_points, 0);
+  FKC_CHECK_GT(options.dimension, 0);
+  FKC_CHECK_GT(options.num_blobs, 0);
+  FKC_CHECK_GT(options.ell, 0);
+
+  Rng rng(options.seed);
+  std::vector<Coordinates> centers(options.num_blobs);
+  for (auto& center : centers) {
+    center.resize(options.dimension);
+    for (double& x : center) x = rng.NextUniform(0.0, options.box_side);
+  }
+
+  std::vector<Point> points;
+  points.reserve(options.num_points);
+  for (int64_t i = 0; i < options.num_points; ++i) {
+    const auto& center =
+        centers[rng.NextBounded(static_cast<uint64_t>(options.num_blobs))];
+    Coordinates coords(options.dimension);
+    for (int d = 0; d < options.dimension; ++d) {
+      coords[d] = rng.NextGaussian(center[d], options.sigma);
+    }
+    const int color = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(options.ell)));
+    points.emplace_back(std::move(coords), color);
+  }
+  return points;
+}
+
+}  // namespace datasets
+}  // namespace fkc

@@ -1,0 +1,34 @@
+// The paper's `blobs` synthetic family (Section 4.3): a mixture of 21
+// multivariate d-dimensional Gaussians with covariance sigma^2 * I
+// (sigma = 2), each point colored uniformly at random among 7 colors. Used
+// to study how cost scales with the true data dimensionality.
+#ifndef FKC_DATASETS_BLOBS_H_
+#define FKC_DATASETS_BLOBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+namespace datasets {
+
+struct BlobsOptions {
+  int64_t num_points = 100000;
+  int dimension = 3;
+  int num_blobs = 21;    // the paper's 21 mixture components
+  double sigma = 2.0;    // per-coordinate standard deviation
+  int ell = 7;           // colors, assigned uniformly at random
+  double box_side = 100.0;  // blob centers drawn uniformly in [0, side]^d
+  uint64_t seed = 42;
+};
+
+/// Generates the blobs mixture. Points are emitted in random mixture order
+/// (component chosen uniformly per point), which makes the stream
+/// stationary: every window sees all 21 blobs.
+std::vector<Point> GenerateBlobs(const BlobsOptions& options);
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_BLOBS_H_

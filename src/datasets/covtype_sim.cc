@@ -1,0 +1,56 @@
+#include "datasets/covtype_sim.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fkc {
+namespace datasets {
+
+std::vector<Point> GenerateCovtypeSim(const CovtypeSimOptions& options) {
+  FKC_CHECK_GT(options.num_points, 0);
+  FKC_CHECK_GT(options.ambient_dimension, 0);
+  FKC_CHECK_GT(options.latent_dimension, 0);
+  FKC_CHECK_LE(options.latent_dimension, options.ambient_dimension);
+  FKC_CHECK_GT(options.ell, 0);
+  Rng rng(options.seed);
+
+  // Latent mixture: one component per cover type. Cover types in the real
+  // data are imbalanced; weight them geometrically.
+  std::vector<Coordinates> latent_means(options.ell);
+  std::vector<double> weights(options.ell);
+  for (int c = 0; c < options.ell; ++c) {
+    latent_means[c].resize(options.latent_dimension);
+    for (double& x : latent_means[c]) x = rng.NextUniform(0.0, 20.0);
+    weights[c] = 1.0 / (1.0 + c);  // covertypes 1-2 dominate the real data
+  }
+
+  // Shared linear embedding latent -> ambient.
+  std::vector<Coordinates> embedding(options.ambient_dimension);
+  for (auto& row : embedding) {
+    row.resize(options.latent_dimension);
+    for (double& x : row) x = rng.NextGaussian(0.0, 1.0);
+  }
+
+  std::vector<Point> points;
+  points.reserve(options.num_points);
+  for (int64_t i = 0; i < options.num_points; ++i) {
+    const int cover = static_cast<int>(rng.NextDiscrete(weights));
+    Coordinates latent(options.latent_dimension);
+    for (int d = 0; d < options.latent_dimension; ++d) {
+      latent[d] = rng.NextGaussian(latent_means[cover][d], 1.0);
+    }
+    Coordinates coords(options.ambient_dimension);
+    for (int a = 0; a < options.ambient_dimension; ++a) {
+      double sum = 0.0;
+      for (int d = 0; d < options.latent_dimension; ++d) {
+        sum += embedding[a][d] * latent[d];
+      }
+      coords[a] = sum + rng.NextGaussian(0.0, options.embedding_noise);
+    }
+    points.emplace_back(std::move(coords), cover);
+  }
+  return points;
+}
+
+}  // namespace datasets
+}  // namespace fkc

@@ -1,0 +1,34 @@
+// Simulated stand-in for the UCI COVTYPE dataset: 54-dimensional
+// cartographic observations labelled with one of 7 forest cover types,
+// aspect ratio ~3.1e3. The defining property for this library is that the
+// ambient dimension (54) far exceeds the intrinsic one: real cartographic
+// variables are strongly correlated. The generator therefore samples a
+// low-dimensional latent mixture (one component per cover type) and embeds
+// it linearly into 54 coordinates plus small noise.
+#ifndef FKC_DATASETS_COVTYPE_SIM_H_
+#define FKC_DATASETS_COVTYPE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+namespace datasets {
+
+struct CovtypeSimOptions {
+  int64_t num_points = 100000;
+  int ambient_dimension = 54;
+  int latent_dimension = 8;
+  int ell = 7;  // cover types, one latent mixture component each
+  /// Per-ambient-coordinate noise after the embedding.
+  double embedding_noise = 0.05;
+  uint64_t seed = 42;
+};
+
+std::vector<Point> GenerateCovtypeSim(const CovtypeSimOptions& options);
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_COVTYPE_SIM_H_

@@ -1,0 +1,84 @@
+#include "datasets/csv_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fkc {
+namespace datasets {
+
+Result<std::vector<Point>> ParseCsv(const std::string& content,
+                                    const CsvOptions& options) {
+  std::vector<Point> points;
+  std::istringstream in(content);
+  std::string line;
+  int line_number = 0;
+  size_t expected_fields = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line_number <= options.skip_lines) continue;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+
+    const std::vector<std::string> fields =
+        StrSplit(stripped, options.delimiter);
+    if (expected_fields == 0) {
+      expected_fields = fields.size();
+      if (expected_fields < 2) {
+        return Status::InvalidArgument(
+            "CSV rows need at least one coordinate and a color");
+      }
+    } else if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          StrFormat("line %d has %zu fields, expected %zu", line_number,
+                    fields.size(), expected_fields));
+    }
+
+    const int color_column = options.color_column >= 0
+                                 ? options.color_column
+                                 : static_cast<int>(fields.size()) - 1;
+    if (color_column >= static_cast<int>(fields.size())) {
+      return Status::InvalidArgument("color column out of range");
+    }
+
+    Coordinates coords;
+    coords.reserve(fields.size() - 1);
+    int color = 0;
+    for (size_t f = 0; f < fields.size(); ++f) {
+      if (static_cast<int>(f) == color_column) {
+        auto parsed = ParseInt(fields[f]);
+        if (!parsed.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: bad color '%s'", line_number,
+                        fields[f].c_str()));
+        }
+        color = static_cast<int>(parsed.value());
+      } else {
+        auto parsed = ParseDouble(fields[f]);
+        if (!parsed.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: bad coordinate '%s'", line_number,
+                        fields[f].c_str()));
+        }
+        coords.push_back(parsed.value());
+      }
+    }
+    points.emplace_back(std::move(coords), color);
+  }
+  return points;
+}
+
+Result<std::vector<Point>> LoadCsv(const std::string& path,
+                                   const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+}  // namespace datasets
+}  // namespace fkc

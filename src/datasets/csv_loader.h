@@ -1,0 +1,38 @@
+// CSV ingestion so the real UCI datasets can be dropped in when available:
+// one point per row, numeric coordinates, and the color label in a chosen
+// column.
+#ifndef FKC_DATASETS_CSV_LOADER_H_
+#define FKC_DATASETS_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/point.h"
+
+namespace fkc {
+namespace datasets {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Column index (0-based) holding the integer color label; -1 means the
+  /// last column.
+  int color_column = -1;
+  /// Skip this many header lines.
+  int skip_lines = 0;
+};
+
+/// Loads points from a CSV file. Every non-color column must parse as a
+/// number; rows with the wrong arity are an error (fail fast rather than
+/// silently skewing an experiment).
+Result<std::vector<Point>> LoadCsv(const std::string& path,
+                                   const CsvOptions& options = {});
+
+/// Parses CSV content from a string (testing and embedding).
+Result<std::vector<Point>> ParseCsv(const std::string& content,
+                                    const CsvOptions& options = {});
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_CSV_LOADER_H_

@@ -1,0 +1,41 @@
+#include "datasets/higgs_sim.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fkc {
+namespace datasets {
+
+std::vector<Point> GenerateHiggsSim(const HiggsSimOptions& options) {
+  FKC_CHECK_GT(options.num_points, 0);
+  FKC_CHECK_GT(options.dimension, 0);
+  Rng rng(options.seed);
+
+  // Class-conditional means: the signal class sits slightly displaced from
+  // the background, as in the real kinematic features.
+  Coordinates signal_mean(options.dimension);
+  Coordinates noise_mean(options.dimension);
+  for (int d = 0; d < options.dimension; ++d) {
+    signal_mean[d] = rng.NextUniform(-1.0, 1.0);
+    noise_mean[d] = rng.NextUniform(-1.0, 1.0);
+  }
+
+  std::vector<Point> points;
+  points.reserve(options.num_points);
+  for (int64_t i = 0; i < options.num_points; ++i) {
+    const bool is_signal = rng.NextBernoulli(options.signal_fraction);
+    const Coordinates& mean = is_signal ? signal_mean : noise_mean;
+    Coordinates coords(options.dimension);
+    for (int d = 0; d < options.dimension; ++d) {
+      coords[d] = rng.NextGaussian(mean[d], 1.0);
+      if (rng.NextBernoulli(options.tail_probability)) {
+        coords[d] *= options.tail_scale * rng.NextDouble();
+      }
+    }
+    points.emplace_back(std::move(coords), is_signal ? 0 : 1);
+  }
+  return points;
+}
+
+}  // namespace datasets
+}  // namespace fkc

@@ -1,0 +1,32 @@
+// Simulated stand-in for the UCI HIGGS dataset: 7-dimensional kinematic
+// feature vectors of simulated particle collisions, labelled signal vs noise
+// (ell = 2), aspect ratio ~2.3e4. Matches dimensionality, the two-class
+// color structure, heavy-tailed features (the source of the moderate aspect
+// ratio) and an i.i.d. (non-drifting) stream.
+#ifndef FKC_DATASETS_HIGGS_SIM_H_
+#define FKC_DATASETS_HIGGS_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+namespace datasets {
+
+struct HiggsSimOptions {
+  int64_t num_points = 100000;
+  int dimension = 7;
+  double signal_fraction = 0.53;  // the real dataset is roughly balanced
+  /// Probability that one feature takes a heavy-tail excursion.
+  double tail_probability = 1e-3;
+  double tail_scale = 300.0;
+  uint64_t seed = 42;
+};
+
+std::vector<Point> GenerateHiggsSim(const HiggsSimOptions& options);
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_HIGGS_SIM_H_

@@ -1,0 +1,42 @@
+#include "datasets/phones_sim.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fkc {
+namespace datasets {
+
+std::vector<Point> GeneratePhonesSim(const PhonesSimOptions& options) {
+  FKC_CHECK_GT(options.num_points, 0);
+  FKC_CHECK_GT(options.ell, 0);
+  Rng rng(options.seed);
+
+  Coordinates position = {0.0, 0.0, 0.0};
+  int activity = 0;
+
+  std::vector<Point> points;
+  points.reserve(options.num_points);
+  for (int64_t i = 0; i < options.num_points; ++i) {
+    // Sticky activity labels.
+    if (!rng.NextBernoulli(options.activity_stickiness)) {
+      activity =
+          static_cast<int>(rng.NextBounded(static_cast<uint64_t>(options.ell)));
+    }
+    // Activity-dependent random walk (a stationary user moves less than a
+    // biking one).
+    const double step = options.base_step * (1.0 + activity);
+    for (double& x : position) x += rng.NextGaussian(0.0, step);
+    // Rare handoffs create the far-apart regimes behind the large aspect
+    // ratio of the real trace.
+    if (rng.NextBernoulli(options.handoff_probability)) {
+      for (double& x : position) {
+        x += rng.NextGaussian(0.0, options.handoff_scale);
+      }
+    }
+    points.emplace_back(position, activity);
+  }
+  return points;
+}
+
+}  // namespace datasets
+}  // namespace fkc

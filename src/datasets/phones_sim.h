@@ -1,0 +1,40 @@
+// Simulated stand-in for the UCI PHONES dataset (Heterogeneity Activity
+// Recognition): 3-d sensor positions labelled with one of 7 user actions
+// (stand, sit, walk, bike, stairs up, stairs down, null), aspect ratio
+// ~6.4e5. The UCI download is unavailable offline; this generator matches
+// the characteristics the algorithms are sensitive to — dimensionality,
+// number of colors, temporal locality (sensor traces drift), sticky labels
+// (activities persist), and a wide aspect ratio (bursts / device handoffs).
+#ifndef FKC_DATASETS_PHONES_SIM_H_
+#define FKC_DATASETS_PHONES_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+namespace datasets {
+
+struct PhonesSimOptions {
+  int64_t num_points = 100000;
+  int ell = 7;
+  /// Probability of keeping the current activity at each step (sticky
+  /// Markov labels, as in a real activity trace).
+  double activity_stickiness = 0.98;
+  /// Per-activity random-walk step scale; actual steps are scaled by
+  /// (1 + activity index).
+  double base_step = 0.05;
+  /// Probability of a device handoff: the trace teleports far away, which
+  /// produces the large distances behind the dataset's huge aspect ratio.
+  double handoff_probability = 2e-4;
+  double handoff_scale = 5000.0;
+  uint64_t seed = 42;
+};
+
+std::vector<Point> GeneratePhonesSim(const PhonesSimOptions& options);
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_PHONES_SIM_H_

@@ -1,0 +1,83 @@
+#include "datasets/registry.h"
+
+#include "common/string_util.h"
+#include "datasets/blobs.h"
+#include "datasets/covtype_sim.h"
+#include "datasets/higgs_sim.h"
+#include "datasets/phones_sim.h"
+#include "datasets/rotated.h"
+
+namespace fkc {
+namespace datasets {
+
+Result<Dataset> MakeDataset(const std::string& name, int64_t num_points,
+                            uint64_t seed) {
+  Dataset dataset;
+  dataset.name = name;
+  if (name == "phones") {
+    PhonesSimOptions options;
+    options.num_points = num_points;
+    options.seed = seed;
+    dataset.points = GeneratePhonesSim(options);
+    dataset.ell = options.ell;
+    return dataset;
+  }
+  if (name == "higgs") {
+    HiggsSimOptions options;
+    options.num_points = num_points;
+    options.seed = seed;
+    dataset.points = GenerateHiggsSim(options);
+    dataset.ell = 2;
+    return dataset;
+  }
+  if (name == "covtype") {
+    CovtypeSimOptions options;
+    options.num_points = num_points;
+    options.seed = seed;
+    dataset.points = GenerateCovtypeSim(options);
+    dataset.ell = options.ell;
+    return dataset;
+  }
+  if (StartsWith(name, "blobs")) {
+    auto parsed = ParseInt(name.substr(5));
+    if (!parsed.ok() || parsed.value() < 1 || parsed.value() > 1000) {
+      return Status::InvalidArgument("bad blobs dimension in '" + name + "'");
+    }
+    BlobsOptions options;
+    options.num_points = num_points;
+    options.dimension = static_cast<int>(parsed.value());
+    options.seed = seed;
+    dataset.points = GenerateBlobs(options);
+    dataset.ell = options.ell;
+    return dataset;
+  }
+  if (StartsWith(name, "rotated")) {
+    auto parsed = ParseInt(name.substr(7));
+    if (!parsed.ok() || parsed.value() < 3 || parsed.value() > 1000) {
+      return Status::InvalidArgument("bad rotated dimension in '" + name +
+                                     "'");
+    }
+    // Base: the PHONES stand-in (3-d), as in the paper.
+    PhonesSimOptions base_options;
+    base_options.num_points = num_points;
+    base_options.seed = seed;
+    dataset.points = RotateAndPad(GeneratePhonesSim(base_options),
+                                  static_cast<int>(parsed.value()), seed + 1);
+    dataset.ell = base_options.ell;
+    return dataset;
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+std::vector<std::string> RealDatasetNames() {
+  return {"phones", "higgs", "covtype"};
+}
+
+std::unique_ptr<VectorStream> MakeStream(Dataset dataset) {
+  return std::make_unique<VectorStream>(std::move(dataset.points),
+                                        dataset.ell, dataset.name,
+                                        /*cycle=*/true);
+}
+
+}  // namespace datasets
+}  // namespace fkc

@@ -1,0 +1,44 @@
+// Named dataset registry used by benches and examples: maps the dataset
+// names of the paper's evaluation (phones, higgs, covtype, blobs, rotated)
+// to generators with the experiment's canonical parameters.
+#ifndef FKC_DATASETS_REGISTRY_H_
+#define FKC_DATASETS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/point.h"
+#include "stream/stream.h"
+
+namespace fkc {
+namespace datasets {
+
+/// A generated dataset with its color count.
+struct Dataset {
+  std::vector<Point> points;
+  int ell = 0;
+  std::string name;
+};
+
+/// Generates `num_points` points of the named dataset with `seed`.
+/// Known names:
+///   "phones"    3-d, ell=7   (PHONES stand-in)
+///   "higgs"     7-d, ell=2   (HIGGS stand-in)
+///   "covtype"   54-d, ell=7  (COVTYPE stand-in)
+///   "blobs<d>"  d-d,  ell=7  (e.g. "blobs3"; paper sweeps d in [2,10])
+///   "rotated<D>" D coords, intrinsic 3-d, ell=7 (e.g. "rotated15")
+Result<Dataset> MakeDataset(const std::string& name, int64_t num_points,
+                            uint64_t seed = 42);
+
+/// The three real-dataset stand-ins of the main experiments.
+std::vector<std::string> RealDatasetNames();
+
+/// Wraps a dataset as a cycling stream (so any stream length is available).
+std::unique_ptr<VectorStream> MakeStream(Dataset dataset);
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_REGISTRY_H_

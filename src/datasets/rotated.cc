@@ -1,0 +1,65 @@
+#include "datasets/rotated.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fkc {
+namespace datasets {
+
+std::vector<std::vector<double>> RandomRotation(int target_dim,
+                                                uint64_t seed) {
+  FKC_CHECK_GT(target_dim, 0);
+  Rng rng(seed);
+  std::vector<std::vector<double>> m(target_dim,
+                                     std::vector<double>(target_dim));
+  // Gram–Schmidt on rows of a Gaussian matrix: yields a Haar-ish random
+  // orthogonal matrix, which is all a rigid rotation needs.
+  for (int r = 0; r < target_dim; ++r) {
+    for (;;) {
+      for (int c = 0; c < target_dim; ++c) m[r][c] = rng.NextGaussian();
+      for (int prev = 0; prev < r; ++prev) {
+        double dot = 0.0;
+        for (int c = 0; c < target_dim; ++c) dot += m[r][c] * m[prev][c];
+        for (int c = 0; c < target_dim; ++c) m[r][c] -= dot * m[prev][c];
+      }
+      double norm = 0.0;
+      for (int c = 0; c < target_dim; ++c) norm += m[r][c] * m[r][c];
+      norm = std::sqrt(norm);
+      if (norm > 1e-9) {  // retry on (astronomically unlikely) degeneracy
+        for (int c = 0; c < target_dim; ++c) m[r][c] /= norm;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<Point> RotateAndPad(const std::vector<Point>& base, int target_dim,
+                                uint64_t seed) {
+  FKC_CHECK_GT(target_dim, 0);
+  const auto rotation = RandomRotation(target_dim, seed);
+
+  std::vector<Point> out;
+  out.reserve(base.size());
+  for (const Point& p : base) {
+    FKC_CHECK_LE(p.dimension(), static_cast<size_t>(target_dim));
+    Coordinates padded(target_dim, 0.0);
+    for (size_t d = 0; d < p.dimension(); ++d) padded[d] = p.coords[d];
+
+    Coordinates rotated(target_dim, 0.0);
+    for (int r = 0; r < target_dim; ++r) {
+      double sum = 0.0;
+      for (int c = 0; c < target_dim; ++c) sum += rotation[r][c] * padded[c];
+      rotated[r] = sum;
+    }
+    Point q = p;
+    q.coords = std::move(rotated);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace datasets
+}  // namespace fkc

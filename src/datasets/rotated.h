@@ -1,0 +1,30 @@
+// The paper's `rotated` synthetic family (Section 4.3): low-dimensional data
+// zero-padded to a higher ambient dimension and then rigidly rotated by a
+// random orthogonal matrix. The intrinsic (doubling) dimension is unchanged,
+// so algorithms whose cost depends on the *actual* dimensionality must be
+// insensitive to the coordinate count — the claim Figure 5 verifies.
+#ifndef FKC_DATASETS_ROTATED_H_
+#define FKC_DATASETS_ROTATED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+namespace datasets {
+
+/// A random orthogonal target_dim x target_dim matrix (Gram-Schmidt on a
+/// Gaussian matrix), row-major.
+std::vector<std::vector<double>> RandomRotation(int target_dim, uint64_t seed);
+
+/// Zero-pads every point of `base` to `target_dim` coordinates and applies
+/// one shared random rotation. Colors and metadata are preserved; pairwise
+/// Euclidean distances are exactly preserved (rigid motion).
+std::vector<Point> RotateAndPad(const std::vector<Point>& base, int target_dim,
+                                uint64_t seed);
+
+}  // namespace datasets
+}  // namespace fkc
+
+#endif  // FKC_DATASETS_ROTATED_H_

@@ -1,0 +1,22 @@
+#include "matching/bipartite_graph.h"
+
+#include "common/logging.h"
+
+namespace fkc {
+
+BipartiteGraph::BipartiteGraph(int left_size, int right_size)
+    : adjacency_(left_size), right_size_(right_size) {
+  FKC_CHECK_GE(left_size, 0);
+  FKC_CHECK_GE(right_size, 0);
+}
+
+void BipartiteGraph::AddEdge(int left, int right) {
+  FKC_CHECK_GE(left, 0);
+  FKC_CHECK_LT(left, left_size());
+  FKC_CHECK_GE(right, 0);
+  FKC_CHECK_LT(right, right_size_);
+  adjacency_[left].push_back(right);
+  ++edge_count_;
+}
+
+}  // namespace fkc

@@ -1,0 +1,35 @@
+// Bipartite graph representation shared by the matching algorithms.
+#ifndef FKC_MATCHING_BIPARTITE_GRAPH_H_
+#define FKC_MATCHING_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fkc {
+
+/// A bipartite graph with `left_size` left vertices and `right_size` right
+/// vertices, stored as left-side adjacency lists.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int left_size, int right_size);
+
+  /// Adds an edge (duplicate edges are allowed and harmless for matching).
+  void AddEdge(int left, int right);
+
+  int left_size() const { return static_cast<int>(adjacency_.size()); }
+  int right_size() const { return right_size_; }
+  int64_t edge_count() const { return edge_count_; }
+
+  const std::vector<int>& Neighbors(int left) const {
+    return adjacency_[left];
+  }
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  int right_size_;
+  int64_t edge_count_ = 0;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_MATCHING_BIPARTITE_GRAPH_H_

@@ -1,0 +1,51 @@
+#include "matching/capacitated_matching.h"
+
+#include "common/logging.h"
+#include "matching/hopcroft_karp.h"
+
+namespace fkc {
+
+CapacitatedMatchingResult MaximumCapacitatedMatching(
+    const std::vector<std::vector<int>>& allowed,
+    const ColorConstraint& constraint) {
+  const int heads = static_cast<int>(allowed.size());
+  const int ell = constraint.ell();
+
+  // Expand color i into cap(i) identical slots.
+  std::vector<int> slot_offset(ell + 1, 0);
+  for (int i = 0; i < ell; ++i) {
+    slot_offset[i + 1] = slot_offset[i] + constraint.cap(i);
+  }
+  const int total_slots = slot_offset[ell];
+
+  BipartiteGraph graph(heads, total_slots);
+  for (int h = 0; h < heads; ++h) {
+    for (int color : allowed[h]) {
+      FKC_CHECK_GE(color, 0);
+      FKC_CHECK_LT(color, ell);
+      for (int s = slot_offset[color]; s < slot_offset[color + 1]; ++s) {
+        graph.AddEdge(h, s);
+      }
+    }
+  }
+
+  const MatchingResult matching = MaximumBipartiteMatching(graph);
+
+  CapacitatedMatchingResult result;
+  result.assigned_color.assign(heads, -1);
+  result.size = matching.size;
+  for (int h = 0; h < heads; ++h) {
+    const int slot = matching.match_left[h];
+    if (slot == -1) continue;
+    // Binary-search-free slot->color lookup: linear over ell (small).
+    for (int i = 0; i < ell; ++i) {
+      if (slot >= slot_offset[i] && slot < slot_offset[i + 1]) {
+        result.assigned_color[h] = i;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fkc

@@ -1,0 +1,34 @@
+// Capacitated bipartite matching: right-side vertices (colors) accept up to
+// cap(i) matches. Used to assign cluster heads to color slots in both fair
+// center solvers. Implemented by expanding each color into cap(i) slots and
+// running Hopcroft–Karp — the total slot count is k, which is tiny.
+#ifndef FKC_MATCHING_CAPACITATED_MATCHING_H_
+#define FKC_MATCHING_CAPACITATED_MATCHING_H_
+
+#include <vector>
+
+#include "matching/bipartite_graph.h"
+#include "matroid/color_constraint.h"
+
+namespace fkc {
+
+/// Result of a capacitated matching of heads to colors.
+struct CapacitatedMatchingResult {
+  /// assigned_color[h] = color matched to head h, or -1 if unmatched.
+  std::vector<int> assigned_color;
+  /// Number of matched heads.
+  int size = 0;
+
+  bool Saturates(int head_count) const { return size == head_count; }
+};
+
+/// Computes a maximum matching of heads to colors where head h may use color
+/// c iff `allowed[h]` contains c, and color c is used at most
+/// `constraint.cap(c)` times.
+CapacitatedMatchingResult MaximumCapacitatedMatching(
+    const std::vector<std::vector<int>>& allowed,
+    const ColorConstraint& constraint);
+
+}  // namespace fkc
+
+#endif  // FKC_MATCHING_CAPACITATED_MATCHING_H_

@@ -1,0 +1,77 @@
+#include "matching/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+namespace fkc {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+// Layered BFS from free left vertices; returns true if an augmenting path
+// exists. dist[l] is the BFS layer of left vertex l.
+bool Bfs(const BipartiteGraph& graph, const std::vector<int>& match_left,
+         const std::vector<int>& match_right, std::vector<int>* dist) {
+  std::queue<int> frontier;
+  for (int l = 0; l < graph.left_size(); ++l) {
+    if (match_left[l] == -1) {
+      (*dist)[l] = 0;
+      frontier.push(l);
+    } else {
+      (*dist)[l] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!frontier.empty()) {
+    const int l = frontier.front();
+    frontier.pop();
+    for (int r : graph.Neighbors(l)) {
+      const int next = match_right[r];
+      if (next == -1) {
+        found_augmenting = true;
+      } else if ((*dist)[next] == kInf) {
+        (*dist)[next] = (*dist)[l] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+// DFS along layered edges, flipping matched/unmatched status on success.
+bool Dfs(const BipartiteGraph& graph, int l, std::vector<int>* match_left,
+         std::vector<int>* match_right, std::vector<int>* dist) {
+  for (int r : graph.Neighbors(l)) {
+    const int next = (*match_right)[r];
+    if (next == -1 ||
+        ((*dist)[next] == (*dist)[l] + 1 &&
+         Dfs(graph, next, match_left, match_right, dist))) {
+      (*match_left)[l] = r;
+      (*match_right)[r] = l;
+      return true;
+    }
+  }
+  (*dist)[l] = kInf;  // dead end: prune this vertex for the current phase
+  return false;
+}
+
+}  // namespace
+
+MatchingResult MaximumBipartiteMatching(const BipartiteGraph& graph) {
+  MatchingResult result;
+  result.match_left.assign(graph.left_size(), -1);
+  result.match_right.assign(graph.right_size(), -1);
+
+  std::vector<int> dist(graph.left_size(), kInf);
+  while (Bfs(graph, result.match_left, result.match_right, &dist)) {
+    for (int l = 0; l < graph.left_size(); ++l) {
+      if (result.match_left[l] == -1 &&
+          Dfs(graph, l, &result.match_left, &result.match_right, &dist)) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fkc

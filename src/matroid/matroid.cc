@@ -1,0 +1,80 @@
+#include "matroid/matroid.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+bool Matroid::CanAdd(const std::vector<int>& independent_set,
+                     int element) const {
+  std::vector<int> extended = independent_set;
+  extended.push_back(element);
+  return IsIndependent(extended);
+}
+
+std::vector<int> MaximalIndependentSubset(const Matroid& matroid,
+                                          const std::vector<int>& candidates,
+                                          std::vector<int> seed) {
+  for (int e : candidates) {
+    if (std::find(seed.begin(), seed.end(), e) != seed.end()) continue;
+    if (matroid.CanAdd(seed, e)) seed.push_back(e);
+  }
+  return seed;
+}
+
+namespace {
+
+// Enumerates subsets of [0,n) as bitmasks; n must stay small.
+bool IsIndependentMask(const Matroid& matroid, uint32_t mask) {
+  std::vector<int> elements;
+  for (int i = 0; i < matroid.GroundSize(); ++i) {
+    if (mask & (1u << i)) elements.push_back(i);
+  }
+  return matroid.IsIndependent(elements);
+}
+
+}  // namespace
+
+bool CheckMatroidAxioms(const Matroid& matroid) {
+  const int n = matroid.GroundSize();
+  FKC_CHECK_LE(n, 20) << "axiom check is exponential; keep ground sets small";
+  const uint32_t limit = 1u << n;
+
+  std::vector<bool> independent(limit);
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    independent[mask] = IsIndependentMask(matroid, mask);
+  }
+  if (!independent[0]) return false;  // empty set must be independent
+
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    if (!independent[mask]) continue;
+    // Downward closure: removing any one element stays independent.
+    for (int i = 0; i < n; ++i) {
+      if ((mask & (1u << i)) && !independent[mask & ~(1u << i)]) return false;
+    }
+  }
+
+  for (uint32_t p = 0; p < limit; ++p) {
+    if (!independent[p]) continue;
+    for (uint32_t q = 0; q < limit; ++q) {
+      if (!independent[q]) continue;
+      if (__builtin_popcount(p) <= __builtin_popcount(q)) continue;
+      // Augmentation: some element of p \ q extends q.
+      bool augmented = false;
+      uint32_t diff = p & ~q;
+      while (diff != 0) {
+        const int bit = __builtin_ctz(diff);
+        diff &= diff - 1;
+        if (independent[q | (1u << bit)]) {
+          augmented = true;
+          break;
+        }
+      }
+      if (!augmented) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fkc

@@ -1,0 +1,49 @@
+// Matroid independence oracles. The fair-center constraint is the partition
+// matroid; the matroid-center baseline of Chen et al. [10] is defined for
+// arbitrary matroids, so the oracle interface is kept general.
+//
+// Elements are integer indices into a caller-owned ground set.
+#ifndef FKC_MATROID_MATROID_H_
+#define FKC_MATROID_MATROID_H_
+
+#include <string>
+#include <vector>
+
+namespace fkc {
+
+/// Independence oracle over ground-set indices [0, GroundSize()).
+class Matroid {
+ public:
+  virtual ~Matroid() = default;
+
+  virtual int GroundSize() const = 0;
+
+  /// True iff `elements` (distinct indices) form an independent set.
+  virtual bool IsIndependent(const std::vector<int>& elements) const = 0;
+
+  /// True iff `independent_set + element` is independent, given that
+  /// `independent_set` already is. The default copies and re-checks;
+  /// implementations override with O(1) incremental logic.
+  virtual bool CanAdd(const std::vector<int>& independent_set,
+                      int element) const;
+
+  /// Rank of the full matroid (size of the largest independent set).
+  virtual int Rank() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Greedily extends `seed` (assumed independent) to a maximal independent
+/// subset of `candidates` (scanned in order). Returns the extended set.
+std::vector<int> MaximalIndependentSubset(const Matroid& matroid,
+                                          const std::vector<int>& candidates,
+                                          std::vector<int> seed = {});
+
+/// Verifies the matroid axioms by exhaustive enumeration — O(2^n), tests
+/// only. Checks: empty set independent, downward closure, and the
+/// augmentation (exchange) property.
+bool CheckMatroidAxioms(const Matroid& matroid);
+
+}  // namespace fkc
+
+#endif  // FKC_MATROID_MATROID_H_

@@ -1,0 +1,119 @@
+#include "matroid/matroid_intersection.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace fkc {
+namespace {
+
+// Removes `x` from a copy of `set` and appends `y`.
+std::vector<int> SwapElement(const std::vector<int>& set, int x, int y) {
+  std::vector<int> out;
+  out.reserve(set.size());
+  for (int e : set) {
+    if (e != x) out.push_back(e);
+  }
+  out.push_back(y);
+  return out;
+}
+
+// One augmentation round: finds a shortest X1 -> X2 path in the exchange
+// graph and applies the symmetric difference. Returns false when no
+// augmenting path exists (S is maximum).
+bool Augment(const Matroid& m1, const Matroid& m2, std::vector<int>* current) {
+  const int n = m1.GroundSize();
+  std::vector<bool> in_set(n, false);
+  for (int e : *current) in_set[e] = true;
+
+  // Sources: elements addable w.r.t. m1. Sinks: addable w.r.t. m2.
+  std::vector<bool> is_source(n, false);
+  std::vector<bool> is_sink(n, false);
+  for (int y = 0; y < n; ++y) {
+    if (in_set[y]) continue;
+    if (m1.CanAdd(*current, y)) is_source[y] = true;
+    if (m2.CanAdd(*current, y)) is_sink[y] = true;
+  }
+
+  // BFS over the exchange graph from all sources simultaneously.
+  std::vector<int> parent(n, -2);  // -2 unvisited, -1 root
+  std::queue<int> frontier;
+  for (int y = 0; y < n; ++y) {
+    if (is_source[y]) {
+      parent[y] = -1;
+      frontier.push(y);
+    }
+  }
+
+  int reached_sink = -1;
+  // Exchange arcs: for x in S, y not in S:
+  //   x -> y  if  S - x + y independent in m1
+  //   y -> x  if  S - x + y independent in m2
+  while (!frontier.empty() && reached_sink == -1) {
+    const int u = frontier.front();
+    frontier.pop();
+    if (!in_set[u] && is_sink[u]) {
+      reached_sink = u;
+      break;
+    }
+    if (in_set[u]) {
+      // u = x in S: arcs x -> y for y outside.
+      for (int y = 0; y < n && reached_sink == -1; ++y) {
+        if (in_set[y] || parent[y] != -2) continue;
+        if (m1.IsIndependent(SwapElement(*current, u, y))) {
+          parent[y] = u;
+          if (is_sink[y]) {
+            reached_sink = y;
+            break;
+          }
+          frontier.push(y);
+        }
+      }
+    } else {
+      // u = y outside S: arcs y -> x for x inside.
+      for (int x : *current) {
+        if (parent[x] != -2) continue;
+        if (m2.IsIndependent(SwapElement(*current, x, u))) {
+          parent[x] = u;
+          frontier.push(x);
+        }
+      }
+    }
+  }
+
+  if (reached_sink == -1) return false;
+
+  // Apply the symmetric difference along the path: elements outside S on the
+  // path are added, elements inside are removed.
+  std::vector<bool> next_in_set = in_set;
+  for (int v = reached_sink; v != -1; v = parent[v]) {
+    next_in_set[v] = !next_in_set[v];
+  }
+  current->clear();
+  for (int e = 0; e < n; ++e) {
+    if (next_in_set[e]) current->push_back(e);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> MaxCommonIndependentSet(const Matroid& m1,
+                                         const Matroid& m2) {
+  FKC_CHECK_EQ(m1.GroundSize(), m2.GroundSize());
+  std::vector<int> current;
+  while (Augment(m1, m2, &current)) {
+    // Each augmentation grows the common independent set by exactly one.
+    FKC_CHECK(m1.IsIndependent(current));
+    FKC_CHECK(m2.IsIndependent(current));
+  }
+  return current;
+}
+
+bool HasCommonIndependentSetOfSize(const Matroid& m1, const Matroid& m2,
+                                   int target) {
+  return static_cast<int>(MaxCommonIndependentSet(m1, m2).size()) >= target;
+}
+
+}  // namespace fkc

@@ -1,0 +1,28 @@
+// Maximum-cardinality matroid intersection via shortest augmenting paths in
+// the exchange graph (Schrijver's presentation). This powers the
+// general-matroid path of the Chen et al. matroid-center baseline: picking
+// one center from each of a family of disjoint candidate balls such that the
+// picks are independent is an intersection of the input matroid with a
+// partition matroid over the balls.
+#ifndef FKC_MATROID_MATROID_INTERSECTION_H_
+#define FKC_MATROID_MATROID_INTERSECTION_H_
+
+#include <vector>
+
+#include "matroid/matroid.h"
+
+namespace fkc {
+
+/// Returns a maximum-cardinality set independent in both matroids.
+/// The matroids must share the same ground size. Runs in
+/// O(r^2 * n) independence-oracle calls per augmentation (n = ground size),
+/// fine for the coreset-scale inputs this library feeds it.
+std::vector<int> MaxCommonIndependentSet(const Matroid& m1, const Matroid& m2);
+
+/// Convenience: true iff a common independent set of size `target` exists.
+bool HasCommonIndependentSetOfSize(const Matroid& m1, const Matroid& m2,
+                                   int target);
+
+}  // namespace fkc
+
+#endif  // FKC_MATROID_MATROID_INTERSECTION_H_

@@ -1,0 +1,46 @@
+// The partition matroid realizing the fairness constraint: ground elements
+// carry colors, and a set is independent iff it holds at most k_i elements of
+// each color i.
+#ifndef FKC_MATROID_PARTITION_MATROID_H_
+#define FKC_MATROID_PARTITION_MATROID_H_
+
+#include <vector>
+
+#include "matroid/color_constraint.h"
+#include "matroid/matroid.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// Partition matroid over elements 0..n-1 with per-element colors and
+/// per-color caps.
+class PartitionMatroid final : public Matroid {
+ public:
+  /// `element_colors[e]` is the color of ground element e; colors must lie in
+  /// [0, constraint.ell()).
+  PartitionMatroid(std::vector<int> element_colors, ColorConstraint constraint);
+
+  /// Builds the matroid over the given points, using their `color` fields.
+  static PartitionMatroid OverPoints(const std::vector<Point>& points,
+                                     const ColorConstraint& constraint);
+
+  int GroundSize() const override {
+    return static_cast<int>(element_colors_.size());
+  }
+  bool IsIndependent(const std::vector<int>& elements) const override;
+  bool CanAdd(const std::vector<int>& independent_set,
+              int element) const override;
+  int Rank() const override;
+  std::string Name() const override { return "partition"; }
+
+  int ColorOf(int element) const { return element_colors_[element]; }
+  const ColorConstraint& constraint() const { return constraint_; }
+
+ private:
+  std::vector<int> element_colors_;
+  ColorConstraint constraint_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_MATROID_PARTITION_MATROID_H_

@@ -1,0 +1,28 @@
+#include "matroid/transversal.h"
+
+#include <numeric>
+
+#include "matching/hopcroft_karp.h"
+
+namespace fkc {
+
+TransversalMatroid::TransversalMatroid(BipartiteGraph graph)
+    : graph_(std::move(graph)) {}
+
+bool TransversalMatroid::IsIndependent(const std::vector<int>& elements) const {
+  // Restrict the graph to the chosen left vertices and check saturation.
+  BipartiteGraph sub(static_cast<int>(elements.size()), graph_.right_size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    for (int r : graph_.Neighbors(elements[i])) {
+      sub.AddEdge(static_cast<int>(i), r);
+    }
+  }
+  return MaximumBipartiteMatching(sub).Saturates(
+      static_cast<int>(elements.size()));
+}
+
+int TransversalMatroid::Rank() const {
+  return MaximumBipartiteMatching(graph_).size;
+}
+
+}  // namespace fkc

@@ -1,0 +1,29 @@
+// Transversal matroid: ground elements are the left vertices of a bipartite
+// graph; a set is independent iff it can be completely matched into the right
+// side. Included to demonstrate (and test) that the matroid-center machinery
+// is genuinely matroid-generic, beyond the partition case the paper needs.
+#ifndef FKC_MATROID_TRANSVERSAL_H_
+#define FKC_MATROID_TRANSVERSAL_H_
+
+#include "matching/bipartite_graph.h"
+#include "matroid/matroid.h"
+
+namespace fkc {
+
+class TransversalMatroid final : public Matroid {
+ public:
+  /// Ground elements are the left vertices of `graph`.
+  explicit TransversalMatroid(BipartiteGraph graph);
+
+  int GroundSize() const override { return graph_.left_size(); }
+  bool IsIndependent(const std::vector<int>& elements) const override;
+  int Rank() const override;
+  std::string Name() const override { return "transversal"; }
+
+ private:
+  BipartiteGraph graph_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_MATROID_TRANSVERSAL_H_

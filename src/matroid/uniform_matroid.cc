@@ -1,0 +1,31 @@
+#include "matroid/uniform_matroid.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+UniformMatroid::UniformMatroid(int k, int n) : k_(k), n_(n) {
+  FKC_CHECK_GE(k, 0);
+  FKC_CHECK_GE(n, 0);
+}
+
+bool UniformMatroid::IsIndependent(const std::vector<int>& elements) const {
+  for (int e : elements) {
+    FKC_CHECK_GE(e, 0);
+    FKC_CHECK_LT(e, n_);
+  }
+  return static_cast<int>(elements.size()) <= k_;
+}
+
+bool UniformMatroid::CanAdd(const std::vector<int>& independent_set,
+                            int element) const {
+  FKC_CHECK_GE(element, 0);
+  FKC_CHECK_LT(element, n_);
+  return static_cast<int>(independent_set.size()) < k_;
+}
+
+int UniformMatroid::Rank() const { return std::min(k_, n_); }
+
+}  // namespace fkc

@@ -1,0 +1,31 @@
+// The uniform matroid U(k, n): independent iff at most k elements. Fair
+// center with a single color degenerates to this, which makes it the bridge
+// between the fair solvers and the classic unconstrained k-center problem in
+// tests.
+#ifndef FKC_MATROID_UNIFORM_MATROID_H_
+#define FKC_MATROID_UNIFORM_MATROID_H_
+
+#include "matroid/matroid.h"
+
+namespace fkc {
+
+class UniformMatroid final : public Matroid {
+ public:
+  /// U(k, n): subsets of [0, n) with at most k elements are independent.
+  UniformMatroid(int k, int n);
+
+  int GroundSize() const override { return n_; }
+  bool IsIndependent(const std::vector<int>& elements) const override;
+  bool CanAdd(const std::vector<int>& independent_set,
+              int element) const override;
+  int Rank() const override;
+  std::string Name() const override { return "uniform"; }
+
+ private:
+  int k_;
+  int n_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_MATROID_UNIFORM_MATROID_H_

@@ -1,0 +1,47 @@
+#include "metric/aspect_ratio.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fkc {
+
+DistanceExtrema ComputeDistanceExtrema(const Metric& metric,
+                                       const std::vector<Point>& points) {
+  DistanceExtrema out;
+  out.min_distance = std::numeric_limits<double>::infinity();
+  out.max_distance = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = metric.Distance(points[i], points[j]);
+      if (d == 0.0) {
+        ++out.zero_pairs;
+        continue;
+      }
+      if (d < out.min_distance) out.min_distance = d;
+      if (d > out.max_distance) out.max_distance = d;
+    }
+  }
+  return out;
+}
+
+double AspectRatio(const Metric& metric, const std::vector<Point>& points) {
+  const DistanceExtrema extrema = ComputeDistanceExtrema(metric, points);
+  if (extrema.max_distance <= 0.0 ||
+      !std::isfinite(extrema.min_distance)) {
+    return 1.0;
+  }
+  return extrema.max_distance / extrema.min_distance;
+}
+
+double Diameter(const Metric& metric, const std::vector<Point>& points) {
+  double best = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = metric.Distance(points[i], points[j]);
+      if (d > best) best = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace fkc

@@ -1,0 +1,41 @@
+// Exact pairwise-distance statistics: minimum / maximum pairwise distance and
+// the aspect ratio Δ = d_max / d_min that sizes the guess ladder. O(n²);
+// intended for dataset preparation, tests, and diagnostics — the streaming
+// algorithm itself never calls these.
+#ifndef FKC_METRIC_ASPECT_RATIO_H_
+#define FKC_METRIC_ASPECT_RATIO_H_
+
+#include <vector>
+
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// Exact pairwise distance extrema over `points`.
+struct DistanceExtrema {
+  /// Smallest non-zero pairwise distance; +inf if fewer than two distinct
+  /// locations exist. Zero distances (duplicate locations) are skipped
+  /// because they would make the aspect ratio infinite while carrying no
+  /// geometric information.
+  double min_distance = 0.0;
+  /// Largest pairwise distance (the diameter); 0 for < 2 points.
+  double max_distance = 0.0;
+  /// Number of coincident (distance zero) pairs encountered.
+  int64_t zero_pairs = 0;
+};
+
+/// Computes extrema by brute force over all pairs.
+DistanceExtrema ComputeDistanceExtrema(const Metric& metric,
+                                       const std::vector<Point>& points);
+
+/// Aspect ratio Δ = d_max / d_min; returns 1 for degenerate inputs
+/// (< 2 distinct locations).
+double AspectRatio(const Metric& metric, const std::vector<Point>& points);
+
+/// Exact diameter (max pairwise distance) — brute force.
+double Diameter(const Metric& metric, const std::vector<Point>& points);
+
+}  // namespace fkc
+
+#endif  // FKC_METRIC_ASPECT_RATIO_H_

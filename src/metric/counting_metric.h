@@ -1,0 +1,42 @@
+// A decorating metric that counts distance evaluations. Distance
+// computations dominate every algorithm in this library, so the counter is
+// the machine-independent complexity measure used by the Theorem-3 tests
+// (update/query cost independent of the window size) and available to
+// benchmarks for ops-based reporting.
+#ifndef FKC_METRIC_COUNTING_METRIC_H_
+#define FKC_METRIC_COUNTING_METRIC_H_
+
+#include <cstdint>
+
+#include "metric/metric.h"
+
+namespace fkc {
+
+/// Wraps another metric and counts calls. Not thread-safe (the library is
+/// single-threaded by design; the streaming model is sequential).
+class CountingMetric final : public Metric {
+ public:
+  /// `inner` must outlive this wrapper.
+  explicit CountingMetric(const Metric* inner) : inner_(inner) {}
+
+  double Distance(const Point& a, const Point& b) const override {
+    ++count_;
+    return inner_->Distance(a, b);
+  }
+
+  std::string Name() const override {
+    return "counting(" + inner_->Name() + ")";
+  }
+
+  /// Number of Distance calls since construction or the last Reset.
+  int64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  const Metric* inner_;
+  mutable int64_t count_ = 0;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_METRIC_COUNTING_METRIC_H_

@@ -1,0 +1,46 @@
+#include "metric/doubling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metric/aspect_ratio.h"
+
+namespace fkc {
+
+std::vector<Point> GreedyNet(const Metric& metric,
+                             const std::vector<Point>& points, double r) {
+  std::vector<Point> net;
+  for (const Point& p : points) {
+    if (DistanceToSet(metric, p, net) > r) net.push_back(p);
+  }
+  return net;
+}
+
+double EstimateDoublingDimension(const Metric& metric,
+                                 const std::vector<Point>& points,
+                                 int scales) {
+  if (points.size() < 2) return 0.0;
+  const double diameter = Diameter(metric, points);
+  if (diameter <= 0.0) return 0.0;
+
+  double worst_growth = 1.0;
+  double r = diameter / 2.0;
+  for (int s = 0; s < scales; ++s, r /= 2.0) {
+    const std::vector<Point> coarse = GreedyNet(metric, points, r);
+    const std::vector<Point> fine = GreedyNet(metric, points, r / 2.0);
+    // Count fine-net points inside each coarse ball of radius r: a doubling
+    // space packs at most 2^D points with pairwise distance > r/2 in such a
+    // ball (they form an (r/2)-packing).
+    for (const Point& center : coarse) {
+      int64_t inside = 0;
+      for (const Point& q : fine) {
+        if (metric.Distance(center, q) <= r) ++inside;
+      }
+      worst_growth = std::max(worst_growth, static_cast<double>(inside));
+    }
+    if (fine.size() == points.size()) break;  // finer scales are vacuous
+  }
+  return std::log2(worst_growth);
+}
+
+}  // namespace fkc

@@ -1,0 +1,36 @@
+// Doubling-dimension estimation. The paper's space bound depends on the
+// doubling dimension D of the current window; this estimator lets tests and
+// experiments (Figures 4 and 5) verify that costs track the *intrinsic*
+// dimension of the data rather than the ambient coordinate count.
+#ifndef FKC_METRIC_DOUBLING_H_
+#define FKC_METRIC_DOUBLING_H_
+
+#include <vector>
+
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// Greedily extracts an r-net of `points`: a subset N with pairwise distances
+/// > r such that every point is within r of N.
+std::vector<Point> GreedyNet(const Metric& metric,
+                             const std::vector<Point>& points, double r);
+
+/// Estimates the doubling dimension of `points`.
+///
+/// For a ladder of scales r, compares the size of the (r/2)-net restricted to
+/// balls of radius r around net points: the doubling dimension is
+/// log2(max ball-local growth). This is an upper-bound-flavored estimate —
+/// exact doubling dimension is NP-hard to compute — but tracks intrinsic
+/// dimensionality well on the synthetic datasets used in the paper.
+///
+/// `scales` controls how many dyadic scales between the diameter and the
+/// minimum distance are probed.
+double EstimateDoublingDimension(const Metric& metric,
+                                 const std::vector<Point>& points,
+                                 int scales = 6);
+
+}  // namespace fkc
+
+#endif  // FKC_METRIC_DOUBLING_H_

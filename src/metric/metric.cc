@@ -1,0 +1,54 @@
+#include "metric/metric.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+double EuclideanMetric::Distance(const Point& a, const Point& b) const {
+  FKC_CHECK_EQ(a.coords.size(), b.coords.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.coords.size(); ++i) {
+    const double diff = a.coords[i] - b.coords[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double ManhattanMetric::Distance(const Point& a, const Point& b) const {
+  FKC_CHECK_EQ(a.coords.size(), b.coords.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.coords.size(); ++i) {
+    sum += std::fabs(a.coords[i] - b.coords[i]);
+  }
+  return sum;
+}
+
+double ChebyshevMetric::Distance(const Point& a, const Point& b) const {
+  FKC_CHECK_EQ(a.coords.size(), b.coords.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.coords.size(); ++i) {
+    const double diff = std::fabs(a.coords[i] - b.coords[i]);
+    if (diff > best) best = diff;
+  }
+  return best;
+}
+
+double DistanceToSet(const Metric& metric, const Point& p,
+                     const std::vector<Point>& pool) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& q : pool) {
+    const double d = metric.Distance(p, q);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+const Metric& DefaultMetric() {
+  static const EuclideanMetric* metric = new EuclideanMetric();
+  return *metric;
+}
+
+}  // namespace fkc

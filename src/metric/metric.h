@@ -1,0 +1,58 @@
+// Metric abstraction. The algorithms in this library work in arbitrary metric
+// spaces; all geometry flows through this interface so swapping the distance
+// swaps the space.
+#ifndef FKC_METRIC_METRIC_H_
+#define FKC_METRIC_METRIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+
+/// Distance oracle over Points. Implementations must satisfy the metric
+/// axioms (identity, symmetry, triangle inequality) — the approximation
+/// guarantees of every algorithm in this library depend on them.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// d(a, b). Points of differing dimensionality are a caller bug.
+  virtual double Distance(const Point& a, const Point& b) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Euclidean (L2) distance.
+class EuclideanMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override;
+  std::string Name() const override { return "euclidean"; }
+};
+
+/// Manhattan (L1) distance.
+class ManhattanMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override;
+  std::string Name() const override { return "manhattan"; }
+};
+
+/// Chebyshev (L-infinity) distance.
+class ChebyshevMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override;
+  std::string Name() const override { return "chebyshev"; }
+};
+
+/// Minimum distance from `p` to any point in `pool`; +inf when pool is empty.
+double DistanceToSet(const Metric& metric, const Point& p,
+                     const std::vector<Point>& pool);
+
+/// The shared default metric (Euclidean), used when callers do not care.
+const Metric& DefaultMetric();
+
+}  // namespace fkc
+
+#endif  // FKC_METRIC_METRIC_H_

@@ -1,0 +1,17 @@
+#include "metric/point.h"
+
+#include "common/string_util.h"
+
+namespace fkc {
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.6g", coords[i]);
+  }
+  out += StrFormat(")#%d@%lld", color, static_cast<long long>(arrival));
+  return out;
+}
+
+}  // namespace fkc

@@ -1,0 +1,65 @@
+// Matroid center after Chen, Li, Liang & Wang (Algorithmica 2016) [10]: the
+// first 3-approximation for center clustering under an arbitrary matroid
+// constraint, and the slower of the two sequential baselines in the paper's
+// evaluation (labelled ChenEtAl).
+//
+// Scheme, per candidate radius r:
+//   1. Greedily extract heads: a maximal subset at pairwise distance > 2r
+//      (every point ends up within 2r of a head). If a radius-r solution
+//      exists, heads map injectively to its centers, so |heads| <= rank.
+//   2. The balls B(head, r) are pairwise disjoint; a radius-r solution must
+//      contain one center inside each ball. Picking one point per ball that
+//      is independent in the input matroid is a matroid-intersection problem
+//      (input matroid x unit-capacity partition over balls); for the fair
+//      (partition) case it reduces to a head <-> color-slot matching.
+//   3. On success every point is within 2r of a head and the head within r of
+//      its chosen center: radius <= 3r. On failure OPT > r.
+// The smallest admissible r is located by binary search over all pairwise
+// distances (exact; OPT is always a point-to-point distance) or, for large
+// inputs, over a geometric ladder — giving 3(1+eta)-approximation.
+#ifndef FKC_SEQUENTIAL_CHEN_MATROID_CENTER_H_
+#define FKC_SEQUENTIAL_CHEN_MATROID_CENTER_H_
+
+#include "matroid/matroid.h"
+#include "sequential/fair_center_solver.h"
+
+namespace fkc {
+
+/// Tuning knobs for the radius search.
+struct ChenOptions {
+  /// Inputs up to this size binary-search the exact sorted O(n^2) pairwise
+  /// distance list; larger inputs use the geometric ladder below.
+  int exact_candidate_limit = 2048;
+  /// Ladder progression factor for large inputs; the approximation becomes
+  /// 3 * ladder_factor.
+  double ladder_factor = 1.05;
+};
+
+/// Generic matroid-center: `matroid` is an independence oracle over indices
+/// into `points`. Returns kInfeasible when not even one independent center
+/// exists for a non-empty input.
+Result<FairCenterSolution> SolveMatroidCenter(const Metric& metric,
+                                              const std::vector<Point>& points,
+                                              const Matroid& matroid,
+                                              const ChenOptions& options = {});
+
+/// FairCenterSolver adapter: fair center as partition-matroid center, with
+/// the head <-> color matching fast path.
+class ChenMatroidCenter final : public FairCenterSolver {
+ public:
+  explicit ChenMatroidCenter(ChenOptions options = {}) : options_(options) {}
+
+  Result<FairCenterSolution> Solve(
+      const Metric& metric, const std::vector<Point>& points,
+      const ColorConstraint& constraint) const override;
+
+  double ApproximationFactor() const override { return 3.0; }
+  std::string Name() const override { return "ChenEtAl"; }
+
+ private:
+  ChenOptions options_;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_SEQUENTIAL_CHEN_MATROID_CENTER_H_

@@ -1,0 +1,60 @@
+#include "sequential/gonzalez.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+GonzalezResult GonzalezKCenter(const Metric& metric,
+                               const std::vector<Point>& points, int k,
+                               int first_index) {
+  GonzalezResult result;
+  if (points.empty() || k <= 0) return result;
+  FKC_CHECK_GE(first_index, 0);
+  FKC_CHECK_LT(first_index, static_cast<int>(points.size()));
+
+  const int n = static_cast<int>(points.size());
+  const int heads_wanted = std::min(k, n);
+
+  // nearest[i] = distance from point i to the current head set.
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+
+  int next_head = first_index;
+  double next_distance = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < heads_wanted; ++j) {
+    result.head_indices.push_back(next_head);
+    result.insertion_distances.push_back(next_distance);
+
+    const Point& head = points[next_head];
+    next_distance = 0.0;
+    next_head = -1;
+    for (int i = 0; i < n; ++i) {
+      const double d = metric.Distance(points[i], head);
+      if (d < nearest[i]) nearest[i] = d;
+      if (nearest[i] > next_distance) {
+        next_distance = nearest[i];
+        next_head = i;
+      }
+    }
+    if (next_head == -1) {
+      // All points coincide with the selected heads.
+      next_distance = 0.0;
+      break;
+    }
+  }
+
+  result.coverage_radius =
+      result.head_indices.empty() ? 0.0 : next_distance;
+  return result;
+}
+
+std::vector<Point> HeadPoints(const std::vector<Point>& points,
+                              const GonzalezResult& result) {
+  std::vector<Point> heads;
+  heads.reserve(result.head_indices.size());
+  for (int idx : result.head_indices) heads.push_back(points[idx]);
+  return heads;
+}
+
+}  // namespace fkc

@@ -1,0 +1,38 @@
+// Gonzalez's greedy 2-approximation for unconstrained k-center [23]. Beyond
+// being a baseline, it is the head-selection engine inside the Jones and
+// Kleindessner fair solvers.
+#ifndef FKC_SEQUENTIAL_GONZALEZ_H_
+#define FKC_SEQUENTIAL_GONZALEZ_H_
+
+#include <vector>
+
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// Output of the greedy farthest-point traversal.
+struct GonzalezResult {
+  /// Indices of the selected heads, in selection order.
+  std::vector<int> head_indices;
+  /// insertion_distances[j] = distance of head j from heads 0..j-1 at the
+  /// moment of selection; +inf for the first head. Non-increasing.
+  std::vector<double> insertion_distances;
+  /// Coverage radius: max over all points of the distance to the full head
+  /// set. Classic guarantee: at most 2x the optimal k-center radius.
+  double coverage_radius = 0.0;
+};
+
+/// Runs the farthest-point greedy starting from `first_index`, selecting
+/// min(k, n) heads. O(n * k) distance evaluations.
+GonzalezResult GonzalezKCenter(const Metric& metric,
+                               const std::vector<Point>& points, int k,
+                               int first_index = 0);
+
+/// Convenience: materializes the head points of a GonzalezResult.
+std::vector<Point> HeadPoints(const std::vector<Point>& points,
+                              const GonzalezResult& result);
+
+}  // namespace fkc
+
+#endif  // FKC_SEQUENTIAL_GONZALEZ_H_

@@ -1,0 +1,148 @@
+#include "sequential/jones_fair_center.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "matching/capacitated_matching.h"
+#include "sequential/gonzalez.h"
+
+namespace fkc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// For each head, the distance to the nearest point of each color and that
+// point's index. O(n * k) distance evaluations.
+struct ColorTable {
+  // nearest_distance[h][c], nearest_index[h][c]
+  std::vector<std::vector<double>> nearest_distance;
+  std::vector<std::vector<int>> nearest_index;
+};
+
+ColorTable BuildColorTable(const Metric& metric,
+                           const std::vector<Point>& points,
+                           const std::vector<int>& head_indices, int ell) {
+  ColorTable table;
+  const size_t heads = head_indices.size();
+  table.nearest_distance.assign(heads, std::vector<double>(ell, kInf));
+  table.nearest_index.assign(heads, std::vector<int>(ell, -1));
+  for (size_t h = 0; h < heads; ++h) {
+    const Point& head = points[head_indices[h]];
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int c = points[i].color;
+      const double d = metric.Distance(head, points[i]);
+      if (d < table.nearest_distance[h][c]) {
+        table.nearest_distance[h][c] = d;
+        table.nearest_index[h][c] = static_cast<int>(i);
+      }
+    }
+  }
+  return table;
+}
+
+// Attempts to match the prefix of heads with insertion distance > 2*rho to
+// color slots using balls of radius rho. On success fills `centers`.
+bool TryRadius(double rho, const GonzalezResult& gonzalez,
+               const ColorTable& table, const ColorConstraint& constraint,
+               const std::vector<Point>& points,
+               std::vector<Point>* centers) {
+  // Maximal prefix with delta_j > 2*rho; delta_0 = +inf so the prefix is
+  // never empty.
+  size_t prefix = 0;
+  while (prefix < gonzalez.insertion_distances.size() &&
+         gonzalez.insertion_distances[prefix] > 2.0 * rho) {
+    ++prefix;
+  }
+
+  std::vector<std::vector<int>> allowed(prefix);
+  for (size_t h = 0; h < prefix; ++h) {
+    for (int c = 0; c < constraint.ell(); ++c) {
+      if (constraint.cap(c) > 0 && table.nearest_distance[h][c] <= rho) {
+        allowed[h].push_back(c);
+      }
+    }
+  }
+
+  const CapacitatedMatchingResult matching =
+      MaximumCapacitatedMatching(allowed, constraint);
+  if (!matching.Saturates(static_cast<int>(prefix))) return false;
+
+  centers->clear();
+  for (size_t h = 0; h < prefix; ++h) {
+    const int color = matching.assigned_color[h];
+    const int point_index = table.nearest_index[h][color];
+    FKC_CHECK_GE(point_index, 0);
+    centers->push_back(points[point_index]);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FairCenterSolution> JonesFairCenter::Solve(
+    const Metric& metric, const std::vector<Point>& points,
+    const ColorConstraint& constraint) const {
+  if (points.empty()) return FairCenterSolution{};
+  for (const Point& p : points) {
+    if (p.color < 0 || p.color >= constraint.ell()) {
+      return Status::InvalidArgument("point color out of range: " +
+                                     p.ToString());
+    }
+  }
+
+  const int k = constraint.TotalK();
+  if (k <= 0) return Status::Infeasible("all color caps are zero");
+
+  const GonzalezResult gonzalez = GonzalezKCenter(metric, points, k);
+  const ColorTable table =
+      BuildColorTable(metric, points, gonzalez.head_indices, constraint.ell());
+
+  // Candidate radii where feasibility can flip: head-to-color distances and
+  // prefix breakpoints delta_j / 2 (and 0, for the degenerate exact case).
+  std::vector<double> candidates = {0.0};
+  for (const auto& row : table.nearest_distance) {
+    for (double d : row) {
+      if (std::isfinite(d)) candidates.push_back(d);
+    }
+  }
+  for (double delta : gonzalez.insertion_distances) {
+    if (std::isfinite(delta)) candidates.push_back(delta / 2.0);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Feasibility is monotone in rho: binary search for the smallest feasible
+  // candidate.
+  std::vector<Point> centers;
+  size_t lo = 0;
+  size_t hi = candidates.size();  // exclusive; candidates[hi-1] assumed tested
+  if (!TryRadius(candidates.back(), gonzalez, table, constraint, points,
+                 &centers)) {
+    return Status::Infeasible(
+        "no head can be matched to any color with spare capacity");
+  }
+  hi = candidates.size() - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    std::vector<Point> attempt;
+    if (TryRadius(candidates[mid], gonzalez, table, constraint, points,
+                  &attempt)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<Point> final_centers;
+  FKC_CHECK(TryRadius(candidates[lo], gonzalez, table, constraint, points,
+                      &final_centers));
+
+  FairCenterSolution solution;
+  solution.centers = std::move(final_centers);
+  solution.radius = ClusteringRadius(metric, points, solution.centers);
+  return solution;
+}
+
+}  // namespace fkc

@@ -1,0 +1,83 @@
+#include "sequential/kleindessner.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+Result<FairCenterSolution> KleindessnerFairCenter::Solve(
+    const Metric& metric, const std::vector<Point>& points,
+    const ColorConstraint& constraint) const {
+  if (points.empty()) return FairCenterSolution{};
+  for (const Point& p : points) {
+    if (p.color < 0 || p.color >= constraint.ell()) {
+      return Status::InvalidArgument("point color out of range: " +
+                                     p.ToString());
+    }
+  }
+  if (constraint.TotalK() <= 0) {
+    return Status::Infeasible("all color caps are zero");
+  }
+
+  const int n = static_cast<int>(points.size());
+  std::vector<int> remaining = constraint.caps();
+  std::vector<bool> selected(n, false);
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  std::vector<Point> centers;
+
+  // Budget-aware farthest-point traversal. Each round picks the point
+  // farthest from the current centers; if its color budget is spent, the
+  // pick shifts to the nearest point (to the farthest one) whose color still
+  // has budget.
+  const int rounds = std::min(constraint.TotalK(), n);
+  for (int round = 0; round < rounds; ++round) {
+    // Farthest unselected point from the current center set; the first round
+    // deterministically picks index 0 (infinite initial distances).
+    int farthest = -1;
+    double farthest_distance = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (selected[i]) continue;
+      if (nearest[i] > farthest_distance) {
+        farthest_distance = nearest[i];
+        farthest = i;
+      }
+    }
+    if (farthest == -1 || farthest_distance == 0.0) break;  // all covered
+
+    int pick = -1;
+    if (remaining[points[farthest].color] > 0) {
+      pick = farthest;
+    } else {
+      // Shift: nearest point to `farthest` with spare color budget.
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < n; ++i) {
+        if (selected[i] || remaining[points[i].color] == 0) continue;
+        const double d = metric.Distance(points[farthest], points[i]);
+        if (d < best) {
+          best = d;
+          pick = i;
+        }
+      }
+      if (pick == -1) break;  // every remaining color budget is exhausted
+    }
+
+    selected[pick] = true;
+    --remaining[points[pick].color];
+    centers.push_back(points[pick]);
+    for (int i = 0; i < n; ++i) {
+      const double d = metric.Distance(points[i], points[pick]);
+      if (d < nearest[i]) nearest[i] = d;
+    }
+  }
+
+  if (centers.empty()) {
+    return Status::Infeasible("no selectable point under the color caps");
+  }
+  FairCenterSolution solution;
+  solution.centers = std::move(centers);
+  solution.radius = ClusteringRadius(metric, points, solution.centers);
+  return solution;
+}
+
+}  // namespace fkc

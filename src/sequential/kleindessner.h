@@ -1,0 +1,34 @@
+// Fair k-center heuristic after Kleindessner, Awasthi & Morgenstern (ICML
+// 2019) [12]: a linear-time "greedy with shifting" scheme with a
+// (3 * 2^(ell-1) - 1)-approximation guarantee. The paper cites it as the
+// first linear-time fair-center algorithm; it is not part of the headline
+// evaluation (Jones superseded it) but is included as an extension baseline.
+//
+// Scheme: run the farthest-point greedy, but charge each selection against
+// the per-color budget. When the farthest point p has an exhausted color,
+// *shift* the selection to the nearest point of a color with remaining
+// budget; p stays covered within the shift distance, which the analysis
+// bounds by a geometric accumulation across colors — the source of the
+// 2^(ell-1) factor.
+#ifndef FKC_SEQUENTIAL_KLEINDESSNER_H_
+#define FKC_SEQUENTIAL_KLEINDESSNER_H_
+
+#include "sequential/fair_center_solver.h"
+
+namespace fkc {
+
+class KleindessnerFairCenter final : public FairCenterSolver {
+ public:
+  Result<FairCenterSolution> Solve(
+      const Metric& metric, const std::vector<Point>& points,
+      const ColorConstraint& constraint) const override;
+
+  /// 3 * 2^(ell-1) - 1 for ell colors; reported for ell = 2 (the factor the
+  /// delta-parameter rule would use if this solver were plugged into Query).
+  double ApproximationFactor() const override { return 5.0; }
+  std::string Name() const override { return "Kleindessner"; }
+};
+
+}  // namespace fkc
+
+#endif  // FKC_SEQUENTIAL_KLEINDESSNER_H_

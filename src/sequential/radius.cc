@@ -1,0 +1,42 @@
+#include "sequential/radius.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+double ClusteringRadius(const Metric& metric, const std::vector<Point>& window,
+                        const std::vector<Point>& centers) {
+  if (window.empty()) return 0.0;
+  if (centers.empty()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (const Point& p : window) {
+    const double d = DistanceToSet(metric, p, centers);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+std::vector<int> AssignToCenters(const Metric& metric,
+                                 const std::vector<Point>& window,
+                                 const std::vector<Point>& centers) {
+  FKC_CHECK(!centers.empty());
+  std::vector<int> assignment;
+  assignment.reserve(window.size());
+  for (const Point& p : window) {
+    int best = 0;
+    double best_distance = metric.Distance(p, centers[0]);
+    for (size_t c = 1; c < centers.size(); ++c) {
+      const double d = metric.Distance(p, centers[c]);
+      if (d < best_distance) {
+        best_distance = d;
+        best = static_cast<int>(c);
+      }
+    }
+    assignment.push_back(best);
+  }
+  return assignment;
+}
+
+}  // namespace fkc

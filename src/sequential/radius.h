@@ -1,0 +1,33 @@
+// Clustering-radius evaluation and the common solution/solver types shared by
+// every fair-center algorithm in the library.
+#ifndef FKC_SEQUENTIAL_RADIUS_H_
+#define FKC_SEQUENTIAL_RADIUS_H_
+
+#include <vector>
+
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// r_C(W) = max_{p in W} d(p, C). Returns 0 for an empty window and +inf for
+/// a non-empty window with no centers.
+double ClusteringRadius(const Metric& metric, const std::vector<Point>& window,
+                        const std::vector<Point>& centers);
+
+/// For each window point, the index of its closest center (ties to the
+/// lowest index). Requires a non-empty center set.
+std::vector<int> AssignToCenters(const Metric& metric,
+                                 const std::vector<Point>& window,
+                                 const std::vector<Point>& centers);
+
+/// A fair-center solution: the chosen centers and their radius over the
+/// point set they were computed for.
+struct FairCenterSolution {
+  std::vector<Point> centers;
+  double radius = 0.0;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_SEQUENTIAL_RADIUS_H_

@@ -1,0 +1,38 @@
+#include "stream/metrics_recorder.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fkc {
+
+MetricsRecorder::MetricsRecorder(std::string algorithm_name)
+    : name_(std::move(algorithm_name)) {}
+
+void MetricsRecorder::RecordQuery(int64_t nanos, double radius,
+                                  int64_t memory_points, double ratio) {
+  query_time_.AddNanos(nanos);
+  radius_sum_ += radius;
+  memory_sum_ += static_cast<double>(memory_points);
+  ++sample_count_;
+  if (std::isfinite(ratio)) {
+    ratio_sum_ += ratio;
+    ++ratio_count_;
+  }
+}
+
+double MetricsRecorder::MeanRadius() const {
+  if (sample_count_ == 0) return 0.0;
+  return radius_sum_ / static_cast<double>(sample_count_);
+}
+
+double MetricsRecorder::MeanMemoryPoints() const {
+  if (sample_count_ == 0) return 0.0;
+  return memory_sum_ / static_cast<double>(sample_count_);
+}
+
+double MetricsRecorder::MeanApproxRatio() const {
+  if (ratio_count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return ratio_sum_ / static_cast<double>(ratio_count_);
+}
+
+}  // namespace fkc

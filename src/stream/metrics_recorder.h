@@ -1,0 +1,48 @@
+// Per-algorithm measurement accumulation for the experiment harness: the
+// four indicators of the paper's Section 4 (memory in points, update time,
+// query time, approximation ratio), averaged over consecutive windows.
+#ifndef FKC_STREAM_METRICS_RECORDER_H_
+#define FKC_STREAM_METRICS_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace fkc {
+
+/// Aggregated measurements for one algorithm over one experiment run.
+class MetricsRecorder {
+ public:
+  explicit MetricsRecorder(std::string algorithm_name);
+
+  void RecordUpdateNanos(int64_t nanos) { update_time_.AddNanos(nanos); }
+  void RecordQuery(int64_t nanos, double radius, int64_t memory_points,
+                   double ratio);
+
+  const std::string& name() const { return name_; }
+
+  double MeanUpdateMillis() const { return update_time_.MeanMillis(); }
+  double MeanQueryMillis() const { return query_time_.MeanMillis(); }
+  double MeanRadius() const;
+  double MeanMemoryPoints() const;
+  /// Mean of per-window (radius / best-baseline-radius); NaN when ratios
+  /// were not supplied.
+  double MeanApproxRatio() const;
+  int64_t QueryCount() const { return query_time_.count(); }
+  int64_t UpdateCount() const { return update_time_.count(); }
+
+ private:
+  std::string name_;
+  TimingAccumulator update_time_;
+  TimingAccumulator query_time_;
+  double radius_sum_ = 0.0;
+  double memory_sum_ = 0.0;
+  double ratio_sum_ = 0.0;
+  int64_t ratio_count_ = 0;
+  int64_t sample_count_ = 0;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_STREAM_METRICS_RECORDER_H_

@@ -1,0 +1,29 @@
+#include "stream/reference_window.h"
+
+#include "common/logging.h"
+
+namespace fkc {
+
+ReferenceWindow::ReferenceWindow(int64_t window_size)
+    : window_size_(window_size) {
+  FKC_CHECK_GT(window_size, 0);
+}
+
+void ReferenceWindow::Update(Point p) {
+  buffer_.push_back(std::move(p));
+  if (static_cast<int64_t>(buffer_.size()) > window_size_) {
+    buffer_.pop_front();
+  }
+}
+
+std::vector<Point> ReferenceWindow::Snapshot() const {
+  return std::vector<Point>(buffer_.begin(), buffer_.end());
+}
+
+Result<FairCenterSolution> ReferenceWindow::Query(
+    const Metric& metric, const FairCenterSolver& solver,
+    const ColorConstraint& constraint) const {
+  return solver.Solve(metric, Snapshot(), constraint);
+}
+
+}  // namespace fkc

@@ -1,0 +1,28 @@
+#include "stream/stream.h"
+
+#include "common/logging.h"
+
+namespace fkc {
+
+VectorStream::VectorStream(std::vector<Point> points, int ell,
+                           std::string name, bool cycle)
+    : points_(std::move(points)),
+      ell_(ell),
+      name_(std::move(name)),
+      cycle_(cycle) {
+  FKC_CHECK_GT(ell, 0);
+}
+
+std::optional<Point> VectorStream::Next() {
+  if (cursor_ >= points_.size()) {
+    if (!cycle_ || points_.empty()) return std::nullopt;
+    cursor_ = 0;
+  }
+  return points_[cursor_++];
+}
+
+int VectorStream::dimension() const {
+  return points_.empty() ? 0 : static_cast<int>(points_.front().dimension());
+}
+
+}  // namespace fkc

@@ -1,0 +1,55 @@
+// Stream abstraction: a source of colored points consumed one per logical
+// time step by the sliding-window algorithms.
+#ifndef FKC_STREAM_STREAM_H_
+#define FKC_STREAM_STREAM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metric/point.h"
+
+namespace fkc {
+
+/// A (finite or infinite) source of points.
+class PointStream {
+ public:
+  virtual ~PointStream() = default;
+
+  /// The next stream point, or nullopt when the stream is exhausted.
+  virtual std::optional<Point> Next() = 0;
+
+  /// Number of colors the stream may emit.
+  virtual int ell() const = 0;
+
+  virtual int dimension() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Wraps a materialized point vector as a stream (optionally cycling).
+class VectorStream final : public PointStream {
+ public:
+  /// `cycle = true` restarts from the beginning on exhaustion, turning a
+  /// finite dataset into an unbounded stream.
+  VectorStream(std::vector<Point> points, int ell, std::string name,
+               bool cycle = false);
+
+  std::optional<Point> Next() override;
+  int ell() const override { return ell_; }
+  int dimension() const override;
+  std::string Name() const override { return name_; }
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+  int ell_;
+  std::string name_;
+  bool cycle_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_STREAM_STREAM_H_

@@ -1,0 +1,161 @@
+// Checkpoint/restore tests: bit-exact round trips, behavioural equivalence
+// of original and restored windows under continued streaming, and rejection
+// of malformed input.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+const JonesFairCenter kJones;
+
+FairCenterSlidingWindow MakeWindow(bool adaptive,
+                                   CoreVariant variant = CoreVariant::kFull) {
+  SlidingWindowOptions options;
+  options.window_size = 60;
+  options.delta = 1.0;
+  options.variant = variant;
+  options.adaptive_range = adaptive;
+  if (!adaptive) {
+    options.d_min = 0.1;
+    options.d_max = 500.0;
+  }
+  return FairCenterSlidingWindow(options, ColorConstraint({2, 2}), &kMetric,
+                                 &kJones);
+}
+
+void FeedRandom(FairCenterSlidingWindow* window, int count, Rng* rng) {
+  for (int i = 0; i < count; ++i) {
+    window->Update({rng->NextUniform(0, 200), rng->NextUniform(0, 200)},
+                   static_cast<int>(rng->NextBounded(2)));
+  }
+}
+
+class CheckpointTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CheckpointTest, RoundTripPreservesStateExactly) {
+  FairCenterSlidingWindow window = MakeWindow(GetParam());
+  Rng rng(7);
+  FeedRandom(&window, 150, &rng);
+
+  const std::string bytes = window.SerializeState();
+  auto restored = FairCenterSlidingWindow::DeserializeState(bytes, &kMetric,
+                                                            &kJones);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Identical footprint and clocks.
+  EXPECT_EQ(window.Memory().ToString(),
+            restored.value().Memory().ToString());
+  EXPECT_EQ(window.now(), restored.value().now());
+  EXPECT_EQ(window.WindowPopulation(), restored.value().WindowPopulation());
+
+  // Identical query answers.
+  QueryStats original_stats, restored_stats;
+  auto original_solution = window.Query(&original_stats);
+  auto restored_solution = restored.value().Query(&restored_stats);
+  ASSERT_TRUE(original_solution.ok());
+  ASSERT_TRUE(restored_solution.ok());
+  EXPECT_DOUBLE_EQ(original_solution.value().radius,
+                   restored_solution.value().radius);
+  EXPECT_DOUBLE_EQ(original_stats.guess, restored_stats.guess);
+  EXPECT_EQ(original_stats.coreset_size, restored_stats.coreset_size);
+
+  // Serialization is deterministic and stable across a round trip.
+  EXPECT_EQ(bytes, restored.value().SerializeState());
+}
+
+TEST_P(CheckpointTest, RestoredWindowBehavesIdenticallyGoingForward) {
+  FairCenterSlidingWindow window = MakeWindow(GetParam());
+  Rng rng(11);
+  FeedRandom(&window, 120, &rng);
+
+  auto restored = FairCenterSlidingWindow::DeserializeState(
+      window.SerializeState(), &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok());
+
+  // Feed the same continuation into both; answers must stay identical.
+  Rng continuation(13);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      const Coordinates coords = {continuation.NextUniform(0, 200),
+                                  continuation.NextUniform(0, 200)};
+      const int color = static_cast<int>(continuation.NextBounded(2));
+      window.Update(coords, color);
+      restored.value().Update(coords, color);
+    }
+    auto a = window.Query();
+    auto b = restored.value().Query();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a.value().radius, b.value().radius) << "round " << round;
+    EXPECT_EQ(a.value().centers.size(), b.value().centers.size());
+    EXPECT_EQ(window.Memory().ToString(),
+              restored.value().Memory().ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CheckpointTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "adaptive" : "fixed";
+                         });
+
+TEST(CheckpointTest, LiteVariantRoundTrips) {
+  FairCenterSlidingWindow window =
+      MakeWindow(true, CoreVariant::kValidationOnly);
+  Rng rng(17);
+  FeedRandom(&window, 100, &rng);
+  auto restored = FairCenterSlidingWindow::DeserializeState(
+      window.SerializeState(), &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().options().variant,
+            CoreVariant::kValidationOnly);
+  EXPECT_EQ(window.Memory().ToString(), restored.value().Memory().ToString());
+}
+
+TEST(CheckpointTest, EmptyWindowRoundTrips) {
+  FairCenterSlidingWindow window = MakeWindow(true);
+  auto restored = FairCenterSlidingWindow::DeserializeState(
+      window.SerializeState(), &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok());
+  auto solution = restored.value().Query();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution.value().centers.empty());
+}
+
+TEST(CheckpointTest, RejectsGarbage) {
+  auto bad = FairCenterSlidingWindow::DeserializeState("not a checkpoint",
+                                                       &kMetric, &kJones);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto empty =
+      FairCenterSlidingWindow::DeserializeState("", &kMetric, &kJones);
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RejectsTruncation) {
+  FairCenterSlidingWindow window = MakeWindow(true);
+  Rng rng(19);
+  FeedRandom(&window, 80, &rng);
+  const std::string bytes = window.SerializeState();
+  const std::string truncated = bytes.substr(0, bytes.size() / 2);
+  auto restored = FairCenterSlidingWindow::DeserializeState(truncated,
+                                                            &kMetric, &kJones);
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST(CheckpointTest, RejectsVersionMismatch) {
+  FairCenterSlidingWindow window = MakeWindow(true);
+  std::string bytes = window.SerializeState();
+  bytes.replace(bytes.find("v1"), 2, "v9");
+  auto restored =
+      FairCenterSlidingWindow::DeserializeState(bytes, &kMetric, &kJones);
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fkc

@@ -1,0 +1,135 @@
+// Machine-independent complexity tests for Theorem 3: update and query cost
+// — measured in distance evaluations via CountingMetric — must be
+// independent of the window size, and scale with the ladder and coreset
+// parameters as the analysis predicts.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/counting_metric.h"
+#include "metric/metric.h"
+#include "sequential/gonzalez.h"
+#include "sequential/jones_fair_center.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kEuclidean;
+const JonesFairCenter kJones;
+
+// Steady-state distance evaluations per update / per query for a window of
+// the given size over a fixed data distribution.
+struct CostProfile {
+  double update_evals = 0.0;
+  double query_evals = 0.0;
+};
+
+CostProfile MeasureCosts(int64_t window_size, double delta,
+                         uint64_t seed = 21) {
+  CountingMetric metric(&kEuclidean);
+  const ColorConstraint constraint({2, 2});
+  SlidingWindowOptions options;
+  options.window_size = window_size;
+  options.delta = delta;
+  options.d_min = 0.1;
+  options.d_max = 400.0;
+  FairCenterSlidingWindow window(options, constraint, &metric, &kJones);
+
+  Rng rng(seed);
+  auto feed = [&]() {
+    window.Update({rng.NextUniform(0, 200), rng.NextUniform(0, 200)},
+                  static_cast<int>(rng.NextBounded(2)));
+  };
+  // Warm to steady state: two full windows.
+  for (int64_t t = 0; t < 2 * window_size; ++t) feed();
+
+  CostProfile profile;
+  const int kSamples = 200;
+  metric.Reset();
+  for (int s = 0; s < kSamples; ++s) feed();
+  profile.update_evals = static_cast<double>(metric.count()) / kSamples;
+
+  metric.Reset();
+  const int kQueries = 10;
+  for (int q = 0; q < kQueries; ++q) {
+    auto result = window.Query();
+    EXPECT_TRUE(result.ok());
+    feed();
+  }
+  profile.query_evals = static_cast<double>(metric.count()) / kQueries;
+  return profile;
+}
+
+TEST(ComplexityTest, UpdateCostIndependentOfWindowSize) {
+  const CostProfile small = MeasureCosts(250, 1.0);
+  const CostProfile large = MeasureCosts(2500, 1.0);
+  // 10x window: steady-state update cost must stay within a constant band
+  // (Theorem 3 — the bound has no n term at all).
+  EXPECT_LT(large.update_evals, 2.0 * small.update_evals + 50.0)
+      << "small=" << small.update_evals << " large=" << large.update_evals;
+}
+
+TEST(ComplexityTest, QueryCostIndependentOfWindowSize) {
+  const CostProfile small = MeasureCosts(250, 1.0);
+  const CostProfile large = MeasureCosts(2500, 1.0);
+  EXPECT_LT(large.query_evals, 2.0 * small.query_evals + 500.0)
+      << "small=" << small.query_evals << " large=" << large.query_evals;
+}
+
+TEST(ComplexityTest, CostsGrowAsDeltaShrinks) {
+  // The (c/delta)^D term: update and query both get more expensive with
+  // finer coresets.
+  const CostProfile fine = MeasureCosts(500, 0.5);
+  const CostProfile coarse = MeasureCosts(500, 4.0);
+  EXPECT_GT(fine.update_evals, coarse.update_evals);
+  EXPECT_GT(fine.query_evals, coarse.query_evals);
+}
+
+TEST(ComplexityTest, BaselineQueryCostGrowsWithWindow) {
+  // Contrast: the full-window baseline's per-query distance count is
+  // Omega(n), growing linearly where ours stays flat.
+  CountingMetric metric(&kEuclidean);
+  Rng rng(23);
+  auto baseline_evals = [&](int n) {
+    std::vector<Point> points;
+    for (int i = 0; i < n; ++i) {
+      points.push_back(Point({rng.NextUniform(0, 200)}, 0));
+    }
+    metric.Reset();
+    auto result =
+        kJones.Solve(metric, points, ColorConstraint({2}));
+    EXPECT_TRUE(result.ok());
+    return metric.count();
+  };
+  const int64_t small = baseline_evals(300);
+  const int64_t large = baseline_evals(3000);
+  EXPECT_GT(large, 5 * small);
+}
+
+TEST(CountingMetricTest, CountsAndResets) {
+  CountingMetric metric(&kEuclidean);
+  const Point a({0.0}, 0), b({1.0}, 0);
+  EXPECT_EQ(metric.count(), 0);
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b), 1.0);
+  metric.Distance(a, b);
+  EXPECT_EQ(metric.count(), 2);
+  metric.Reset();
+  EXPECT_EQ(metric.count(), 0);
+  EXPECT_EQ(metric.Name(), "counting(euclidean)");
+}
+
+TEST(CountingMetricTest, GonzalezEvalCountMatchesTheory) {
+  // Gonzalez performs exactly n distance evaluations per selected head.
+  CountingMetric metric(&kEuclidean);
+  Rng rng(29);
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(Point({rng.NextUniform(0, 10)}, 0));
+  }
+  metric.Reset();
+  GonzalezKCenter(metric, points, 5);
+  EXPECT_EQ(metric.count(), 5 * 100);
+}
+
+}  // namespace
+}  // namespace fkc

@@ -1,0 +1,242 @@
+// Property tests for the per-guess structures against a mirrored naive
+// window: the structural invariants of Section 3 and the coverage guarantees
+// of Lemma 1, checked exhaustively at every time step of randomized streams.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <limits>
+
+#include "common/random.h"
+#include "core/guess_structure.h"
+#include "matroid/color_constraint.h"
+#include "metric/metric.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+
+struct InvariantCase {
+  uint64_t seed;
+  double gamma;
+  double delta;
+  int64_t window_size;
+  int colors;
+  CoreVariant variant;
+};
+
+class GuessStructureInvariantsTest
+    : public ::testing::TestWithParam<InvariantCase> {};
+
+// Minimum arrival among v-attractors (the Cleanup threshold).
+int64_t OldestVAttractor(const GuessStructure& guess) {
+  int64_t oldest = std::numeric_limits<int64_t>::max();
+  for (const AttractorEntry& entry : guess.v_entries()) {
+    oldest = std::min(oldest, entry.attractor.arrival);
+  }
+  return oldest;
+}
+
+TEST_P(GuessStructureInvariantsTest, HoldAtEveryStep) {
+  const InvariantCase c = GetParam();
+  const ColorConstraint constraint(std::vector<int>(c.colors, 2));
+  const int k = constraint.TotalK();
+  GuessStructure guess(c.gamma, c.delta, c.window_size, constraint,
+                       c.variant);
+
+  std::deque<Point> window;
+  Rng rng(c.seed);
+  for (int64_t t = 1; t <= 6 * c.window_size; ++t) {
+    Point p({rng.NextUniform(0, 50), rng.NextUniform(0, 50)},
+            static_cast<int>(rng.NextBounded(c.colors)));
+    p.arrival = t;
+    p.id = static_cast<uint64_t>(t);
+    window.push_back(p);
+    if (static_cast<int64_t>(window.size()) > c.window_size) {
+      window.pop_front();
+    }
+    guess.Update(p, t, kMetric, nullptr);
+
+    // --- Structural invariants. ---
+    // |AV| <= k + 1 after every update.
+    ASSERT_LE(guess.v_attractor_count(), k + 1);
+    // v-attractors pairwise > 2*gamma.
+    const auto& v = guess.v_entries();
+    for (size_t i = 0; i < v.size(); ++i) {
+      for (size_t j = i + 1; j < v.size(); ++j) {
+        ASSERT_GT(kMetric.Distance(v[i].attractor, v[j].attractor),
+                  2.0 * c.gamma);
+      }
+    }
+    // c-attractors pairwise > delta*gamma/2.
+    const auto& ca = guess.c_entries();
+    for (size_t i = 0; i < ca.size(); ++i) {
+      for (size_t j = i + 1; j < ca.size(); ++j) {
+        ASSERT_GT(kMetric.Distance(ca[i].attractor, ca[j].attractor),
+                  c.delta * c.gamma / 2.0);
+      }
+    }
+    // Every stored point is active; representatives sit within attraction
+    // radius of their attractor; per-color caps are respected.
+    for (const AttractorEntry& entry : v) {
+      ASSERT_TRUE(IsActive(entry.attractor, t, c.window_size));
+      for (const Point& rep : entry.representatives) {
+        ASSERT_TRUE(IsActive(rep, t, c.window_size));
+        ASSERT_LE(kMetric.Distance(rep, entry.attractor),
+                  2.0 * c.gamma + 1e-12);
+      }
+      for (int color = 0; color < c.colors; ++color) {
+        ASSERT_LE(CountColor(entry, color),
+                  c.variant == CoreVariant::kFull ? 1 : constraint.cap(color));
+      }
+    }
+    for (const AttractorEntry& entry : ca) {
+      ASSERT_TRUE(IsActive(entry.attractor, t, c.window_size));
+      for (const Point& rep : entry.representatives) {
+        ASSERT_TRUE(IsActive(rep, t, c.window_size));
+        ASSERT_LE(kMetric.Distance(rep, entry.attractor),
+                  c.delta * c.gamma / 2.0 + 1e-12);
+      }
+      for (int color = 0; color < c.colors; ++color) {
+        ASSERT_LE(CountColor(entry, color), constraint.cap(color));
+      }
+    }
+    for (const Point& orphan : guess.v_orphans()) {
+      ASSERT_TRUE(IsActive(orphan, t, c.window_size));
+    }
+    for (const Point& orphan : guess.c_orphans()) {
+      ASSERT_TRUE(IsActive(orphan, t, c.window_size));
+    }
+
+    // --- Lemma 1 coverage. ---
+    // Relevant points: the whole window when the guess is valid, otherwise
+    // the suffix younger than the oldest v-attractor.
+    const bool valid = guess.IsValid();
+    const int64_t threshold = valid ? 0 : OldestVAttractor(guess);
+    const std::vector<Point> rv = guess.ValidationPoints();
+    const std::vector<Point> r = guess.CoresetPoints();
+    for (const Point& q : window) {
+      if (!valid && q.arrival < threshold) continue;
+      ASSERT_LE(DistanceToSet(kMetric, q, rv), 4.0 * c.gamma + 1e-9)
+          << "RV coverage broken at t=" << t << " for " << q.ToString();
+      if (c.variant == CoreVariant::kFull) {
+        ASSERT_LE(DistanceToSet(kMetric, q, r), c.delta * c.gamma + 1e-9)
+            << "R coverage broken at t=" << t << " for " << q.ToString();
+      }
+    }
+
+    // Memory accounting is consistent with the exposed containers.
+    const MemoryStats memory = guess.Memory();
+    ASSERT_EQ(memory.v_attractors, static_cast<int64_t>(v.size()));
+    ASSERT_EQ(memory.v_representatives,
+              CountRepresentatives(v) +
+                  static_cast<int64_t>(guess.v_orphans().size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuessStructureInvariantsTest,
+    ::testing::Values(
+        // gamma large enough that the guess stays valid.
+        InvariantCase{1, 40.0, 0.5, 30, 2, CoreVariant::kFull},
+        // gamma small: the guess is mostly invalid, exercising Cleanup.
+        InvariantCase{2, 1.0, 0.5, 30, 2, CoreVariant::kFull},
+        // Intermediate scale, more colors, different deltas.
+        InvariantCase{3, 8.0, 1.0, 25, 3, CoreVariant::kFull},
+        InvariantCase{4, 8.0, 4.0, 25, 3, CoreVariant::kFull},
+        InvariantCase{5, 15.0, 2.0, 40, 1, CoreVariant::kFull},
+        // Corollary-2 variant at several scales.
+        InvariantCase{6, 40.0, 4.0, 30, 2, CoreVariant::kValidationOnly},
+        InvariantCase{7, 8.0, 4.0, 25, 3, CoreVariant::kValidationOnly},
+        InvariantCase{8, 2.0, 4.0, 20, 2, CoreVariant::kValidationOnly}),
+    [](const auto& info) {
+      return "case" + std::to_string(info.param.seed);
+    });
+
+TEST(GuessStructureTest, RejectsZeroCapArrival) {
+  const ColorConstraint constraint({1, 0});
+  GuessStructure guess(1.0, 0.5, 10, constraint, CoreVariant::kFull);
+  Point p({0.0}, 1);
+  p.arrival = 1;
+  p.id = 1;
+  EXPECT_DEATH(guess.Update(p, 1, kMetric, nullptr), "zero-cap color");
+}
+
+TEST(GuessStructureTest, ValidityFlipsWithScale) {
+  // Points on a line spaced 10 apart, k = 1: a guess with gamma = 1 must
+  // become invalid (two attractors > 2 apart), gamma = 100 stays valid.
+  const ColorConstraint constraint({1});
+  GuessStructure small(1.0, 0.5, 100, constraint, CoreVariant::kFull);
+  GuessStructure large(100.0, 0.5, 100, constraint, CoreVariant::kFull);
+  for (int64_t t = 1; t <= 5; ++t) {
+    Point p({10.0 * static_cast<double>(t)}, 0);
+    p.arrival = t;
+    p.id = static_cast<uint64_t>(t);
+    small.Update(p, t, kMetric, nullptr);
+    large.Update(p, t, kMetric, nullptr);
+  }
+  EXPECT_FALSE(small.IsValid());
+  EXPECT_TRUE(large.IsValid());
+}
+
+TEST(GuessStructureTest, ValidityRecoversAfterExpiry) {
+  // k = 1, window 4: two far points make the guess invalid; once the first
+  // expires, validity returns.
+  const ColorConstraint constraint({1});
+  GuessStructure guess(1.0, 0.5, 4, constraint, CoreVariant::kFull);
+  int64_t t = 0;
+  auto feed = [&](double x) {
+    ++t;
+    Point p({x}, 0);
+    p.arrival = t;
+    p.id = static_cast<uint64_t>(t);
+    guess.Update(p, t, kMetric, nullptr);
+  };
+  feed(0.0);
+  feed(100.0);
+  EXPECT_FALSE(guess.IsValid());
+  feed(100.1);
+  feed(100.2);
+  feed(100.3);  // t=5: the point at 0.0 (arrival 1) has expired
+  EXPECT_TRUE(guess.IsValid());
+}
+
+TEST(GuessStructureTest, ReplayReproducesCoverage) {
+  // Replaying a structure's stored points into a fresh structure of the same
+  // gamma must preserve the RV coverage property for the replayed points.
+  const ColorConstraint constraint({2, 2});
+  GuessStructure source(5.0, 1.0, 50, constraint, CoreVariant::kFull);
+  Rng rng(7);
+  int64_t t = 0;
+  for (; t < 40;) {
+    ++t;
+    Point p({rng.NextUniform(0, 30)}, static_cast<int>(rng.NextBounded(2)));
+    p.arrival = t;
+    p.id = static_cast<uint64_t>(t);
+    source.Update(p, t, kMetric, nullptr);
+  }
+  GuessStructure copy(5.0, 1.0, 50, constraint, CoreVariant::kFull);
+  source.ReplayInto(&copy, t, kMetric);
+  // Every point stored in the source is 4*gamma-covered in the copy's RV.
+  const std::vector<Point> rv = copy.ValidationPoints();
+  for (const Point& q : source.ValidationPoints()) {
+    EXPECT_LE(DistanceToSet(kMetric, q, rv), 4.0 * 5.0 + 1e-9);
+  }
+}
+
+TEST(MemoryStatsTest, AdditionAndToString) {
+  MemoryStats a;
+  a.v_attractors = 1;
+  a.v_representatives = 2;
+  a.c_attractors = 3;
+  a.c_representatives = 4;
+  a.guesses = 1;
+  MemoryStats b = a;
+  b += a;
+  EXPECT_EQ(b.TotalPoints(), 20);
+  EXPECT_EQ(b.guesses, 2);
+  EXPECT_NE(a.ToString().find("total=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fkc

@@ -1,0 +1,268 @@
+// Tests for the dataset substrate: generator contracts (sizes, colors,
+// dimensionality, aspect-ratio bands, intrinsic dimension of rotated data),
+// the CSV loader, and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datasets/blobs.h"
+#include "datasets/covtype_sim.h"
+#include "datasets/csv_loader.h"
+#include "datasets/higgs_sim.h"
+#include "datasets/phones_sim.h"
+#include "datasets/registry.h"
+#include "datasets/rotated.h"
+#include "metric/aspect_ratio.h"
+#include "metric/doubling.h"
+#include "metric/metric.h"
+
+namespace fkc {
+namespace {
+
+using datasets::BlobsOptions;
+using datasets::CovtypeSimOptions;
+using datasets::CsvOptions;
+using datasets::GenerateBlobs;
+using datasets::GenerateCovtypeSim;
+using datasets::GenerateHiggsSim;
+using datasets::GeneratePhonesSim;
+using datasets::HiggsSimOptions;
+using datasets::MakeDataset;
+using datasets::ParseCsv;
+using datasets::PhonesSimOptions;
+using datasets::RandomRotation;
+using datasets::RotateAndPad;
+
+const EuclideanMetric kMetric;
+
+TEST(BlobsTest, SizesColorsAndDimension) {
+  BlobsOptions options;
+  options.num_points = 500;
+  options.dimension = 4;
+  const auto points = GenerateBlobs(options);
+  ASSERT_EQ(points.size(), 500u);
+  std::set<int> colors;
+  for (const Point& p : points) {
+    EXPECT_EQ(p.dimension(), 4u);
+    EXPECT_GE(p.color, 0);
+    EXPECT_LT(p.color, options.ell);
+    colors.insert(p.color);
+  }
+  EXPECT_EQ(colors.size(), static_cast<size_t>(options.ell));
+}
+
+TEST(BlobsTest, DeterministicPerSeed) {
+  BlobsOptions options;
+  options.num_points = 50;
+  const auto a = GenerateBlobs(options);
+  const auto b = GenerateBlobs(options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].coords, b[i].coords);
+    EXPECT_EQ(a[i].color, b[i].color);
+  }
+  options.seed = 7;
+  const auto c = GenerateBlobs(options);
+  EXPECT_NE(a[0].coords, c[0].coords);
+}
+
+TEST(BlobsTest, ColorsRoughlyBalanced) {
+  BlobsOptions options;
+  options.num_points = 7000;
+  const auto points = GenerateBlobs(options);
+  std::vector<int> counts(options.ell, 0);
+  for (const Point& p : points) ++counts[p.color];
+  for (int c = 0; c < options.ell; ++c) {
+    EXPECT_NEAR(counts[c], 1000, 150) << "color " << c;
+  }
+}
+
+TEST(RotatedTest, RotationIsOrthogonal) {
+  const auto m = RandomRotation(5, 3);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      double dot = 0.0;
+      for (int c = 0; c < 5; ++c) dot += m[i][c] * m[j][c];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(RotatedTest, PreservesPairwiseDistances) {
+  PhonesSimOptions options;
+  options.num_points = 60;
+  const auto base = GeneratePhonesSim(options);
+  const auto rotated = RotateAndPad(base, 9, 11);
+  ASSERT_EQ(rotated.size(), base.size());
+  for (size_t i = 0; i < base.size(); i += 7) {
+    for (size_t j = i + 1; j < base.size(); j += 5) {
+      EXPECT_NEAR(kMetric.Distance(base[i], base[j]),
+                  kMetric.Distance(rotated[i], rotated[j]), 1e-9);
+    }
+  }
+  EXPECT_EQ(rotated[0].dimension(), 9u);
+  EXPECT_EQ(rotated[0].color, base[0].color);
+}
+
+TEST(RotatedTest, IntrinsicDimensionUnchanged) {
+  // The defining property behind Figure 5.
+  PhonesSimOptions options;
+  options.num_points = 150;
+  const auto base = GeneratePhonesSim(options);
+  const auto rotated = RotateAndPad(base, 12, 5);
+  const double base_dim = EstimateDoublingDimension(kMetric, base);
+  const double rotated_dim = EstimateDoublingDimension(kMetric, rotated);
+  EXPECT_NEAR(base_dim, rotated_dim, 0.6);
+}
+
+TEST(PhonesSimTest, ShapeAndLabels) {
+  PhonesSimOptions options;
+  options.num_points = 2000;
+  const auto points = GeneratePhonesSim(options);
+  ASSERT_EQ(points.size(), 2000u);
+  std::set<int> colors;
+  for (const Point& p : points) {
+    EXPECT_EQ(p.dimension(), 3u);
+    colors.insert(p.color);
+  }
+  EXPECT_GE(colors.size(), 3u) << "several activities should occur";
+}
+
+TEST(PhonesSimTest, LabelsAreSticky) {
+  PhonesSimOptions options;
+  options.num_points = 5000;
+  const auto points = GeneratePhonesSim(options);
+  int changes = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].color != points[i - 1].color) ++changes;
+  }
+  // With stickiness 0.98 expect ~2% switches, far below 50%.
+  EXPECT_LT(changes, 500);
+  EXPECT_GT(changes, 10);
+}
+
+TEST(PhonesSimTest, WideAspectRatio) {
+  PhonesSimOptions options;
+  options.num_points = 4000;
+  const auto points = GeneratePhonesSim(options);
+  // Subsample for the O(n^2) extrema scan.
+  std::vector<Point> sample;
+  for (size_t i = 0; i < points.size(); i += 4) sample.push_back(points[i]);
+  const double ratio = AspectRatio(kMetric, sample);
+  EXPECT_GT(ratio, 1e3) << "handoffs must create a wide scale range";
+}
+
+TEST(HiggsSimTest, TwoColorsAndDimension) {
+  HiggsSimOptions options;
+  options.num_points = 3000;
+  const auto points = GenerateHiggsSim(options);
+  int signal = 0;
+  for (const Point& p : points) {
+    EXPECT_EQ(p.dimension(), 7u);
+    ASSERT_GE(p.color, 0);
+    ASSERT_LE(p.color, 1);
+    signal += (p.color == 0);
+  }
+  // Roughly the configured signal fraction.
+  EXPECT_NEAR(static_cast<double>(signal) / 3000.0, 0.53, 0.05);
+}
+
+TEST(CovtypeSimTest, AmbientVsLatentDimension) {
+  CovtypeSimOptions options;
+  options.num_points = 400;
+  const auto points = GenerateCovtypeSim(options);
+  ASSERT_EQ(points.size(), 400u);
+  EXPECT_EQ(points[0].dimension(), 54u);
+  // Intrinsic dimension must be far below 54 (low-rank embedding).
+  std::vector<Point> sample(points.begin(), points.begin() + 200);
+  const double dim = EstimateDoublingDimension(kMetric, sample);
+  EXPECT_LT(dim, 12.0);
+}
+
+TEST(CovtypeSimTest, CoverTypesImbalanced) {
+  CovtypeSimOptions options;
+  options.num_points = 7000;
+  const auto points = GenerateCovtypeSim(options);
+  std::vector<int> counts(options.ell, 0);
+  for (const Point& p : points) ++counts[p.color];
+  EXPECT_GT(counts[0], counts[6]) << "first cover types dominate";
+  for (int c = 0; c < options.ell; ++c) EXPECT_GT(counts[c], 0);
+}
+
+TEST(CsvLoaderTest, ParsesColorLastColumnByDefault) {
+  auto result = ParseCsv("1.5,2.5,0\n3.0,4.0,1\n");
+  ASSERT_TRUE(result.ok());
+  const auto& points = result.value();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].coords, Coordinates({1.5, 2.5}));
+  EXPECT_EQ(points[0].color, 0);
+  EXPECT_EQ(points[1].color, 1);
+}
+
+TEST(CsvLoaderTest, CustomColorColumnAndSkipLines) {
+  CsvOptions options;
+  options.color_column = 0;
+  options.skip_lines = 1;
+  auto result = ParseCsv("header,junk\n2,7.5\n", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].color, 2);
+  EXPECT_EQ(result.value()[0].coords, Coordinates({7.5}));
+}
+
+TEST(CsvLoaderTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("1,2,0\n1,0\n").ok());
+}
+
+TEST(CsvLoaderTest, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseCsv("abc,0\n").ok());
+  EXPECT_FALSE(ParseCsv("1.0,zebra\n").ok());
+}
+
+TEST(CsvLoaderTest, SkipsBlankLines) {
+  auto result = ParseCsv("1,0\n\n2,1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(CsvLoaderTest, MissingFileIsIoError) {
+  auto result = datasets::LoadCsv("/nonexistent/file.csv");
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(RegistryTest, KnownDatasets) {
+  for (const std::string& name : datasets::RealDatasetNames()) {
+    auto result = MakeDataset(name, 200);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.value().points.size(), 200u);
+    EXPECT_GT(result.value().ell, 0);
+  }
+}
+
+TEST(RegistryTest, ParameterizedFamilies) {
+  auto blobs = MakeDataset("blobs5", 100);
+  ASSERT_TRUE(blobs.ok());
+  EXPECT_EQ(blobs.value().points[0].dimension(), 5u);
+
+  auto rotated = MakeDataset("rotated9", 100);
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_EQ(rotated.value().points[0].dimension(), 9u);
+}
+
+TEST(RegistryTest, UnknownAndMalformedNames) {
+  EXPECT_EQ(MakeDataset("nope", 10).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(MakeDataset("blobsX", 10).ok());
+  EXPECT_FALSE(MakeDataset("rotated1", 10).ok());  // below base dimension 3
+}
+
+TEST(RegistryTest, StreamWrapsCycling) {
+  auto dataset = MakeDataset("higgs", 10);
+  ASSERT_TRUE(dataset.ok());
+  auto stream = datasets::MakeStream(std::move(dataset).value());
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(stream->Next().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace fkc

@@ -1,0 +1,265 @@
+// Targeted edge cases across modules: degenerate geometries, extreme
+// constraint configurations, contract violations (death tests), and
+// boundary behaviour the broad property sweeps do not isolate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "core/guess_ladder.h"
+#include "matroid/partition_matroid.h"
+#include "metric/metric.h"
+#include "sequential/brute_force.h"
+#include "sequential/chen_matroid_center.h"
+#include "sequential/gonzalez.h"
+#include "sequential/jones_fair_center.h"
+#include "sequential/kleindessner.h"
+#include "stream/window_driver.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+const JonesFairCenter kJones;
+
+Point P(std::initializer_list<double> coords, int color) {
+  return Point(Coordinates(coords), color);
+}
+
+// --- Sequential solvers on degenerate geometry. ---
+
+TEST(EdgeCaseTest, JonesAllPointsCoincide) {
+  std::vector<Point> points(7, P({5.0, 5.0}, 0));
+  points.push_back(P({5.0, 5.0}, 1));
+  auto result = kJones.Solve(kMetric, points, ColorConstraint({1, 1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().radius, 0.0);
+}
+
+TEST(EdgeCaseTest, JonesTwoPoints) {
+  const std::vector<Point> points = {P({0}, 0), P({9}, 1)};
+  auto both = kJones.Solve(kMetric, points, ColorConstraint({1, 1}));
+  ASSERT_TRUE(both.ok());
+  EXPECT_DOUBLE_EQ(both.value().radius, 0.0);
+
+  // Only color 0 allowed: one center must cover both points.
+  auto one = kJones.Solve(kMetric, points, ColorConstraint({1, 0}));
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one.value().centers.size(), 1u);
+  EXPECT_EQ(one.value().centers[0].color, 0);
+  EXPECT_DOUBLE_EQ(one.value().radius, 9.0);
+}
+
+TEST(EdgeCaseTest, JonesCapsExceedAvailability) {
+  // Caps far above the number of points of a color: must not crash, and the
+  // solution can only use what exists.
+  const std::vector<Point> points = {P({0}, 0), P({5}, 0), P({10}, 1)};
+  auto result = kJones.Solve(kMetric, points, ColorConstraint({50, 50}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().centers.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.value().radius, 0.0);  // every point is a center
+}
+
+TEST(EdgeCaseTest, JonesSingleColorDegeneratesToKCenter) {
+  Rng rng(3);
+  std::vector<Point> points;
+  for (int i = 0; i < 15; ++i) {
+    points.push_back(P({rng.NextUniform(0, 100)}, 0));
+  }
+  auto fair = kJones.Solve(kMetric, points, ColorConstraint({3}));
+  auto exact = BruteForceKCenter(kMetric, points, 3);
+  ASSERT_TRUE(fair.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(fair.value().radius, 3.0 * exact.value().radius + 1e-9);
+}
+
+TEST(EdgeCaseTest, ChenSinglePoint) {
+  const ChenMatroidCenter chen;
+  auto result = chen.Solve(kMetric, {P({1, 2}, 0)}, ColorConstraint({1}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().centers.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value().radius, 0.0);
+}
+
+TEST(EdgeCaseTest, ChenFairPathAndGenericMatroidPathBothThreeApprox) {
+  // The partition fast path and the matroid-intersection path accept the
+  // same guesses but pick different centers inside the accepted balls
+  // (nearest-per-color vs arbitrary independent choice), so their measured
+  // radii differ within the shared 3r envelope. Verify both against the
+  // exact optimum on random instances.
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Point> points;
+    for (int i = 0; i < 18; ++i) {
+      points.push_back(P({rng.NextUniform(0, 50), rng.NextUniform(0, 50)},
+                         static_cast<int>(rng.NextBounded(2))));
+    }
+    const ColorConstraint constraint({2, 1});
+    auto exact = BruteForceFairCenter(kMetric, points, constraint);
+    ASSERT_TRUE(exact.ok());
+
+    const ChenMatroidCenter chen;
+    auto fair = chen.Solve(kMetric, points, constraint);
+    const PartitionMatroid matroid =
+        PartitionMatroid::OverPoints(points, constraint);
+    auto generic = SolveMatroidCenter(kMetric, points, matroid);
+    ASSERT_TRUE(fair.ok());
+    ASSERT_TRUE(generic.ok());
+    EXPECT_LE(fair.value().radius, 3.0 * exact.value().radius + 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(generic.value().radius, 3.0 * exact.value().radius + 1e-9)
+        << "trial " << trial;
+    EXPECT_TRUE(constraint.IsFeasible(generic.value().centers));
+  }
+}
+
+TEST(EdgeCaseTest, KleindessnerSingleSelectableColor) {
+  const KleindessnerFairCenter solver;
+  const std::vector<Point> points = {P({0}, 0), P({50}, 1), P({100}, 1)};
+  auto result = solver.Solve(kMetric, points, ColorConstraint({1, 0}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().centers.size(), 1u);
+  EXPECT_EQ(result.value().centers[0].color, 0);
+}
+
+TEST(EdgeCaseTest, GonzalezBadFirstIndexDies) {
+  const std::vector<Point> points = {P({0}, 0)};
+  EXPECT_DEATH(GonzalezKCenter(kMetric, points, 1, 5), "first_index");
+}
+
+// --- Guess ladder contract. ---
+
+TEST(EdgeCaseTest, LadderRejectsNonPositiveInputs) {
+  const GuessLadder ladder(2.0);
+  EXPECT_DEATH(ladder.FloorExponent(0.0), "value");
+  EXPECT_DEATH(ladder.FloorExponent(-1.0), "value");
+  EXPECT_DEATH(GuessLadder(-0.5), "beta");
+}
+
+TEST(EdgeCaseTest, LadderExtremeValues) {
+  const GuessLadder ladder(2.0);
+  // Very large and very small values must not overflow the exponent logic.
+  EXPECT_GT(ladder.FloorExponent(1e100), 200);
+  EXPECT_LT(ladder.FloorExponent(1e-100), -200);
+  EXPECT_EQ(ladder.FloorExponent(ladder.Value(37)), 37);
+  EXPECT_EQ(ladder.CeilExponent(ladder.Value(-37)), -37);
+}
+
+// --- Sliding window contract violations. ---
+
+TEST(EdgeCaseTest, WindowRejectsColorOutOfRange) {
+  SlidingWindowOptions options;
+  options.window_size = 10;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, ColorConstraint({1}), &kMetric,
+                                 &kJones);
+  EXPECT_DEATH(window.Update({1.0}, 1), "color");
+  EXPECT_DEATH(window.Update({1.0}, -1), "color");
+}
+
+TEST(EdgeCaseTest, WindowRejectsBadOptions) {
+  SlidingWindowOptions options;
+  options.window_size = 0;
+  options.adaptive_range = true;
+  EXPECT_DEATH(FairCenterSlidingWindow(options, ColorConstraint({1}),
+                                       &kMetric, &kJones),
+               "window_size");
+  options.window_size = 10;
+  options.delta = 0.0;
+  EXPECT_DEATH(FairCenterSlidingWindow(options, ColorConstraint({1}),
+                                       &kMetric, &kJones),
+               "delta");
+}
+
+TEST(EdgeCaseTest, WindowPopulationTracksFill) {
+  SlidingWindowOptions options;
+  options.window_size = 5;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, ColorConstraint({1}), &kMetric,
+                                 &kJones);
+  EXPECT_EQ(window.WindowPopulation(), 0);
+  for (int i = 0; i < 3; ++i) window.Update({static_cast<double>(i)}, 0);
+  EXPECT_EQ(window.WindowPopulation(), 3);
+  for (int i = 0; i < 10; ++i) window.Update({static_cast<double>(i)}, 0);
+  EXPECT_EQ(window.WindowPopulation(), 5);
+  EXPECT_EQ(window.now(), 13);
+}
+
+TEST(EdgeCaseTest, RepeatedQueriesWithoutUpdatesAreStable) {
+  SlidingWindowOptions options;
+  options.window_size = 20;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, ColorConstraint({1, 1}), &kMetric,
+                                 &kJones);
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    window.Update({rng.NextUniform(0, 10)}, i % 2);
+  }
+  auto first = window.Query();
+  auto second = window.Query();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(first.value().radius, second.value().radius);
+  EXPECT_EQ(first.value().centers.size(), second.value().centers.size());
+}
+
+TEST(EdgeCaseTest, TinyWindowSizeOne) {
+  // n = 1: the window is always exactly the latest point.
+  SlidingWindowOptions options;
+  options.window_size = 1;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, ColorConstraint({1}), &kMetric,
+                                 &kJones);
+  for (double x : {0.0, 100.0, -50.0}) {
+    window.Update({x}, 0);
+    auto result = window.Query();
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().centers.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.value().centers[0].coords[0], x);
+  }
+}
+
+TEST(EdgeCaseTest, ExtremeAspectRatioStream) {
+  // Scales spanning 12 orders of magnitude: the ladder must keep up and the
+  // query must keep succeeding.
+  SlidingWindowOptions options;
+  options.window_size = 30;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, ColorConstraint({2}), &kMetric,
+                                 &kJones);
+  Rng rng(9);
+  for (int burst = 0; burst < 6; ++burst) {
+    const double scale = std::pow(10.0, 2 * burst);
+    for (int i = 0; i < 15; ++i) {
+      window.Update({scale * rng.NextUniform(1.0, 2.0)}, 0);
+    }
+    auto result = window.Query();
+    ASSERT_TRUE(result.ok()) << "burst " << burst;
+    EXPECT_FALSE(result.value().centers.empty());
+  }
+}
+
+// --- Driver contract. ---
+
+TEST(EdgeCaseTest, DriverDiesOnExhaustedStream) {
+  WindowDriver driver(&kMetric, ColorConstraint({1}), 10);
+  driver.AddBaseline("jones", &kJones);
+  VectorStream stream({P({1}, 0)}, 1, "tiny", /*cycle=*/false);
+  DriverOptions run;
+  run.stream_length = 5;
+  run.num_queries = 1;
+  EXPECT_DEATH(driver.Run(&stream, run), "exhausted");
+}
+
+TEST(EdgeCaseTest, DriverRequiresAlgorithms) {
+  WindowDriver driver(&kMetric, ColorConstraint({1}), 10);
+  VectorStream stream({P({1}, 0)}, 1, "tiny", /*cycle=*/true);
+  DriverOptions run;
+  run.stream_length = 5;
+  run.num_queries = 1;
+  EXPECT_DEATH(driver.Run(&stream, run), "algorithms");
+}
+
+}  // namespace
+}  // namespace fkc

@@ -1,0 +1,321 @@
+// Tests for the sequential fair-center solvers (Jones, ChenEtAl,
+// Kleindessner, brute force): feasibility, approximation guarantees against
+// exact optima, matroid-generic behaviour, and edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "matroid/transversal.h"
+#include "matroid/uniform_matroid.h"
+#include "metric/metric.h"
+#include "sequential/brute_force.h"
+#include "sequential/chen_matroid_center.h"
+#include "sequential/gonzalez.h"
+#include "sequential/jones_fair_center.h"
+#include "sequential/kleindessner.h"
+#include "sequential/radius.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+
+Point P(std::initializer_list<double> coords, int color) {
+  return Point(Coordinates(coords), color);
+}
+
+std::vector<Point> RandomColored(int n, int dim, int ell, uint64_t seed,
+                                 double side = 100.0) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    Coordinates coords(dim);
+    for (double& x : coords) x = rng.NextUniform(0, side);
+    points.emplace_back(std::move(coords),
+                        static_cast<int>(rng.NextBounded(ell)));
+  }
+  return points;
+}
+
+TEST(RadiusTest, EmptyWindowAndEmptyCenters) {
+  EXPECT_EQ(ClusteringRadius(kMetric, {}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(ClusteringRadius(kMetric, {P({0}, 0)}, {})));
+}
+
+TEST(RadiusTest, KnownRadiusAndAssignment) {
+  const std::vector<Point> window = {P({0}, 0), P({4}, 0), P({10}, 0)};
+  const std::vector<Point> centers = {P({0}, 0), P({10}, 0)};
+  EXPECT_DOUBLE_EQ(ClusteringRadius(kMetric, window, centers), 4.0);
+  EXPECT_EQ(AssignToCenters(kMetric, window, centers),
+            (std::vector<int>{0, 0, 1}));
+}
+
+TEST(BruteForceTest, FindsExactOptimum) {
+  // Two tight pairs; with one center per color the best radius is forced.
+  const std::vector<Point> points = {P({0}, 0), P({1}, 1), P({10}, 0),
+                                     P({11}, 1)};
+  auto result = BruteForceFairCenter(kMetric, points, ColorConstraint({1, 1}));
+  ASSERT_TRUE(result.ok());
+  // One center near each pair, e.g. {0 (c0), 11 (c1)} -> radius 1.
+  EXPECT_DOUBLE_EQ(result.value().radius, 1.0);
+}
+
+TEST(BruteForceTest, InfeasibleWhenAllCapsZero) {
+  const std::vector<Point> points = {P({0}, 0)};
+  auto result = BruteForceFairCenter(kMetric, points, ColorConstraint({0}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(BruteForceTest, EmptyInputGivesEmptySolution) {
+  auto result = BruteForceFairCenter(kMetric, {}, ColorConstraint({1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().centers.empty());
+}
+
+TEST(BruteForceTest, KCenterMatchesSingleColorFair) {
+  const auto points = RandomColored(10, 2, 3, 5);
+  auto unconstrained = BruteForceKCenter(kMetric, points, 3);
+  std::vector<Point> monochrome = points;
+  for (Point& p : monochrome) p.color = 0;
+  auto fair = BruteForceFairCenter(kMetric, monochrome, ColorConstraint({3}));
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_TRUE(fair.ok());
+  EXPECT_DOUBLE_EQ(unconstrained.value().radius, fair.value().radius);
+}
+
+// ---------------------------------------------------------------------------
+// Per-solver behaviour.
+
+TEST(JonesTest, EmptyInput) {
+  const JonesFairCenter solver;
+  auto result = solver.Solve(kMetric, {}, ColorConstraint({1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().centers.empty());
+}
+
+TEST(JonesTest, RejectsOutOfRangeColors) {
+  const JonesFairCenter solver;
+  auto result = solver.Solve(kMetric, {P({0}, 5)}, ColorConstraint({1}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JonesTest, InfeasibleWithZeroCaps) {
+  const JonesFairCenter solver;
+  auto result =
+      solver.Solve(kMetric, {P({0}, 0)}, ColorConstraint({0, 0}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(JonesTest, ColorCapForcesCrossColorCenter) {
+  // Cluster A is all color 0, cluster B all color 1, caps {0 -> forbidden}:
+  // wait, caps must stay >= 0; use cap {1,1} with two clusters of one color
+  // each; then use cap {2,0}: color 1 cannot serve, so cluster B must be
+  // covered from afar by a color-0 center.
+  const std::vector<Point> points = {P({0}, 0), P({1}, 0), P({100}, 1),
+                                     P({101}, 1)};
+  const JonesFairCenter solver;
+  auto capped = solver.Solve(kMetric, points, ColorConstraint({2, 0}));
+  ASSERT_TRUE(capped.ok());
+  for (const Point& c : capped.value().centers) EXPECT_EQ(c.color, 0);
+  EXPECT_GE(capped.value().radius, 99.0);
+
+  auto free = solver.Solve(kMetric, points, ColorConstraint({1, 1}));
+  ASSERT_TRUE(free.ok());
+  EXPECT_LE(free.value().radius, 1.0 + 1e-9);
+}
+
+TEST(JonesTest, SolutionsAlwaysFeasible) {
+  const JonesFairCenter solver;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto points = RandomColored(60, 3, 4, seed);
+    const ColorConstraint constraint({2, 1, 1, 2});
+    auto result = solver.Solve(kMetric, points, constraint);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(constraint.IsFeasible(result.value().centers));
+    EXPECT_TRUE(std::isfinite(result.value().radius));
+  }
+}
+
+TEST(ChenTest, EmptyInput) {
+  const ChenMatroidCenter solver;
+  auto result = solver.Solve(kMetric, {}, ColorConstraint({1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().centers.empty());
+}
+
+TEST(ChenTest, SolutionsAlwaysFeasible) {
+  const ChenMatroidCenter solver;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto points = RandomColored(40, 2, 3, seed);
+    const ColorConstraint constraint({2, 2, 1});
+    auto result = solver.Solve(kMetric, points, constraint);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(constraint.IsFeasible(result.value().centers));
+  }
+}
+
+TEST(ChenTest, GenericMatroidUniformEqualsKCenter) {
+  // Matroid center under a uniform matroid is plain k-center: the 3-approx
+  // must hold against the exact optimum.
+  const auto points = RandomColored(12, 2, 1, 3);
+  const UniformMatroid matroid(3, static_cast<int>(points.size()));
+  auto chen = SolveMatroidCenter(kMetric, points, matroid);
+  auto exact = BruteForceKCenter(kMetric, points, 3);
+  ASSERT_TRUE(chen.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(chen.value().radius, 3.0 * exact.value().radius + 1e-9);
+}
+
+TEST(ChenTest, GenericTransversalMatroid) {
+  // Centers must be matchable into 2 "facility licenses": left vertices
+  // 0..5 (points), licenses granted by index parity.
+  const auto points = RandomColored(6, 1, 1, 9);
+  BipartiteGraph graph(6, 2);
+  for (int i = 0; i < 6; ++i) graph.AddEdge(i, i % 2);
+  const TransversalMatroid matroid(std::move(graph));
+  auto result = SolveMatroidCenter(kMetric, points, matroid);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().centers.size(), 2u);
+  EXPECT_TRUE(std::isfinite(result.value().radius));
+}
+
+TEST(ChenTest, LadderModeStaysClose) {
+  // Force the geometric-ladder candidate mode and compare to exact mode.
+  const auto points = RandomColored(50, 2, 2, 13);
+  const ColorConstraint constraint({2, 2});
+  ChenOptions exact_options;
+  ChenOptions ladder_options;
+  ladder_options.exact_candidate_limit = 10;  // force ladder
+  ladder_options.ladder_factor = 1.05;
+  const ChenMatroidCenter exact_solver(exact_options);
+  const ChenMatroidCenter ladder_solver(ladder_options);
+  auto exact = exact_solver.Solve(kMetric, points, constraint);
+  auto ladder = ladder_solver.Solve(kMetric, points, constraint);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_LE(ladder.value().radius,
+            1.2 * exact.value().radius + 1e-9);
+}
+
+TEST(KleindessnerTest, SolutionsAlwaysFeasible) {
+  const KleindessnerFairCenter solver;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto points = RandomColored(60, 2, 3, seed);
+    const ColorConstraint constraint({2, 2, 2});
+    auto result = solver.Solve(kMetric, points, constraint);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(constraint.IsFeasible(result.value().centers));
+  }
+}
+
+TEST(KleindessnerTest, ShiftsWhenBudgetExhausted) {
+  // Three far clusters, two of them purely color 0, caps {1, 2}: the greedy
+  // must shift at least one pick to color 1.
+  std::vector<Point> points;
+  for (int i = 0; i < 5; ++i) points.push_back(P({0.0 + i * 0.1}, 0));
+  for (int i = 0; i < 5; ++i) points.push_back(P({100.0 + i * 0.1}, 0));
+  for (int i = 0; i < 5; ++i) points.push_back(P({200.0 + i * 0.1}, 1));
+  const KleindessnerFairCenter solver;
+  auto result = solver.Solve(kMetric, points, ColorConstraint({1, 2}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ColorConstraint({1, 2}).IsFeasible(result.value().centers));
+}
+
+// ---------------------------------------------------------------------------
+// Approximation-guarantee property sweep: every 3-approx solver within
+// 3 * OPT (+ tolerance) of the brute-force optimum on random instances.
+
+struct ApproxCase {
+  uint64_t seed;
+  int n;
+  int ell;
+  std::vector<int> caps;
+};
+
+class SolverApproximationTest : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(SolverApproximationTest, JonesWithinThreeTimesOpt) {
+  const ApproxCase& c = GetParam();
+  const auto points = RandomColored(c.n, 2, c.ell, c.seed);
+  const ColorConstraint constraint(c.caps);
+  auto exact = BruteForceFairCenter(kMetric, points, constraint);
+  ASSERT_TRUE(exact.ok());
+  const JonesFairCenter jones;
+  auto approx = jones.Solve(kMetric, points, constraint);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_LE(approx.value().radius, 3.0 * exact.value().radius + 1e-9)
+      << "seed=" << c.seed;
+}
+
+TEST_P(SolverApproximationTest, ChenWithinThreeTimesOpt) {
+  const ApproxCase& c = GetParam();
+  const auto points = RandomColored(c.n, 2, c.ell, c.seed);
+  const ColorConstraint constraint(c.caps);
+  auto exact = BruteForceFairCenter(kMetric, points, constraint);
+  ASSERT_TRUE(exact.ok());
+  const ChenMatroidCenter chen;
+  auto approx = chen.Solve(kMetric, points, constraint);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_LE(approx.value().radius, 3.0 * exact.value().radius + 1e-9)
+      << "seed=" << c.seed;
+}
+
+TEST_P(SolverApproximationTest, KleindessnerWithinPublishedFactor) {
+  const ApproxCase& c = GetParam();
+  const auto points = RandomColored(c.n, 2, c.ell, c.seed);
+  const ColorConstraint constraint(c.caps);
+  auto exact = BruteForceFairCenter(kMetric, points, constraint);
+  ASSERT_TRUE(exact.ok());
+  const KleindessnerFairCenter solver;
+  auto approx = solver.Solve(kMetric, points, constraint);
+  ASSERT_TRUE(approx.ok());
+  // Published factor: 3 * 2^(ell-1) - 1.
+  const double factor = 3.0 * std::pow(2.0, c.ell - 1) - 1.0;
+  EXPECT_LE(approx.value().radius, factor * exact.value().radius + 1e-9)
+      << "seed=" << c.seed;
+}
+
+std::vector<ApproxCase> ApproxCases() {
+  std::vector<ApproxCase> cases;
+  uint64_t seed = 1;
+  for (int rep = 0; rep < 6; ++rep) {
+    cases.push_back({seed++, 12, 2, {1, 1}});
+    cases.push_back({seed++, 14, 2, {2, 1}});
+    cases.push_back({seed++, 12, 3, {1, 1, 1}});
+    cases.push_back({seed++, 10, 4, {1, 1, 1, 1}});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverApproximationTest,
+                         ::testing::ValuesIn(ApproxCases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Sanity: on instances where fairness is non-binding, fair solvers should
+// not be much worse than unconstrained Gonzalez (they solve a harder
+// problem, but OPT coincides when colors are abundant).
+TEST(SolverComparisonTest, FairMatchesUnconstrainedWhenColorsAbundant) {
+  const auto base = RandomColored(40, 2, 1, 21);
+  // Duplicate each location in both colors so any center position is
+  // available in any color: fair OPT == unconstrained OPT.
+  std::vector<Point> points;
+  for (const Point& p : base) {
+    points.push_back(p);
+    Point q = p;
+    q.color = 1;
+    points.push_back(q);
+  }
+  const JonesFairCenter jones;
+  auto fair = jones.Solve(kMetric, points, ColorConstraint({2, 2}));
+  ASSERT_TRUE(fair.ok());
+  const auto greedy = GonzalezKCenter(kMetric, points, 4);
+  // Both are <= 2*OPT-ish; fair must stay within 3x of the greedy radius
+  // up to its own guarantee.
+  EXPECT_LE(fair.value().radius, 3.0 * greedy.coverage_radius + 1e-9);
+}
+
+}  // namespace
+}  // namespace fkc

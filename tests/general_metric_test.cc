@@ -1,0 +1,117 @@
+// The paper's algorithms work in *general* metric spaces. These tests run
+// the full stack (sequential solvers and the sliding window) under the
+// Manhattan and Chebyshev metrics and check that every guarantee that is
+// metric-independent still holds.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/metric.h"
+#include "sequential/brute_force.h"
+#include "sequential/chen_matroid_center.h"
+#include "sequential/jones_fair_center.h"
+#include "sequential/radius.h"
+#include "stream/reference_window.h"
+
+namespace fkc {
+namespace {
+
+const ManhattanMetric kManhattan;
+const ChebyshevMetric kChebyshev;
+
+std::vector<Point> RandomColored(int n, int ell, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back(Point({rng.NextUniform(0, 50), rng.NextUniform(0, 50),
+                            rng.NextUniform(0, 50)},
+                           static_cast<int>(rng.NextBounded(ell))));
+  }
+  return points;
+}
+
+class GeneralMetricSolverTest : public ::testing::TestWithParam<const Metric*> {
+};
+
+TEST_P(GeneralMetricSolverTest, JonesWithinThreeTimesOpt) {
+  const Metric& metric = *GetParam();
+  const JonesFairCenter jones;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto points = RandomColored(12, 2, seed);
+    const ColorConstraint constraint({1, 1});
+    auto exact = BruteForceFairCenter(metric, points, constraint);
+    auto approx = jones.Solve(metric, points, constraint);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(approx.ok());
+    EXPECT_LE(approx.value().radius, 3.0 * exact.value().radius + 1e-9)
+        << metric.Name() << " seed=" << seed;
+  }
+}
+
+TEST_P(GeneralMetricSolverTest, ChenWithinThreeTimesOpt) {
+  const Metric& metric = *GetParam();
+  const ChenMatroidCenter chen;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto points = RandomColored(12, 2, seed);
+    const ColorConstraint constraint({1, 1});
+    auto exact = BruteForceFairCenter(metric, points, constraint);
+    auto approx = chen.Solve(metric, points, constraint);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(approx.ok());
+    EXPECT_LE(approx.value().radius, 3.0 * exact.value().radius + 1e-9)
+        << metric.Name() << " seed=" << seed;
+  }
+}
+
+TEST_P(GeneralMetricSolverTest, SlidingWindowTheoremOneBound) {
+  const Metric& metric = *GetParam();
+  const JonesFairCenter jones;
+  const ColorConstraint constraint({1, 1});
+
+  SlidingWindowOptions options;
+  options.window_size = 12;
+  options.beta = 0.5;
+  options.delta = 1.0;
+  options.adaptive_range = true;
+  FairCenterSlidingWindow window(options, constraint, &metric, &jones);
+  ReferenceWindow truth(12);
+
+  Rng rng(17);
+  for (int t = 0; t < 50; ++t) {
+    Point p({rng.NextUniform(0, 40), rng.NextUniform(0, 40)},
+            static_cast<int>(rng.NextBounded(2)));
+    p.arrival = t + 1;
+    truth.Update(p);
+    window.Update(p);
+    if (t < 15 || t % 8 != 0) continue;
+
+    auto streaming = window.Query();
+    ASSERT_TRUE(streaming.ok());
+    auto exact = BruteForceFairCenter(metric, truth.Snapshot(), constraint);
+    ASSERT_TRUE(exact.ok());
+    const double radius = ClusteringRadius(metric, truth.Snapshot(),
+                                           streaming.value().centers);
+    const double eps = EpsilonForDelta(options.delta, options.beta, 3.0);
+    EXPECT_LE(radius, (3.0 + eps) * exact.value().radius + 1e-9)
+        << metric.Name() << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, GeneralMetricSolverTest,
+                         ::testing::Values(&kManhattan, &kChebyshev),
+                         [](const auto& info) { return info.param->Name(); });
+
+TEST(GeneralMetricTest, MetricsDisagreeOnGeometry) {
+  // Sanity that the three metrics genuinely produce different clusterings on
+  // anisotropic data (so the parameterized suites exercise distinct paths).
+  const Point origin({0, 0}, 0);
+  const Point far_l1({3, 3}, 0);
+  const Point far_linf({4, 0}, 0);
+  EXPECT_GT(kManhattan.Distance(origin, far_l1),
+            kManhattan.Distance(origin, far_linf));
+  EXPECT_LT(kChebyshev.Distance(origin, far_l1),
+            kChebyshev.Distance(origin, far_linf));
+}
+
+}  // namespace
+}  // namespace fkc

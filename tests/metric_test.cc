@@ -1,0 +1,206 @@
+// Tests for src/metric: point semantics, metric implementations and axioms,
+// distance extrema / aspect ratio, and the doubling-dimension estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "metric/aspect_ratio.h"
+#include "metric/doubling.h"
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+namespace {
+
+Point P(std::initializer_list<double> coords, int color = 0) {
+  return Point(Coordinates(coords), color);
+}
+
+TEST(PointTest, TtlSemantics) {
+  Point p({0.0}, 0);
+  p.arrival = 10;
+  // TTL(p) = n - (now - t(p)).
+  EXPECT_EQ(TimeToLive(p, 10, 5), 5);
+  EXPECT_EQ(TimeToLive(p, 14, 5), 1);
+  EXPECT_EQ(TimeToLive(p, 15, 5), 0);
+  EXPECT_EQ(TimeToLive(p, 100, 5), 0);  // clamped at zero
+  EXPECT_TRUE(IsActive(p, 14, 5));
+  EXPECT_FALSE(IsActive(p, 15, 5));
+}
+
+TEST(PointTest, ToStringContainsColorAndArrival) {
+  Point p({1.5, -2.0}, 3);
+  p.arrival = 42;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("#3"), std::string::npos);
+  EXPECT_NE(s.find("@42"), std::string::npos);
+}
+
+TEST(PointTest, SamePointComparesIds) {
+  Point a({1.0}, 0), b({1.0}, 0);
+  a.id = 5;
+  b.id = 5;
+  EXPECT_TRUE(SamePoint(a, b));
+  b.id = 6;
+  EXPECT_FALSE(SamePoint(a, b));
+}
+
+TEST(MetricTest, EuclideanKnownValues) {
+  const EuclideanMetric metric;
+  EXPECT_DOUBLE_EQ(metric.Distance(P({0, 0}), P({3, 4})), 5.0);
+  EXPECT_DOUBLE_EQ(metric.Distance(P({1}), P({1})), 0.0);
+}
+
+TEST(MetricTest, ManhattanKnownValues) {
+  const ManhattanMetric metric;
+  EXPECT_DOUBLE_EQ(metric.Distance(P({0, 0}), P({3, 4})), 7.0);
+}
+
+TEST(MetricTest, ChebyshevKnownValues) {
+  const ChebyshevMetric metric;
+  EXPECT_DOUBLE_EQ(metric.Distance(P({0, 0}), P({3, 4})), 4.0);
+  EXPECT_DOUBLE_EQ(metric.Distance(P({-2, 1}), P({2, 2})), 4.0);
+}
+
+// Metric axioms verified on random points for every implementation.
+class MetricAxiomsTest : public ::testing::TestWithParam<const Metric*> {};
+
+TEST_P(MetricAxiomsTest, IdentitySymmetryTriangle) {
+  const Metric& metric = *GetParam();
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    Coordinates a(4), b(4), c(4);
+    for (int d = 0; d < 4; ++d) {
+      a[d] = rng.NextUniform(-10, 10);
+      b[d] = rng.NextUniform(-10, 10);
+      c[d] = rng.NextUniform(-10, 10);
+    }
+    const Point pa(a, 0), pb(b, 0), pc(c, 0);
+    EXPECT_DOUBLE_EQ(metric.Distance(pa, pa), 0.0);
+    EXPECT_DOUBLE_EQ(metric.Distance(pa, pb), metric.Distance(pb, pa));
+    EXPECT_LE(metric.Distance(pa, pc),
+              metric.Distance(pa, pb) + metric.Distance(pb, pc) + 1e-12);
+    EXPECT_GE(metric.Distance(pa, pb), 0.0);
+  }
+}
+
+const EuclideanMetric kEuclidean;
+const ManhattanMetric kManhattan;
+const ChebyshevMetric kChebyshev;
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(&kEuclidean, &kManhattan,
+                                           &kChebyshev),
+                         [](const auto& info) { return info.param->Name(); });
+
+TEST(MetricTest, DistanceToSetEmptyIsInfinite) {
+  EXPECT_TRUE(std::isinf(DistanceToSet(kEuclidean, P({0}), {})));
+}
+
+TEST(MetricTest, DistanceToSetPicksClosest) {
+  std::vector<Point> pool = {P({0}), P({10}), P({4})};
+  EXPECT_DOUBLE_EQ(DistanceToSet(kEuclidean, P({5}), pool), 1.0);
+}
+
+TEST(MetricTest, DefaultMetricIsEuclidean) {
+  EXPECT_EQ(DefaultMetric().Name(), "euclidean");
+}
+
+TEST(AspectRatioTest, ExtremaSkipZeroPairs) {
+  std::vector<Point> points = {P({0}), P({0}), P({3}), P({10})};
+  const DistanceExtrema extrema = ComputeDistanceExtrema(kEuclidean, points);
+  EXPECT_DOUBLE_EQ(extrema.min_distance, 3.0);
+  EXPECT_DOUBLE_EQ(extrema.max_distance, 10.0);
+  EXPECT_EQ(extrema.zero_pairs, 1);
+}
+
+TEST(AspectRatioTest, DegenerateInputsReturnOne) {
+  EXPECT_DOUBLE_EQ(AspectRatio(kEuclidean, {}), 1.0);
+  EXPECT_DOUBLE_EQ(AspectRatio(kEuclidean, {P({1})}), 1.0);
+  EXPECT_DOUBLE_EQ(AspectRatio(kEuclidean, {P({1}), P({1})}), 1.0);
+}
+
+TEST(AspectRatioTest, KnownRatio) {
+  std::vector<Point> points = {P({0}), P({1}), P({100})};
+  EXPECT_DOUBLE_EQ(AspectRatio(kEuclidean, points), 100.0);
+}
+
+TEST(AspectRatioTest, DiameterBruteForce) {
+  std::vector<Point> points = {P({0, 0}), P({1, 1}), P({-3, 4})};
+  EXPECT_DOUBLE_EQ(Diameter(kEuclidean, points), 5.0);
+  EXPECT_DOUBLE_EQ(Diameter(kEuclidean, {}), 0.0);
+}
+
+TEST(DoublingTest, GreedyNetCoversAndSeparates) {
+  Rng rng(5);
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(P({rng.NextUniform(0, 10), rng.NextUniform(0, 10)}));
+  }
+  const double r = 2.0;
+  const std::vector<Point> net = GreedyNet(kEuclidean, points, r);
+  // Coverage: every point within r of the net.
+  for (const Point& p : points) {
+    EXPECT_LE(DistanceToSet(kEuclidean, p, net), r);
+  }
+  // Separation: net points pairwise > r.
+  for (size_t i = 0; i < net.size(); ++i) {
+    for (size_t j = i + 1; j < net.size(); ++j) {
+      EXPECT_GT(kEuclidean.Distance(net[i], net[j]), r);
+    }
+  }
+}
+
+TEST(DoublingTest, LineHasLowDimension) {
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) points.push_back(P({static_cast<double>(i)}));
+  const double dim = EstimateDoublingDimension(kEuclidean, points);
+  EXPECT_LE(dim, 2.5);  // a line's doubling dimension is 1
+  EXPECT_GE(dim, 0.5);
+}
+
+TEST(DoublingTest, HigherAmbientDimensionDetected) {
+  Rng rng(9);
+  auto cube = [&](int d) {
+    std::vector<Point> points;
+    for (int i = 0; i < 300; ++i) {
+      Coordinates coords(d);
+      for (double& x : coords) x = rng.NextUniform(0, 1);
+      points.push_back(Point(coords, 0));
+    }
+    return EstimateDoublingDimension(kEuclidean, points);
+  };
+  const double dim1 = cube(1);
+  const double dim5 = cube(5);
+  EXPECT_GT(dim5, dim1 + 0.5) << "5-d cube must look higher-dimensional";
+}
+
+TEST(DoublingTest, RotationPreservesEstimate) {
+  // The estimator must depend on geometry only: padding + rotation keeps it.
+  Rng rng(13);
+  std::vector<Point> base;
+  for (int i = 0; i < 150; ++i) {
+    base.push_back(P({rng.NextUniform(0, 10), rng.NextUniform(0, 10)}));
+  }
+  const double base_dim = EstimateDoublingDimension(kEuclidean, base);
+
+  // Embed into 6 dims with an explicit rigid rotation (hand-rolled here to
+  // avoid depending on datasets/ in a metric test): swap into new axes.
+  std::vector<Point> padded;
+  for (const Point& p : base) {
+    padded.push_back(P({0.0, p.coords[1], 0.0, p.coords[0], 0.0, 0.0}));
+  }
+  const double padded_dim = EstimateDoublingDimension(kEuclidean, padded);
+  EXPECT_NEAR(base_dim, padded_dim, 1e-9);
+}
+
+TEST(DoublingTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(EstimateDoublingDimension(kEuclidean, {}), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateDoublingDimension(kEuclidean, {P({1})}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateDoublingDimension(kEuclidean, {P({1}), P({1})}), 0.0);
+}
+
+}  // namespace
+}  // namespace fkc

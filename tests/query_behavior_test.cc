@@ -1,0 +1,155 @@
+// Behavioural contracts of Query (Algorithm 3) beyond quality: returned
+// centers are genuine active window points, the coreset-vs-window radius gap
+// obeys Lemma 2's (P2) bound, QueryStats fields are consistent, and the
+// chosen guess tracks the window's optimal scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+#include "sequential/radius.h"
+#include "stream/reference_window.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+const JonesFairCenter kJones;
+
+struct Harness {
+  SlidingWindowOptions options;
+  FairCenterSlidingWindow window;
+  ReferenceWindow truth;
+  int64_t t = 0;
+  Rng rng;
+
+  Harness(int64_t window_size, ColorConstraint constraint, double delta,
+          uint64_t seed)
+      : options([&] {
+          SlidingWindowOptions o;
+          o.window_size = window_size;
+          o.delta = delta;
+          o.adaptive_range = true;
+          return o;
+        }()),
+        window(options, std::move(constraint), &kMetric, &kJones),
+        truth(window_size),
+        rng(seed) {}
+
+  void Feed(double lo = 0.0, double hi = 100.0) {
+    ++t;
+    Point p({rng.NextUniform(lo, hi), rng.NextUniform(lo, hi)},
+            static_cast<int>(rng.NextBounded(2)));
+    p.arrival = t;
+    p.id = static_cast<uint64_t>(t);
+    truth.Update(p);
+    window.Update(p);
+  }
+};
+
+TEST(QueryBehaviorTest, CentersAreActiveWindowPoints) {
+  Harness h(50, ColorConstraint({2, 2}), 1.0, 3);
+  for (int i = 0; i < 200; ++i) {
+    h.Feed();
+    if (i > 60 && i % 25 == 0) {
+      auto result = h.window.Query();
+      ASSERT_TRUE(result.ok());
+      const auto window_points = h.truth.Snapshot();
+      for (const Point& center : result.value().centers) {
+        // Active: arrived within the last window_size steps.
+        EXPECT_GT(center.arrival, h.t - 50) << "expired center returned";
+        EXPECT_LE(center.arrival, h.t);
+        // Genuine: coordinates match an actual window point of that color.
+        const bool found = std::any_of(
+            window_points.begin(), window_points.end(), [&](const Point& q) {
+              return q.coords == center.coords && q.color == center.color;
+            });
+        EXPECT_TRUE(found) << "fabricated center " << center.ToString();
+      }
+    }
+  }
+}
+
+TEST(QueryBehaviorTest, CoresetWindowRadiusGapWithinLemmaTwo) {
+  // (P2): a solution of radius r on the coreset costs at most r + delta *
+  // gamma-hat on the window.
+  Harness h(60, ColorConstraint({2, 1}), 1.0, 5);
+  for (int i = 0; i < 240; ++i) {
+    h.Feed();
+    if (i > 80 && i % 40 == 0) {
+      QueryStats stats;
+      auto result = h.window.Query(&stats);
+      ASSERT_TRUE(result.ok());
+      const double coreset_radius = result.value().radius;
+      const double window_radius = ClusteringRadius(
+          kMetric, h.truth.Snapshot(), result.value().centers);
+      EXPECT_LE(window_radius,
+                coreset_radius + 1.0 * stats.guess + 1e-9)
+          << "at t=" << h.t;
+    }
+  }
+}
+
+TEST(QueryBehaviorTest, ChosenGuessTracksWindowScale) {
+  // Shrink the data scale by 100x; after a full window turnover, the chosen
+  // guess must shrink accordingly.
+  Harness h(80, ColorConstraint({1, 1}), 1.0, 7);
+  for (int i = 0; i < 160; ++i) h.Feed(0.0, 5000.0);
+  QueryStats wide_stats;
+  ASSERT_TRUE(h.window.Query(&wide_stats).ok());
+  for (int i = 0; i < 160; ++i) h.Feed(0.0, 50.0);
+  QueryStats narrow_stats;
+  ASSERT_TRUE(h.window.Query(&narrow_stats).ok());
+  EXPECT_LT(narrow_stats.guess, wide_stats.guess / 10.0);
+}
+
+TEST(QueryBehaviorTest, StatsConsistency) {
+  Harness h(40, ColorConstraint({2, 2}), 2.0, 9);
+  for (int i = 0; i < 120; ++i) h.Feed();
+  QueryStats stats;
+  auto result = h.window.Query(&stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.guess, 0.0);
+  EXPECT_GT(stats.guesses_inspected, 0);
+  EXPECT_GE(stats.solver_millis, 0.0);
+  // The solver saw exactly coreset_size points; the solution cannot contain
+  // more centers than that, nor more than k.
+  EXPECT_LE(static_cast<int64_t>(result.value().centers.size()),
+            stats.coreset_size);
+  EXPECT_LE(static_cast<int>(result.value().centers.size()),
+            h.window.constraint().TotalK());
+}
+
+TEST(QueryBehaviorTest, SmallerDeltaNeverWorseGuess) {
+  // Finer coresets (smaller delta) must not select a *larger* guess: the
+  // validation machinery is delta-independent, so gamma-hat distributions
+  // should agree across delta. Check on a shared stream.
+  SlidingWindowOptions fine_options;
+  fine_options.window_size = 60;
+  fine_options.delta = 0.5;
+  fine_options.adaptive_range = true;
+  SlidingWindowOptions coarse_options = fine_options;
+  coarse_options.delta = 4.0;
+  const ColorConstraint constraint({2, 2});
+  FairCenterSlidingWindow fine(fine_options, constraint, &kMetric, &kJones);
+  FairCenterSlidingWindow coarse(coarse_options, constraint, &kMetric,
+                                 &kJones);
+  Rng rng(11);
+  for (int i = 0; i < 180; ++i) {
+    Point p({rng.NextUniform(0, 100), rng.NextUniform(0, 100)},
+            static_cast<int>(rng.NextBounded(2)));
+    fine.Update(p);
+    coarse.Update(p);
+  }
+  QueryStats fine_stats, coarse_stats;
+  ASSERT_TRUE(fine.Query(&fine_stats).ok());
+  ASSERT_TRUE(coarse.Query(&coarse_stats).ok());
+  EXPECT_DOUBLE_EQ(fine_stats.guess, coarse_stats.guess);
+  EXPECT_GE(fine_stats.coreset_size, coarse_stats.coreset_size);
+}
+
+}  // namespace
+}  // namespace fkc

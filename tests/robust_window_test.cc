@@ -1,0 +1,126 @@
+// Tests for the robust sliding-window query extension (QueryRobust): budget
+// and fairness invariants under streaming, and the motivating behaviour —
+// transient far-away noise inside the window should not inflate the radius
+// when an outlier budget is available.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+#include "sequential/radius.h"
+#include "stream/reference_window.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+const JonesFairCenter kJones;
+
+FairCenterSlidingWindow MakeAdaptiveWindow(int64_t window_size,
+                                           ColorConstraint constraint) {
+  SlidingWindowOptions options;
+  options.window_size = window_size;
+  options.delta = 0.5;
+  options.adaptive_range = true;
+  return FairCenterSlidingWindow(options, std::move(constraint), &kMetric,
+                                 &kJones);
+}
+
+TEST(RobustWindowTest, EmptyWindow) {
+  auto window = MakeAdaptiveWindow(10, ColorConstraint({1}));
+  auto result = window.QueryRobust(3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().centers.empty());
+}
+
+TEST(RobustWindowTest, FeasibilityAndBudgetUnderStreaming) {
+  const ColorConstraint constraint({2, 1});
+  auto window = MakeAdaptiveWindow(60, constraint);
+  Rng rng(3);
+  for (int t = 0; t < 240; ++t) {
+    window.Update({rng.NextUniform(0, 100), rng.NextUniform(0, 100)},
+                  static_cast<int>(rng.NextBounded(2)));
+    if (t > 30 && t % 30 == 0) {
+      auto result = window.QueryRobust(4);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(constraint.IsFeasible(result.value().centers));
+      EXPECT_LE(result.value().outlier_indices.size(), 4u);
+      EXPECT_FALSE(result.value().centers.empty());
+    }
+  }
+}
+
+TEST(RobustWindowTest, NoiseInWindowAbsorbedByBudget) {
+  const ColorConstraint constraint({1, 1});
+  auto window = MakeAdaptiveWindow(100, constraint);
+  ReferenceWindow truth(100);
+  Rng rng(7);
+  int64_t t = 0;
+  auto feed = [&](double x) {
+    ++t;
+    Point p({x, 0.0}, static_cast<int>(rng.NextBounded(2)));
+    p.arrival = t;
+    truth.Update(p);
+    window.Update(p);
+  };
+  // Tight cluster with three noise spikes still inside the window.
+  for (int i = 0; i < 95; ++i) feed(rng.NextUniform(0, 1.0));
+  feed(50000.0);
+  feed(-40000.0);
+  feed(90000.0);
+  for (int i = 0; i < 2; ++i) feed(rng.NextUniform(0, 1.0));
+
+  auto plain = window.Query();
+  auto robust = window.QueryRobust(3);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(robust.ok());
+
+  // Plain query must cover the spikes -> huge radius on the true window.
+  const double plain_radius =
+      ClusteringRadius(kMetric, truth.Snapshot(), plain.value().centers);
+  EXPECT_GT(plain_radius, 10000.0);
+
+  // Robust query with z = 3 discards them: its centers cover the cluster
+  // tightly. Evaluate on the window minus the three spikes.
+  std::vector<Point> cluster_only;
+  for (const Point& p : truth.Snapshot()) {
+    if (std::abs(p.coords[0]) < 10.0) cluster_only.push_back(p);
+  }
+  const double robust_radius =
+      ClusteringRadius(kMetric, cluster_only, robust.value().centers);
+  EXPECT_LT(robust_radius, 5.0);
+  EXPECT_LE(robust.value().outlier_indices.size(), 3u);
+}
+
+TEST(RobustWindowTest, ZeroBudgetDegeneratesToPlainQuery) {
+  const ColorConstraint constraint({1, 1});
+  auto window = MakeAdaptiveWindow(50, constraint);
+  Rng rng(11);
+  for (int t = 0; t < 120; ++t) {
+    window.Update({rng.NextUniform(0, 50)}, static_cast<int>(t % 2));
+  }
+  auto plain = window.Query();
+  auto robust = window.QueryRobust(0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(robust.ok());
+  EXPECT_TRUE(robust.value().outlier_indices.empty());
+  // Radii are over the same coreset; both constant-factor, so comparable.
+  EXPECT_LT(robust.value().radius, 4.0 * plain.value().radius + 1e-9);
+}
+
+TEST(RobustWindowTest, StatsPopulated) {
+  auto window = MakeAdaptiveWindow(30, ColorConstraint({1, 1}));
+  Rng rng(13);
+  for (int t = 0; t < 60; ++t) {
+    window.Update({rng.NextUniform(0, 10)}, static_cast<int>(t % 2));
+  }
+  QueryStats stats;
+  auto result = window.QueryRobust(2, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.coreset_size, 0);
+  EXPECT_GT(stats.guess, 0.0);
+}
+
+}  // namespace
+}  // namespace fkc
