@@ -28,6 +28,12 @@ struct DeltaSweepConfig {
   double beta = 2.0;  // the paper's fixed guess progression
   /// ChenEtAl times out on large windows in the paper; skip it beyond this.
   int64_t chen_window_limit = 4000;
+  /// Parallel engine knobs: worker threads per streaming window (0 = all
+  /// hardware threads) and arrivals per UpdateBatch call. Both default to 1
+  /// so figure timings stay comparable with the paper's single-threaded
+  /// per-arrival measurements unless explicitly overridden.
+  int64_t num_threads = 1;
+  int64_t update_batch_size = 1;
 };
 
 struct DeltaSweepResult {
@@ -60,6 +66,7 @@ inline std::vector<DeltaSweepResult> RunDeltaSweep(
       fixed.delta = delta;
       fixed.d_min = prepared.d_min;
       fixed.d_max = prepared.d_max;
+      fixed.num_threads = ResolveThreadCount(config.num_threads);
       windows.push_back(std::make_unique<FairCenterSlidingWindow>(
           fixed, prepared.constraint, &metric, &jones));
       driver.AddStreaming(StrFormat("Ours@%g", delta), windows.back().get());
@@ -81,6 +88,7 @@ inline std::vector<DeltaSweepResult> RunDeltaSweep(
     run.stream_length = stream_length;
     run.num_queries = config.num_queries;
     run.query_stride = config.query_stride;
+    run.update_batch_size = config.update_batch_size;
     const auto reports = driver.Run(stream.get(), run);
 
     size_t r = 0;
@@ -102,11 +110,15 @@ inline bool ParseDeltaSweepFlags(int argc, char** argv,
   int64_t window = config->window_size;
   int64_t queries = config->num_queries;
   int64_t stride = config->query_stride;
+  int64_t threads = config->num_threads;
+  int64_t batch = config->update_batch_size;
   bool paper_scale = false;
   std::string datasets_csv;
   flags.AddInt64("window", &window, "window size in points");
   flags.AddInt64("queries", &queries, "number of measured windows");
   flags.AddInt64("stride", &stride, "arrivals between measured windows");
+  AddThreadsFlag(&flags, &threads);
+  flags.AddInt64("batch", &batch, "arrivals per UpdateBatch call");
   flags.AddBool("paper_scale", &paper_scale,
                 "use the paper's window size (10000) and 200 queries");
   flags.AddString("datasets", &datasets_csv,
@@ -119,6 +131,8 @@ inline bool ParseDeltaSweepFlags(int argc, char** argv,
   config->window_size = window;
   config->num_queries = queries;
   config->query_stride = stride;
+  config->num_threads = threads;
+  config->update_batch_size = batch;
   if (paper_scale) {
     config->window_size = 10000;
     config->num_queries = 200;

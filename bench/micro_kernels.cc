@@ -1,9 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels underneath the
-// figure experiments: distance evaluation, Gonzalez, matching, the
-// sequential solvers, and the streaming update/query paths.
+// figure experiments: distance evaluation (scalar vs batched), Gonzalez,
+// matching, the sequential solvers, and the streaming update/query paths
+// (sequential vs batched vs parallel ladder).
+//
+//   micro_kernels [--threads=N] [google-benchmark flags]
+//
+// --threads (default: hardware concurrency) sets the thread count of the
+// *_Parallel benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/fair_center_sliding_window.h"
 #include "datasets/blobs.h"
 #include "matching/capacitated_matching.h"
@@ -32,6 +44,43 @@ void BM_EuclideanDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EuclideanDistance)->Arg(3)->Arg(7)->Arg(54);
+
+// The update hot loop in its two guises: one arriving point scanned against
+// a stored attractor set, distance by distance through the virtual Distance
+// (scalar), versus one DistanceMany call (batched). Args: {dim, set size}.
+void BM_AttractorScanScalar(benchmark::State& state) {
+  const EuclideanMetric concrete;
+  const Metric& metric = concrete;  // force the virtual call, as Update does
+  const int n = static_cast<int>(state.range(1));
+  const auto points = MakePoints(n + 1, static_cast<int>(state.range(0)));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      out[i] = metric.Distance(points[0], points[i + 1]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AttractorScanScalar)
+    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64});
+
+void BM_AttractorScanBatched(benchmark::State& state) {
+  const EuclideanMetric concrete;
+  const Metric& metric = concrete;
+  const int n = static_cast<int>(state.range(1));
+  const auto points = MakePoints(n + 1, static_cast<int>(state.range(0)));
+  std::vector<const Point*> ptrs(n);
+  for (int i = 0; i < n; ++i) ptrs[i] = &points[i + 1];
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    metric.DistanceMany(points[0], ptrs.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AttractorScanBatched)
+    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64});
 
 void BM_Gonzalez(benchmark::State& state) {
   const EuclideanMetric metric;
@@ -120,6 +169,63 @@ void BM_SlidingWindowUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingWindowUpdate)->Arg(5)->Arg(20)->Arg(40);
 
+// The ladder update engine across its three variants: point-at-a-time
+// sequential (the scalar baseline), batched single-threaded, and batched
+// parallel with --threads workers. Fixed-range mode so the ladder is static
+// and the parallel path can take whole batches. Time is per batch of 64.
+constexpr int kEngineBatch = 64;
+int g_parallel_threads = 0;  // set in main from --threads
+
+FairCenterSlidingWindow MakeEngineWindow(int num_threads) {
+  SlidingWindowOptions options;
+  options.window_size = 2000;
+  options.delta = 0.5;
+  options.d_min = 0.5;
+  options.d_max = 800.0;
+  options.num_threads = num_threads;
+  static const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  static const EuclideanMetric metric;
+  static const JonesFairCenter jones;
+  return FairCenterSlidingWindow(options, constraint, &metric, &jones);
+}
+
+void RunEngineBench(benchmark::State& state, int num_threads,
+                    bool batched) {
+  const auto points = MakePoints(20000, 3, 7);
+  auto window = MakeEngineWindow(num_threads);
+  size_t cursor = 0;
+  for (int i = 0; i < 4000; ++i) {  // warm to steady state
+    window.Update(points[cursor++ % points.size()]);
+  }
+  for (auto _ : state) {
+    if (batched) {
+      std::vector<Point> batch;
+      batch.reserve(kEngineBatch);
+      for (int i = 0; i < kEngineBatch; ++i) {
+        batch.push_back(points[cursor++ % points.size()]);
+      }
+      window.UpdateBatch(std::move(batch));
+    } else {
+      for (int i = 0; i < kEngineBatch; ++i) {
+        window.Update(points[cursor++ % points.size()]);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatch);
+}
+
+void BM_UpdateEngineSequential(benchmark::State& state) {
+  RunEngineBench(state, /*num_threads=*/1, /*batched=*/false);
+}
+
+void BM_UpdateEngineBatched(benchmark::State& state) {
+  RunEngineBench(state, /*num_threads=*/1, /*batched=*/true);
+}
+
+void BM_UpdateEngineParallel(benchmark::State& state) {
+  RunEngineBench(state, static_cast<int>(state.range(0)), /*batched=*/true);
+}
+
 void BM_SlidingWindowQuery(benchmark::State& state) {
   const EuclideanMetric metric;
   const JonesFairCenter jones;
@@ -142,4 +248,33 @@ BENCHMARK(BM_SlidingWindowQuery)->Arg(5)->Arg(20)->Arg(40);
 }  // namespace
 }  // namespace fkc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pre-scan for --threads (consumed here, not by google-benchmark).
+  int threads = fkc::ThreadPool::HardwareThreads();
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+      if (threads <= 0) threads = fkc::ThreadPool::HardwareThreads();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  fkc::g_parallel_threads = threads;
+
+  benchmark::RegisterBenchmark("BM_UpdateEngineSequential",
+                               fkc::BM_UpdateEngineSequential);
+  benchmark::RegisterBenchmark("BM_UpdateEngineBatched",
+                               fkc::BM_UpdateEngineBatched);
+  benchmark::RegisterBenchmark("BM_UpdateEngineParallel",
+                               fkc::BM_UpdateEngineParallel)
+      ->Arg(fkc::g_parallel_threads);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
   double beta = 2.0;
   uint64_t seed = 42;
   int64_t seed_flag = 42;
+  int64_t threads = 0;  // all hardware threads (see AddThreadsFlag)
+  int64_t batch = 1;
   flags.AddString("dataset", &dataset_name,
                   "named dataset (phones|higgs|covtype|blobs<d>|rotated<D>)");
   flags.AddString("csv", &csv_path,
@@ -53,6 +55,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("delta", &delta, "coreset precision");
   flags.AddDouble("beta", &beta, "guess ladder progression");
   flags.AddInt64("seed", &seed_flag, "generator seed for named datasets");
+  fkc::AddThreadsFlag(&flags, &threads);
+  flags.AddInt64("batch", &batch, "arrivals per UpdateBatch call");
   FKC_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::printf("%s", flags.Usage(argv[0]).c_str());
@@ -113,6 +117,7 @@ int main(int argc, char** argv) {
   options.window_size = window;
   options.beta = beta;
   options.delta = delta;
+  options.num_threads = fkc::ResolveThreadCount(threads);
   options.adaptive_range = (algorithm != "ours");
   if (algorithm == "ours") {
     options.d_min = extrema.min_distance / 2.0;
@@ -146,6 +151,7 @@ int main(int argc, char** argv) {
   run.stream_length = stream_length;
   run.num_queries = queries;
   run.query_stride = stride;
+  run.update_batch_size = batch;
   const auto reports = driver.Run(&stream, run);
 
   std::printf("\n%-16s %10s %12s %12s %12s\n", "algorithm", "ratio",

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace fkc {
 
@@ -91,6 +92,17 @@ Status FlagParser::Parse(int argc, char** argv) {
     FKC_RETURN_IF_ERROR(SetValue(name, value));
   }
   return Status::OK();
+}
+
+void AddThreadsFlag(FlagParser* flags, int64_t* target) {
+  flags->AddInt64("threads", target,
+                  "worker threads for the parallel update engine "
+                  "(0 = all hardware threads)");
+}
+
+int ResolveThreadCount(int64_t requested) {
+  if (requested == 0) return ThreadPool::HardwareThreads();
+  return requested < 1 ? 1 : static_cast<int>(requested);
 }
 
 std::string FlagParser::Usage(const std::string& program) const {

@@ -59,6 +59,16 @@ class FlagParser {
   bool help_requested_ = false;
 };
 
+/// Registers the conventional `--threads` flag for binaries that drive the
+/// parallel update engine. 0 means "use every hardware thread". The caller's
+/// initialized *target is kept as the default (pass 0 for "all cores", 1 for
+/// sequential paper-comparable runs).
+void AddThreadsFlag(FlagParser* flags, int64_t* target);
+
+/// Maps a --threads value to an engine thread count: 0 -> hardware
+/// concurrency, anything else clamped to >= 1.
+int ResolveThreadCount(int64_t requested);
+
 }  // namespace fkc
 
 #endif  // FKC_COMMON_FLAGS_H_

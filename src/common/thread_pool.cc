@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkc {
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int total = num_threads == 0 ? HardwareThreads() : num_threads;
+  FKC_CHECK_GE(total, 1);
+  workers_.reserve(total - 1);
+  for (int i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainJob(ForJob* job) {
+  for (;;) {
+    int64_t i;
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (job->next >= job->count) return;
+      i = job->next++;
+    }
+    (*job->fn)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    ForJob* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    DrainJob(job);
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      --job->helpers_active;
+    }
+    job->done.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  // With no workers, or work too small to amortize a wake-up, run inline.
+  if (workers_.empty() || count == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  ForJob job;
+  job.fn = &fn;
+  job.count = count;
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(workers_.size(), count - 1));
+  job.helpers_active = helpers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int h = 0; h < helpers; ++h) queue_.push_back(&job);
+  }
+  queue_cv_.notify_all();
+
+  DrainJob(&job);
+
+  // The job lives on this stack frame: wait until every enlisted worker has
+  // left it before returning.
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.done.wait(lock, [&] { return job.helpers_active == 0; });
+}
+
+}  // namespace fkc

@@ -1,0 +1,68 @@
+// A small fixed-size worker pool for the parallel update engine. The guess
+// structures of the ladder are mutually independent, so the hot path only
+// needs one primitive: a blocking ParallelFor whose iterations may run on
+// any thread. Determinism is the caller's contract — iterations must not
+// share mutable state — and is what makes results bit-identical at any
+// thread count.
+#ifndef FKC_COMMON_THREAD_POOL_H_
+#define FKC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fkc {
+
+/// Fixed pool of worker threads plus the calling thread. A pool of size 1
+/// spawns no workers at all and runs everything inline, so sequential
+/// configurations pay nothing.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread: size 4 spawns 3 workers.
+  /// 0 resolves to the hardware concurrency.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that can execute work (workers + caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, count), distributing iterations over the
+  /// workers and the calling thread, and returns only after every iteration
+  /// has finished. Iterations must be independent of each other.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// std::thread::hardware_concurrency clamped to >= 1.
+  static int HardwareThreads();
+
+ private:
+  /// Shared state of one ParallelFor call.
+  struct ForJob {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t count = 0;
+    int64_t next = 0;            ///< next unclaimed iteration (under mutex)
+    int helpers_active = 0;      ///< workers still inside this job
+    std::mutex mu;
+    std::condition_variable done;
+  };
+
+  void WorkerLoop();
+  static void DrainJob(ForJob* job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<ForJob*> queue_;  ///< helper tickets, one per enlisted worker
+  bool shutdown_ = false;
+};
+
+}  // namespace fkc
+
+#endif  // FKC_COMMON_THREAD_POOL_H_

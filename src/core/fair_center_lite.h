@@ -28,6 +28,9 @@ class FairCenterLite {
     window_.Update(std::move(coords), color);
   }
   void Update(Point p) { window_.Update(std::move(p)); }
+  void UpdateBatch(std::vector<Point> batch) {
+    window_.UpdateBatch(std::move(batch));
+  }
 
   Result<FairCenterSolution> Query(QueryStats* stats = nullptr) {
     return window_.Query(stats);

@@ -13,6 +13,16 @@ namespace {
 // one call; 64 exponents cover any double-representable distance range.
 constexpr int kMaxUpwardExtensions = 64;
 
+// Buffers the distances one guess structure evaluates during a parallel
+// ladder step, for deterministic replay into the estimator after the join.
+class RecordingObserver final : public DistanceObserver {
+ public:
+  void ObserveDistance(double distance) override {
+    observed.push_back(distance);
+  }
+  std::vector<double> observed;
+};
+
 }  // namespace
 
 double DeltaForEpsilon(double epsilon, double beta, double alpha) {
@@ -61,12 +71,67 @@ void FairCenterSlidingWindow::Update(Coordinates coords, int color) {
   Update(Point(std::move(coords), color));
 }
 
-void FairCenterSlidingWindow::Update(Point p) {
+void FairCenterSlidingWindow::StampArrival(Point* p) {
   ++now_;
-  p.arrival = now_;
-  p.id = next_id_++;
-  FKC_CHECK_GE(p.color, 0);
-  FKC_CHECK_LT(p.color, constraint_.ell());
+  p->arrival = now_;
+  p->id = next_id_++;
+  FKC_CHECK_GE(p->color, 0);
+  FKC_CHECK_LT(p->color, constraint_.ell());
+}
+
+ThreadPool* FairCenterSlidingWindow::Pool() {
+  if (options_.num_threads == 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_->size() > 1 ? pool_.get() : nullptr;
+}
+
+void FairCenterSlidingWindow::UpdateGuesses(const Point& p) {
+  // Only the topmost guess feeds the estimator: the range tracker consults
+  // just its smallest and largest live buckets, and the top guess's
+  // attractors span the window's coarsest scales while d(p, prev) witnesses
+  // the finest. Observing every guess would triple the update cost for no
+  // extra information.
+  const int top_exponent = guesses_.empty() ? 0 : guesses_.rbegin()->first;
+
+  ThreadPool* pool = Pool();
+  if (pool == nullptr || guesses_.size() < 2) {
+    for (auto& [exponent, guess] : guesses_) {
+      DistanceObserver* observer =
+          (options_.adaptive_range && exponent == top_exponent)
+              ? estimator_.get()
+              : nullptr;
+      guess.Update(p, now_, *metric_, observer);
+    }
+    return;
+  }
+
+  // Parallel fan-out: the guess structures are mutually independent, so each
+  // updates on its own task. Distance observations are buffered per guess
+  // and replayed into the estimator in ascending exponent order after the
+  // join, making the estimator state independent of thread scheduling.
+  std::vector<std::pair<int, GuessStructure*>> items;
+  items.reserve(guesses_.size());
+  for (auto& [exponent, guess] : guesses_) items.emplace_back(exponent, &guess);
+  std::vector<RecordingObserver> recorders(items.size());
+  pool->ParallelFor(
+      static_cast<int64_t>(items.size()), [&](int64_t i) {
+        DistanceObserver* observer =
+            (options_.adaptive_range && items[i].first == top_exponent)
+                ? &recorders[i]
+                : nullptr;
+        items[i].second->Update(p, now_, *metric_, observer);
+      });
+  if (options_.adaptive_range) {
+    for (size_t i = 0; i < items.size(); ++i) {  // ascending exponent order
+      for (double d : recorders[i].observed) estimator_->ObserveDistance(d);
+    }
+  }
+}
+
+void FairCenterSlidingWindow::Update(Point p) {
+  StampArrival(&p);
 
   if (options_.adaptive_range) {
     estimator_->BeginStep(now_);
@@ -79,20 +144,7 @@ void FairCenterSlidingWindow::Update(Point p) {
     ReconcileAdaptiveRange();
   }
 
-  // Only the topmost guess feeds the estimator: the range tracker consults
-  // just its smallest and largest live buckets, and the top guess's
-  // attractors span the window's coarsest scales while d(p, prev) witnesses
-  // the finest. Observing every guess would triple the update cost for no
-  // extra information.
-  const int top_exponent =
-      guesses_.empty() ? 0 : guesses_.rbegin()->first;
-  for (auto& [exponent, guess] : guesses_) {
-    DistanceObserver* observer =
-        (options_.adaptive_range && exponent == top_exponent)
-            ? estimator_.get()
-            : nullptr;
-    guess.Update(p, now_, *metric_, observer);
-  }
+  UpdateGuesses(p);
 
   if (options_.adaptive_range) {
     // Distances observed against stored attractors may have widened the
@@ -102,6 +154,33 @@ void FairCenterSlidingWindow::Update(Point p) {
   }
 
   last_point_ = std::move(p);
+}
+
+void FairCenterSlidingWindow::UpdateBatch(std::vector<Point> batch) {
+  if (batch.empty()) return;
+  ThreadPool* pool = Pool();
+  // Adaptive mode must step arrival by arrival (the guess set and estimator
+  // evolve between arrivals); Update itself fans the ladder out per step.
+  // Sequential configurations take the same per-arrival path.
+  if (options_.adaptive_range || pool == nullptr || guesses_.size() < 2) {
+    for (Point& p : batch) Update(std::move(p));
+    return;
+  }
+
+  // Fixed-range parallel path: the ladder is static and observer-free, so
+  // each guess structure can consume the entire batch on its own task —
+  // one fan-out per batch instead of one per arrival. Equivalent to the
+  // sequential interleaving because guesses share no state.
+  for (Point& p : batch) StampArrival(&p);
+  std::vector<GuessStructure*> items;
+  items.reserve(guesses_.size());
+  for (auto& [exponent, guess] : guesses_) items.push_back(&guess);
+  pool->ParallelFor(static_cast<int64_t>(items.size()), [&](int64_t i) {
+    for (const Point& p : batch) {
+      items[i]->Update(p, p.arrival, *metric_, nullptr);
+    }
+  });
+  last_point_ = std::move(batch.back());
 }
 
 void FairCenterSlidingWindow::ReconcileAdaptiveRange() {
@@ -123,7 +202,7 @@ void FairCenterSlidingWindow::ReconcileAdaptiveRange() {
     }
   }
   for (int exponent = lo; exponent <= hi; ++exponent) {
-    if (!guesses_.contains(exponent)) CreateGuess(exponent);
+    if (guesses_.find(exponent) == guesses_.end()) CreateGuess(exponent);
   }
 }
 

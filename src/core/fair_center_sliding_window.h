@@ -17,8 +17,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/distance_estimator.h"
 #include "core/guess_ladder.h"
 #include "core/guess_structure.h"
@@ -66,6 +68,14 @@ struct SlidingWindowOptions {
   /// ablation (bench/ablation_warmstart) — cold structures degrade quality
   /// for up to one window length after every range shift.
   bool warm_start_new_guesses = true;
+
+  /// Worker threads for the parallel ladder engine: the per-guess structures
+  /// are mutually independent, so Update/UpdateBatch fan them out across
+  /// this many threads. 1 = fully sequential (no pool is created);
+  /// 0 = hardware concurrency. Results are bit-identical at any value — an
+  /// execution knob, not algorithm state, and deliberately excluded from
+  /// SerializeState().
+  int num_threads = 1;
 };
 
 /// Theorem 1 parameter rule: the delta achieving an (alpha+epsilon)
@@ -101,6 +111,14 @@ class FairCenterSlidingWindow {
   /// internally (one logical time step per call).
   void Update(Coordinates coords, int color);
   void Update(Point p);
+
+  /// Feeds a batch of stream points, equivalent to calling Update on each in
+  /// order (bit-identical final state), but amortizing the parallel fan-out:
+  /// in fixed-range mode every guess structure consumes the whole batch on
+  /// its own thread; in adaptive mode arrivals are processed one step at a
+  /// time (the guess set may shift between arrivals) with the ladder fanned
+  /// out per step.
+  void UpdateBatch(std::vector<Point> batch);
 
   /// Computes a fair-center solution for the current window (Algorithm 3).
   /// Fails with kFailedPrecondition in fixed-range mode if the configured
@@ -168,6 +186,21 @@ class FairCenterSlidingWindow {
   /// cover with at most k centers.
   bool GuessPasses(const GuessStructure& guess) const;
 
+  /// Stamps arrival/id on `p` and advances the clock (the shared prologue of
+  /// Update and UpdateBatch).
+  void StampArrival(Point* p);
+
+  /// Runs one arrival through every guess structure — sequentially, or
+  /// fanned out over the pool with adaptive-mode distance observations
+  /// recorded per guess and replayed into the estimator in ascending
+  /// exponent order, so the estimator state is bit-identical to the
+  /// sequential path at any thread count.
+  void UpdateGuesses(const Point& p);
+
+  /// The lazily created pool behind the parallel engine; nullptr while the
+  /// configuration is sequential.
+  ThreadPool* Pool();
+
   SlidingWindowOptions options_;
   ColorConstraint constraint_;
   const Metric* metric_;
@@ -179,6 +212,9 @@ class FairCenterSlidingWindow {
 
   /// Adaptive mode machinery.
   std::unique_ptr<WindowDistanceEstimator> estimator_;
+
+  /// Parallel engine (created on first use when num_threads != 1).
+  std::unique_ptr<ThreadPool> pool_;
 
   int64_t now_ = 0;
   uint64_t next_id_ = 1;

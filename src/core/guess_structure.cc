@@ -35,15 +35,27 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
   ExpireOnly(now);
 
   // --- Validation phase: assign p to a v-attractor (lines 1-10). ---
+  // One batched kernel call evaluates every attractor distance; the observer
+  // sees them in storage order, exactly as the scalar loop did. This trades
+  // the old no-observer early exit (worth at most |AV| <= k+2 evaluations)
+  // for the batch kernel's throughput; CountingMetric totals are
+  // correspondingly a constant higher than a per-pair early-exit scan.
+  const size_t nv = v_entries_.size();
+  scratch_ptrs_.resize(nv);
+  scratch_dists_.resize(nv);
+  for (size_t i = 0; i < nv; ++i) scratch_ptrs_[i] = &v_entries_[i].attractor;
+  metric.DistanceMany(p, scratch_ptrs_.data(), nv, scratch_dists_.data());
+  if (observer != nullptr) {
+    for (size_t i = 0; i < nv; ++i) {
+      observer->ObserveDistance(scratch_dists_[i]);
+    }
+  }
+  // The paper picks an arbitrary element of EV and the first works.
   int v_target = -1;
-  for (size_t i = 0; i < v_entries_.size(); ++i) {
-    const double d = metric.Distance(p, v_entries_[i].attractor);
-    if (observer != nullptr) observer->ObserveDistance(d);
-    if (d <= 2.0 * gamma_ && v_target == -1) {
+  for (size_t i = 0; i < nv; ++i) {
+    if (scratch_dists_[i] <= 2.0 * gamma_) {
       v_target = static_cast<int>(i);
-      // Keep scanning so the observer sees every attractor distance; the
-      // paper picks an arbitrary element of EV and the first works.
-      if (observer == nullptr) break;
+      break;
     }
   }
 
@@ -60,11 +72,12 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
     } else {
       // Corollary 2: maintain a maximal independent set of the most recent
       // attracted points. To mirror the coreset balancing rule, re-target to
-      // the eligible attractor with the fewest same-color representatives.
+      // the eligible attractor with the fewest same-color representatives
+      // (the batched distances are already in hand — no re-evaluation).
       int best = v_target;
       int best_count = CountColor(entry, p.color);
-      for (size_t i = v_target + 1; i < v_entries_.size(); ++i) {
-        if (metric.Distance(p, v_entries_[i].attractor) <= 2.0 * gamma_) {
+      for (size_t i = v_target + 1; i < nv; ++i) {
+        if (scratch_dists_[i] <= 2.0 * gamma_) {
           const int count = CountColor(v_entries_[i], p.color);
           if (count < best_count) {
             best_count = count;
@@ -81,11 +94,15 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
   if (variant_ != CoreVariant::kFull) return;
 
   const double c_threshold = delta_ * gamma_ / 2.0;
+  const size_t nc = c_entries_.size();
+  scratch_ptrs_.resize(nc);
+  scratch_dists_.resize(nc);
+  for (size_t i = 0; i < nc; ++i) scratch_ptrs_[i] = &c_entries_[i].attractor;
+  metric.DistanceMany(p, scratch_ptrs_.data(), nc, scratch_dists_.data());
   int c_target = -1;
   int c_target_count = std::numeric_limits<int>::max();
-  for (size_t i = 0; i < c_entries_.size(); ++i) {
-    const double d = metric.Distance(p, c_entries_[i].attractor);
-    if (d <= c_threshold) {
+  for (size_t i = 0; i < nc; ++i) {
+    if (scratch_dists_[i] <= c_threshold) {
       const int count = CountColor(c_entries_[i], p.color);
       if (count < c_target_count) {
         c_target_count = count;

@@ -120,6 +120,12 @@ class GuessStructure {
   // Coreset family (kFull only).
   std::vector<AttractorEntry> c_entries_;
   std::vector<Point> c_orphans_;
+
+  // Reusable scratch for the batched attractor scans (transient — never
+  // serialized). Kept per-structure so ladder updates can run in parallel
+  // without sharing buffers.
+  std::vector<const Point*> scratch_ptrs_;
+  std::vector<double> scratch_dists_;
 };
 
 }  // namespace fkc

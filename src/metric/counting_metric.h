@@ -6,22 +6,32 @@
 #ifndef FKC_METRIC_COUNTING_METRIC_H_
 #define FKC_METRIC_COUNTING_METRIC_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "metric/metric.h"
 
 namespace fkc {
 
-/// Wraps another metric and counts calls. Not thread-safe (the library is
-/// single-threaded by design; the streaming model is sequential).
+/// Wraps another metric and counts calls. The counter is atomic (relaxed)
+/// so counts stay exact under the parallel ladder engine, where independent
+/// guess structures evaluate distances concurrently.
 class CountingMetric final : public Metric {
  public:
   /// `inner` must outlive this wrapper.
   explicit CountingMetric(const Metric* inner) : inner_(inner) {}
 
   double Distance(const Point& a, const Point& b) const override {
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
     return inner_->Distance(a, b);
+  }
+
+  /// Counts one evaluation per pair — exactly what the scalar loop would
+  /// count — while letting the inner metric keep its batched kernel.
+  void DistanceMany(const Point& p, const Point* const* points, size_t count,
+                    double* out) const override {
+    count_.fetch_add(static_cast<int64_t>(count), std::memory_order_relaxed);
+    inner_->DistanceMany(p, points, count, out);
   }
 
   std::string Name() const override {
@@ -29,12 +39,12 @@ class CountingMetric final : public Metric {
   }
 
   /// Number of Distance calls since construction or the last Reset.
-  int64_t count() const { return count_; }
-  void Reset() { count_ = 0; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
 
  private:
   const Metric* inner_;
-  mutable int64_t count_ = 0;
+  mutable std::atomic<int64_t> count_{0};
 };
 
 }  // namespace fkc

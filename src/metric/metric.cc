@@ -7,6 +7,11 @@
 
 namespace fkc {
 
+void Metric::DistanceMany(const Point& p, const Point* const* points,
+                          size_t count, double* out) const {
+  for (size_t i = 0; i < count; ++i) out[i] = Distance(p, *points[i]);
+}
+
 double EuclideanMetric::Distance(const Point& a, const Point& b) const {
   FKC_CHECK_EQ(a.coords.size(), b.coords.size());
   double sum = 0.0;
@@ -34,6 +39,108 @@ double ChebyshevMetric::Distance(const Point& a, const Point& b) const {
     if (diff > best) best = diff;
   }
   return best;
+}
+
+void EuclideanMetric::DistanceMany(const Point& p, const Point* const* points,
+                                   size_t count, double* out) const {
+  const size_t dim = p.coords.size();
+  const double* a = p.coords.data();
+  size_t i = 0;
+  // Two pairs per iteration: independent accumulators break the dependency
+  // chain without reordering any pair's own summation.
+  for (; i + 2 <= count; i += 2) {
+    const Point& q0 = *points[i];
+    const Point& q1 = *points[i + 1];
+    FKC_CHECK_EQ(dim, q0.coords.size());
+    FKC_CHECK_EQ(dim, q1.coords.size());
+    const double* b0 = q0.coords.data();
+    const double* b1 = q1.coords.data();
+    double s0 = 0.0, s1 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff0 = a[d] - b0[d];
+      s0 += diff0 * diff0;
+      const double diff1 = a[d] - b1[d];
+      s1 += diff1 * diff1;
+    }
+    out[i] = std::sqrt(s0);
+    out[i + 1] = std::sqrt(s1);
+  }
+  for (; i < count; ++i) {
+    const Point& q = *points[i];
+    FKC_CHECK_EQ(dim, q.coords.size());
+    const double* b = q.coords.data();
+    double sum = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = a[d] - b[d];
+      sum += diff * diff;
+    }
+    out[i] = std::sqrt(sum);
+  }
+}
+
+void ManhattanMetric::DistanceMany(const Point& p, const Point* const* points,
+                                   size_t count, double* out) const {
+  const size_t dim = p.coords.size();
+  const double* a = p.coords.data();
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const Point& q0 = *points[i];
+    const Point& q1 = *points[i + 1];
+    FKC_CHECK_EQ(dim, q0.coords.size());
+    FKC_CHECK_EQ(dim, q1.coords.size());
+    const double* b0 = q0.coords.data();
+    const double* b1 = q1.coords.data();
+    double s0 = 0.0, s1 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      s0 += std::fabs(a[d] - b0[d]);
+      s1 += std::fabs(a[d] - b1[d]);
+    }
+    out[i] = s0;
+    out[i + 1] = s1;
+  }
+  for (; i < count; ++i) {
+    const Point& q = *points[i];
+    FKC_CHECK_EQ(dim, q.coords.size());
+    const double* b = q.coords.data();
+    double sum = 0.0;
+    for (size_t d = 0; d < dim; ++d) sum += std::fabs(a[d] - b[d]);
+    out[i] = sum;
+  }
+}
+
+void ChebyshevMetric::DistanceMany(const Point& p, const Point* const* points,
+                                   size_t count, double* out) const {
+  const size_t dim = p.coords.size();
+  const double* a = p.coords.data();
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const Point& q0 = *points[i];
+    const Point& q1 = *points[i + 1];
+    FKC_CHECK_EQ(dim, q0.coords.size());
+    FKC_CHECK_EQ(dim, q1.coords.size());
+    const double* b0 = q0.coords.data();
+    const double* b1 = q1.coords.data();
+    double m0 = 0.0, m1 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff0 = std::fabs(a[d] - b0[d]);
+      if (diff0 > m0) m0 = diff0;
+      const double diff1 = std::fabs(a[d] - b1[d]);
+      if (diff1 > m1) m1 = diff1;
+    }
+    out[i] = m0;
+    out[i + 1] = m1;
+  }
+  for (; i < count; ++i) {
+    const Point& q = *points[i];
+    FKC_CHECK_EQ(dim, q.coords.size());
+    const double* b = q.coords.data();
+    double best = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = std::fabs(a[d] - b[d]);
+      if (diff > best) best = diff;
+    }
+    out[i] = best;
+  }
 }
 
 double DistanceToSet(const Metric& metric, const Point& p,

@@ -22,6 +22,18 @@ class Metric {
   /// d(a, b). Points of differing dimensionality are a caller bug.
   virtual double Distance(const Point& a, const Point& b) const = 0;
 
+  /// Batched kernel for the streaming hot loop: out[i] = d(p, *points[i])
+  /// for i in [0, count). The base implementation is the scalar virtual
+  /// loop; concrete metrics override it with tight contiguous loops that pay
+  /// the virtual dispatch once per batch instead of once per pair.
+  ///
+  /// Contract: every out[i] must be bit-identical to Distance(p, *points[i])
+  /// — overrides may interleave pairs for instruction-level parallelism but
+  /// must keep each pair's accumulation order unchanged, so that batched and
+  /// scalar code paths produce exactly the same results.
+  virtual void DistanceMany(const Point& p, const Point* const* points,
+                            size_t count, double* out) const;
+
   virtual std::string Name() const = 0;
 };
 
@@ -29,6 +41,8 @@ class Metric {
 class EuclideanMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceMany(const Point& p, const Point* const* points, size_t count,
+                    double* out) const override;
   std::string Name() const override { return "euclidean"; }
 };
 
@@ -36,6 +50,8 @@ class EuclideanMetric final : public Metric {
 class ManhattanMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceMany(const Point& p, const Point* const* points, size_t count,
+                    double* out) const override;
   std::string Name() const override { return "manhattan"; }
 };
 
@@ -43,6 +59,8 @@ class ManhattanMetric final : public Metric {
 class ChebyshevMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceMany(const Point& p, const Point* const* points, size_t count,
+                    double* out) const override;
   std::string Name() const override { return "chebyshev"; }
 };
 

@@ -52,6 +52,7 @@ std::vector<AlgorithmReport> WindowDriver::Run(PointStream* stream,
   FKC_CHECK_GT(options.stream_length, 0);
   FKC_CHECK_GT(options.num_queries, 0);
   FKC_CHECK_GT(options.query_stride, 0);
+  FKC_CHECK_GT(options.update_batch_size, 0);
   FKC_CHECK(!algorithms_.empty());
 
   std::vector<MetricsRecorder> recorders;
@@ -64,6 +65,24 @@ std::vector<AlgorithmReport> WindowDriver::Run(PointStream* stream,
   const int64_t measure_from =
       options.stream_length - options.num_queries * options.query_stride + 1;
 
+  // Arrivals awaiting dispatch; flushed per batch and before every measured
+  // query so query positions do not depend on the batch size.
+  std::vector<Point> pending;
+  pending.reserve(static_cast<size_t>(options.update_batch_size));
+  auto flush = [&]() {
+    if (pending.empty()) return;
+    for (size_t a = 0; a < algorithms_.size(); ++a) {
+      Stopwatch timer;
+      algorithms_[a]->UpdateBatch(pending);
+      const int64_t per_point =
+          timer.ElapsedNanos() / static_cast<int64_t>(pending.size());
+      for (size_t j = 0; j < pending.size(); ++j) {
+        recorders[a].RecordUpdateNanos(per_point);
+      }
+    }
+    pending.clear();
+  };
+
   for (int64_t t = 1; t <= options.stream_length; ++t) {
     auto next = stream->Next();
     FKC_CHECK(next.has_value())
@@ -73,14 +92,23 @@ std::vector<AlgorithmReport> WindowDriver::Run(PointStream* stream,
     p.id = static_cast<uint64_t>(t);
     truth.Update(p);
 
-    for (size_t a = 0; a < algorithms_.size(); ++a) {
-      Stopwatch timer;
-      algorithms_[a]->Update(p);
-      recorders[a].RecordUpdateNanos(timer.ElapsedNanos());
-    }
-
     const bool measure =
         t >= measure_from && (t - measure_from) % options.query_stride == 0;
+
+    if (options.update_batch_size == 1) {
+      for (size_t a = 0; a < algorithms_.size(); ++a) {
+        Stopwatch timer;
+        algorithms_[a]->Update(p);
+        recorders[a].RecordUpdateNanos(timer.ElapsedNanos());
+      }
+    } else {
+      pending.push_back(std::move(p));
+      if (static_cast<int64_t>(pending.size()) >= options.update_batch_size ||
+          measure || t == options.stream_length) {
+        flush();
+      }
+    }
+
     if (!measure) continue;
 
     const std::vector<Point> window_points = truth.Snapshot();

@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/fair_center_sliding_window.h"
@@ -24,6 +26,12 @@ class DrivenAlgorithm {
  public:
   virtual ~DrivenAlgorithm() = default;
   virtual void Update(const Point& p) = 0;
+  /// Consumes a batch of consecutive arrivals. The default unrolls into
+  /// Update calls; adapters over batch-capable windows forward to their
+  /// native UpdateBatch so the parallel engine sees whole batches.
+  virtual void UpdateBatch(const std::vector<Point>& batch) {
+    for (const Point& p : batch) Update(p);
+  }
   virtual Result<FairCenterSolution> Query(QueryStats* stats) = 0;
   /// Stored points, the paper's memory unit.
   virtual int64_t MemoryPoints() const = 0;
@@ -31,6 +39,17 @@ class DrivenAlgorithm {
   /// Baselines define the denominator of the approximation ratio.
   virtual bool IsBaseline() const = 0;
 };
+
+namespace internal {
+/// Detects a native UpdateBatch(std::vector<Point>) on the wrapped window.
+template <typename Window, typename = void>
+struct HasUpdateBatch : std::false_type {};
+template <typename Window>
+struct HasUpdateBatch<Window,
+                      std::void_t<decltype(std::declval<Window&>().UpdateBatch(
+                          std::declval<std::vector<Point>>()))>>
+    : std::true_type {};
+}  // namespace internal
 
 /// Adapter over FairCenterSlidingWindow / FairCenterLite (anything with the
 /// same Update/Query/Memory surface).
@@ -41,6 +60,13 @@ class StreamingAdapter final : public DrivenAlgorithm {
       : name_(std::move(name)), window_(window) {}
 
   void Update(const Point& p) override { window_->Update(p); }
+  void UpdateBatch(const std::vector<Point>& batch) override {
+    if constexpr (internal::HasUpdateBatch<Window>::value) {
+      window_->UpdateBatch(batch);
+    } else {
+      DrivenAlgorithm::UpdateBatch(batch);
+    }
+  }
   Result<FairCenterSolution> Query(QueryStats* stats) override {
     return window_->Query(stats);
   }
@@ -98,6 +124,11 @@ struct DriverOptions {
   int64_t num_queries = 200;
   /// Arrivals between consecutive measured queries.
   int64_t query_stride = 1;
+  /// Arrivals delivered per UpdateBatch call. 1 reproduces the classic
+  /// point-at-a-time drive; larger values exercise the batched engine.
+  /// Batches are flushed early when a measured query is due, so query
+  /// positions are identical at every batch size.
+  int64_t update_batch_size = 1;
   /// Verify that every returned solution satisfies the color caps.
   bool check_fairness = true;
 };

@@ -1,0 +1,260 @@
+// The batched, multi-threaded update engine: DistanceMany kernels must be
+// bit-identical to the scalar path, UpdateBatch must be equivalent to N
+// sequential Updates, and the parallel ladder must produce bit-identical
+// state and answers at every thread count, in both operating modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/fair_center_sliding_window.h"
+#include "metric/counting_metric.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kEuclidean;
+const JonesFairCenter kJones;
+
+std::vector<Point> RandomPoints(int n, int dim, uint64_t seed, int ell = 2) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Coordinates coords(dim);
+    for (double& x : coords) x = rng.NextUniform(-100.0, 100.0);
+    points.push_back(
+        Point(std::move(coords), static_cast<int>(rng.NextBounded(ell))));
+  }
+  return points;
+}
+
+// --- Metric layer: batched kernels. ---
+
+TEST(DistanceManyTest, BitIdenticalToScalarForAllMetrics) {
+  const EuclideanMetric euclidean;
+  const ManhattanMetric manhattan;
+  const ChebyshevMetric chebyshev;
+  for (const Metric* metric : std::initializer_list<const Metric*>{
+           &euclidean, &manhattan, &chebyshev}) {
+    for (int dim : {1, 2, 3, 7, 54}) {
+      // Counts cover the empty, odd, and even tails of the interleaved loop.
+      for (int count : {0, 1, 2, 3, 8, 17}) {
+        const auto pool = RandomPoints(count + 1, dim, 1000 + dim + count);
+        const Point& p = pool[0];
+        std::vector<const Point*> ptrs;
+        for (int i = 1; i <= count; ++i) ptrs.push_back(&pool[i]);
+        std::vector<double> batched(count, -1.0);
+        metric->DistanceMany(p, ptrs.data(), count, batched.data());
+        for (int i = 0; i < count; ++i) {
+          // EXPECT_EQ, not NEAR: the contract is bit-identical results.
+          EXPECT_EQ(batched[i], metric->Distance(p, *ptrs[i]))
+              << metric->Name() << " dim=" << dim << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceManyTest, DefaultImplementationMatchesScalar) {
+  // A metric that does not override DistanceMany gets the scalar loop.
+  class HammingLike final : public Metric {
+   public:
+    double Distance(const Point& a, const Point& b) const override {
+      double mismatches = 0.0;
+      for (size_t i = 0; i < a.coords.size(); ++i) {
+        if (a.coords[i] != b.coords[i]) mismatches += 1.0;
+      }
+      return mismatches;
+    }
+    std::string Name() const override { return "hamming-like"; }
+  };
+  HammingLike metric;
+  const auto pool = RandomPoints(6, 4, 77);
+  std::vector<const Point*> ptrs;
+  for (size_t i = 1; i < pool.size(); ++i) ptrs.push_back(&pool[i]);
+  std::vector<double> out(ptrs.size());
+  metric.DistanceMany(pool[0], ptrs.data(), ptrs.size(), out.data());
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(out[i], metric.Distance(pool[0], *ptrs[i]));
+  }
+}
+
+TEST(DistanceManyTest, CountingMetricCountsEveryPairExactly) {
+  CountingMetric counting(&kEuclidean);
+  const auto pool = RandomPoints(9, 3, 5);
+  std::vector<const Point*> ptrs;
+  for (size_t i = 1; i < pool.size(); ++i) ptrs.push_back(&pool[i]);
+  std::vector<double> out(ptrs.size());
+  counting.DistanceMany(pool[0], ptrs.data(), ptrs.size(), out.data());
+  EXPECT_EQ(counting.count(), static_cast<int64_t>(ptrs.size()));
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(out[i], kEuclidean.Distance(pool[0], *ptrs[i]));
+  }
+  counting.Reset();
+  EXPECT_EQ(counting.count(), 0);
+}
+
+// --- Thread pool. ---
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr int kCount = 997;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(kCount, [&](int64_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int sum = 0;  // no synchronization: must run on this thread
+  pool.ParallelFor(100, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::HardwareThreads());
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+// --- UpdateBatch / thread-count equivalence. ---
+
+SlidingWindowOptions EngineOptions(bool adaptive, int num_threads,
+                                   CoreVariant variant = CoreVariant::kFull) {
+  SlidingWindowOptions options;
+  options.window_size = 120;
+  options.delta = 1.0;
+  options.variant = variant;
+  options.adaptive_range = adaptive;
+  if (!adaptive) {
+    options.d_min = 0.5;
+    options.d_max = 500.0;
+  }
+  options.num_threads = num_threads;
+  return options;
+}
+
+// Feeds `points` one by one (reference execution).
+FairCenterSlidingWindow RunSequential(const SlidingWindowOptions& options,
+                                      const ColorConstraint& constraint,
+                                      const std::vector<Point>& points) {
+  FairCenterSlidingWindow window(options, constraint, &kEuclidean, &kJones);
+  for (const Point& p : points) window.Update(p);
+  return window;
+}
+
+// Feeds `points` in batches of `batch_size`.
+FairCenterSlidingWindow RunBatched(const SlidingWindowOptions& options,
+                                   const ColorConstraint& constraint,
+                                   const std::vector<Point>& points,
+                                   size_t batch_size) {
+  FairCenterSlidingWindow window(options, constraint, &kEuclidean, &kJones);
+  size_t i = 0;
+  while (i < points.size()) {
+    const size_t end = std::min(points.size(), i + batch_size);
+    window.UpdateBatch(
+        std::vector<Point>(points.begin() + i, points.begin() + end));
+    i = end;
+  }
+  return window;
+}
+
+void ExpectIdentical(FairCenterSlidingWindow& expected,
+                     FairCenterSlidingWindow& actual, const char* label) {
+  EXPECT_EQ(expected.SerializeState(), actual.SerializeState()) << label;
+  auto expected_solution = expected.Query();
+  auto actual_solution = actual.Query();
+  ASSERT_TRUE(expected_solution.ok()) << label;
+  ASSERT_TRUE(actual_solution.ok()) << label;
+  EXPECT_EQ(expected_solution.value().radius, actual_solution.value().radius)
+      << label;
+  const auto& expected_centers = expected_solution.value().centers;
+  const auto& actual_centers = actual_solution.value().centers;
+  ASSERT_EQ(expected_centers.size(), actual_centers.size()) << label;
+  for (size_t i = 0; i < expected_centers.size(); ++i) {
+    EXPECT_EQ(expected_centers[i].coords, actual_centers[i].coords) << label;
+    EXPECT_EQ(expected_centers[i].color, actual_centers[i].color) << label;
+  }
+}
+
+TEST(UpdateBatchTest, EquivalentToSequentialUpdatesFixedRange) {
+  const ColorConstraint constraint({2, 2});
+  const auto points = RandomPoints(400, 2, 31);
+  const auto options = EngineOptions(/*adaptive=*/false, /*num_threads=*/1);
+  auto sequential = RunSequential(options, constraint, points);
+  for (size_t batch_size : {1u, 7u, 64u, 400u}) {
+    auto batched = RunBatched(options, constraint, points, batch_size);
+    ExpectIdentical(sequential, batched,
+                    ("fixed batch=" + std::to_string(batch_size)).c_str());
+  }
+}
+
+TEST(UpdateBatchTest, EquivalentToSequentialUpdatesAdaptive) {
+  const ColorConstraint constraint({2, 2});
+  const auto points = RandomPoints(400, 2, 37);
+  const auto options = EngineOptions(/*adaptive=*/true, /*num_threads=*/1);
+  auto sequential = RunSequential(options, constraint, points);
+  for (size_t batch_size : {3u, 50u}) {
+    auto batched = RunBatched(options, constraint, points, batch_size);
+    ExpectIdentical(sequential, batched,
+                    ("adaptive batch=" + std::to_string(batch_size)).c_str());
+  }
+}
+
+TEST(ThreadInvarianceTest, FixedRangeBitIdenticalAcrossThreadCounts) {
+  const ColorConstraint constraint({2, 2});
+  const auto points = RandomPoints(500, 3, 41);
+  auto reference = RunSequential(
+      EngineOptions(/*adaptive=*/false, /*num_threads=*/1), constraint,
+      points);
+  for (int threads : {2, 4}) {
+    auto options = EngineOptions(/*adaptive=*/false, threads);
+    auto parallel_updates = RunSequential(options, constraint, points);
+    ExpectIdentical(reference, parallel_updates, "fixed per-arrival");
+    auto parallel_batches = RunBatched(options, constraint, points, 32);
+    ExpectIdentical(reference, parallel_batches, "fixed batched");
+  }
+}
+
+TEST(ThreadInvarianceTest, AdaptiveBitIdenticalAcrossThreadCounts) {
+  const ColorConstraint constraint({2, 1});
+  const auto points = RandomPoints(500, 3, 43);
+  auto reference = RunSequential(
+      EngineOptions(/*adaptive=*/true, /*num_threads=*/1), constraint, points);
+  for (int threads : {2, 4}) {
+    auto options = EngineOptions(/*adaptive=*/true, threads);
+    auto parallel_updates = RunSequential(options, constraint, points);
+    ExpectIdentical(reference, parallel_updates, "adaptive per-arrival");
+    auto parallel_batches = RunBatched(options, constraint, points, 32);
+    ExpectIdentical(reference, parallel_batches, "adaptive batched");
+  }
+}
+
+TEST(ThreadInvarianceTest, ValidationOnlyVariantBitIdentical) {
+  const ColorConstraint constraint({3, 2});
+  const auto points = RandomPoints(400, 2, 47);
+  auto reference = RunSequential(
+      EngineOptions(/*adaptive=*/true, /*num_threads=*/1,
+                    CoreVariant::kValidationOnly),
+      constraint, points);
+  auto options = EngineOptions(/*adaptive=*/true, /*num_threads=*/4,
+                               CoreVariant::kValidationOnly);
+  auto parallel = RunBatched(options, constraint, points, 25);
+  ExpectIdentical(reference, parallel, "validation-only");
+}
+
+}  // namespace
+}  // namespace fkc
