@@ -20,6 +20,7 @@
 #include "datasets/blobs.h"
 #include "matching/capacitated_matching.h"
 #include "matching/hopcroft_karp.h"
+#include "metric/counting_metric.h"
 #include "metric/metric.h"
 #include "sequential/chen_matroid_center.h"
 #include "sequential/gonzalez.h"
@@ -173,10 +174,20 @@ BENCHMARK(BM_SlidingWindowUpdate)->Arg(5)->Arg(20)->Arg(40);
 // sequential (the scalar baseline), batched single-threaded, and batched
 // parallel with --threads workers. Fixed-range mode so the ladder is static
 // and the parallel path can take whole batches. Time is per batch of 64.
+//
+// Besides wall time the engine benches report wall-time-stable counters —
+// distance evaluations and expiry sweeps per arrival — which the CI perf job
+// compares against the committed baseline (machine-independent, unlike ns).
 constexpr int kEngineBatch = 64;
 int g_parallel_threads = 0;  // set in main from --threads
 
-FairCenterSlidingWindow MakeEngineWindow(int num_threads) {
+const EuclideanMetric& EngineMetric() {
+  static const EuclideanMetric metric;
+  return metric;
+}
+
+FairCenterSlidingWindow MakeEngineWindow(int num_threads,
+                                         const Metric* metric) {
   SlidingWindowOptions options;
   options.window_size = 2000;
   options.delta = 0.5;
@@ -184,19 +195,21 @@ FairCenterSlidingWindow MakeEngineWindow(int num_threads) {
   options.d_max = 800.0;
   options.num_threads = num_threads;
   static const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
-  static const EuclideanMetric metric;
   static const JonesFairCenter jones;
-  return FairCenterSlidingWindow(options, constraint, &metric, &jones);
+  return FairCenterSlidingWindow(options, constraint, metric, &jones);
 }
 
 void RunEngineBench(benchmark::State& state, int num_threads,
                     bool batched) {
   const auto points = MakePoints(20000, 3, 7);
-  auto window = MakeEngineWindow(num_threads);
+  CountingMetric counting(&EngineMetric());
+  auto window = MakeEngineWindow(num_threads, &counting);
   size_t cursor = 0;
   for (int i = 0; i < 4000; ++i) {  // warm to steady state
     window.Update(points[cursor++ % points.size()]);
   }
+  counting.Reset();
+  const int64_t warm_sweeps = window.ExpirySweeps();
   for (auto _ : state) {
     if (batched) {
       std::vector<Point> batch;
@@ -211,7 +224,16 @@ void RunEngineBench(benchmark::State& state, int num_threads,
       }
     }
   }
-  state.SetItemsProcessed(state.iterations() * kEngineBatch);
+  const int64_t arrivals = state.iterations() * kEngineBatch;
+  state.SetItemsProcessed(arrivals);
+  state.counters["distance_calls_per_arrival"] =
+      static_cast<double>(counting.count()) / static_cast<double>(arrivals);
+  // Batch-level expiry dedup at work: before the watermark this was exactly
+  // one sweep per guess per arrival (= Memory().guesses); now only actual
+  // expiry events sweep.
+  state.counters["expiry_sweeps_per_arrival"] =
+      static_cast<double>(window.ExpirySweeps() - warm_sweeps) /
+      static_cast<double>(arrivals);
 }
 
 void BM_UpdateEngineSequential(benchmark::State& state) {
@@ -224,6 +246,34 @@ void BM_UpdateEngineBatched(benchmark::State& state) {
 
 void BM_UpdateEngineParallel(benchmark::State& state) {
   RunEngineBench(state, static_cast<int>(state.range(0)), /*batched=*/true);
+}
+
+// The query pipeline, sequential ladder scan vs parallel GuessPasses
+// fan-out. The deterministic selection diagnostics (guesses inspected,
+// coreset size) are reported as counters: identical at any thread count by
+// contract, and the CI perf job's most sensitive regression tripwire.
+void RunQueryBench(benchmark::State& state, int num_threads) {
+  const auto points = MakePoints(8000, 3, 7);
+  CountingMetric counting(&EngineMetric());
+  auto window = MakeEngineWindow(num_threads, &counting);
+  for (const Point& p : points) window.Update(p);
+
+  QueryStats stats;
+  for (auto _ : state) {
+    auto result = window.Query(&stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["guesses_inspected"] =
+      static_cast<double>(stats.guesses_inspected);
+  state.counters["coreset_size"] = static_cast<double>(stats.coreset_size);
+}
+
+void BM_QueryEngineSequential(benchmark::State& state) {
+  RunQueryBench(state, /*num_threads=*/1);
+}
+
+void BM_QueryEngineParallel(benchmark::State& state) {
+  RunQueryBench(state, static_cast<int>(state.range(0)));
 }
 
 void BM_SlidingWindowQuery(benchmark::State& state) {
@@ -270,6 +320,11 @@ int main(int argc, char** argv) {
                                fkc::BM_UpdateEngineBatched);
   benchmark::RegisterBenchmark("BM_UpdateEngineParallel",
                                fkc::BM_UpdateEngineParallel)
+      ->Arg(fkc::g_parallel_threads);
+  benchmark::RegisterBenchmark("BM_QueryEngineSequential",
+                               fkc::BM_QueryEngineSequential);
+  benchmark::RegisterBenchmark("BM_QueryEngineParallel",
+                               fkc::BM_QueryEngineParallel)
       ->Arg(fkc::g_parallel_threads);
 
   benchmark::Initialize(&argc, argv);

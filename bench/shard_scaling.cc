@@ -1,0 +1,151 @@
+// Shard-scaling throughput bench for the serving layer: one process serving
+// N independent sliding windows (tenants) over a shared thread pool, swept
+// over shard counts. Records aggregate updates/s and queries/s per shard
+// count into a BENCH_*.json for cross-PR tracking.
+//
+//   shard_scaling [--dataset=phones] [--points=60000] [--window=2000]
+//                 [--max_shards=8] [--threads=0] [--batch=64]
+//                 [--query_every=2048] [--delta=1.0]
+//                 [--out=BENCH_shard_scaling.json]
+//
+// Wall-clock throughput is hardware-dependent; the JSON also records the
+// deterministic per-run totals (updates, queries, shard memory) which are
+// stable across machines and usable for regression checks.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "sequential/jones_fair_center.h"
+#include "serving/shard_manager.h"
+#include "stream/window_driver.h"
+
+namespace {
+
+struct RunResult {
+  int shards = 0;
+  fkc::ShardedThroughputReport report;
+  int64_t memory_points = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "phones";
+  std::string out_path = "BENCH_shard_scaling.json";
+  int64_t points = 60000;
+  int64_t window = 2000;
+  int64_t max_shards = 8;
+  int64_t threads = 0;  // all hardware threads
+  int64_t batch = 64;
+  int64_t query_every = 2048;
+  double delta = 1.0;
+
+  fkc::FlagParser flags;
+  flags.AddString("dataset", &dataset, "dataset name (see datasets/registry)");
+  flags.AddString("out", &out_path, "output JSON path");
+  flags.AddInt64("points", &points, "total keyed arrivals per run");
+  flags.AddInt64("window", &window, "per-shard window size");
+  flags.AddInt64("max_shards", &max_shards,
+                 "sweep shard counts 1,2,4,... up to this");
+  fkc::AddThreadsFlag(&flags, &threads);
+  flags.AddInt64("batch", &batch, "keyed arrivals per IngestBatch");
+  flags.AddInt64("query_every", &query_every,
+                 "QueryAll fan-out period in arrivals (0 = never)");
+  flags.AddDouble("delta", &delta, "coreset precision delta");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  const fkc::EuclideanMetric metric;
+  const fkc::JonesFairCenter jones;
+  const int num_threads = fkc::ResolveThreadCount(threads);
+
+  // The canonical experiment configuration (sum k_i = 14, proportional
+  // caps); adaptive range so no distance bounds are needed per tenant.
+  const auto prepared = fkc::bench::Prepare(dataset, points, metric);
+
+  std::printf(
+      "# Shard-scaling throughput: %lld arrivals, window %lld, batch %lld, "
+      "%d threads, QueryAll every %lld\n",
+      static_cast<long long>(points), static_cast<long long>(window),
+      static_cast<long long>(batch), num_threads,
+      static_cast<long long>(query_every));
+  std::printf("%-10s %8s %14s %14s %12s %12s %12s\n", "dataset", "shards",
+              "updates_per_s", "queries_per_s", "updates", "queries",
+              "memory_pts");
+
+  std::vector<RunResult> results;
+  for (int64_t shards = 1; shards <= max_shards; shards *= 2) {
+    fkc::serving::ShardManagerOptions options;
+    options.window.window_size = window;
+    options.window.delta = delta;
+    options.window.adaptive_range = true;
+    options.num_threads = num_threads;
+    fkc::serving::ShardManager manager(options, prepared.constraint, &metric,
+                                       &jones);
+
+    std::vector<std::string> keys;
+    for (int64_t s = 0; s < shards; ++s) {
+      keys.push_back(fkc::StrFormat("tenant-%02lld", static_cast<long long>(s)));
+    }
+
+    auto stream = fkc::datasets::MakeStream(prepared.dataset);
+    fkc::ShardedRunOptions run_options;
+    run_options.stream_length = points;
+    run_options.batch_size = batch;
+    run_options.query_every = query_every;
+
+    RunResult result;
+    result.shards = static_cast<int>(shards);
+    result.report = fkc::RunShardedThroughput(&manager, stream.get(), keys,
+                                              run_options);
+    result.memory_points = manager.TotalMemory().TotalPoints();
+    results.push_back(result);
+
+    std::printf("%-10s %8d %14.0f %14.1f %12lld %12lld %12lld\n",
+                dataset.c_str(), result.shards,
+                result.report.UpdatesPerSecond(),
+                result.report.QueriesPerSecond(),
+                static_cast<long long>(result.report.updates),
+                static_cast<long long>(result.report.queries),
+                static_cast<long long>(result.memory_points));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"shard_scaling\",\n";
+  out << "  \"dataset\": \"" << dataset << "\",\n";
+  out << "  \"points\": " << points << ",\n  \"window\": " << window
+      << ",\n  \"batch\": " << batch << ",\n  \"threads\": " << num_threads
+      << ",\n  \"query_every\": " << query_every << ",\n";
+  out << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    out << "    {\"shards\": " << r.shards
+        << ", \"updates\": " << r.report.updates
+        << ", \"queries\": " << r.report.queries
+        << ", \"updates_per_s\": " << fkc::StrFormat(
+               "%.1f", r.report.UpdatesPerSecond())
+        << ", \"queries_per_s\": " << fkc::StrFormat(
+               "%.1f", r.report.QueriesPerSecond())
+        << ", \"memory_points\": " << r.memory_points << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Downloads the three real UCI datasets of the paper's evaluation and
+# converts them into the prepared CSV format the library ingests
+# (src/datasets/registry.cc LoadRealDataset): numeric coordinates, one point
+# per row, 0-based integer color label in the LAST column.
+#
+#   sh datasets/download_real_datasets.sh [target_dir]
+#
+# Target dir defaults to this script's directory (datasets/). Point the
+# binaries at it with FKC_DATA_DIR (default "datasets"); when a prepared
+# <name>.csv is absent the library transparently falls back to its
+# statistical simulator, so running this script is optional.
+#
+# Prepared formats:
+#   phones.csv   x,y,z,activity           (3-d, ell=7; activity 0..6)
+#   higgs.csv    f1,...,f7,label          (the 7 high-level features, ell=2)
+#   covtype.csv  c1,...,c54,covertype     (54-d, ell=7; label shifted to 0..6)
+set -eu
+
+dir="${1:-$(dirname "$0")}"
+mkdir -p "$dir"
+cd "$dir"
+
+fetch() {
+  url="$1"; out="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -L --fail -o "$out" "$url"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -O "$out" "$url"
+  else
+    echo "need curl or wget" >&2
+    exit 1
+  fi
+}
+
+# --- HIGGS (UCI 00280): label first, 21 low-level + 7 high-level features.
+# The paper uses the 7 high-level features (columns 23-29); label 0/1 is
+# already 0-based and moves to the last column.
+if [ ! -f higgs.csv ]; then
+  echo "== HIGGS (2.6 GB download; ~11M rows)"
+  fetch "https://archive.ics.uci.edu/ml/machine-learning-databases/00280/HIGGS.csv.gz" higgs.csv.gz
+  gunzip -c higgs.csv.gz | awk -F, '{
+    printf "%s,%s,%s,%s,%s,%s,%s,%d\n", $23,$24,$25,$26,$27,$28,$29,int($1)
+  }' > higgs.csv
+  rm -f higgs.csv.gz
+fi
+
+# --- COVTYPE (UCI covtype): 54 features, cover type 1..7 last -> 0..6.
+if [ ! -f covtype.csv ]; then
+  echo "== COVTYPE (~11 MB compressed; 581k rows)"
+  fetch "https://archive.ics.uci.edu/ml/machine-learning-databases/covtype/covtype.data.gz" covtype.data.gz
+  gunzip -c covtype.data.gz | awk -F, '{
+    out=$1; for (i=2; i<=54; ++i) out=out","$i
+    printf "%s,%d\n", out, $55-1
+  }' > covtype.csv
+  rm -f covtype.data.gz
+fi
+
+# --- PHONES (UCI 00344, Heterogeneity Activity Recognition,
+# Phones_accelerometer.csv): x,y,z accelerometer readings labelled with one
+# of 7 activities (null included), mapped to 0..6 in the order the phones
+# simulator uses.
+if [ ! -f phones.csv ]; then
+  echo "== PHONES (~1.3 GB zip; 13M rows)"
+  fetch "https://archive.ics.uci.edu/ml/machine-learning-databases/00344/Activity%20recognition%20exp.zip" phones.zip
+  unzip -o phones.zip "Activity recognition exp/Phones_accelerometer.csv"
+  awk -F, 'NR > 1 {
+    gt=$10
+    c = (gt=="stand")?0:(gt=="sit")?1:(gt=="walk")?2:(gt=="bike")?3: \
+        (gt=="stairsup")?4:(gt=="stairsdown")?5:6
+    printf "%s,%s,%s,%d\n", $4,$5,$6,c
+  }' "Activity recognition exp/Phones_accelerometer.csv" > phones.csv
+  rm -rf phones.zip "Activity recognition exp"
+fi
+
+echo "prepared CSVs in $(pwd): $(ls -lh *.csv | awk '{print $9" ("$5")"}' | tr '\n' ' ')"

@@ -1,0 +1,166 @@
+// Multi-tenant serving: one process keeping an independent fair-center
+// sliding window per tenant, served through the ShardManager front-end.
+//
+// A fleet of tenants (think: one sensor deployment per customer) streams
+// readings tagged with a tenant key. The manager routes every arrival to its
+// tenant's shard, fans ingest batches and query rounds out over a shared
+// thread pool, and checkpoints the whole fleet into one blob. The example
+// demonstrates the full serving lifecycle:
+//
+//   1. route + ingest a keyed stream across N tenants,
+//   2. serve a QueryAll fan-out (one fair summary per tenant),
+//   3. kill/restore: checkpoint every shard, rebuild the manager from the
+//      blob, and verify the restored fleet answers identically,
+//   4. keep ingesting into the restored fleet (business as usual).
+//
+//   multi_tenant_serving [--tenants=4] [--threads=0] [--batch=32]
+//                        [--window=1000] [--points=12000]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "datasets/phones_sim.h"
+#include "matroid/color_constraint.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+#include "serving/shard_manager.h"
+
+namespace {
+
+bool SameSolution(const fkc::FairCenterSolution& a,
+                  const fkc::FairCenterSolution& b) {
+  if (a.radius != b.radius || a.centers.size() != b.centers.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.centers.size(); ++i) {
+    if (a.centers[i].coords != b.centers[i].coords ||
+        a.centers[i].color != b.centers[i].color) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintAnswers(const std::vector<fkc::serving::ShardAnswer>& answers) {
+  for (const auto& answer : answers) {
+    if (!answer.solution.ok()) {
+      std::printf("  %-10s <error: %s>\n", answer.key.c_str(),
+                  answer.solution.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-10s radius=%8.3f centers=%2zu coreset=%3lld guess=%.3f\n",
+                answer.key.c_str(), answer.solution.value().radius,
+                answer.solution.value().centers.size(),
+                static_cast<long long>(answer.stats.coreset_size),
+                answer.stats.guess);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t tenants = 4;
+  int64_t threads = 0;  // all hardware threads
+  int64_t batch = 32;
+  int64_t window = 1000;
+  int64_t points = 12000;
+
+  fkc::FlagParser flags;
+  flags.AddInt64("tenants", &tenants, "number of tenant shards");
+  fkc::AddThreadsFlag(&flags, &threads);
+  flags.AddInt64("batch", &batch, "keyed arrivals per IngestBatch");
+  flags.AddInt64("window", &window, "per-tenant window size");
+  flags.AddInt64("points", &points, "total arrivals across all tenants");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  const fkc::EuclideanMetric metric;
+  const fkc::JonesFairCenter jones;
+
+  fkc::datasets::PhonesSimOptions data_options;
+  data_options.num_points = points;
+  const std::vector<fkc::Point> trace =
+      fkc::datasets::GeneratePhonesSim(data_options);
+  const fkc::ColorConstraint constraint =
+      fkc::ColorConstraint::Proportional(trace, data_options.ell, 14);
+
+  fkc::serving::ShardManagerOptions options;
+  options.window.window_size = window;
+  options.window.delta = 1.0;
+  options.window.adaptive_range = true;  // tenant scales unknown a priori
+  options.num_threads = fkc::ResolveThreadCount(threads);
+  fkc::serving::ShardManager manager(options, constraint, &metric, &jones);
+
+  std::vector<std::string> keys;
+  for (int64_t s = 0; s < tenants; ++s) {
+    keys.push_back(fkc::StrFormat("tenant-%02lld", static_cast<long long>(s)));
+  }
+
+  // --- 1. Route the keyed stream, batched. ---
+  std::vector<fkc::serving::KeyedPoint> pending;
+  const int64_t first_phase = points / 2;
+  for (int64_t t = 0; t < first_phase; ++t) {
+    pending.push_back({keys[t % keys.size()], trace[t]});
+    if (static_cast<int64_t>(pending.size()) >= batch) {
+      manager.IngestBatch(std::move(pending));
+      pending = {};
+    }
+  }
+  manager.IngestBatch(std::move(pending));
+  pending = {};
+
+  // --- 2. Serve a fan-out query round. ---
+  std::printf("fleet after %lld arrivals over %zu tenants (%lld pts stored):\n",
+              static_cast<long long>(first_phase), manager.shard_count(),
+              static_cast<long long>(manager.TotalMemory().TotalPoints()));
+  const auto before = manager.QueryAll();
+  PrintAnswers(before);
+
+  // --- 3. Kill/restore cycle. ---
+  const std::string blob = manager.CheckpointAll();
+  auto restored = fkc::serving::ShardManager::Restore(
+      blob, &metric, &jones, options.num_threads);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n",
+                 restored.status().ToString().c_str());
+    return 1;
+  }
+  auto after = restored.value().QueryAll();
+  bool identical = before.size() == after.size();
+  for (size_t i = 0; identical && i < before.size(); ++i) {
+    identical = before[i].key == after[i].key &&
+                before[i].solution.ok() == after[i].solution.ok() &&
+                (!before[i].solution.ok() ||
+                 SameSolution(before[i].solution.value(),
+                              after[i].solution.value()));
+  }
+  std::printf("\ncheckpoint: %zu bytes for %zu shards; restored fleet answers "
+              "%s\n",
+              blob.size(), restored.value().shard_count(),
+              identical ? "IDENTICALLY" : "DIFFERENTLY (bug!)");
+  if (!identical) return 1;
+
+  // --- 4. Business as usual on the restored fleet. ---
+  for (int64_t t = first_phase; t < points; ++t) {
+    pending.push_back({keys[t % keys.size()], trace[t]});
+    if (static_cast<int64_t>(pending.size()) >= batch) {
+      restored.value().IngestBatch(std::move(pending));
+      pending = {};
+    }
+  }
+  restored.value().IngestBatch(std::move(pending));
+  std::printf("\nfleet after %lld more arrivals into the restored manager:\n",
+              static_cast<long long>(points - first_phase));
+  PrintAnswers(restored.value().QueryAll());
+  return 0;
+}

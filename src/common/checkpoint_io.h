@@ -1,0 +1,56 @@
+// Shared reader/writer for the text checkpoint formats (the core's
+// fkc-checkpoint-v1 and the serving layer's fkc-shards-v1): whitespace-
+// separated tokens, hex-float doubles for bit-exact round trips, and
+// length-prefixed raw byte segments. One parser for both formats so limit
+// and float-parsing semantics cannot drift apart.
+#ifndef FKC_COMMON_CHECKPOINT_IO_H_
+#define FKC_COMMON_CHECKPOINT_IO_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace fkc {
+
+/// Sequential position-based reader over a checkpoint string. Typed token
+/// extraction plus raw segments; every method fails with kInvalidArgument on
+/// malformed or truncated input.
+class CheckpointReader {
+ public:
+  /// `bytes` must outlive the reader.
+  explicit CheckpointReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Status NextToken(std::string* out);
+  Status NextInt(int64_t* out);
+  Status NextDouble(double* out);  ///< strtod semantics: %a hex floats exact
+
+  /// A non-negative count bounded by `limit` (rejects implausible sizes
+  /// before any allocation).
+  Status NextSize(size_t* out, size_t limit = 1u << 28);
+
+  /// A length-prefixed raw byte segment: "<len> <len bytes>". The bytes may
+  /// contain anything, including whitespace.
+  Status NextRaw(std::string* out, size_t limit = 1u << 30);
+
+ private:
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\n' || c == '\t' || c == '\r';
+  }
+  void SkipSpace();
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+/// Writes `value` as a hex float ("%a"), the exact inverse of NextDouble,
+/// followed by the token separator.
+void WriteCheckpointDouble(std::ostringstream* out, double value);
+
+/// Writes a raw byte segment in the length-prefixed form NextRaw reads.
+void WriteCheckpointRaw(std::ostringstream* out, const std::string& bytes);
+
+}  // namespace fkc
+
+#endif  // FKC_COMMON_CHECKPOINT_IO_H_

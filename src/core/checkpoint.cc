@@ -1,9 +1,11 @@
 // Checkpoint serialization for FairCenterSlidingWindow (declared in
 // fair_center_sliding_window.h). Format: whitespace-separated tokens,
 // self-describing counts, hex-float coordinates for bit-exact round trips.
+// Tokenizing and float formatting live in common/checkpoint_io (shared with
+// the serving layer's fleet checkpoint).
 #include <sstream>
 
-#include "common/string_util.h"
+#include "common/checkpoint_io.h"
 #include "core/fair_center_sliding_window.h"
 
 namespace fkc {
@@ -13,13 +15,9 @@ constexpr const char* kMagic = "fkc-checkpoint-v1";
 
 // --- Writer helpers. ---
 
-void WriteDouble(std::ostringstream* out, double value) {
-  *out << StrFormat("%a", value) << ' ';
-}
-
 void WritePoint(std::ostringstream* out, const Point& p) {
   *out << p.coords.size() << ' ';
-  for (double x : p.coords) WriteDouble(out, x);
+  for (double x : p.coords) WriteCheckpointDouble(out, x);
   *out << p.color << ' ' << p.arrival << ' ' << p.id << ' ';
 }
 
@@ -38,85 +36,44 @@ void WritePoints(std::ostringstream* out, const std::vector<Point>& points) {
   for (const Point& p : points) WritePoint(out, p);
 }
 
-// --- Reader: a sequential whitespace tokenizer with typed extraction. ---
+// --- Reader: core-specific composite extraction over CheckpointReader. ---
 
-class TokenReader {
- public:
-  explicit TokenReader(const std::string& bytes) : in_(bytes) {}
-
-  Status NextToken(std::string* out) {
-    if (!(in_ >> *out)) return Status::InvalidArgument("truncated checkpoint");
-    return Status::OK();
+Status NextPoint(CheckpointReader* reader, Point* out) {
+  size_t dim = 0;
+  FKC_RETURN_IF_ERROR(reader->NextSize(&dim, 1u << 20));
+  out->coords.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    FKC_RETURN_IF_ERROR(reader->NextDouble(&out->coords[d]));
   }
+  int64_t color = 0, arrival = 0, id = 0;
+  FKC_RETURN_IF_ERROR(reader->NextInt(&color));
+  FKC_RETURN_IF_ERROR(reader->NextInt(&arrival));
+  FKC_RETURN_IF_ERROR(reader->NextInt(&id));
+  out->color = static_cast<int>(color);
+  out->arrival = arrival;
+  out->id = static_cast<uint64_t>(id);
+  return Status::OK();
+}
 
-  Status NextInt(int64_t* out) {
-    std::string token;
-    FKC_RETURN_IF_ERROR(NextToken(&token));
-    auto parsed = ParseInt(token);
-    if (!parsed.ok()) return parsed.status();
-    *out = parsed.value();
-    return Status::OK();
+Status NextPoints(CheckpointReader* reader, std::vector<Point>* out) {
+  size_t count = 0;
+  FKC_RETURN_IF_ERROR(reader->NextSize(&count));
+  out->resize(count);
+  for (Point& p : *out) FKC_RETURN_IF_ERROR(NextPoint(reader, &p));
+  return Status::OK();
+}
+
+Status NextEntries(CheckpointReader* reader,
+                   std::vector<AttractorEntry>* out) {
+  size_t count = 0;
+  FKC_RETURN_IF_ERROR(reader->NextSize(&count));
+  out->resize(count);
+  for (AttractorEntry& entry : *out) {
+    FKC_RETURN_IF_ERROR(NextPoint(reader, &entry.attractor));
+    FKC_RETURN_IF_ERROR(NextPoints(reader, &entry.representatives));
   }
-
-  Status NextSize(size_t* out, size_t limit = 1u << 28) {
-    int64_t value = 0;
-    FKC_RETURN_IF_ERROR(NextInt(&value));
-    if (value < 0 || static_cast<size_t>(value) > limit) {
-      return Status::InvalidArgument("implausible count in checkpoint");
-    }
-    *out = static_cast<size_t>(value);
-    return Status::OK();
-  }
-
-  Status NextDouble(double* out) {
-    std::string token;
-    FKC_RETURN_IF_ERROR(NextToken(&token));
-    // strtod handles the %a hex-float format exactly.
-    auto parsed = ParseDouble(token);
-    if (!parsed.ok()) return parsed.status();
-    *out = parsed.value();
-    return Status::OK();
-  }
-
-  Status NextPoint(Point* out) {
-    size_t dim = 0;
-    FKC_RETURN_IF_ERROR(NextSize(&dim, 1u << 20));
-    out->coords.resize(dim);
-    for (size_t d = 0; d < dim; ++d) {
-      FKC_RETURN_IF_ERROR(NextDouble(&out->coords[d]));
-    }
-    int64_t color = 0, arrival = 0, id = 0;
-    FKC_RETURN_IF_ERROR(NextInt(&color));
-    FKC_RETURN_IF_ERROR(NextInt(&arrival));
-    FKC_RETURN_IF_ERROR(NextInt(&id));
-    out->color = static_cast<int>(color);
-    out->arrival = arrival;
-    out->id = static_cast<uint64_t>(id);
-    return Status::OK();
-  }
-
-  Status NextPoints(std::vector<Point>* out) {
-    size_t count = 0;
-    FKC_RETURN_IF_ERROR(NextSize(&count));
-    out->resize(count);
-    for (Point& p : *out) FKC_RETURN_IF_ERROR(NextPoint(&p));
-    return Status::OK();
-  }
-
-  Status NextEntries(std::vector<AttractorEntry>* out) {
-    size_t count = 0;
-    FKC_RETURN_IF_ERROR(NextSize(&count));
-    out->resize(count);
-    for (AttractorEntry& entry : *out) {
-      FKC_RETURN_IF_ERROR(NextPoint(&entry.attractor));
-      FKC_RETURN_IF_ERROR(NextPoints(&entry.representatives));
-    }
-    return Status::OK();
-  }
-
- private:
-  std::istringstream in_;
-};
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -126,12 +83,12 @@ std::string FairCenterSlidingWindow::SerializeState() const {
 
   // Options.
   out << options_.window_size << ' ';
-  WriteDouble(&out, options_.beta);
-  WriteDouble(&out, options_.delta);
+  WriteCheckpointDouble(&out, options_.beta);
+  WriteCheckpointDouble(&out, options_.delta);
   out << static_cast<int>(options_.variant) << ' '
       << (options_.adaptive_range ? 1 : 0) << ' ';
-  WriteDouble(&out, options_.d_min);
-  WriteDouble(&out, options_.d_max);
+  WriteCheckpointDouble(&out, options_.d_min);
+  WriteCheckpointDouble(&out, options_.d_max);
   out << options_.adaptive_slack_exponents << ' '
       << (options_.warm_start_new_guesses ? 1 : 0) << ' ';
 
@@ -168,7 +125,7 @@ std::string FairCenterSlidingWindow::SerializeState() const {
 Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
     const std::string& bytes, const Metric* metric,
     const FairCenterSolver* solver) {
-  TokenReader reader(bytes);
+  CheckpointReader reader(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(reader.NextToken(&magic));
   if (magic != kMagic) {
@@ -217,7 +174,7 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
   FKC_RETURN_IF_ERROR(reader.NextInt(&has_last));
   if (has_last != 0) {
     Point last;
-    FKC_RETURN_IF_ERROR(reader.NextPoint(&last));
+    FKC_RETURN_IF_ERROR(NextPoint(&reader, &last));
     window.last_point_ = std::move(last);
   }
 
@@ -242,10 +199,10 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
     FKC_RETURN_IF_ERROR(reader.NextInt(&exponent));
     std::vector<AttractorEntry> v_entries, c_entries;
     std::vector<Point> v_orphans, c_orphans;
-    FKC_RETURN_IF_ERROR(reader.NextEntries(&v_entries));
-    FKC_RETURN_IF_ERROR(reader.NextPoints(&v_orphans));
-    FKC_RETURN_IF_ERROR(reader.NextEntries(&c_entries));
-    FKC_RETURN_IF_ERROR(reader.NextPoints(&c_orphans));
+    FKC_RETURN_IF_ERROR(NextEntries(&reader, &v_entries));
+    FKC_RETURN_IF_ERROR(NextPoints(&reader, &v_orphans));
+    FKC_RETURN_IF_ERROR(NextEntries(&reader, &c_entries));
+    FKC_RETURN_IF_ERROR(NextPoints(&reader, &c_orphans));
 
     GuessStructure guess(window.ladder_.Value(static_cast<int>(exponent)),
                          options.delta, options.window_size,

@@ -242,36 +242,81 @@ bool FairCenterSlidingWindow::GuessPasses(const GuessStructure& guess) const {
   return true;
 }
 
-Result<std::vector<Point>> FairCenterSlidingWindow::SelectCoreset(
-    QueryStats* stats) {
-  if (stats != nullptr) *stats = QueryStats{};
-  if (now_ == 0) return std::vector<Point>{};  // empty window
+void FairCenterSlidingWindow::ExpireAllGuesses() {
+  ThreadPool* pool = Pool();
+  if (pool == nullptr || guesses_.size() < 2) {
+    for (auto& [exponent, guess] : guesses_) guess.ExpireOnly(now_);
+    return;
+  }
+  std::vector<GuessStructure*> items;
+  items.reserve(guesses_.size());
+  for (auto& [exponent, guess] : guesses_) items.push_back(&guess);
+  pool->ParallelFor(static_cast<int64_t>(items.size()),
+                    [&](int64_t i) { items[i]->ExpireOnly(now_); });
+}
+
+Result<QueryPlan> FairCenterSlidingWindow::PlanQuery() {
+  QueryPlan plan;
+  if (now_ == 0) return plan;  // empty window: empty coreset
 
   // Expire lazily in case no Update happened since construction of some
   // guesses (idempotent otherwise).
-  for (auto& [exponent, guess] : guesses_) guess.ExpireOnly(now_);
+  ExpireAllGuesses();
 
   // Degenerate window: no structure exists only when no positive distance
   // was ever witnessed, i.e. all active points share one location — the most
   // recent point is an exact 1-point coreset.
   if (guesses_.empty()) {
     FKC_CHECK(last_point_.has_value());
-    if (stats != nullptr) stats->coreset_size = 1;
-    return std::vector<Point>{*last_point_};
+    plan.coreset.push_back(*last_point_);
+    plan.stats.coreset_size = 1;
+    return plan;
   }
 
+  ThreadPool* pool = Pool();
   int inspected = 0;
   for (int attempt = 0;; ++attempt) {
-    for (auto& [exponent, guess] : guesses_) {
-      ++inspected;
-      if (!GuessPasses(guess)) continue;
-      std::vector<Point> coreset = guess.CoresetPoints();
-      if (stats != nullptr) {
-        stats->guess = guess.gamma();
-        stats->coreset_size = static_cast<int64_t>(coreset.size());
-        stats->guesses_inspected = inspected;
+    // One validation round over the current ladder. The per-guess acceptance
+    // tests are mutually independent and read-only, so they fan out over the
+    // pool; the lowest passing guess is then selected by an ascending scan of
+    // the results, which makes the choice — and `guesses_inspected`, counted
+    // as-if sequential with early exit — identical at any thread count. The
+    // parallel round speculatively validates guesses above the selected one;
+    // that costs extra distance evaluations but no wall time on idle workers.
+    std::vector<GuessStructure*> items;
+    items.reserve(guesses_.size());
+    for (auto& [exponent, guess] : guesses_) items.push_back(&guess);
+
+    int chosen = -1;
+    if (pool != nullptr && items.size() >= 2) {
+      std::vector<unsigned char> passes(items.size(), 0);
+      pool->ParallelFor(static_cast<int64_t>(items.size()), [&](int64_t i) {
+        passes[i] = GuessPasses(*items[i]) ? 1 : 0;
+      });
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (passes[i] != 0) {
+          chosen = static_cast<int>(i);
+          break;
+        }
       }
-      return coreset;
+      inspected += chosen >= 0 ? chosen + 1 : static_cast<int>(items.size());
+    } else {
+      for (size_t i = 0; i < items.size(); ++i) {
+        ++inspected;
+        if (GuessPasses(*items[i])) {
+          chosen = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+
+    if (chosen >= 0) {
+      const GuessStructure& guess = *items[chosen];
+      plan.coreset = guess.CoresetPoints();
+      plan.stats.guess = guess.gamma();
+      plan.stats.coreset_size = static_cast<int64_t>(plan.coreset.size());
+      plan.stats.guesses_inspected = inspected;
+      return plan;
     }
     // No guess passed. In adaptive mode the estimated range may lag an
     // abrupt diameter growth: extend the ladder upward and retry.
@@ -287,25 +332,29 @@ Result<std::vector<Point>> FairCenterSlidingWindow::SelectCoreset(
 }
 
 Result<FairCenterSolution> FairCenterSlidingWindow::Query(QueryStats* stats) {
-  auto coreset = SelectCoreset(stats);
-  if (!coreset.ok()) return coreset.status();
-  if (coreset.value().empty()) return FairCenterSolution{};
+  if (stats != nullptr) *stats = QueryStats{};
+  auto plan = PlanQuery();
+  if (!plan.ok()) return plan.status();
+  if (stats != nullptr) *stats = plan.value().stats;
+  if (plan.value().coreset.empty()) return FairCenterSolution{};
 
   Stopwatch solver_timer;
-  auto solved = solver_->Solve(*metric_, coreset.value(), constraint_);
+  auto solved = solver_->Solve(*metric_, plan.value().coreset, constraint_);
   if (stats != nullptr) stats->solver_millis = solver_timer.ElapsedMillis();
   return solved;
 }
 
 Result<RobustFairCenterSolution> FairCenterSlidingWindow::QueryRobust(
     int num_outliers, QueryStats* stats) {
-  auto coreset = SelectCoreset(stats);
-  if (!coreset.ok()) return coreset.status();
-  if (coreset.value().empty()) return RobustFairCenterSolution{};
+  if (stats != nullptr) *stats = QueryStats{};
+  auto plan = PlanQuery();
+  if (!plan.ok()) return plan.status();
+  if (stats != nullptr) *stats = plan.value().stats;
+  if (plan.value().coreset.empty()) return RobustFairCenterSolution{};
 
   Stopwatch solver_timer;
-  auto solved = SolveRobustFairCenter(*metric_, coreset.value(), constraint_,
-                                      num_outliers);
+  auto solved = SolveRobustFairCenter(*metric_, plan.value().coreset,
+                                      constraint_, num_outliers);
   if (stats != nullptr) stats->solver_millis = solver_timer.ElapsedMillis();
   return solved;
 }
@@ -314,6 +363,12 @@ MemoryStats FairCenterSlidingWindow::Memory() const {
   MemoryStats stats;
   for (const auto& [exponent, guess] : guesses_) stats += guess.Memory();
   return stats;
+}
+
+int64_t FairCenterSlidingWindow::ExpirySweeps() const {
+  int64_t total = 0;
+  for (const auto& [exponent, guess] : guesses_) total += guess.expiry_sweeps();
+  return total;
 }
 
 int64_t FairCenterSlidingWindow::WindowPopulation() const {

@@ -85,12 +85,28 @@ double DeltaForEpsilon(double epsilon, double beta, double alpha);
 /// Inverse of DeltaForEpsilon: the epsilon guaranteed by a given delta.
 double EpsilonForDelta(double delta, double beta, double alpha);
 
-/// Per-query diagnostics.
+/// Per-query diagnostics. Every field except `solver_millis` (a wall time)
+/// is deterministic: identical state produces identical values at any thread
+/// count, parallel or sequential query path alike.
 struct QueryStats {
   double guess = 0.0;          ///< the selected gamma-hat
   int64_t coreset_size = 0;    ///< points handed to the sequential solver
   int guesses_inspected = 0;   ///< ladder entries examined by Query
   double solver_millis = 0.0;  ///< time spent inside the sequential solver
+};
+
+/// The resolved front half of a query (Algorithm 3's guess selection): the
+/// coreset to hand to a sequential solver plus the selection diagnostics.
+/// Query, QueryRobust, and any future query mode run their solver on one
+/// shared plan, so every mode inherits the parallel ladder validation and
+/// the deterministic guess choice for free.
+struct QueryPlan {
+  /// R (full variant) or RV (Corollary-2 variant) of the selected guess;
+  /// empty for an empty window.
+  std::vector<Point> coreset;
+  /// guess / coreset_size / guesses_inspected are populated; solver_millis
+  /// stays 0 (no solver has run yet).
+  QueryStats stats;
 };
 
 /// Streaming fair-center clustering over a sliding window.
@@ -125,6 +141,16 @@ class FairCenterSlidingWindow {
   /// [d_min, d_max] does not cover the data.
   Result<FairCenterSolution> Query(QueryStats* stats = nullptr);
 
+  /// The guess-selection front half of Algorithm 3, exposed so callers (and
+  /// the serving layer) can split selection from solving: expires stale
+  /// points, validates every ladder entry — fanned out over the thread pool
+  /// when one is configured, since the per-guess acceptance tests are
+  /// mutually independent — and deterministically selects the lowest passing
+  /// guess. Returns an empty-coreset plan for an empty window and the latest
+  /// point alone for an all-duplicates window. The result is bit-identical
+  /// to the sequential scan at any thread count.
+  Result<QueryPlan> PlanQuery();
+
   /// Extension (paper's future-work direction): outlier-tolerant query.
   /// Selects the coreset exactly as Query does, then runs the robust
   /// bicriteria solver on it with budget `num_outliers`.
@@ -156,6 +182,11 @@ class FairCenterSlidingWindow {
   /// Stored-point counts (the paper's memory metric).
   MemoryStats Memory() const;
 
+  /// Total expiry sweeps actually executed across the ladder since
+  /// construction (diagnostic; see GuessStructure::expiry_sweeps). The
+  /// batch-level dedup makes this grow far slower than arrivals * guesses.
+  int64_t ExpirySweeps() const;
+
   /// Logical time = number of points consumed so far.
   int64_t now() const { return now_; }
 
@@ -166,12 +197,10 @@ class FairCenterSlidingWindow {
   const ColorConstraint& constraint() const { return constraint_; }
 
  private:
-  /// The guess-selection front half of Algorithm 3: expires stale points,
-  /// finds the first guess whose validation points admit a k-point 2*gamma
-  /// cover, and returns its coreset (R for the full variant, RV for the
-  /// Corollary-2 variant). Returns an empty vector for an empty window and
-  /// the latest point alone for an all-duplicates window.
-  Result<std::vector<Point>> SelectCoreset(QueryStats* stats);
+  /// Expires stale points in every guess structure, fanned out over the pool
+  /// when one is configured (idempotent; the per-structure expiry watermark
+  /// makes repeat sweeps O(1)).
+  void ExpireAllGuesses();
 
   /// Creates missing guess structures for the adaptive range and retires the
   /// ones that left it. New structures are warmed by replaying the stored

@@ -22,10 +22,34 @@ GuessStructure::GuessStructure(double gamma, double delta, int64_t window_size,
 }
 
 void GuessStructure::ExpireOnly(int64_t now) {
+  // Batch-level expiry dedup: when even the oldest stored point is still
+  // active, every IsActive test below would pass and the sweep would change
+  // nothing — skip it. Exact, not heuristic: the watermark is a lower bound
+  // on all stored arrivals, so state stays bit-identical to sweeping always.
+  if (oldest_arrival_ > now - window_size_) return;
+  ++expiry_sweeps_;
   ExpireEntries(&v_entries_, &v_orphans_, now, window_size_);
   ExpirePoints(&v_orphans_, now, window_size_);
   ExpireEntries(&c_entries_, &c_orphans_, now, window_size_);
   ExpirePoints(&c_orphans_, now, window_size_);
+  RecomputeOldestArrival();
+}
+
+void GuessStructure::RecomputeOldestArrival() {
+  int64_t oldest = INT64_MAX;
+  auto scan = [&oldest](const std::vector<AttractorEntry>& entries,
+                        const std::vector<Point>& orphans) {
+    for (const AttractorEntry& entry : entries) {
+      oldest = std::min(oldest, entry.attractor.arrival);
+      for (const Point& rep : entry.representatives) {
+        oldest = std::min(oldest, rep.arrival);
+      }
+    }
+    for (const Point& p : orphans) oldest = std::min(oldest, p.arrival);
+  };
+  scan(v_entries_, v_orphans_);
+  scan(c_entries_, c_orphans_);
+  oldest_arrival_ = oldest;
 }
 
 void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
@@ -33,6 +57,9 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
   FKC_CHECK_GE(constraint_.cap(p.color), 1)
       << "arriving point has a zero-cap color; the paper requires k_i >= 1";
   ExpireOnly(now);
+  // p lands in the validation family below whatever branch is taken; keep
+  // the expiry watermark a valid lower bound (replay feeds old arrivals).
+  oldest_arrival_ = std::min(oldest_arrival_, p.arrival);
 
   // --- Validation phase: assign p to a v-attractor (lines 1-10). ---
   // One batched kernel call evaluates every attractor distance; the observer

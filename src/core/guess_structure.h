@@ -14,6 +14,7 @@
 #ifndef FKC_CORE_GUESS_STRUCTURE_H_
 #define FKC_CORE_GUESS_STRUCTURE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/attractor_set.h"
@@ -54,7 +55,11 @@ class GuessStructure {
               DistanceObserver* observer);
 
   /// Removes expired points without inserting (used before queries that may
-  /// happen after the structure stopped receiving updates).
+  /// happen after the structure stopped receiving updates). Cheap when
+  /// nothing can expire: a stored watermark of the oldest arrival proves the
+  /// sweep would be a no-op and skips it, so per-arrival calls inside a
+  /// batch degenerate to one actual sweep per expiry event (batch-level
+  /// expiry dedup) with bit-identical state.
   void ExpireOnly(int64_t now);
 
   double gamma() const { return gamma_; }
@@ -102,10 +107,19 @@ class GuessStructure {
     v_orphans_ = std::move(v_orphans);
     c_entries_ = std::move(c_entries);
     c_orphans_ = std::move(c_orphans);
+    RecomputeOldestArrival();
   }
+
+  /// Number of expiry sweeps actually executed (skipped no-op calls are not
+  /// counted). Diagnostic only — never serialized, no effect on state.
+  int64_t expiry_sweeps() const { return expiry_sweeps_; }
 
  private:
   void Cleanup(int64_t now);
+
+  /// Resets the expiry watermark to the exact minimum stored arrival
+  /// (INT64_MAX when nothing is stored).
+  void RecomputeOldestArrival();
 
   double gamma_;
   double delta_;
@@ -126,6 +140,13 @@ class GuessStructure {
   // without sharing buffers.
   std::vector<const Point*> scratch_ptrs_;
   std::vector<double> scratch_dists_;
+
+  // Expiry watermark: a lower bound on the arrival of every stored point.
+  // While it proves all stored points active, ExpireOnly is O(1). Removals
+  // (Cleanup, representative replacement) may leave it stale-low, which only
+  // costs a redundant sweep — never a missed one. INT64_MAX = empty.
+  int64_t oldest_arrival_ = INT64_MAX;
+  int64_t expiry_sweeps_ = 0;  // transient diagnostic
 };
 
 }  // namespace fkc

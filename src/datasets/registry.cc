@@ -1,8 +1,13 @@
 #include "datasets/registry.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
 #include "common/string_util.h"
 #include "datasets/blobs.h"
 #include "datasets/covtype_sim.h"
+#include "datasets/csv_loader.h"
 #include "datasets/higgs_sim.h"
 #include "datasets/phones_sim.h"
 #include "datasets/rotated.h"
@@ -10,8 +15,69 @@
 namespace fkc {
 namespace datasets {
 
+namespace {
+
+/// Directory holding the prepared real-dataset CSVs.
+std::string ResolveDataDir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  const char* env = std::getenv("FKC_DATA_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "datasets";
+}
+
+bool IsRealDatasetName(const std::string& name) {
+  return name == "phones" || name == "higgs" || name == "covtype";
+}
+
+}  // namespace
+
+Result<Dataset> LoadRealDataset(const std::string& name, int64_t num_points,
+                                const std::string& dir) {
+  if (!IsRealDatasetName(name)) {
+    return Status::InvalidArgument("no real-dataset CSV defined for '" +
+                                   name + "'");
+  }
+  const std::string path = ResolveDataDir(dir) + "/" + name + ".csv";
+  // Probe before LoadCsv so the common "not downloaded" case reports
+  // kNotFound (fall back to the simulator), not kIoError.
+  if (!std::ifstream(path).is_open()) {
+    return Status::NotFound("no prepared CSV at " + path);
+  }
+  auto loaded = LoadCsv(path);  // color in the last column (prepared format)
+  if (!loaded.ok()) return loaded.status();
+  std::vector<Point>& rows = loaded.value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty real-dataset CSV " + path);
+  }
+
+  Dataset dataset;
+  dataset.name = name;
+  int max_color = 0;
+  for (const Point& p : rows) {
+    if (p.color < 0) {
+      return Status::InvalidArgument(path +
+                                     ": colors must be 0-based non-negative");
+    }
+    max_color = std::max(max_color, p.color);
+  }
+  dataset.ell = max_color + 1;
+  dataset.points.reserve(static_cast<size_t>(num_points));
+  for (int64_t i = 0; i < num_points; ++i) {
+    dataset.points.push_back(rows[static_cast<size_t>(i) % rows.size()]);
+  }
+  return dataset;
+}
+
 Result<Dataset> MakeDataset(const std::string& name, int64_t num_points,
                             uint64_t seed) {
+  // Real files beat statistical stand-ins whenever they have been
+  // downloaded; everything below is the simulator fallback.
+  if (IsRealDatasetName(name)) {
+    auto real = LoadRealDataset(name, num_points);
+    if (real.ok()) return real;
+    if (real.status().code() != StatusCode::kNotFound) return real.status();
+  }
+
   Dataset dataset;
   dataset.name = name;
   if (name == "phones") {

@@ -29,8 +29,23 @@ struct Dataset {
 ///   "covtype"   54-d, ell=7  (COVTYPE stand-in)
 ///   "blobs<d>"  d-d,  ell=7  (e.g. "blobs3"; paper sweeps d in [2,10])
 ///   "rotated<D>" D coords, intrinsic 3-d, ell=7 (e.g. "rotated15")
+///
+/// For the three real-dataset names, a prepared CSV (see
+/// datasets/download_real_datasets.sh) is preferred when present under
+/// $FKC_DATA_DIR (default "datasets/"); the statistical simulators are the
+/// fallback, so every bench and test runs with or without the downloads.
 Result<Dataset> MakeDataset(const std::string& name, int64_t num_points,
                             uint64_t seed = 42);
+
+/// Loads the real dataset `name` ("phones" / "higgs" / "covtype") from the
+/// prepared CSV `<dir>/<name>.csv` (numeric coordinates, 0-based integer
+/// color in the last column — the format written by
+/// datasets/download_real_datasets.sh). An empty `dir` resolves to
+/// $FKC_DATA_DIR, then "datasets". The first `num_points` rows are used,
+/// cycling when the file is shorter. Returns kNotFound when the file is
+/// absent (callers fall back to the simulators).
+Result<Dataset> LoadRealDataset(const std::string& name, int64_t num_points,
+                                const std::string& dir = "");
 
 /// The three real-dataset stand-ins of the main experiments.
 std::vector<std::string> RealDatasetNames();

@@ -1,0 +1,249 @@
+#include "serving/shard_manager.h"
+
+#include <sstream>
+
+#include "common/checkpoint_io.h"
+#include "common/logging.h"
+
+namespace fkc {
+namespace serving {
+namespace {
+
+constexpr const char* kMagic = "fkc-shards-v1";
+
+// Shard keys travel as length-prefixed raw segments in the fleet checkpoint
+// (CheckpointReader::NextRaw); this cap keeps write and read sides agreeing
+// on what a plausible key is, so CheckpointAll can never emit a blob that
+// Restore rejects.
+constexpr size_t kMaxKeyBytes = 1u << 20;
+
+}  // namespace
+
+ShardManager::ShardManager(ShardManagerOptions options,
+                           ColorConstraint constraint, const Metric* metric,
+                           const FairCenterSolver* solver)
+    : options_(std::move(options)),
+      constraint_(std::move(constraint)),
+      metric_(metric),
+      solver_(solver) {
+  FKC_CHECK(metric_ != nullptr);
+  FKC_CHECK(solver_ != nullptr);
+  // Shards run sequentially inside their manager-pool task; nesting pools
+  // would oversubscribe and buys nothing (shard fan-out already covers the
+  // cores).
+  options_.window.num_threads = 1;
+}
+
+ThreadPool* ShardManager::Pool() {
+  if (options_.num_threads == 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_->size() > 1 ? pool_.get() : nullptr;
+}
+
+FairCenterSlidingWindow& ShardManager::GetOrCreate(const std::string& key) {
+  FKC_CHECK_LT(key.size(), kMaxKeyBytes)
+      << "shard key exceeds the checkpointable size";
+  auto it = shards_.find(key);
+  if (it == shards_.end()) {
+    it = shards_
+             .emplace(key, FairCenterSlidingWindow(options_.window,
+                                                   constraint_, metric_,
+                                                   solver_))
+             .first;
+  }
+  return it->second;
+}
+
+void ShardManager::Ingest(const std::string& key, Point p) {
+  GetOrCreate(key).Update(std::move(p));
+}
+
+void ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
+  if (batch.empty()) return;
+  // Group by key, preserving per-key arrival order (the only order that
+  // matters: shards share no state, so cross-key interleaving is
+  // unobservable).
+  std::map<std::string, std::vector<Point>> groups;
+  for (KeyedPoint& kp : batch) {
+    groups[kp.key].push_back(std::move(kp.point));
+  }
+
+  // Create missing shards up front: the map must not mutate under the
+  // fan-out.
+  std::vector<std::pair<FairCenterSlidingWindow*, std::vector<Point>*>> work;
+  work.reserve(groups.size());
+  for (auto& [key, points] : groups) {
+    work.emplace_back(&GetOrCreate(key), &points);
+  }
+
+  ThreadPool* pool = Pool();
+  if (pool == nullptr || work.size() < 2) {
+    for (auto& [shard, points] : work) {
+      shard->UpdateBatch(std::move(*points));
+    }
+    return;
+  }
+  pool->ParallelFor(static_cast<int64_t>(work.size()), [&](int64_t i) {
+    work[i].first->UpdateBatch(std::move(*work[i].second));
+  });
+}
+
+Result<FairCenterSolution> ShardManager::Query(const std::string& key,
+                                               QueryStats* stats) {
+  auto it = shards_.find(key);
+  if (it == shards_.end()) {
+    return Status::NotFound("no shard for key '" + key + "'");
+  }
+  return it->second.Query(stats);
+}
+
+std::vector<ShardAnswer> ShardManager::QueryAll() {
+  std::vector<ShardAnswer> answers;
+  answers.reserve(shards_.size());
+  std::vector<FairCenterSlidingWindow*> windows;
+  windows.reserve(shards_.size());
+  for (auto& [key, shard] : shards_) {  // ascending key order
+    ShardAnswer answer;
+    answer.key = key;
+    answers.push_back(std::move(answer));
+    windows.push_back(&shard);
+  }
+
+  auto run_one = [&](int64_t i) {
+    answers[i].solution = windows[i]->Query(&answers[i].stats);
+  };
+  ThreadPool* pool = Pool();
+  if (pool == nullptr || windows.size() < 2) {
+    for (size_t i = 0; i < windows.size(); ++i) run_one(static_cast<int64_t>(i));
+  } else {
+    pool->ParallelFor(static_cast<int64_t>(windows.size()), run_one);
+  }
+  return answers;
+}
+
+std::string ShardManager::CheckpointAll() const {
+  std::ostringstream out;
+  out << kMagic << ' ';
+
+  // The window template (needed to spawn shards for keys first seen after a
+  // restore) and the constraint. num_threads is an execution knob and is
+  // deliberately excluded, like in the core checkpoint.
+  const SlidingWindowOptions& w = options_.window;
+  out << w.window_size << ' ';
+  WriteCheckpointDouble(&out, w.beta);
+  WriteCheckpointDouble(&out, w.delta);
+  out << static_cast<int>(w.variant) << ' ' << (w.adaptive_range ? 1 : 0)
+      << ' ';
+  WriteCheckpointDouble(&out, w.d_min);
+  WriteCheckpointDouble(&out, w.d_max);
+  out << w.adaptive_slack_exponents << ' '
+      << (w.warm_start_new_guesses ? 1 : 0) << ' ';
+
+  out << constraint_.ell() << ' ';
+  for (int cap : constraint_.caps()) out << cap << ' ';
+
+  // Every shard: length-prefixed key, length-prefixed core checkpoint.
+  out << shards_.size() << ' ';
+  for (const auto& [key, shard] : shards_) {
+    WriteCheckpointRaw(&out, key);
+    WriteCheckpointRaw(&out, shard.SerializeState());
+  }
+  return out.str();
+}
+
+Result<ShardManager> ShardManager::Restore(const std::string& bytes,
+                                           const Metric* metric,
+                                           const FairCenterSolver* solver,
+                                           int num_threads) {
+  CheckpointReader cursor(bytes);
+  std::string magic;
+  FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an fkc shard checkpoint (bad magic '" +
+                                   magic + "')");
+  }
+
+  ShardManagerOptions options;
+  options.num_threads = num_threads;
+  SlidingWindowOptions& w = options.window;
+  int64_t variant = 0, adaptive = 0, slack = 0, warm = 0;
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&w.window_size));
+  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.beta));
+  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.delta));
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&variant));
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&adaptive));
+  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.d_min));
+  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.d_max));
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&slack));
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&warm));
+  if (variant < 0 || variant > 1) {
+    return Status::InvalidArgument("bad variant in shard checkpoint");
+  }
+  w.variant = static_cast<CoreVariant>(variant);
+  w.adaptive_range = adaptive != 0;
+  w.adaptive_slack_exponents = static_cast<int>(slack);
+  w.warm_start_new_guesses = warm != 0;
+
+  int64_t ell = 0;
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&ell));
+  if (ell < 1 || ell > (1 << 20)) {
+    return Status::InvalidArgument("implausible color count in checkpoint");
+  }
+  std::vector<int> caps(static_cast<size_t>(ell));
+  for (int& cap : caps) {
+    int64_t value = 0;
+    FKC_RETURN_IF_ERROR(cursor.NextInt(&value));
+    if (value < 0) {
+      return Status::InvalidArgument("negative cap in shard checkpoint");
+    }
+    cap = static_cast<int>(value);
+  }
+
+  ShardManager manager(options, ColorConstraint(std::move(caps)), metric,
+                       solver);
+
+  int64_t shard_count = 0;
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&shard_count));
+  if (shard_count < 0 || shard_count > (1 << 24)) {
+    return Status::InvalidArgument("implausible shard count in checkpoint");
+  }
+  for (int64_t s = 0; s < shard_count; ++s) {
+    std::string key, blob;
+    FKC_RETURN_IF_ERROR(cursor.NextRaw(&key, kMaxKeyBytes));
+    FKC_RETURN_IF_ERROR(cursor.NextRaw(&blob));
+    auto window =
+        FairCenterSlidingWindow::DeserializeState(blob, metric, solver);
+    if (!window.ok()) return window.status();
+    manager.shards_.emplace(std::move(key), std::move(window).value());
+  }
+  return manager;
+}
+
+std::vector<std::string> ShardManager::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) keys.push_back(key);
+  return keys;
+}
+
+FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
+  auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+const FairCenterSlidingWindow* ShardManager::shard(
+    const std::string& key) const {
+  auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+MemoryStats ShardManager::TotalMemory() const {
+  MemoryStats stats;
+  for (const auto& [key, shard] : shards_) stats += shard.Memory();
+  return stats;
+}
+
+}  // namespace serving
+}  // namespace fkc

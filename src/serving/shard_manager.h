@@ -1,0 +1,139 @@
+// Sharded multi-window serving front-end: one process, many independent
+// sliding windows (per tenant, per sensor, per data stream), all driven
+// through one shared thread pool.
+//
+// Each shard is a full FairCenterSlidingWindow keyed by an opaque string.
+// Shards share no state, so ingest batches and query multiplexing fan out
+// across the pool with bit-identical per-shard results at any thread count —
+// the same determinism contract as the core engine. The whole fleet
+// checkpoints into a single self-describing blob (every shard through the
+// core's SerializeState) and restores into an identically answering manager.
+#ifndef FKC_SERVING_SHARD_MANAGER_H_
+#define FKC_SERVING_SHARD_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/fair_center_sliding_window.h"
+
+namespace fkc {
+namespace serving {
+
+/// An arrival addressed to one shard.
+struct KeyedPoint {
+  std::string key;
+  Point point;
+};
+
+/// Configuration of the serving layer.
+struct ShardManagerOptions {
+  /// Template for every shard's sliding window. The per-shard `num_threads`
+  /// is forced to 1: parallelism lives at the manager level (one pool fanned
+  /// across shards), never nested inside a shard.
+  SlidingWindowOptions window;
+
+  /// Worker threads of the shared pool multiplexing ingest and queries over
+  /// the shards. 1 = fully sequential; 0 = hardware concurrency. An
+  /// execution knob: results are bit-identical at any value and it is not
+  /// part of the checkpoint.
+  int num_threads = 1;
+};
+
+/// Per-shard answer of a fan-out query.
+struct ShardAnswer {
+  std::string key;
+  Result<FairCenterSolution> solution = FairCenterSolution{};
+  QueryStats stats;
+};
+
+/// Owns and serves N independent sliding windows keyed by tenant/sensor id.
+///
+/// Typical use:
+///   ShardManager manager(options, constraint, &metric, &solver);
+///   manager.IngestBatch(keyed_arrivals);       // routed + fanned out
+///   auto answer = manager.Query("tenant-7");   // one shard
+///   auto all = manager.QueryAll();             // every shard, multiplexed
+///   std::string blob = manager.CheckpointAll();
+///   auto restored = ShardManager::Restore(blob, &metric, &solver);
+class ShardManager {
+ public:
+  /// `metric` and `solver` must outlive the manager; they are shared by all
+  /// shards (code, not state). Every color in any stream must have a
+  /// positive cap, exactly as for a single window.
+  ShardManager(ShardManagerOptions options, ColorConstraint constraint,
+               const Metric* metric, const FairCenterSolver* solver);
+
+  /// Feeds one arrival to the shard of `key`, creating the shard on first
+  /// sight. Per-shard clocks are independent: each shard sees its own
+  /// arrivals as one logical time step each.
+  void Ingest(const std::string& key, Point p);
+
+  /// Routes a batch of keyed arrivals: groups by key (preserving per-key
+  /// arrival order), creates missing shards, then fans the per-shard groups
+  /// out over the pool, each shard consuming its group through the core
+  /// UpdateBatch engine. Equivalent to calling Ingest per arrival in order.
+  void IngestBatch(std::vector<KeyedPoint> batch);
+
+  /// Queries one shard. Fails with kNotFound for an unknown key.
+  Result<FairCenterSolution> Query(const std::string& key,
+                                   QueryStats* stats = nullptr);
+
+  /// Queries every shard, multiplexed over the pool (each shard's query
+  /// pipeline runs sequentially inside its task). Answers are ordered by
+  /// key, deterministically.
+  std::vector<ShardAnswer> QueryAll();
+
+  /// Serializes the manager — the window template, constraint, and every
+  /// shard via the core SerializeState — into one self-describing blob.
+  std::string CheckpointAll() const;
+
+  /// Reconstructs a manager from CheckpointAll output. The restored fleet
+  /// answers every query identically and behaves identically under any
+  /// future ingest sequence. `num_threads` is an execution knob supplied at
+  /// restore time, like the metric and solver.
+  static Result<ShardManager> Restore(const std::string& bytes,
+                                      const Metric* metric,
+                                      const FairCenterSolver* solver,
+                                      int num_threads = 1);
+
+  /// Shard keys in deterministic (lexicographic) order.
+  std::vector<std::string> Keys() const;
+
+  /// Direct access to one shard (nullptr for an unknown key). The manager
+  /// retains ownership.
+  FairCenterSlidingWindow* shard(const std::string& key);
+  const FairCenterSlidingWindow* shard(const std::string& key) const;
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Stored-point totals across the fleet (the paper's memory unit).
+  MemoryStats TotalMemory() const;
+
+  const ShardManagerOptions& options() const { return options_; }
+  const ColorConstraint& constraint() const { return constraint_; }
+
+ private:
+  FairCenterSlidingWindow& GetOrCreate(const std::string& key);
+  ThreadPool* Pool();
+
+  ShardManagerOptions options_;
+  ColorConstraint constraint_;
+  const Metric* metric_;
+  const FairCenterSolver* solver_;
+
+  /// Shards keyed by tenant id; std::map for deterministic iteration.
+  std::map<std::string, FairCenterSlidingWindow> shards_;
+
+  /// Lazily created shared pool (nullptr while sequential).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serving
+}  // namespace fkc
+
+#endif  // FKC_SERVING_SHARD_MANAGER_H_

@@ -161,4 +161,53 @@ std::vector<AlgorithmReport> WindowDriver::Run(PointStream* stream,
   return reports;
 }
 
+ShardedThroughputReport RunShardedThroughput(
+    serving::ShardManager* manager, PointStream* stream,
+    const std::vector<std::string>& keys, const ShardedRunOptions& options) {
+  FKC_CHECK(manager != nullptr);
+  FKC_CHECK(stream != nullptr);
+  FKC_CHECK(!keys.empty());
+  FKC_CHECK_GT(options.stream_length, 0);
+  FKC_CHECK_GT(options.batch_size, 0);
+
+  ShardedThroughputReport report;
+  report.shards = static_cast<int>(keys.size());
+
+  std::vector<serving::KeyedPoint> pending;
+  pending.reserve(static_cast<size_t>(options.batch_size));
+  auto flush = [&]() {
+    if (pending.empty()) return;
+    Stopwatch timer;
+    manager->IngestBatch(std::move(pending));
+    report.update_seconds += timer.ElapsedMillis() / 1e3;
+    pending = {};
+    pending.reserve(static_cast<size_t>(options.batch_size));
+  };
+
+  for (int64_t t = 0; t < options.stream_length; ++t) {
+    auto next = stream->Next();
+    FKC_CHECK(next.has_value()) << "stream exhausted at arrival " << t;
+    pending.push_back(
+        {keys[static_cast<size_t>(t % static_cast<int64_t>(keys.size()))],
+         std::move(*next)});
+    ++report.updates;
+    if (static_cast<int64_t>(pending.size()) >= options.batch_size) flush();
+
+    if (options.query_every > 0 && (t + 1) % options.query_every == 0) {
+      flush();  // answers must reflect every arrival delivered so far
+      Stopwatch timer;
+      const auto answers = manager->QueryAll();
+      report.query_seconds += timer.ElapsedMillis() / 1e3;
+      for (const serving::ShardAnswer& answer : answers) {
+        FKC_CHECK(answer.solution.ok())
+            << "shard '" << answer.key
+            << "': " << answer.solution.status().ToString();
+      }
+      report.queries += static_cast<int64_t>(answers.size());
+    }
+  }
+  flush();
+  return report;
+}
+
 }  // namespace fkc

@@ -15,6 +15,7 @@
 
 #include "core/fair_center_sliding_window.h"
 #include "matroid/color_constraint.h"
+#include "serving/shard_manager.h"
 #include "stream/metrics_recorder.h"
 #include "stream/reference_window.h"
 #include "stream/stream.h"
@@ -160,6 +161,44 @@ class WindowDriver {
   int64_t window_size_;
   std::vector<std::unique_ptr<DrivenAlgorithm>> algorithms_;
 };
+
+/// Schedule of a sharded serving run (bench/shard_scaling and the
+/// multi-tenant example).
+struct ShardedRunOptions {
+  /// Total keyed arrivals fed across all shards.
+  int64_t stream_length = 0;
+  /// Keyed arrivals per IngestBatch call.
+  int64_t batch_size = 64;
+  /// A QueryAll fan-out after every this many arrivals (0 = never).
+  int64_t query_every = 1024;
+};
+
+/// Aggregate throughput of one sharded run.
+struct ShardedThroughputReport {
+  int shards = 0;
+  int64_t updates = 0;
+  int64_t queries = 0;  ///< per-shard answers, i.e. QueryAll calls * shards
+  double update_seconds = 0.0;
+  double query_seconds = 0.0;
+
+  double UpdatesPerSecond() const {
+    return update_seconds > 0.0 ? static_cast<double>(updates) / update_seconds
+                                : 0.0;
+  }
+  double QueriesPerSecond() const {
+    return query_seconds > 0.0 ? static_cast<double>(queries) / query_seconds
+                                : 0.0;
+  }
+};
+
+/// Drives a ShardManager for throughput measurement: arrivals from `stream`
+/// are routed round-robin over `keys` (arrival i goes to keys[i % keys]),
+/// delivered in batches, with periodic QueryAll fan-outs. Every returned
+/// answer is checked OK; wall times for ingest and query are accumulated
+/// separately.
+ShardedThroughputReport RunShardedThroughput(
+    serving::ShardManager* manager, PointStream* stream,
+    const std::vector<std::string>& keys, const ShardedRunOptions& options);
 
 }  // namespace fkc
 

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "datasets/blobs.h"
 #include "datasets/covtype_sim.h"
@@ -253,6 +256,58 @@ TEST(RegistryTest, UnknownAndMalformedNames) {
   EXPECT_EQ(MakeDataset("nope", 10).status().code(), StatusCode::kNotFound);
   EXPECT_FALSE(MakeDataset("blobsX", 10).ok());
   EXPECT_FALSE(MakeDataset("rotated1", 10).ok());  // below base dimension 3
+}
+
+// Real-dataset ingestion: a prepared CSV under FKC_DATA_DIR takes precedence
+// over the simulator, short files cycle to the requested length, and the
+// absence of a file falls back to the simulator with kNotFound semantics.
+TEST(RegistryTest, RealCsvPreferredOverSimulatorWhenPresent) {
+  const std::string dir = ::testing::TempDir() + "fkc_real_data";
+  ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+  // Prepared format: coordinates then a 0-based color in the last column.
+  {
+    std::ofstream csv(dir + "/higgs.csv");
+    csv << "1.0,2.0,3.0,4.0,5.0,6.0,7.0,0\n"
+        << "7.0,6.0,5.0,4.0,3.0,2.0,1.0,1\n"
+        << "1.5,2.5,3.5,4.5,5.5,6.5,7.5,1\n";
+  }
+
+  auto direct = datasets::LoadRealDataset("higgs", 5, dir);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(direct.value().points.size(), 5u);  // 3 rows cycled to 5
+  EXPECT_EQ(direct.value().ell, 2);
+  EXPECT_EQ(direct.value().points[0].dimension(), 7u);
+  EXPECT_EQ(direct.value().points[3].coords, direct.value().points[0].coords);
+
+  // MakeDataset routes through the same file when FKC_DATA_DIR points at it.
+  // Scoped so a failing assertion cannot leak the variable into later tests
+  // in this binary (which also call MakeDataset).
+  struct EnvGuard {
+    explicit EnvGuard(const std::string& value) {
+      setenv("FKC_DATA_DIR", value.c_str(), /*overwrite=*/1);
+    }
+    ~EnvGuard() { unsetenv("FKC_DATA_DIR"); }
+  };
+  {
+    const EnvGuard guard(dir);
+    auto via_registry = MakeDataset("higgs", 4);
+    ASSERT_TRUE(via_registry.ok());
+    EXPECT_EQ(via_registry.value().points[0].coords,
+              direct.value().points[0].coords);
+    EXPECT_EQ(via_registry.value().ell, 2);
+
+    // No phones.csv in the directory: simulator fallback, untouched
+    // semantics.
+    auto fallback = MakeDataset("phones", 50);
+    ASSERT_TRUE(fallback.ok());
+    EXPECT_EQ(fallback.value().points.size(), 50u);
+    EXPECT_EQ(fallback.value().ell, 7);
+  }
+
+  EXPECT_EQ(datasets::LoadRealDataset("phones", 10, dir).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(datasets::LoadRealDataset("blobs3", 10, dir).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(RegistryTest, StreamWrapsCycling) {

@@ -1,0 +1,226 @@
+// ShardManager contract: keyed routing equals standalone windows, batched
+// ingest equals per-point ingest at any thread count, query multiplexing is
+// deterministic, and the fleet survives a kill/restore cycle — every shard
+// answers identically before and after, including under interleaved
+// post-restore updates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "metric/metric.h"
+#include "sequential/jones_fair_center.h"
+#include "serving/shard_manager.h"
+
+namespace fkc {
+namespace {
+
+const EuclideanMetric kMetric;
+const JonesFairCenter kJones;
+const char* kKeys[] = {"tenant-a", "tenant-b", "tenant-c"};
+
+std::vector<serving::KeyedPoint> KeyedStream(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<serving::KeyedPoint> stream;
+  for (int i = 0; i < n; ++i) {
+    serving::KeyedPoint kp;
+    kp.key = kKeys[rng.NextBounded(3)];
+    kp.point = Point({rng.NextUniform(0, 50), rng.NextUniform(0, 50)},
+                     static_cast<int>(rng.NextBounded(3)));
+    stream.push_back(std::move(kp));
+  }
+  return stream;
+}
+
+serving::ShardManagerOptions Options(int num_threads) {
+  serving::ShardManagerOptions options;
+  options.window.window_size = 60;
+  options.window.delta = 1.0;
+  options.window.adaptive_range = true;
+  options.num_threads = num_threads;
+  return options;
+}
+
+const ColorConstraint kConstraint({2, 1, 1});
+
+bool SameSolution(const FairCenterSolution& a, const FairCenterSolution& b) {
+  if (a.radius != b.radius || a.centers.size() != b.centers.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.centers.size(); ++i) {
+    if (a.centers[i].coords != b.centers[i].coords ||
+        a.centers[i].color != b.centers[i].color) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExpectSameAnswers(const std::vector<serving::ShardAnswer>& a,
+                       const std::vector<serving::ShardAnswer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    ASSERT_EQ(a[i].solution.ok(), b[i].solution.ok()) << a[i].key;
+    if (a[i].solution.ok()) {
+      EXPECT_TRUE(
+          SameSolution(a[i].solution.value(), b[i].solution.value()))
+          << a[i].key;
+    }
+    EXPECT_EQ(a[i].stats.guess, b[i].stats.guess) << a[i].key;
+    EXPECT_EQ(a[i].stats.coreset_size, b[i].stats.coreset_size) << a[i].key;
+    EXPECT_EQ(a[i].stats.guesses_inspected, b[i].stats.guesses_inspected)
+        << a[i].key;
+  }
+}
+
+TEST(ShardManagerTest, RoutesByKeyLikeStandaloneWindows) {
+  const auto stream = KeyedStream(200, 7);
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) manager.Ingest(kp.key, kp.point);
+
+  for (const char* key : kKeys) {
+    FairCenterSlidingWindow standalone(Options(1).window, kConstraint,
+                                       &kMetric, &kJones);
+    for (const auto& kp : stream) {
+      if (kp.key == key) standalone.Update(kp.point);
+    }
+    ASSERT_NE(manager.shard(key), nullptr);
+    EXPECT_EQ(manager.shard(key)->SerializeState(),
+              standalone.SerializeState())
+        << key;
+  }
+}
+
+TEST(ShardManagerTest, IngestBatchMatchesPerPointIngestAtAnyThreadCount) {
+  const auto stream = KeyedStream(300, 11);
+  serving::ShardManager reference(Options(1), kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) reference.Ingest(kp.key, kp.point);
+
+  for (int threads : {1, 4}) {
+    serving::ShardManager batched(Options(threads), kConstraint, &kMetric,
+                                  &kJones);
+    for (size_t start = 0; start < stream.size(); start += 48) {
+      std::vector<serving::KeyedPoint> batch(
+          stream.begin() + start,
+          stream.begin() + std::min(start + 48, stream.size()));
+      batched.IngestBatch(std::move(batch));
+    }
+    ASSERT_EQ(batched.Keys(), reference.Keys());
+    for (const std::string& key : reference.Keys()) {
+      EXPECT_EQ(batched.shard(key)->SerializeState(),
+                reference.shard(key)->SerializeState())
+          << key << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ShardManagerTest, QueryAllMatchesPerShardQueries) {
+  const auto stream = KeyedStream(240, 13);
+  serving::ShardManager fanout(Options(4), kConstraint, &kMetric, &kJones);
+  serving::ShardManager single(Options(1), kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) {
+    fanout.Ingest(kp.key, kp.point);
+    single.Ingest(kp.key, kp.point);
+  }
+
+  const auto answers = fanout.QueryAll();
+  ASSERT_EQ(answers.size(), single.shard_count());
+  for (const auto& answer : answers) {
+    QueryStats stats;
+    auto expected = single.Query(answer.key, &stats);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(answer.solution.ok());
+    EXPECT_TRUE(SameSolution(answer.solution.value(), expected.value()))
+        << answer.key;
+    EXPECT_EQ(answer.stats.guess, stats.guess);
+    EXPECT_EQ(answer.stats.coreset_size, stats.coreset_size);
+    EXPECT_EQ(answer.stats.guesses_inspected, stats.guesses_inspected);
+  }
+}
+
+TEST(ShardManagerTest, QueryUnknownKeyIsNotFound) {
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  auto result = manager.Query("never-seen");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// The acceptance criterion: checkpoint all shards, reconstruct, and answer
+// queries identically — also after further interleaved per-shard updates.
+TEST(ShardManagerTest, SurvivesKillRestoreCycle) {
+  const auto stream = KeyedStream(320, 17);
+  const auto more = KeyedStream(160, 19);
+
+  serving::ShardManager original(Options(2), kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) original.Ingest(kp.key, kp.point);
+  const auto before = original.QueryAll();
+
+  const std::string blob = original.CheckpointAll();
+  auto restored =
+      serving::ShardManager::Restore(blob, &kMetric, &kJones, /*threads=*/4);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().shard_count(), original.shard_count());
+
+  // Identical answers immediately after restore.
+  ExpectSameAnswers(before, restored.value().QueryAll());
+
+  // Identical behaviour under further interleaved per-shard updates.
+  for (const auto& kp : more) {
+    original.Ingest(kp.key, kp.point);
+    restored.value().Ingest(kp.key, kp.point);
+  }
+  ExpectSameAnswers(original.QueryAll(), restored.value().QueryAll());
+  for (const std::string& key : original.Keys()) {
+    EXPECT_EQ(original.shard(key)->SerializeState(),
+              restored.value().shard(key)->SerializeState())
+        << key;
+  }
+}
+
+// The restored manager keeps the window template: tenants first seen after
+// the restore get a shard with the same configuration.
+TEST(ShardManagerTest, NewTenantAfterRestoreUsesTemplate) {
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  manager.Ingest("tenant-a", Point({1.0, 2.0}, 0));
+  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+                                                 &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok());
+  restored.value().Ingest("tenant-new", Point({3.0, 4.0}, 1));
+  ASSERT_NE(restored.value().shard("tenant-new"), nullptr);
+  EXPECT_EQ(restored.value().shard("tenant-new")->options().window_size,
+            Options(1).window.window_size);
+  EXPECT_EQ(restored.value().shard("tenant-new")->now(), 1);
+}
+
+TEST(ShardManagerTest, RestoreRejectsGarbage) {
+  auto bad_magic =
+      serving::ShardManager::Restore("not-a-checkpoint 1 2 3", &kMetric,
+                                     &kJones);
+  EXPECT_FALSE(bad_magic.ok());
+
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  manager.Ingest("tenant-a", Point({1.0, 2.0}, 0));
+  std::string truncated = manager.CheckpointAll();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(
+      serving::ShardManager::Restore(truncated, &kMetric, &kJones).ok());
+}
+
+// Keys are raw bytes: spaces and separators must round-trip.
+TEST(ShardManagerTest, AwkwardKeysRoundTrip) {
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  const std::string awkward = "tenant 7\twith spaces";
+  manager.Ingest(awkward, Point({1.0, 1.0}, 0));
+  manager.Ingest(awkward, Point({2.0, 2.0}, 1));
+  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+                                                 &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_NE(restored.value().shard(awkward), nullptr);
+  EXPECT_EQ(restored.value().shard(awkward)->SerializeState(),
+            manager.shard(awkward)->SerializeState());
+}
+
+}  // namespace
+}  // namespace fkc

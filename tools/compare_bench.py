@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compares a fresh micro_kernels run against the committed baseline.
+
+Only wall-time-STABLE metrics are compared: the deterministic counters the
+engine benches emit (distance calls per arrival, expiry sweeps per arrival,
+query selection diagnostics). Nanosecond timings are machine-dependent and
+deliberately ignored — the baseline was recorded on a different box than CI.
+
+Usage:
+  python3 tools/compare_bench.py BENCH_micro_kernels.json new.json \
+      [--max-regression 0.20]
+
+Exit code 1 when any stable counter moved by more than --max-regression
+relative to the baseline, or when a baseline benchmark with stable counters
+disappeared from the new run (dropped coverage hides regressions).
+New benchmarks absent from the baseline are reported but pass: they become
+baseline on the next regeneration.
+"""
+
+import argparse
+import json
+import sys
+
+# Counter-name prefixes considered machine-independent.
+STABLE_PREFIXES = (
+    "distance_calls",
+    "expiry_sweeps",
+    "guesses_inspected",
+    "coreset_size",
+)
+
+
+def stable_counters(entry):
+    """The wall-time-stable counters of one google-benchmark JSON entry."""
+    out = {}
+    for key, value in entry.items():
+        if isinstance(value, (int, float)) and key.startswith(STABLE_PREFIXES):
+            out[key] = float(value)
+    return out
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        entry["name"]: entry
+        for entry in data.get("benchmarks", [])
+        if entry.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="max allowed relative change of a stable counter")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.new)
+
+    failures = []
+    compared = 0
+    for name, base_entry in sorted(baseline.items()):
+        base_counters = stable_counters(base_entry)
+        if not base_counters:
+            continue  # timing-only entry: nothing stable to compare
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline but missing from "
+                            "the new run (dropped bench coverage)")
+            continue
+        new_counters = stable_counters(fresh[name])
+        for counter, base_value in sorted(base_counters.items()):
+            if counter not in new_counters:
+                failures.append(f"{name}/{counter}: counter disappeared")
+                continue
+            new_value = new_counters[counter]
+            compared += 1
+            if base_value == 0.0:
+                rel = 0.0 if new_value == 0.0 else float("inf")
+            else:
+                rel = abs(new_value - base_value) / abs(base_value)
+            marker = "FAIL" if rel > args.max_regression else "ok"
+            print(f"[{marker}] {name}/{counter}: "
+                  f"{base_value:.4g} -> {new_value:.4g} ({rel:+.1%})")
+            if rel > args.max_regression:
+                failures.append(
+                    f"{name}/{counter}: {base_value:.4g} -> {new_value:.4g} "
+                    f"moved {rel:.1%} (limit {args.max_regression:.0%})")
+
+    for name in sorted(set(fresh) - set(baseline)):
+        if stable_counters(fresh[name]):
+            print(f"[new ] {name}: not in baseline yet (will be on next "
+                  "regeneration)")
+
+    if compared == 0:
+        print("error: no stable counters in the baseline — regenerate it "
+              "with the current micro_kernels", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} perf-counter regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} stable counters within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
