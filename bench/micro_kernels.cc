@@ -20,8 +20,10 @@
 #include "datasets/blobs.h"
 #include "matching/capacitated_matching.h"
 #include "matching/hopcroft_karp.h"
+#include "metric/coordinate_pool.h"
 #include "metric/counting_metric.h"
 #include "metric/metric.h"
+#include "metric/simd_kernels.h"
 #include "sequential/chen_matroid_center.h"
 #include "sequential/gonzalez.h"
 #include "sequential/jones_fair_center.h"
@@ -64,7 +66,8 @@ void BM_AttractorScanScalar(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_AttractorScanScalar)
-    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64});
+    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64})
+    ->Args({16, 64})->Args({16, 512})->Args({64, 64})->Args({64, 512});
 
 void BM_AttractorScanBatched(benchmark::State& state) {
   const EuclideanMetric concrete;
@@ -81,7 +84,64 @@ void BM_AttractorScanBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_AttractorScanBatched)
-    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64});
+    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64})
+    ->Args({16, 64})->Args({16, 512})->Args({64, 64})->Args({64, 512});
+
+// The same scan through the SoA coordinate pool, by kernel tier: the scalar
+// reference kernels (dim-major layout alone) versus whatever SIMD set
+// runtime dispatch picked (AVX-512 > AVX2 > scalar; cap with FKC_SIMD).
+// The d=16/d=64 ladders are the headline speedup comparison against
+// BM_AttractorScanBatched at identical args. Args: {dim, set size}.
+void RunSoAScan(benchmark::State& state, const simd::KernelSet& kernels) {
+  const int dim = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto points = MakePoints(n + 1, dim);
+  CoordinatePool pool(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) pool.Append(points[i + 1]);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    kernels.euclidean(points[0].coords.data(), pool.Row(0), pool.stride(),
+                      pool.dim(), pool.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kernels.name);
+}
+
+void BM_AttractorScanSoAScalar(benchmark::State& state) {
+  RunSoAScan(state, simd::ScalarKernels());
+}
+BENCHMARK(BM_AttractorScanSoAScalar)
+    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64})
+    ->Args({16, 64})->Args({16, 512})->Args({64, 64})->Args({64, 512});
+
+void BM_AttractorScanSoASimd(benchmark::State& state) {
+  RunSoAScan(state, simd::ActiveKernels());
+}
+BENCHMARK(BM_AttractorScanSoASimd)
+    ->Args({3, 16})->Args({3, 128})->Args({7, 64})->Args({54, 64})
+    ->Args({16, 64})->Args({16, 512})->Args({64, 64})->Args({64, 512});
+
+// End-to-end variant through the virtual entry point, exactly as
+// GuessStructure::Update calls it (dispatch + pool bookkeeping included).
+void BM_AttractorScanSoAMetric(benchmark::State& state) {
+  const EuclideanMetric concrete;
+  const Metric& metric = concrete;
+  const int dim = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto points = MakePoints(n + 1, dim);
+  CoordinatePool pool(static_cast<size_t>(dim));
+  for (int i = 0; i < n; ++i) pool.Append(points[i + 1]);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    metric.DistanceSoA(points[0], pool, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(simd::ActiveKernels().name);
+}
+BENCHMARK(BM_AttractorScanSoAMetric)
+    ->Args({16, 64})->Args({16, 512})->Args({64, 64})->Args({64, 512});
 
 void BM_Gonzalez(benchmark::State& state) {
   const EuclideanMetric metric;
@@ -267,6 +327,40 @@ void RunQueryBench(benchmark::State& state, int num_threads) {
       static_cast<double>(stats.guesses_inspected);
   state.counters["coreset_size"] = static_cast<double>(stats.coreset_size);
 }
+
+// Fixed-work distance-call ledger: exactly 6000 arrivals then 10 query
+// plans through a CountingMetric, reported as run totals. Unlike the
+// steady-state per-arrival counters above — which depend on where the
+// benchmark's timing window lands in the stream and so wobble between runs
+// — these totals are bit-exact for a given build and must be IDENTICAL
+// across kernel widths: the CI perf job compares them at 0% tolerance
+// between an FKC_SIMD=scalar run and the dispatched SIMD run.
+void BM_DistanceCallLedger(benchmark::State& state) {
+  const auto points = MakePoints(6000, 3, 7);
+  CountingMetric counting(&EngineMetric());
+  auto window = MakeEngineWindow(/*num_threads=*/1, &counting);
+  for (const Point& p : points) window.Update(p);
+  const int64_t update_calls = counting.count();
+  counting.Reset();
+  int64_t plan_coreset = 0;
+  for (int q = 0; q < 10; ++q) {
+    auto plan = window.PlanQuery();
+    plan_coreset += plan.ok() ? plan.value().stats.coreset_size : -1;
+  }
+  const int64_t query_calls = counting.count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&window);
+  }
+  state.SetLabel(simd::ActiveKernels().name);
+  state.counters["distance_calls_total_update"] =
+      static_cast<double>(update_calls);
+  state.counters["distance_calls_total_query"] =
+      static_cast<double>(query_calls);
+  state.counters["expiry_sweeps_total"] =
+      static_cast<double>(window.ExpirySweeps());
+  state.counters["coreset_size_planned"] = static_cast<double>(plan_coreset);
+}
+BENCHMARK(BM_DistanceCallLedger);
 
 void BM_QueryEngineSequential(benchmark::State& state) {
   RunQueryBench(state, /*num_threads=*/1);

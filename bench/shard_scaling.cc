@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "metric/simd_kernels.h"
 #include "sequential/jones_fair_center.h"
 #include "serving/shard_manager.h"
 #include "stream/window_driver.h"
@@ -128,6 +129,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n  \"bench\": \"shard_scaling\",\n";
+  out << "  \"simd_kernels\": \"" << fkc::simd::ActiveKernels().name
+      << "\",\n";
   out << "  \"dataset\": \"" << dataset << "\",\n";
   out << "  \"points\": " << points << ",\n  \"window\": " << window
       << ",\n  \"batch\": " << batch << ",\n  \"threads\": " << num_threads

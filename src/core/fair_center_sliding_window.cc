@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "metric/coordinate_pool.h"
 
 namespace fkc {
 namespace {
@@ -232,11 +234,27 @@ bool FairCenterSlidingWindow::GuessPasses(const GuessStructure& guess) const {
   if (!guess.IsValid()) return false;
   const int k = constraint_.TotalK();
   const double threshold = 2.0 * guess.gamma();
-  std::vector<Point> cover;
-  for (const Point& q : guess.ValidationPoints()) {
-    if (cover.empty() || DistanceToSet(*metric_, q, cover) > threshold) {
-      cover.push_back(q);
-      if (static_cast<int>(cover.size()) > k) return false;
+  const std::vector<Point> rv = guess.ValidationPoints();
+  if (rv.empty()) return true;
+
+  // Greedy 2*gamma cover over RV through the SoA kernels: a transient
+  // dim-major pool over the validation points, one vectorized row per
+  // selected center, min-accumulated into per-point cover distances. A point
+  // joins the cover exactly when the original scalar scan would have
+  // (min-over-centers compares the same bit-identical distances), so the
+  // accepted guess — and every determinism contract above it — is unchanged.
+  CoordinatePool pool(rv[0].dimension());
+  for (const Point& q : rv) pool.Append(q);
+  std::vector<double> cover_dist(rv.size(),
+                                 std::numeric_limits<double>::infinity());
+  std::vector<double> row(rv.size());
+  int cover_size = 0;
+  for (size_t i = 0; i < rv.size(); ++i) {
+    if (cover_dist[i] <= threshold) continue;  // already covered
+    if (++cover_size > k) return false;
+    metric_->DistanceSoA(rv[i], pool, row.data());
+    for (size_t j = 0; j < rv.size(); ++j) {
+      cover_dist[j] = std::min(cover_dist[j], row[j]);
     }
   }
   return true;

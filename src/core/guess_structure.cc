@@ -28,11 +28,40 @@ void GuessStructure::ExpireOnly(int64_t now) {
   // on all stored arrivals, so state stays bit-identical to sweeping always.
   if (oldest_arrival_ > now - window_size_) return;
   ++expiry_sweeps_;
+  // The pools mirror the entry vectors by dense position, so compaction must
+  // run off the same predicate ExpireEntries applies, before the entries
+  // themselves shift.
+  const auto attractor_expired = [&](const AttractorEntry& entry) {
+    return !IsActive(entry.attractor, now, window_size_);
+  };
+  RemovePoolEntries(&v_pool_, v_entries_, attractor_expired);
+  RemovePoolEntries(&c_pool_, c_entries_, attractor_expired);
   ExpireEntries(&v_entries_, &v_orphans_, now, window_size_);
   ExpirePoints(&v_orphans_, now, window_size_);
   ExpireEntries(&c_entries_, &c_orphans_, now, window_size_);
   ExpirePoints(&c_orphans_, now, window_size_);
+  FKC_CHECK_EQ(v_pool_.size(), v_entries_.size());
+  FKC_CHECK_EQ(c_pool_.size(), c_entries_.size());
   RecomputeOldestArrival();
+}
+
+void GuessStructure::AppendAttractorCoords(CoordinatePool* pool,
+                                           const Point& p) {
+  if (pool->empty() && pool->dim() != p.dimension()) {
+    pool->ResetDim(p.dimension());
+  }
+  pool->Append(p);
+}
+
+void GuessStructure::RebuildPools() {
+  v_pool_.Clear();
+  c_pool_.Clear();
+  for (const AttractorEntry& entry : v_entries_) {
+    AppendAttractorCoords(&v_pool_, entry.attractor);
+  }
+  for (const AttractorEntry& entry : c_entries_) {
+    AppendAttractorCoords(&c_pool_, entry.attractor);
+  }
 }
 
 void GuessStructure::RecomputeOldestArrival() {
@@ -62,16 +91,15 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
   oldest_arrival_ = std::min(oldest_arrival_, p.arrival);
 
   // --- Validation phase: assign p to a v-attractor (lines 1-10). ---
-  // One batched kernel call evaluates every attractor distance; the observer
-  // sees them in storage order, exactly as the scalar loop did. This trades
-  // the old no-observer early exit (worth at most |AV| <= k+2 evaluations)
-  // for the batch kernel's throughput; CountingMetric totals are
-  // correspondingly a constant higher than a per-pair early-exit scan.
+  // One SoA kernel call over the dim-major attractor pool evaluates every
+  // attractor distance; the observer sees them in storage order, exactly as
+  // the scalar loop did. This trades the old no-observer early exit (worth
+  // at most |AV| <= k+2 evaluations) for the vector kernel's throughput;
+  // CountingMetric totals are correspondingly a constant higher than a
+  // per-pair early-exit scan.
   const size_t nv = v_entries_.size();
-  scratch_ptrs_.resize(nv);
   scratch_dists_.resize(nv);
-  for (size_t i = 0; i < nv; ++i) scratch_ptrs_[i] = &v_entries_[i].attractor;
-  metric.DistanceMany(p, scratch_ptrs_.data(), nv, scratch_dists_.data());
+  metric.DistanceSoA(p, v_pool_, scratch_dists_.data());
   if (observer != nullptr) {
     for (size_t i = 0; i < nv; ++i) {
       observer->ObserveDistance(scratch_dists_[i]);
@@ -89,6 +117,7 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
   if (v_target == -1) {
     // p becomes a new v-attractor and its own representative.
     v_entries_.push_back(AttractorEntry{p, {p}});
+    AppendAttractorCoords(&v_pool_, p);
     Cleanup(now);
   } else {
     AttractorEntry& entry = v_entries_[v_target];
@@ -122,10 +151,8 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
 
   const double c_threshold = delta_ * gamma_ / 2.0;
   const size_t nc = c_entries_.size();
-  scratch_ptrs_.resize(nc);
   scratch_dists_.resize(nc);
-  for (size_t i = 0; i < nc; ++i) scratch_ptrs_[i] = &c_entries_[i].attractor;
-  metric.DistanceMany(p, scratch_ptrs_.data(), nc, scratch_dists_.data());
+  metric.DistanceSoA(p, c_pool_, scratch_dists_.data());
   int c_target = -1;
   int c_target_count = std::numeric_limits<int>::max();
   for (size_t i = 0; i < nc; ++i) {
@@ -139,6 +166,7 @@ void GuessStructure::Update(const Point& p, int64_t now, const Metric& metric,
   }
   if (c_target == -1) {
     c_entries_.push_back(AttractorEntry{p, {p}});
+    AppendAttractorCoords(&c_pool_, p);
   } else {
     AddRepresentativeWithCap(&c_entries_[c_target], p,
                              constraint_.cap(p.color));
@@ -162,6 +190,7 @@ void GuessStructure::Cleanup(int64_t now) {
     for (Point& rep : v_entries_[victim].representatives) {
       v_orphans_.push_back(std::move(rep));
     }
+    v_pool_.Remove(v_pool_.SlotAt(victim));
     v_entries_.erase(v_entries_.begin() + victim);
   }
 
@@ -174,8 +203,12 @@ void GuessStructure::Cleanup(int64_t now) {
       threshold = std::min(threshold, entry.attractor.arrival);
     }
     DropPointsOlderThan(&v_orphans_, threshold);
+    RemovePoolEntries(&c_pool_, c_entries_, [&](const AttractorEntry& entry) {
+      return entry.attractor.arrival < threshold;
+    });
     DropEntriesOlderThan(&c_entries_, &c_orphans_, threshold);
     DropPointsOlderThan(&c_orphans_, threshold);
+    FKC_CHECK_EQ(c_pool_.size(), c_entries_.size());
   }
 }
 

@@ -20,6 +20,7 @@
 #include "core/attractor_set.h"
 #include "core/memory_footprint.h"
 #include "matroid/color_constraint.h"
+#include "metric/coordinate_pool.h"
 #include "metric/metric.h"
 #include "metric/point.h"
 
@@ -107,6 +108,7 @@ class GuessStructure {
     v_orphans_ = std::move(v_orphans);
     c_entries_ = std::move(c_entries);
     c_orphans_ = std::move(c_orphans);
+    RebuildPools();
     RecomputeOldestArrival();
   }
 
@@ -120,6 +122,33 @@ class GuessStructure {
   /// Resets the expiry watermark to the exact minimum stored arrival
   /// (INT64_MAX when nothing is stored).
   void RecomputeOldestArrival();
+
+  /// Appends `p` to `pool`, (re)dimensioning an empty pool first so the
+  /// first attractor of a stream fixes the pool's dimension.
+  static void AppendAttractorCoords(CoordinatePool* pool, const Point& p);
+
+  /// Rebuilds both pools from the entry vectors (checkpoint restore — the
+  /// only mutation path where incremental maintenance has nothing to work
+  /// from).
+  void RebuildPools();
+
+  /// Removes from `pool` every dense position whose entry `predicate(entry)`
+  /// says is about to be removed from `entries`, keeping pool dense order ==
+  /// entry order. Must run BEFORE the entry vector itself is compacted.
+  template <typename Predicate>
+  void RemovePoolEntries(CoordinatePool* pool,
+                         const std::vector<AttractorEntry>& entries,
+                         Predicate predicate) {
+    const size_t n = entries.size();
+    if (n == 0) return;
+    scratch_mask_.resize(n);
+    bool any = false;
+    for (size_t i = 0; i < n; ++i) {
+      scratch_mask_[i] = predicate(entries[i]) ? 1 : 0;
+      any |= scratch_mask_[i] != 0;
+    }
+    if (any) pool->RemoveMasked(scratch_mask_);
+  }
 
   double gamma_;
   double delta_;
@@ -135,11 +164,17 @@ class GuessStructure {
   std::vector<AttractorEntry> c_entries_;
   std::vector<Point> c_orphans_;
 
+  // Dim-major mirrors of the attractor coordinates (dense position i ==
+  // entries[i]), feeding the vectorized Metric::DistanceSoA scans. Derived
+  // state — rebuilt on restore, never serialized.
+  CoordinatePool v_pool_;
+  CoordinatePool c_pool_;
+
   // Reusable scratch for the batched attractor scans (transient — never
   // serialized). Kept per-structure so ladder updates can run in parallel
   // without sharing buffers.
-  std::vector<const Point*> scratch_ptrs_;
   std::vector<double> scratch_dists_;
+  std::vector<unsigned char> scratch_mask_;
 
   // Expiry watermark: a lower bound on the arrival of every stored point.
   // While it proves all stored points active, ExpireOnly is O(1). Removals

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "metric/coordinate_pool.h"
 #include "metric/metric.h"
 
 namespace fkc {
@@ -32,6 +33,17 @@ class CountingMetric final : public Metric {
                     double* out) const override {
     count_.fetch_add(static_cast<int64_t>(count), std::memory_order_relaxed);
     inner_->DistanceMany(p, points, count, out);
+  }
+
+  /// SoA scans count exactly like per-pair calls: one increment per stored
+  /// point, whatever kernel width the inner metric dispatches to. This keeps
+  /// the Theorem-3 complexity tests and the CI perf counters identical
+  /// across scalar, AVX2, and AVX-512 runs.
+  void DistanceSoA(const Point& p, const CoordinatePool& pool,
+                   double* out) const override {
+    count_.fetch_add(static_cast<int64_t>(pool.size()),
+                     std::memory_order_relaxed);
+    inner_->DistanceSoA(p, pool, out);
   }
 
   std::string Name() const override {

@@ -4,12 +4,61 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "metric/coordinate_pool.h"
+#include "metric/simd_kernels.h"
 
 namespace fkc {
 
 void Metric::DistanceMany(const Point& p, const Point* const* points,
                           size_t count, double* out) const {
   for (size_t i = 0; i < count; ++i) out[i] = Distance(p, *points[i]);
+}
+
+void Metric::DistanceSoA(const Point& p, const CoordinatePool& pool,
+                         double* out) const {
+  // Generic fallback: gather each dim-major column back into a point and go
+  // through the virtual Distance. One scratch point reused across columns.
+  if (pool.empty()) return;  // a never-filled pool has no dimension yet
+  FKC_CHECK_EQ(p.coords.size(), pool.dim());
+  Point scratch;
+  scratch.coords.resize(pool.dim());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t d = 0; d < pool.dim(); ++d) {
+      scratch.coords[d] = pool.At(i, d);
+    }
+    out[i] = Distance(p, scratch);
+  }
+}
+
+namespace {
+
+/// Shared prologue of the built-in SoA overrides: dimension check plus the
+/// raw kernel call (row 0 is the base of the dim-major buffer; rows are
+/// stride() apart and zero-padded to a lane multiple, so kernels may always
+/// load full vectors).
+inline void RunSoAKernel(simd::DistanceKernel kernel, const Point& p,
+                         const CoordinatePool& pool, double* out) {
+  if (pool.empty()) return;  // a never-filled pool has no dimension yet
+  FKC_CHECK_EQ(p.coords.size(), pool.dim());
+  kernel(p.coords.data(), pool.Row(0), pool.stride(), pool.dim(), pool.size(),
+         out);
+}
+
+}  // namespace
+
+void EuclideanMetric::DistanceSoA(const Point& p, const CoordinatePool& pool,
+                                  double* out) const {
+  RunSoAKernel(simd::ActiveKernels().euclidean, p, pool, out);
+}
+
+void ManhattanMetric::DistanceSoA(const Point& p, const CoordinatePool& pool,
+                                  double* out) const {
+  RunSoAKernel(simd::ActiveKernels().manhattan, p, pool, out);
+}
+
+void ChebyshevMetric::DistanceSoA(const Point& p, const CoordinatePool& pool,
+                                  double* out) const {
+  RunSoAKernel(simd::ActiveKernels().chebyshev, p, pool, out);
 }
 
 double EuclideanMetric::Distance(const Point& a, const Point& b) const {

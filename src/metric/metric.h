@@ -12,6 +12,8 @@
 
 namespace fkc {
 
+class CoordinatePool;
+
 /// Distance oracle over Points. Implementations must satisfy the metric
 /// axioms (identity, symmetry, triangle inequality) — the approximation
 /// guarantees of every algorithm in this library depend on them.
@@ -34,6 +36,23 @@ class Metric {
   virtual void DistanceMany(const Point& p, const Point* const* points,
                             size_t count, double* out) const;
 
+  /// Structure-of-arrays kernel for the streaming hot loop: out[i] = d(p,
+  /// pool column i) for every dense position i in [0, pool.size()). The
+  /// dim-major, lane-padded CoordinatePool layout lets the built-in metrics
+  /// dispatch to the vectorized kernels in simd_kernels.h; the base
+  /// implementation gathers each column and calls Distance, so custom
+  /// metrics stay correct without opting in — PROVIDED the metric depends on
+  /// coordinates only. The pool stores no color/arrival/id, so a Distance
+  /// that consults those fields must override DistanceSoA itself (the
+  /// streaming core routes all attractor scans through here).
+  ///
+  /// Contract: identical to DistanceMany — every out[i] must be bit-identical
+  /// to Distance(p, column i). The SIMD kernels honor this by giving each
+  /// vector lane exactly one pair and accumulating that pair's terms in
+  /// ascending dimension order (see simd_kernels.h).
+  virtual void DistanceSoA(const Point& p, const CoordinatePool& pool,
+                           double* out) const;
+
   virtual std::string Name() const = 0;
 };
 
@@ -43,6 +62,8 @@ class EuclideanMetric final : public Metric {
   double Distance(const Point& a, const Point& b) const override;
   void DistanceMany(const Point& p, const Point* const* points, size_t count,
                     double* out) const override;
+  void DistanceSoA(const Point& p, const CoordinatePool& pool,
+                   double* out) const override;
   std::string Name() const override { return "euclidean"; }
 };
 
@@ -52,6 +73,8 @@ class ManhattanMetric final : public Metric {
   double Distance(const Point& a, const Point& b) const override;
   void DistanceMany(const Point& p, const Point* const* points, size_t count,
                     double* out) const override;
+  void DistanceSoA(const Point& p, const CoordinatePool& pool,
+                   double* out) const override;
   std::string Name() const override { return "manhattan"; }
 };
 
@@ -61,6 +84,8 @@ class ChebyshevMetric final : public Metric {
   double Distance(const Point& a, const Point& b) const override;
   void DistanceMany(const Point& p, const Point* const* points, size_t count,
                     double* out) const override;
+  void DistanceSoA(const Point& p, const CoordinatePool& pool,
+                   double* out) const override;
   std::string Name() const override { return "chebyshev"; }
 };
 

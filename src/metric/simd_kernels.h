@@ -1,0 +1,75 @@
+// Vectorized distance kernels over the dim-major CoordinatePool layout,
+// with runtime CPU dispatch.
+//
+// Kernel contract — bit-identical lane-per-pair accumulation:
+//   out[i] = metric(query, column i of `data`) for i in [0, count), where
+//   `data` is a dim-major matrix (row d starts at data + d * stride) and
+//   every row is readable up to RoundUpToLanes(count) doubles (the
+//   CoordinatePool guarantees this via zeroed lane padding).
+//
+// Each SIMD lane owns exactly one (query, point) pair and accumulates that
+// pair's terms over dimensions in ascending order — the same per-pair
+// summation order as the scalar loop. Vector width therefore changes only
+// *which pairs run together*, never any pair's rounding, so scalar, AVX2,
+// and AVX-512 kernels return bit-identical doubles (verified by
+// tests/simd_kernel_test.cc). The kernel translation units are compiled
+// with FP contraction off: a fused multiply-add would skip the
+// intermediate rounding of the scalar `sum += diff * diff`.
+//
+// One binary runs everywhere: only the AVX2/AVX-512 translation units are
+// built with -mavx2/-mavx512f, and ActiveKernels() selects the widest
+// variant the running CPU reports (cpuid via __builtin_cpu_supports),
+// falling back to the always-present scalar set on non-x86 builds.
+#ifndef FKC_METRIC_SIMD_KERNELS_H_
+#define FKC_METRIC_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metric/coordinate_pool.h"
+
+namespace fkc {
+namespace simd {
+
+/// out[i] = distance(query, data column i); see the file comment for the
+/// layout and padding contract.
+using DistanceKernel = void (*)(const double* query, const double* data,
+                                size_t stride, size_t dim, size_t count,
+                                double* out);
+
+/// One kernel per built-in metric, all of one vector width.
+struct KernelSet {
+  const char* name;  ///< "scalar", "avx2", "avx512"
+  size_t lanes;      ///< pairs processed per vector
+  DistanceKernel euclidean;
+  DistanceKernel manhattan;
+  DistanceKernel chebyshev;
+};
+
+/// Rows must be readable (not meaningful) up to this many doubles.
+constexpr size_t RoundUpToLanes(size_t count) {
+  return (count + CoordinatePool::kLaneAlign - 1) / CoordinatePool::kLaneAlign *
+         CoordinatePool::kLaneAlign;
+}
+
+/// The portable reference kernels; always available.
+const KernelSet& ScalarKernels();
+
+/// Every kernel set compiled into this binary, scalar first. Sets beyond
+/// what the running CPU supports are included (for enumeration) — check
+/// CpuSupports before calling one.
+std::vector<const KernelSet*> CompiledKernelSets();
+
+/// True when the running CPU can execute `set`.
+bool CpuSupports(const KernelSet& set);
+
+/// The widest compiled set the running CPU supports. The FKC_SIMD
+/// environment variable ("scalar", "avx2", "avx512") caps or forces the
+/// choice (unsupported requests fall back to the widest supported set);
+/// read once at first call.
+const KernelSet& ActiveKernels();
+
+}  // namespace simd
+}  // namespace fkc
+
+#endif  // FKC_METRIC_SIMD_KERNELS_H_

@@ -1,0 +1,147 @@
+// Portable reference kernels + runtime CPU dispatch. This translation unit
+// is built with the project's baseline flags (no -mavx*), so the scalar
+// path — and the dispatch logic itself — runs on any target.
+#include "metric/simd_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fkc {
+namespace simd {
+
+namespace internal {
+// Defined in the per-ISA translation units; only referenced when the build
+// compiled them in (CMake defines FKC_HAVE_AVX2 / FKC_HAVE_AVX512F).
+const KernelSet& Avx2KernelSetImpl();
+const KernelSet& Avx512KernelSetImpl();
+}  // namespace internal
+
+namespace {
+
+// Dimension-outer, point-inner traversal: each pass streams one contiguous
+// row, and out[i] carries pair i's running sum — ascending-dimension
+// accumulation per pair, exactly like the scalar Distance loop (and
+// auto-vectorizable without changing any pair's rounding).
+void EuclideanScalar(const double* query, const double* data, size_t stride,
+                     size_t dim, size_t count, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double* row = data + d * stride;
+    const double qd = query[d];
+    for (size_t i = 0; i < count; ++i) {
+      const double diff = qd - row[i];
+      out[i] += diff * diff;
+    }
+  }
+  for (size_t i = 0; i < count; ++i) out[i] = std::sqrt(out[i]);
+}
+
+void ManhattanScalar(const double* query, const double* data, size_t stride,
+                     size_t dim, size_t count, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double* row = data + d * stride;
+    const double qd = query[d];
+    for (size_t i = 0; i < count; ++i) {
+      out[i] += std::fabs(qd - row[i]);
+    }
+  }
+}
+
+void ChebyshevScalar(const double* query, const double* data, size_t stride,
+                     size_t dim, size_t count, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double* row = data + d * stride;
+    const double qd = query[d];
+    for (size_t i = 0; i < count; ++i) {
+      const double diff = std::fabs(qd - row[i]);
+      if (diff > out[i]) out[i] = diff;
+    }
+  }
+}
+
+const KernelSet kScalarSet = {"scalar", 1, EuclideanScalar, ManhattanScalar,
+                              ChebyshevScalar};
+
+bool CpuHasAvx2() {
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512f() {
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelSet* PickActive() {
+  const char* env = std::getenv("FKC_SIMD");
+  const std::string want = env == nullptr ? "" : env;
+  if (want == "scalar") return &kScalarSet;
+  const KernelSet* best = &kScalarSet;
+  bool matched = want.empty();
+  for (const KernelSet* set : CompiledKernelSets()) {
+    if (want == set->name) matched = true;  // known name, maybe unsupported
+    if (!CpuSupports(*set)) continue;
+    if (want == set->name) return set;  // exact requested match
+    // A named-but-unsupported request falls back to the widest set.
+    if (set->lanes > best->lanes) best = set;
+  }
+  // Loud fallback: a typo like FKC_SIMD=Scalar silently running AVX-512
+  // would make any scalar-vs-SIMD comparison vacuous.
+  if (!matched) {
+    FKC_LOG(Warning) << "unrecognized FKC_SIMD='" << want
+                     << "' (compiled sets: scalar"
+#ifdef FKC_HAVE_AVX2
+                     << ", avx2"
+#endif
+#ifdef FKC_HAVE_AVX512F
+                     << ", avx512"
+#endif
+                     << "); using widest supported set '" << best->name << "'";
+  }
+  return best;
+}
+
+}  // namespace
+
+const KernelSet& ScalarKernels() { return kScalarSet; }
+
+std::vector<const KernelSet*> CompiledKernelSets() {
+  std::vector<const KernelSet*> sets = {&kScalarSet};
+#ifdef FKC_HAVE_AVX2
+  sets.push_back(&internal::Avx2KernelSetImpl());
+#endif
+#ifdef FKC_HAVE_AVX512F
+  sets.push_back(&internal::Avx512KernelSetImpl());
+#endif
+  return sets;
+}
+
+bool CpuSupports(const KernelSet& set) {
+  if (std::strcmp(set.name, "scalar") == 0) return true;
+  if (std::strcmp(set.name, "avx2") == 0) return CpuHasAvx2();
+  if (std::strcmp(set.name, "avx512") == 0) return CpuHasAvx512f();
+  return false;
+}
+
+const KernelSet& ActiveKernels() {
+  static const KernelSet* active = PickActive();
+  return *active;
+}
+
+}  // namespace simd
+}  // namespace fkc

@@ -310,6 +310,29 @@ TEST(RegistryTest, RealCsvPreferredOverSimulatorWhenPresent) {
             StatusCode::kInvalidArgument);
 }
 
+// The checked-in ~2k-row sample (datasets/ci_sample, see its README) keeps
+// the real-CSV ingest path exercised in CI without the download script: the
+// same LoadRealDataset entry the full-size prepared files go through.
+TEST(RegistryTest, CheckedInCiSampleLoadsThroughRealCsvPath) {
+#ifndef FKC_CI_SAMPLE_DIR
+  GTEST_SKIP() << "FKC_CI_SAMPLE_DIR not configured";
+#else
+  auto sample = datasets::LoadRealDataset("higgs", 2500, FKC_CI_SAMPLE_DIR);
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+  ASSERT_EQ(sample.value().points.size(), 2500u);  // 2000 rows cycled
+  EXPECT_EQ(sample.value().ell, 2);
+  std::set<int> colors;
+  for (const Point& p : sample.value().points) {
+    ASSERT_EQ(p.dimension(), 7u);
+    colors.insert(p.color);
+  }
+  EXPECT_EQ(colors.size(), 2u);
+  // Cycling semantics: row 2000 repeats row 0.
+  EXPECT_EQ(sample.value().points[2000].coords,
+            sample.value().points[0].coords);
+#endif
+}
+
 TEST(RegistryTest, StreamWrapsCycling) {
   auto dataset = MakeDataset("higgs", 10);
   ASSERT_TRUE(dataset.ok());

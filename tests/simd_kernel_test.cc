@@ -1,0 +1,318 @@
+// Bit-identity and invariant tests for the SoA distance engine: every
+// compiled SIMD kernel set must reproduce the scalar reference — and the
+// virtual per-pair Distance — bit for bit (lane-per-pair contract, see
+// simd_kernels.h), across awkward dimensions, counts that straddle vector
+// widths, and subnormal coordinates; and the CoordinatePool must hold its
+// layout invariants under arbitrary insert/remove/compaction churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "metric/coordinate_pool.h"
+#include "metric/counting_metric.h"
+#include "metric/metric.h"
+#include "metric/simd_kernels.h"
+
+namespace fkc {
+namespace {
+
+std::vector<Point> RandomPoints(size_t count, size_t dim, Rng* rng,
+                                double lo = -100.0, double hi = 100.0) {
+  std::vector<Point> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Coordinates coords(dim);
+    for (size_t d = 0; d < dim; ++d) coords[d] = rng->NextUniform(lo, hi);
+    points.emplace_back(std::move(coords), 0);
+  }
+  return points;
+}
+
+CoordinatePool PoolOf(const std::vector<Point>& points, size_t dim) {
+  CoordinatePool pool(dim);
+  for (const Point& p : points) pool.Append(p);
+  return pool;
+}
+
+// Runs `kernel` and the scalar reference over the same pool and requires the
+// outputs to be bit-identical (memcmp, not epsilon).
+void ExpectKernelMatchesScalar(simd::DistanceKernel kernel,
+                               simd::DistanceKernel scalar_kernel,
+                               const Point& query, const CoordinatePool& pool,
+                               const char* set_name, const char* metric_name) {
+  const size_t count = pool.size();
+  std::vector<double> got(count, -1.0), want(count, -1.0);
+  scalar_kernel(query.coords.data(), pool.Row(0), pool.stride(), pool.dim(),
+                count, want.data());
+  kernel(query.coords.data(), pool.Row(0), pool.stride(), pool.dim(), count,
+         got.data());
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(want[i], got[i])
+        << set_name << "/" << metric_name << " diverged at pair " << i
+        << " (dim=" << pool.dim() << ", count=" << count << ")";
+  }
+  EXPECT_EQ(std::memcmp(want.data(), got.data(), count * sizeof(double)), 0)
+      << set_name << "/" << metric_name << " not bit-identical";
+}
+
+TEST(SimdKernelTest, ScalarSetIsAlwaysPresentAndActiveIsSupported) {
+  const auto sets = simd::CompiledKernelSets();
+  ASSERT_FALSE(sets.empty());
+  EXPECT_EQ(sets[0], &simd::ScalarKernels());
+  EXPECT_TRUE(simd::CpuSupports(simd::ScalarKernels()));
+  EXPECT_TRUE(simd::CpuSupports(simd::ActiveKernels()));
+  EXPECT_GE(simd::ActiveKernels().lanes, 1u);
+}
+
+TEST(SimdKernelTest, CompiledSetsMatchScalarBitForBit) {
+  const size_t dims[] = {1, 3, 7, 53};
+  // Counts straddling every vector width: below, at, and just past 4 (AVX2)
+  // and 8 (AVX-512) lane boundaries, plus larger ragged tails.
+  const size_t counts[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100};
+  Rng rng(123);
+  for (size_t dim : dims) {
+    for (size_t count : counts) {
+      const auto stored = RandomPoints(count, dim, &rng);
+      const auto pool = PoolOf(stored, dim);
+      const Point query = RandomPoints(1, dim, &rng)[0];
+      for (const simd::KernelSet* set : simd::CompiledKernelSets()) {
+        if (!simd::CpuSupports(*set)) continue;
+        const auto& scalar = simd::ScalarKernels();
+        ExpectKernelMatchesScalar(set->euclidean, scalar.euclidean, query,
+                                  pool, set->name, "euclidean");
+        ExpectKernelMatchesScalar(set->manhattan, scalar.manhattan, query,
+                                  pool, set->name, "manhattan");
+        ExpectKernelMatchesScalar(set->chebyshev, scalar.chebyshev, query,
+                                  pool, set->name, "chebyshev");
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, SubnormalCoordinatesStayBitIdentical) {
+  // Differences in the subnormal range: vector units must not flush to zero
+  // (no DAZ/FTZ in a standard build) and must round exactly like the scalar
+  // path.
+  const size_t dim = 7, count = 13;
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  Rng rng(77);
+  CoordinatePool pool(dim);
+  std::vector<Point> stored;
+  for (size_t i = 0; i < count; ++i) {
+    Coordinates coords(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      coords[d] = static_cast<double>(rng.NextBounded(1000)) * tiny;
+    }
+    stored.emplace_back(std::move(coords), 0);
+    pool.Append(stored.back());
+  }
+  Coordinates query_coords(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    query_coords[d] = static_cast<double>(rng.NextBounded(1000)) * tiny;
+  }
+  const Point query(std::move(query_coords), 0);
+  for (const simd::KernelSet* set : simd::CompiledKernelSets()) {
+    if (!simd::CpuSupports(*set)) continue;
+    const auto& scalar = simd::ScalarKernels();
+    ExpectKernelMatchesScalar(set->euclidean, scalar.euclidean, query, pool,
+                              set->name, "euclidean");
+    ExpectKernelMatchesScalar(set->manhattan, scalar.manhattan, query, pool,
+                              set->name, "manhattan");
+    ExpectKernelMatchesScalar(set->chebyshev, scalar.chebyshev, query, pool,
+                              set->name, "chebyshev");
+  }
+}
+
+TEST(SimdKernelTest, DistanceSoAMatchesVirtualDistanceBitForBit) {
+  const EuclideanMetric euclidean;
+  const ManhattanMetric manhattan;
+  const ChebyshevMetric chebyshev;
+  const Metric* metrics[] = {&euclidean, &manhattan, &chebyshev};
+  Rng rng(31);
+  for (size_t dim : {1u, 3u, 16u, 53u}) {
+    for (size_t count : {1u, 5u, 9u, 40u}) {
+      const auto stored = RandomPoints(count, dim, &rng);
+      const auto pool = PoolOf(stored, dim);
+      const Point query = RandomPoints(1, dim, &rng)[0];
+      for (const Metric* metric : metrics) {
+        std::vector<double> soa(count, -1.0);
+        metric->DistanceSoA(query, pool, soa.data());
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(metric->Distance(query, stored[i]), soa[i])
+              << metric->Name() << " dim=" << dim << " pair " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, GenericMetricFallbackGathersColumns) {
+  // A metric that overrides nothing but Distance must still get correct SoA
+  // results through the base-class gather path.
+  class HalfEuclidean final : public Metric {
+   public:
+    double Distance(const Point& a, const Point& b) const override {
+      return 0.5 * base_.Distance(a, b);
+    }
+    std::string Name() const override { return "half"; }
+
+   private:
+    EuclideanMetric base_;
+  };
+  const HalfEuclidean metric;
+  Rng rng(9);
+  const auto stored = RandomPoints(11, 5, &rng);
+  const auto pool = PoolOf(stored, 5);
+  const Point query = RandomPoints(1, 5, &rng)[0];
+  std::vector<double> out(stored.size(), -1.0);
+  metric.DistanceSoA(query, pool, out.data());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_EQ(metric.Distance(query, stored[i]), out[i]);
+  }
+}
+
+TEST(SimdKernelTest, CountingMetricCountsOnePerPairOnSoA) {
+  const EuclideanMetric inner;
+  CountingMetric counting(&inner);
+  Rng rng(5);
+  const auto stored = RandomPoints(17, 4, &rng);
+  const auto pool = PoolOf(stored, 4);
+  const Point query = RandomPoints(1, 4, &rng)[0];
+  std::vector<double> out(stored.size());
+  counting.DistanceSoA(query, pool, out.data());
+  EXPECT_EQ(counting.count(), 17);
+  counting.DistanceSoA(query, pool, out.data());
+  EXPECT_EQ(counting.count(), 34);
+  for (size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_EQ(inner.Distance(query, stored[i]), out[i]);
+  }
+}
+
+// --- CoordinatePool invariants under churn. ---
+
+TEST(CoordinatePoolTest, AppendAssignsDensePositionsInOrder) {
+  CoordinatePool pool(3);
+  Rng rng(2);
+  const auto points = RandomPoints(20, 3, &rng);
+  std::vector<uint32_t> slots;
+  for (const Point& p : points) slots.push_back(pool.Append(p));
+  ASSERT_EQ(pool.size(), 20u);
+  pool.CheckInvariants();
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(pool.DensePos(slots[i]), i);
+    EXPECT_EQ(pool.SlotAt(i), slots[i]);
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(pool.At(i, d), points[i].coords[d]);
+    }
+  }
+}
+
+TEST(CoordinatePoolTest, RemoveShiftsTailAndPreservesOrder) {
+  CoordinatePool pool(2);
+  Rng rng(3);
+  const auto points = RandomPoints(5, 2, &rng);
+  std::vector<uint32_t> slots;
+  for (const Point& p : points) slots.push_back(pool.Append(p));
+  pool.Remove(slots[1]);
+  pool.CheckInvariants();
+  ASSERT_EQ(pool.size(), 4u);
+  EXPECT_FALSE(pool.Contains(slots[1]));
+  // Order-preserving compaction: 0,2,3,4 in that dense order.
+  const size_t survivors[] = {0, 2, 3, 4};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pool.SlotAt(i), slots[survivors[i]]);
+    EXPECT_EQ(pool.At(i, 0), points[survivors[i]].coords[0]);
+  }
+}
+
+TEST(CoordinatePoolTest, RandomChurnAgainstMirror) {
+  // Random Append/Remove/RemoveMasked churn checked against a plain mirror
+  // vector after every operation: dense order, slot stability, coordinates,
+  // and the padding/stride invariants (via CheckInvariants) must all hold.
+  const size_t dim = 5;
+  CoordinatePool pool(dim);
+  Rng rng(99);
+  struct MirrorEntry {
+    uint32_t slot;
+    Coordinates coords;
+  };
+  std::vector<MirrorEntry> mirror;
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 5 || mirror.empty()) {
+      Coordinates coords(dim);
+      for (size_t d = 0; d < dim; ++d) coords[d] = rng.NextUniform(-10, 10);
+      const uint32_t slot = pool.Append(coords.data());
+      mirror.push_back({slot, std::move(coords)});
+    } else if (op < 8) {
+      const size_t victim = rng.NextBounded(mirror.size());
+      pool.Remove(mirror[victim].slot);
+      mirror.erase(mirror.begin() + static_cast<long>(victim));
+    } else {
+      std::vector<unsigned char> mask(mirror.size());
+      for (size_t i = 0; i < mirror.size(); ++i) {
+        mask[i] = rng.NextBernoulli(0.3) ? 1 : 0;
+      }
+      pool.RemoveMasked(mask);
+      std::vector<MirrorEntry> kept;
+      for (size_t i = 0; i < mirror.size(); ++i) {
+        if (!mask[i]) kept.push_back(std::move(mirror[i]));
+      }
+      mirror = std::move(kept);
+    }
+
+    pool.CheckInvariants();
+    ASSERT_EQ(pool.size(), mirror.size());
+    for (size_t i = 0; i < mirror.size(); ++i) {
+      ASSERT_EQ(pool.SlotAt(i), mirror[i].slot) << "step " << step;
+      ASSERT_EQ(pool.DensePos(mirror[i].slot), i);
+      for (size_t d = 0; d < dim; ++d) {
+        ASSERT_EQ(pool.At(i, d), mirror[i].coords[d]);
+      }
+    }
+  }
+}
+
+TEST(CoordinatePoolTest, ClearAndResetDim) {
+  CoordinatePool pool(3);
+  Rng rng(4);
+  for (const Point& p : RandomPoints(10, 3, &rng)) pool.Append(p);
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  pool.CheckInvariants();
+  // After Clear the dimension survives and appends restart at position 0.
+  const auto fresh = RandomPoints(2, 3, &rng);
+  pool.Append(fresh[0]);
+  EXPECT_EQ(pool.At(0, 1), fresh[0].coords[1]);
+
+  pool.ResetDim(6);
+  EXPECT_EQ(pool.dim(), 6u);
+  EXPECT_EQ(pool.size(), 0u);
+  const auto wide = RandomPoints(1, 6, &rng);
+  pool.Append(wide[0]);
+  pool.CheckInvariants();
+  EXPECT_EQ(pool.At(0, 5), wide[0].coords[5]);
+}
+
+TEST(CoordinatePoolTest, PaddingIsReadableToLaneBoundary) {
+  // The over-read contract the kernels rely on: every row must be readable
+  // (and zero) out to RoundUpToLanes(size()).
+  CoordinatePool pool(4);
+  Rng rng(8);
+  for (const Point& p : RandomPoints(11, 4, &rng)) pool.Append(p);
+  ASSERT_GE(pool.stride(), simd::RoundUpToLanes(pool.size()));
+  for (size_t d = 0; d < pool.dim(); ++d) {
+    const double* row = pool.Row(d);
+    for (size_t i = pool.size(); i < simd::RoundUpToLanes(pool.size()); ++i) {
+      EXPECT_EQ(row[i], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fkc

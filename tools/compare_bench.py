@@ -8,13 +8,19 @@ deliberately ignored — the baseline was recorded on a different box than CI.
 
 Usage:
   python3 tools/compare_bench.py BENCH_micro_kernels.json new.json \
-      [--max-regression 0.20]
+      [--max-regression 0.20] [--exact-prefixes distance_calls,...]
 
 Exit code 1 when any stable counter moved by more than --max-regression
 relative to the baseline, or when a baseline benchmark with stable counters
 disappeared from the new run (dropped coverage hides regressions).
 New benchmarks absent from the baseline are reported but pass: they become
 baseline on the next regeneration.
+
+--exact-prefixes names counter prefixes held to ZERO tolerance regardless of
+--max-regression. The CI perf job uses it to assert that a run on the
+SoA/SIMD distance path performs exactly the same distance evaluations as a
+scalar run (FKC_SIMD=scalar): kernel width must change wall time only, never
+any algorithmic counter. Wall-time fields are never compared at all.
 """
 
 import argparse
@@ -55,7 +61,11 @@ def main():
     parser.add_argument("new")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="max allowed relative change of a stable counter")
+    parser.add_argument("--exact-prefixes", default="",
+                        help="comma-separated counter-name prefixes that must "
+                             "match the baseline exactly (0%% tolerance)")
     args = parser.parse_args()
+    exact_prefixes = tuple(p for p in args.exact_prefixes.split(",") if p)
 
     baseline = load(args.baseline)
     fresh = load(args.new)
@@ -81,13 +91,19 @@ def main():
                 rel = 0.0 if new_value == 0.0 else float("inf")
             else:
                 rel = abs(new_value - base_value) / abs(base_value)
-            marker = "FAIL" if rel > args.max_regression else "ok"
+            exact = counter.startswith(exact_prefixes) if exact_prefixes \
+                else False
+            limit = 0.0 if exact else args.max_regression
+            marker = "FAIL" if rel > limit else "ok"
+            suffix = " [exact]" if exact else ""
             print(f"[{marker}] {name}/{counter}: "
-                  f"{base_value:.4g} -> {new_value:.4g} ({rel:+.1%})")
-            if rel > args.max_regression:
+                  f"{base_value:.4g} -> {new_value:.4g} ({rel:+.1%})"
+                  f"{suffix}")
+            if rel > limit:
                 failures.append(
                     f"{name}/{counter}: {base_value:.4g} -> {new_value:.4g} "
-                    f"moved {rel:.1%} (limit {args.max_regression:.0%})")
+                    f"moved {rel:.1%} (limit "
+                    f"{'exact match' if exact else f'{limit:.0%}'})")
 
     for name in sorted(set(fresh) - set(baseline)):
         if stable_counters(fresh[name]):
