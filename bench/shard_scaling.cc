@@ -6,11 +6,21 @@
 //   shard_scaling [--dataset=phones] [--points=60000] [--window=2000]
 //                 [--max_shards=8] [--threads=0] [--batch=64]
 //                 [--query_every=2048] [--delta=1.0]
+//                 [--churn_tenants=32] [--churn_active=4]
+//                 [--churn_cap=8] [--churn_ttl=4096]
 //                 [--out=BENCH_shard_scaling.json]
 //
+// After the shard-count sweep, an eviction-churn scenario drives a much
+// larger tenant population than the live-shard cap — the active set slides,
+// idle tenants are spilled by periodic EvictIdle sweeps and rehydrated when
+// the schedule returns to them — and records incremental-vs-full
+// checkpoint sizes (the steady-state delta is a small fraction of the
+// fleet blob).
+//
 // Wall-clock throughput is hardware-dependent; the JSON also records the
-// deterministic per-run totals (updates, queries, shard memory) which are
-// stable across machines and usable for regression checks.
+// deterministic per-run totals (updates, queries, shard memory, eviction /
+// rehydration / checkpoint-size counters) which are stable across machines
+// and usable for regression checks.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -44,6 +54,10 @@ int main(int argc, char** argv) {
   int64_t batch = 64;
   int64_t query_every = 2048;
   double delta = 1.0;
+  int64_t churn_tenants = 32;
+  int64_t churn_active = 4;
+  int64_t churn_cap = 8;
+  int64_t churn_ttl = 4096;
 
   fkc::FlagParser flags;
   flags.AddString("dataset", &dataset, "dataset name (see datasets/registry)");
@@ -57,6 +71,14 @@ int main(int argc, char** argv) {
   flags.AddInt64("query_every", &query_every,
                  "QueryAll fan-out period in arrivals (0 = never)");
   flags.AddDouble("delta", &delta, "coreset precision delta");
+  flags.AddInt64("churn_tenants", &churn_tenants,
+                 "tenant population of the eviction-churn scenario");
+  flags.AddInt64("churn_active", &churn_active,
+                 "simultaneously active tenants in the churn scenario");
+  flags.AddInt64("churn_cap", &churn_cap,
+                 "max_live_shards (LRU cap) in the churn scenario");
+  flags.AddInt64("churn_ttl", &churn_ttl,
+                 "EvictIdle TTL in arrivals for the churn scenario");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -123,6 +145,40 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.memory_points));
   }
 
+  // --- Eviction-churn scenario: tenants arriving and expiring under an LRU
+  // cap, with periodic EvictIdle sweeps and incremental checkpoints. ---
+  fkc::serving::ShardManagerOptions churn_options;
+  churn_options.window.window_size = window;
+  churn_options.window.delta = delta;
+  churn_options.window.adaptive_range = true;
+  churn_options.num_threads = num_threads;
+  churn_options.max_live_shards = churn_cap;
+  fkc::serving::ShardManager churn_manager(churn_options, prepared.constraint,
+                                           &metric, &jones);
+
+  auto churn_stream = fkc::datasets::MakeStream(prepared.dataset);
+  fkc::ShardedChurnOptions churn_run;
+  churn_run.stream_length = points;
+  churn_run.batch_size = batch;
+  churn_run.tenants = churn_tenants;
+  churn_run.active = churn_active;
+  churn_run.idle_ttl = churn_ttl;
+  const fkc::ShardedChurnReport churn =
+      fkc::RunShardedChurn(&churn_manager, churn_stream.get(), churn_run);
+
+  std::printf(
+      "# Eviction churn: %lld tenants (%lld active, cap %lld, ttl %lld): "
+      "%.0f updates/s, %lld evictions, %lld rehydrations, "
+      "delta %lld B over %lld checkpoints vs %lld B full\n",
+      static_cast<long long>(churn_tenants),
+      static_cast<long long>(churn_active), static_cast<long long>(churn_cap),
+      static_cast<long long>(churn_ttl), churn.UpdatesPerSecond(),
+      static_cast<long long>(churn.evictions),
+      static_cast<long long>(churn.rehydrations),
+      static_cast<long long>(churn.delta_bytes),
+      static_cast<long long>(churn.delta_checkpoints),
+      static_cast<long long>(churn.full_checkpoint_bytes));
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -148,7 +204,20 @@ int main(int argc, char** argv) {
         << ", \"memory_points\": " << r.memory_points << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"churn\": {\"tenants\": " << churn_tenants
+      << ", \"active\": " << churn_active << ", \"cap\": " << churn_cap
+      << ", \"ttl\": " << churn_ttl << ", \"updates\": " << churn.updates
+      << ", \"updates_per_s\": "
+      << fkc::StrFormat("%.1f", churn.UpdatesPerSecond())
+      << ", \"evictions\": " << churn.evictions
+      << ", \"rehydrations\": " << churn.rehydrations
+      << ", \"total_shards\": " << churn.total_shards
+      << ", \"live_shards\": " << churn.live_shards
+      << ", \"delta_checkpoints\": " << churn.delta_checkpoints
+      << ", \"delta_bytes\": " << churn.delta_bytes
+      << ", \"full_checkpoint_bytes\": " << churn.full_checkpoint_bytes
+      << "}\n}\n";
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;
 }

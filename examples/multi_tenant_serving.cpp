@@ -7,14 +7,22 @@
 // thread pool, and checkpoints the whole fleet into one blob. The example
 // demonstrates the full serving lifecycle:
 //
-//   1. route + ingest a keyed stream across N tenants,
+//   1. register a per-tenant options override (one tenant runs a smaller
+//      window than the fleet template), then route + ingest a keyed
+//      stream across N tenants,
 //   2. serve a QueryAll fan-out (one fair summary per tenant),
 //   3. kill/restore: checkpoint every shard, rebuild the manager from the
 //      blob, and verify the restored fleet answers identically,
-//   4. keep ingesting into the restored fleet (business as usual).
+//   4. keep ingesting into the restored fleet (business as usual),
+//   5. spill idle tenants with EvictIdle and watch a spilled tenant answer
+//      anyway (ephemeral in QueryAll, transparently rehydrated on Query),
+//   6. replicate incrementally: a follower restored from the step-3 blob
+//      catches up to the leader by applying one CheckpointDelta — a small
+//      fraction of the full blob — and answers identically.
 //
 //   multi_tenant_serving [--tenants=4] [--threads=0] [--batch=32]
 //                        [--window=1000] [--points=12000]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -106,7 +114,22 @@ int main(int argc, char** argv) {
     keys.push_back(fkc::StrFormat("tenant-%02lld", static_cast<long long>(s)));
   }
 
-  // --- 1. Route the keyed stream, batched. ---
+  // --- 1. One tenant deviates from the fleet template: a quarter-size
+  // window, registered before its first arrival and carried through every
+  // checkpoint from here on. ---
+  fkc::SlidingWindowOptions small = options.window;
+  small.window_size = std::max<int64_t>(window / 4, 1);
+  auto override_status = manager.SetTenantOptions(keys[0], small);
+  if (!override_status.ok()) {
+    std::fprintf(stderr, "override failed: %s\n",
+                 override_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("override: %s runs window=%lld (fleet template %lld)\n\n",
+              keys[0].c_str(), static_cast<long long>(small.window_size),
+              static_cast<long long>(window));
+
+  // --- Route the keyed stream, batched. ---
   std::vector<fkc::serving::KeyedPoint> pending;
   const int64_t first_phase = points / 2;
   for (int64_t t = 0; t < first_phase; ++t) {
@@ -159,8 +182,84 @@ int main(int argc, char** argv) {
     }
   }
   restored.value().IngestBatch(std::move(pending));
+  pending = {};
   std::printf("\nfleet after %lld more arrivals into the restored manager:\n",
               static_cast<long long>(points - first_phase));
   PrintAnswers(restored.value().QueryAll());
+
+  // --- 5. Idle-tenant eviction: spill everything idle, then watch the
+  // spilled fleet keep answering — QueryAll reads spilled shards
+  // ephemerally, a targeted Query rehydrates in place. ---
+  fkc::serving::ShardManager& leader = restored.value();
+  const int64_t evicted = leader.EvictIdle(/*idle_ttl=*/0);
+  std::printf("\nEvictIdle(0): spilled %lld of %zu shards (%zu live)\n",
+              static_cast<long long>(evicted), leader.shard_count(),
+              leader.live_shard_count());
+  PrintAnswers(leader.QueryAll());  // ephemeral: spilled shards stay spilled
+  // A targeted Query on a spilled tenant rehydrates it in place (the const
+  // accessor never rehydrates, so it doubles as a residency probe).
+  const fkc::serving::ShardManager& probe = leader;
+  std::string spilled_key = keys[0];
+  for (const auto& key : keys) {
+    if (probe.shard(key) == nullptr) {
+      spilled_key = key;
+      break;
+    }
+  }
+  fkc::QueryStats stats;
+  auto touched = leader.Query(spilled_key, &stats);
+  std::printf("Query(%s) rehydrated its shard: %zu live, radius=%.3f\n",
+              spilled_key.c_str(), leader.live_shard_count(),
+              touched.ok() ? touched.value().radius : -1.0);
+
+  // --- 6. Incremental replication: the follower (restored from the same
+  // step-3 blob) missed the second half of the stream; one delta carries
+  // exactly the dirty shards. ---
+  auto follower = fkc::serving::ShardManager::Restore(
+      blob, &metric, &jones, options.num_threads);
+  if (!follower.ok()) {
+    std::fprintf(stderr, "follower restore failed: %s\n",
+                 follower.status().ToString().c_str());
+    return 1;
+  }
+  auto compare = [&](const char* label, size_t dirty,
+                     const std::string& delta) {
+    auto applied = follower.value().ApplyDelta(delta);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "ApplyDelta failed: %s\n",
+                   applied.ToString().c_str());
+      return false;
+    }
+    const auto leader_answers = leader.QueryAll();
+    const auto follower_answers = follower.value().QueryAll();
+    bool caught_up = leader_answers.size() == follower_answers.size();
+    for (size_t i = 0; caught_up && i < leader_answers.size(); ++i) {
+      caught_up = leader_answers[i].key == follower_answers[i].key &&
+                  leader_answers[i].solution.ok() ==
+                      follower_answers[i].solution.ok() &&
+                  (!leader_answers[i].solution.ok() ||
+                   SameSolution(leader_answers[i].solution.value(),
+                                follower_answers[i].solution.value()));
+    }
+    std::printf("%s: %zu-byte delta (%zu dirty shards) vs %zu-byte full "
+                "blob; follower answers %s\n",
+                label, delta.size(), dirty, blob.size(),
+                caught_up ? "IDENTICALLY" : "DIFFERENTLY (bug!)");
+    return caught_up;
+  };
+
+  // First delta: every tenant took phase-4 arrivals, so it carries the
+  // whole fleet. Steady state is different: only one tenant moves before
+  // the second delta, which therefore ships one shard.
+  std::printf("\n");
+  size_t dirty = leader.dirty_shard_count();
+  std::string delta = leader.CheckpointDelta();
+  if (!compare("catch-up delta", dirty, delta)) return 1;
+  for (int64_t t = 0; t < window / 4; ++t) {
+    leader.Ingest(keys[0], trace[static_cast<size_t>(t)]);
+  }
+  dirty = leader.dirty_shard_count();
+  delta = leader.CheckpointDelta();
+  if (!compare("steady-state delta", dirty, delta)) return 1;
   return 0;
 }

@@ -30,6 +30,11 @@ class CheckpointReader {
   /// before any allocation).
   Status NextSize(size_t* out, size_t limit = 1u << 28);
 
+  /// Bytes left to read. Every serialized element occupies at least one
+  /// byte, so readers use this to bound element counts before resizing —
+  /// a forged count in a tiny blob must fail, not allocate gigabytes.
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
   /// A length-prefixed raw byte segment: "<len> <len bytes>". The bytes may
   /// contain anything, including whitespace.
   Status NextRaw(std::string* out, size_t limit = 1u << 30);

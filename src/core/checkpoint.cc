@@ -1,12 +1,18 @@
 // Checkpoint serialization for FairCenterSlidingWindow (declared in
 // fair_center_sliding_window.h). Format: whitespace-separated tokens,
 // self-describing counts, hex-float coordinates for bit-exact round trips.
-// Tokenizing and float formatting live in common/checkpoint_io (shared with
-// the serving layer's fleet checkpoint).
+// Tokenizing, float formatting, and the options block live in
+// common/checkpoint_io and core/options_io (shared with the serving layer's
+// fleet checkpoint). Deserialization validates everything it reads before
+// constructing: a corrupted or adversarial blob must surface as
+// kInvalidArgument, never as a CHECK abort downstream.
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/checkpoint_io.h"
 #include "core/fair_center_sliding_window.h"
+#include "core/options_io.h"
 
 namespace fkc {
 namespace {
@@ -38,39 +44,66 @@ void WritePoints(std::ostringstream* out, const std::vector<Point>& points) {
 
 // --- Reader: core-specific composite extraction over CheckpointReader. ---
 
-Status NextPoint(CheckpointReader* reader, Point* out) {
+// Shared per-point validation context: `ell` bounds the color (an
+// out-of-range color would index out of the constraint's cap table), and
+// `dim` pins the coordinate dimension — the first point fixes it, every
+// later point must agree, or the coordinate pools abort on Append.
+struct PointBounds {
+  int64_t ell = 0;
+  int64_t dim = -1;  ///< -1 until the first point is read
+};
+
+Status NextPoint(CheckpointReader* reader, PointBounds* bounds, Point* out) {
+  // Every serialized coordinate occupies at least one byte, so the
+  // remaining blob length bounds any honest dimension — a forged count in
+  // a tiny blob fails before allocating.
   size_t dim = 0;
-  FKC_RETURN_IF_ERROR(reader->NextSize(&dim, 1u << 20));
+  FKC_RETURN_IF_ERROR(
+      reader->NextSize(&dim, std::min<size_t>(1u << 20, reader->Remaining())));
+  if (bounds->dim < 0) bounds->dim = static_cast<int64_t>(dim);
+  if (static_cast<int64_t>(dim) != bounds->dim) {
+    return Status::InvalidArgument("inconsistent point dimension");
+  }
   out->coords.resize(dim);
   for (size_t d = 0; d < dim; ++d) {
     FKC_RETURN_IF_ERROR(reader->NextDouble(&out->coords[d]));
+    if (!std::isfinite(out->coords[d])) {
+      return Status::InvalidArgument("non-finite coordinate in checkpoint");
+    }
   }
   int64_t color = 0, arrival = 0, id = 0;
   FKC_RETURN_IF_ERROR(reader->NextInt(&color));
   FKC_RETURN_IF_ERROR(reader->NextInt(&arrival));
   FKC_RETURN_IF_ERROR(reader->NextInt(&id));
+  if (color < 0 || color >= bounds->ell) {
+    return Status::InvalidArgument("point color outside constraint range");
+  }
+  if (arrival < 0) {
+    return Status::InvalidArgument("negative arrival time in checkpoint");
+  }
   out->color = static_cast<int>(color);
   out->arrival = arrival;
   out->id = static_cast<uint64_t>(id);
   return Status::OK();
 }
 
-Status NextPoints(CheckpointReader* reader, std::vector<Point>* out) {
+Status NextPoints(CheckpointReader* reader, PointBounds* bounds,
+                  std::vector<Point>* out) {
   size_t count = 0;
-  FKC_RETURN_IF_ERROR(reader->NextSize(&count));
+  FKC_RETURN_IF_ERROR(reader->NextSize(&count, reader->Remaining()));
   out->resize(count);
-  for (Point& p : *out) FKC_RETURN_IF_ERROR(NextPoint(reader, &p));
+  for (Point& p : *out) FKC_RETURN_IF_ERROR(NextPoint(reader, bounds, &p));
   return Status::OK();
 }
 
-Status NextEntries(CheckpointReader* reader,
+Status NextEntries(CheckpointReader* reader, PointBounds* bounds,
                    std::vector<AttractorEntry>* out) {
   size_t count = 0;
-  FKC_RETURN_IF_ERROR(reader->NextSize(&count));
+  FKC_RETURN_IF_ERROR(reader->NextSize(&count, reader->Remaining()));
   out->resize(count);
   for (AttractorEntry& entry : *out) {
-    FKC_RETURN_IF_ERROR(NextPoint(reader, &entry.attractor));
-    FKC_RETURN_IF_ERROR(NextPoints(reader, &entry.representatives));
+    FKC_RETURN_IF_ERROR(NextPoint(reader, bounds, &entry.attractor));
+    FKC_RETURN_IF_ERROR(NextPoints(reader, bounds, &entry.representatives));
   }
   return Status::OK();
 }
@@ -81,16 +114,7 @@ std::string FairCenterSlidingWindow::SerializeState() const {
   std::ostringstream out;
   out << kMagic << ' ';
 
-  // Options.
-  out << options_.window_size << ' ';
-  WriteCheckpointDouble(&out, options_.beta);
-  WriteCheckpointDouble(&out, options_.delta);
-  out << static_cast<int>(options_.variant) << ' '
-      << (options_.adaptive_range ? 1 : 0) << ' ';
-  WriteCheckpointDouble(&out, options_.d_min);
-  WriteCheckpointDouble(&out, options_.d_max);
-  out << options_.adaptive_slack_exponents << ' '
-      << (options_.warm_start_new_guesses ? 1 : 0) << ' ';
+  WriteSlidingWindowOptions(&out, options_);
 
   // Constraint.
   out << constraint_.ell() << ' ';
@@ -134,82 +158,99 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
   }
 
   SlidingWindowOptions options;
-  int64_t variant = 0, adaptive = 0, slack = 0, warm = 0;
-  FKC_RETURN_IF_ERROR(reader.NextInt(&options.window_size));
-  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.beta));
-  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.delta));
-  FKC_RETURN_IF_ERROR(reader.NextInt(&variant));
-  FKC_RETURN_IF_ERROR(reader.NextInt(&adaptive));
-  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.d_min));
-  FKC_RETURN_IF_ERROR(reader.NextDouble(&options.d_max));
-  FKC_RETURN_IF_ERROR(reader.NextInt(&slack));
-  FKC_RETURN_IF_ERROR(reader.NextInt(&warm));
-  if (variant < 0 || variant > 1) {
-    return Status::InvalidArgument("bad variant in checkpoint");
-  }
-  options.variant = static_cast<CoreVariant>(variant);
-  options.adaptive_range = adaptive != 0;
-  options.adaptive_slack_exponents = static_cast<int>(slack);
-  options.warm_start_new_guesses = warm != 0;
+  FKC_RETURN_IF_ERROR(ReadSlidingWindowOptions(&reader, &options));
 
   size_t ell = 0;
   FKC_RETURN_IF_ERROR(reader.NextSize(&ell, 1u << 20));
+  if (ell == 0) {
+    return Status::InvalidArgument("empty constraint in checkpoint");
+  }
   std::vector<int> caps(ell);
+  int64_t total_k = 0;
   for (size_t c = 0; c < ell; ++c) {
     int64_t cap = 0;
     FKC_RETURN_IF_ERROR(reader.NextInt(&cap));
     if (cap < 0) return Status::InvalidArgument("negative cap in checkpoint");
     caps[c] = static_cast<int>(cap);
+    total_k += cap;
+  }
+  if (total_k < 1) {
+    return Status::InvalidArgument("all-zero caps in checkpoint");
   }
 
   FairCenterSlidingWindow window(options, ColorConstraint(std::move(caps)),
                                  metric, solver);
+  PointBounds bounds;
+  bounds.ell = static_cast<int64_t>(ell);
 
   int64_t next_id = 0;
   FKC_RETURN_IF_ERROR(reader.NextInt(&window.now_));
   FKC_RETURN_IF_ERROR(reader.NextInt(&next_id));
+  if (window.now_ < 0) {
+    return Status::InvalidArgument("negative clock in checkpoint");
+  }
   window.next_id_ = static_cast<uint64_t>(next_id);
 
   int64_t has_last = 0;
   FKC_RETURN_IF_ERROR(reader.NextInt(&has_last));
   if (has_last != 0) {
     Point last;
-    FKC_RETURN_IF_ERROR(NextPoint(&reader, &last));
+    FKC_RETURN_IF_ERROR(NextPoint(&reader, &bounds, &last));
     window.last_point_ = std::move(last);
   }
 
+  // Any honest ladder exponent is tiny (|e| well under the double exponent
+  // range); corrupt values must be rejected before the int64 -> int
+  // narrowing, or they would alias modulo 2^32 into plausible rungs.
+  constexpr int64_t kMaxLadderExponent = 1 << 12;
+
   if (options.adaptive_range) {
     size_t bucket_count = 0;
-    FKC_RETURN_IF_ERROR(reader.NextSize(&bucket_count));
+    FKC_RETURN_IF_ERROR(reader.NextSize(&bucket_count, reader.Remaining()));
     std::vector<std::pair<int, int64_t>> buckets(bucket_count);
     for (auto& [exponent, seen] : buckets) {
       int64_t e = 0;
       FKC_RETURN_IF_ERROR(reader.NextInt(&e));
       FKC_RETURN_IF_ERROR(reader.NextInt(&seen));
+      if (e < -kMaxLadderExponent || e > kMaxLadderExponent) {
+        return Status::InvalidArgument("bucket exponent out of range");
+      }
       exponent = static_cast<int>(e);
     }
     window.estimator_->RestoreBuckets(buckets, window.now_);
   }
 
   size_t guess_count = 0;
-  FKC_RETURN_IF_ERROR(reader.NextSize(&guess_count));
+  FKC_RETURN_IF_ERROR(reader.NextSize(&guess_count, reader.Remaining()));
   window.guesses_.clear();  // fixed-range ctor pre-creates the ladder
   for (size_t g = 0; g < guess_count; ++g) {
     int64_t exponent = 0;
     FKC_RETURN_IF_ERROR(reader.NextInt(&exponent));
+    if (exponent < -kMaxLadderExponent || exponent > kMaxLadderExponent) {
+      return Status::InvalidArgument("guess exponent out of range");
+    }
+    const double gamma = window.ladder_.Value(static_cast<int>(exponent));
+    // (1+beta)^exponent under- or overflowing the double range means the
+    // exponent is corrupt; a gamma of 0 or inf would abort downstream.
+    if (!std::isfinite(gamma) || gamma <= 0.0) {
+      return Status::InvalidArgument("guess exponent out of range");
+    }
     std::vector<AttractorEntry> v_entries, c_entries;
     std::vector<Point> v_orphans, c_orphans;
-    FKC_RETURN_IF_ERROR(NextEntries(&reader, &v_entries));
-    FKC_RETURN_IF_ERROR(NextPoints(&reader, &v_orphans));
-    FKC_RETURN_IF_ERROR(NextEntries(&reader, &c_entries));
-    FKC_RETURN_IF_ERROR(NextPoints(&reader, &c_orphans));
+    FKC_RETURN_IF_ERROR(NextEntries(&reader, &bounds, &v_entries));
+    FKC_RETURN_IF_ERROR(NextPoints(&reader, &bounds, &v_orphans));
+    FKC_RETURN_IF_ERROR(NextEntries(&reader, &bounds, &c_entries));
+    FKC_RETURN_IF_ERROR(NextPoints(&reader, &bounds, &c_orphans));
 
-    GuessStructure guess(window.ladder_.Value(static_cast<int>(exponent)),
-                         options.delta, options.window_size,
+    GuessStructure guess(gamma, options.delta, options.window_size,
                          window.constraint_, options.variant);
     guess.RestoreState(std::move(v_entries), std::move(v_orphans),
                        std::move(c_entries), std::move(c_orphans));
-    window.guesses_.emplace(static_cast<int>(exponent), std::move(guess));
+    if (!window.guesses_
+             .emplace(static_cast<int>(exponent), std::move(guess))
+             .second) {
+      return Status::InvalidArgument("duplicate guess exponent in checkpoint");
+    }
   }
   return window;
 }

@@ -75,6 +75,7 @@ void FairCenterSlidingWindow::Update(Coordinates coords, int color) {
 
 void FairCenterSlidingWindow::StampArrival(Point* p) {
   ++now_;
+  ++state_epoch_;
   p->arrival = now_;
   p->id = next_id_++;
   FKC_CHECK_GE(p->color, 0);
@@ -83,10 +84,18 @@ void FairCenterSlidingWindow::StampArrival(Point* p) {
 
 ThreadPool* FairCenterSlidingWindow::Pool() {
   if (options_.num_threads == 1) return nullptr;
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  if (pool_threads_ < 0) {
+    // Resolve the effective size before constructing: num_threads = 0 on a
+    // single-core host resolves to 1, and building a ThreadPool just to
+    // discover that would park an idle worker for the window's lifetime.
+    pool_threads_ = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                              : options_.num_threads;
   }
-  return pool_->size() > 1 ? pool_.get() : nullptr;
+  if (pool_threads_ <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(pool_threads_);
+  }
+  return pool_.get();
 }
 
 void FairCenterSlidingWindow::UpdateGuesses(const Point& p) {

@@ -190,6 +190,15 @@ class FairCenterSlidingWindow {
   /// Logical time = number of points consumed so far.
   int64_t now() const { return now_; }
 
+  /// Monotone counter of state-changing arrivals in this process: bumped
+  /// once per consumed point, never serialized (a restored window restarts
+  /// at 0). Checkpointing layers compare it against the epoch they last
+  /// serialized to decide whether this window is dirty — query-time
+  /// housekeeping (expiry sweeps, adaptive-ladder reconciliation) does not
+  /// bump it because it is behaviorally neutral: a blob taken before such
+  /// housekeeping restores to a window that answers identically.
+  int64_t state_epoch() const { return state_epoch_; }
+
   /// Number of points currently in the window: min(now, window_size).
   int64_t WindowPopulation() const;
 
@@ -247,6 +256,11 @@ class FairCenterSlidingWindow {
 
   int64_t now_ = 0;
   uint64_t next_id_ = 1;
+  int64_t state_epoch_ = 0;
+  /// Effective pool size resolved on first Pool() call (-1 = not yet);
+  /// resolving before construction avoids building a pool just to learn a
+  /// single-core host needs none.
+  int pool_threads_ = -1;
   /// Most recent arrival: bootstraps the estimator and serves as the
   /// fallback solution when the window holds a single distinct location.
   std::optional<Point> last_point_;

@@ -1,0 +1,95 @@
+#include "core/options_io.h"
+
+#include <cmath>
+
+namespace fkc {
+namespace {
+
+// Safety bound on the adaptive slack: the core's own upward-extension guard
+// is 64 exponents, so anything past ~1024 in a checkpoint is corruption,
+// not configuration.
+constexpr int64_t kMaxSlackExponents = 1024;
+
+}  // namespace
+
+Status ValidateSlidingWindowOptions(const SlidingWindowOptions& options) {
+  if (options.window_size < 1) {
+    return Status::InvalidArgument("window_size must be >= 1");
+  }
+  if (!std::isfinite(options.delta) || options.delta <= 0.0) {
+    return Status::InvalidArgument("delta must be finite and > 0");
+  }
+  if (!std::isfinite(options.beta) || options.beta <= 0.0) {
+    return Status::InvalidArgument(
+        "beta must be finite and > 0 (guess ladder ratio is 1 + beta)");
+  }
+  const int variant = static_cast<int>(options.variant);
+  if (variant < 0 || variant > 1) {
+    return Status::InvalidArgument("unknown core variant");
+  }
+  if (options.adaptive_slack_exponents < 0 ||
+      options.adaptive_slack_exponents > kMaxSlackExponents) {
+    return Status::InvalidArgument("implausible adaptive_slack_exponents");
+  }
+  if (!options.adaptive_range) {
+    if (!std::isfinite(options.d_min) || !std::isfinite(options.d_max) ||
+        options.d_min <= 0.0 || options.d_max < options.d_min) {
+      return Status::InvalidArgument(
+          "fixed-range mode requires finite 0 < d_min <= d_max");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteSlidingWindowOptions(std::ostringstream* out,
+                               const SlidingWindowOptions& options) {
+  *out << options.window_size << ' ';
+  WriteCheckpointDouble(out, options.beta);
+  WriteCheckpointDouble(out, options.delta);
+  *out << static_cast<int>(options.variant) << ' '
+       << (options.adaptive_range ? 1 : 0) << ' ';
+  WriteCheckpointDouble(out, options.d_min);
+  WriteCheckpointDouble(out, options.d_max);
+  *out << options.adaptive_slack_exponents << ' '
+       << (options.warm_start_new_guesses ? 1 : 0) << ' ';
+}
+
+Status ReadSlidingWindowOptions(CheckpointReader* reader,
+                                SlidingWindowOptions* out) {
+  int64_t variant = 0, adaptive = 0, slack = 0, warm = 0;
+  FKC_RETURN_IF_ERROR(reader->NextInt(&out->window_size));
+  FKC_RETURN_IF_ERROR(reader->NextDouble(&out->beta));
+  FKC_RETURN_IF_ERROR(reader->NextDouble(&out->delta));
+  FKC_RETURN_IF_ERROR(reader->NextInt(&variant));
+  FKC_RETURN_IF_ERROR(reader->NextInt(&adaptive));
+  FKC_RETURN_IF_ERROR(reader->NextDouble(&out->d_min));
+  FKC_RETURN_IF_ERROR(reader->NextDouble(&out->d_max));
+  FKC_RETURN_IF_ERROR(reader->NextInt(&slack));
+  FKC_RETURN_IF_ERROR(reader->NextInt(&warm));
+  if (variant < 0 || variant > 1) {
+    return Status::InvalidArgument("bad variant in checkpoint");
+  }
+  out->variant = static_cast<CoreVariant>(variant);
+  out->adaptive_range = adaptive != 0;
+  if (slack < 0 || slack > kMaxSlackExponents) {
+    return Status::InvalidArgument(
+        "implausible adaptive_slack_exponents in checkpoint");
+  }
+  out->adaptive_slack_exponents = static_cast<int>(slack);
+  out->warm_start_new_guesses = warm != 0;
+  return ValidateSlidingWindowOptions(*out);
+}
+
+bool SameCheckpointedOptions(const SlidingWindowOptions& a,
+                             const SlidingWindowOptions& b) {
+  // Doubles compare by value representation (what the hex-float round trip
+  // preserves); NaN never validates, so bitwise concerns do not arise.
+  return a.window_size == b.window_size && a.beta == b.beta &&
+         a.delta == b.delta && a.variant == b.variant &&
+         a.adaptive_range == b.adaptive_range && a.d_min == b.d_min &&
+         a.d_max == b.d_max &&
+         a.adaptive_slack_exponents == b.adaptive_slack_exponents &&
+         a.warm_start_new_guesses == b.warm_start_new_guesses;
+}
+
+}  // namespace fkc

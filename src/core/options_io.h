@@ -1,0 +1,50 @@
+// Checkpoint I/O and validation for SlidingWindowOptions, shared by the
+// core window checkpoint (fkc-checkpoint-v1) and the serving layer's fleet
+// formats (fkc-shards-v1/v2 and the incremental delta): one writer, one
+// reader, and one validator, so the field order, the hex-float encoding,
+// and the notion of "plausible options" cannot drift between layers.
+#ifndef FKC_CORE_OPTIONS_IO_H_
+#define FKC_CORE_OPTIONS_IO_H_
+
+#include <sstream>
+
+#include "common/checkpoint_io.h"
+#include "common/status.h"
+#include "core/fair_center_sliding_window.h"
+
+namespace fkc {
+
+/// Rejects options that a FairCenterSlidingWindow cannot be built from —
+/// the exact set the constructor would otherwise abort on via CHECK
+/// (window_size >= 1, finite delta > 0, finite beta > 0 for the guess
+/// ladder, variant in range, adaptive_slack_exponents in [0, 1024], and in
+/// fixed-range mode finite bounds with 0 < d_min <= d_max). Checkpoint
+/// readers run this before constructing anything, so a corrupted or
+/// adversarial blob surfaces as kInvalidArgument instead of a process
+/// abort. num_threads is an execution knob and is not validated.
+Status ValidateSlidingWindowOptions(const SlidingWindowOptions& options);
+
+/// Writes the checkpointed option fields in the fixed field order
+/// (window_size, beta, delta, variant, adaptive_range, d_min, d_max,
+/// adaptive_slack_exponents, warm_start_new_guesses), hex-float doubles.
+/// num_threads is deliberately excluded: results are bit-identical at any
+/// thread count, so it is not state.
+void WriteSlidingWindowOptions(std::ostringstream* out,
+                               const SlidingWindowOptions& options);
+
+/// Reads the fields WriteSlidingWindowOptions wrote and validates them.
+/// `out->num_threads` is left untouched. Fails with kInvalidArgument on
+/// malformed, truncated, or implausible input.
+Status ReadSlidingWindowOptions(CheckpointReader* reader,
+                                SlidingWindowOptions* out);
+
+/// True when two option sets serialize identically, i.e. agree on every
+/// checkpointed field (num_threads, the execution knob, is ignored). The
+/// serving layer uses this to decide whether a tenant override actually
+/// deviates from the fleet template.
+bool SameCheckpointedOptions(const SlidingWindowOptions& a,
+                             const SlidingWindowOptions& b);
+
+}  // namespace fkc
+
+#endif  // FKC_CORE_OPTIONS_IO_H_

@@ -1,21 +1,97 @@
 #include "serving/shard_manager.h"
 
 #include <sstream>
+#include <utility>
 
 #include "common/checkpoint_io.h"
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "core/options_io.h"
 
 namespace fkc {
 namespace serving {
 namespace {
 
-constexpr const char* kMagic = "fkc-shards-v1";
+// Full-fleet formats: v1 (PR 2, template + constraint + shards) is still
+// accepted by Restore; v2 adds the per-tenant override table. Deltas are
+// v2-only.
+constexpr const char* kMagicV1 = "fkc-shards-v1";
+constexpr const char* kMagicV2 = "fkc-shards-v2";
+constexpr const char* kDeltaMagic = "fkc-shards-delta-v2";
 
 // Shard keys travel as length-prefixed raw segments in the fleet checkpoint
 // (CheckpointReader::NextRaw); this cap keeps write and read sides agreeing
 // on what a plausible key is, so CheckpointAll can never emit a blob that
-// Restore rejects.
+// Restore rejects. Oversized keys are rejected at ingest with a Status —
+// one tenant's garbage must never abort the fleet.
 constexpr size_t kMaxKeyBytes = 1u << 20;
+
+// Upper bounds on checkpointed table sizes, rejected before any allocation.
+constexpr int64_t kMaxShards = 1 << 24;
+
+// Reads and validates the "<ell> <caps...>" constraint block shared by the
+// full and delta formats.
+Status ReadConstraint(CheckpointReader* cursor, std::vector<int>* caps) {
+  int64_t ell = 0;
+  FKC_RETURN_IF_ERROR(cursor->NextInt(&ell));
+  if (ell < 1 || ell > (1 << 20)) {
+    return Status::InvalidArgument("implausible color count in checkpoint");
+  }
+  caps->assign(static_cast<size_t>(ell), 0);
+  int64_t total_k = 0;
+  for (int& cap : *caps) {
+    int64_t value = 0;
+    FKC_RETURN_IF_ERROR(cursor->NextInt(&value));
+    if (value < 0) {
+      return Status::InvalidArgument("negative cap in shard checkpoint");
+    }
+    cap = static_cast<int>(value);
+    total_k += value;
+  }
+  if (total_k < 1) {
+    return Status::InvalidArgument("all-zero caps in shard checkpoint");
+  }
+  return Status::OK();
+}
+
+void WriteConstraint(std::ostringstream* out, const ColorConstraint& c) {
+  *out << c.ell() << ' ';
+  for (int cap : c.caps()) *out << cap << ' ';
+}
+
+// Reads the v2 "<count> { <raw key> <options> }*" override table.
+Status ReadOverrides(CheckpointReader* cursor,
+                     std::map<std::string, SlidingWindowOptions>* out) {
+  int64_t count = 0;
+  FKC_RETURN_IF_ERROR(cursor->NextInt(&count));
+  // Every entry occupies well over one byte, so the remaining blob length
+  // bounds any honest count.
+  if (count < 0 || count > kMaxShards ||
+      static_cast<size_t>(count) > cursor->Remaining()) {
+    return Status::InvalidArgument("implausible override count in checkpoint");
+  }
+  out->clear();
+  for (int64_t i = 0; i < count; ++i) {
+    std::string key;
+    SlidingWindowOptions options;
+    FKC_RETURN_IF_ERROR(cursor->NextRaw(&key, kMaxKeyBytes));
+    FKC_RETURN_IF_ERROR(ReadSlidingWindowOptions(cursor, &options));
+    options.num_threads = 1;
+    if (!out->emplace(std::move(key), options).second) {
+      return Status::InvalidArgument("duplicate override key in checkpoint");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteOverrides(std::ostringstream* out,
+                    const std::map<std::string, SlidingWindowOptions>& map) {
+  *out << map.size() << ' ';
+  for (const auto& [key, options] : map) {
+    WriteCheckpointRaw(out, key);
+    WriteSlidingWindowOptions(out, options);
+  }
+}
 
 }  // namespace
 
@@ -36,46 +112,174 @@ ShardManager::ShardManager(ShardManagerOptions options,
 
 ThreadPool* ShardManager::Pool() {
   if (options_.num_threads == 1) return nullptr;
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  if (pool_threads_ < 0) {
+    // Resolve the effective size before constructing: num_threads = 0 on a
+    // single-core host resolves to 1, and building a ThreadPool just to
+    // discover that would park an idle pool for the manager's lifetime.
+    pool_threads_ = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                              : options_.num_threads;
   }
-  return pool_->size() > 1 ? pool_.get() : nullptr;
+  if (pool_threads_ <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(pool_threads_);
+  }
+  return pool_.get();
 }
 
-FairCenterSlidingWindow& ShardManager::GetOrCreate(const std::string& key) {
-  FKC_CHECK_LT(key.size(), kMaxKeyBytes)
-      << "shard key exceeds the checkpointable size";
+bool ShardManager::IsDirty(const Shard& shard) const {
+  return shard.live ? shard.live->state_epoch() != shard.clean_epoch
+                    : shard.spill_dirty;
+}
+
+Status ShardManager::ValidateArrival(const std::string& key,
+                                     const Point& p) const {
+  if (key.size() >= kMaxKeyBytes) {
+    return Status::InvalidArgument(
+        StrFormat("shard key of %zu bytes exceeds the checkpointable limit",
+                  key.size()));
+  }
+  if (p.color < 0 || p.color >= constraint_.ell()) {
+    return Status::InvalidArgument(
+        StrFormat("color %d outside the constraint's [0, %d) range", p.color,
+                  constraint_.ell()));
+  }
+  return Status::OK();
+}
+
+SlidingWindowOptions ShardManager::OptionsForKey(const std::string& key) const {
+  auto it = overrides_.find(key);
+  SlidingWindowOptions options =
+      it == overrides_.end() ? options_.window : it->second;
+  options.num_threads = 1;
+  return options;
+}
+
+Status ShardManager::RehydrateShard(Shard* shard) {
+  auto window =
+      FairCenterSlidingWindow::DeserializeState(shard->spill, metric_, solver_);
+  if (!window.ok()) return window.status();
+  shard->live = std::make_unique<FairCenterSlidingWindow>(
+      std::move(window).value());
+  // A fresh deserialization restarts the epoch counter at 0; a clean spill
+  // therefore rehydrates clean, a dirty one stays dirty via the sentinel.
+  shard->clean_epoch = shard->spill_dirty ? kNeverCheckpointed : 0;
+  shard->spill.clear();
+  shard->spill.shrink_to_fit();
+  shard->spill_dirty = false;
+  ++live_count_;
+  ++rehydrations_;
+  return Status::OK();
+}
+
+void ShardManager::TouchLive(const std::string& key, Shard* shard,
+                             int64_t touch) {
+  // The erase is a no-op for a shard that just became live (its old
+  // last_touch was removed from the index when it spilled, or never
+  // inserted for a brand-new shard).
+  live_lru_.erase({shard->last_touch, key});
+  shard->last_touch = touch;
+  live_lru_.insert({touch, key});
+}
+
+void ShardManager::SpillShard(const std::string& key, Shard* shard) {
+  shard->spill_dirty = IsDirty(*shard);
+  shard->spill = shard->live->SerializeState();
+  shard->live.reset();
+  shard->clean_epoch = kNeverCheckpointed;
+  live_lru_.erase({shard->last_touch, key});
+  --live_count_;
+  ++evictions_;
+}
+
+void ShardManager::EnforceLiveCap(const std::string* exclude) {
+  if (options_.max_live_shards <= 0) return;
+  while (live_count_ > static_cast<size_t>(options_.max_live_shards)) {
+    // The index orders by (last_touch, key), so begin() is exactly the
+    // old linear scan's deterministic victim: least recently touched,
+    // ties broken by smaller key.
+    auto victim = live_lru_.begin();
+    if (victim == live_lru_.end()) return;
+    if (exclude != nullptr && victim->second == *exclude) {
+      if (++victim == live_lru_.end()) return;  // only the excluded is live
+    }
+    SpillShard(victim->second, &shards_.find(victim->second)->second);
+  }
+}
+
+Result<FairCenterSlidingWindow*> ShardManager::TouchShard(
+    const std::string& key, bool create_missing, bool enforce_cap) {
   auto it = shards_.find(key);
   if (it == shards_.end()) {
-    it = shards_
-             .emplace(key, FairCenterSlidingWindow(options_.window,
-                                                   constraint_, metric_,
-                                                   solver_))
-             .first;
+    if (!create_missing) {
+      return Status::NotFound("no shard for key '" + key + "'");
+    }
+    Shard shard;
+    shard.live = std::make_unique<FairCenterSlidingWindow>(
+        OptionsForKey(key), constraint_, metric_, solver_);
+    ++live_count_;
+    it = shards_.emplace(key, std::move(shard)).first;
+  } else if (!it->second.live) {
+    FKC_RETURN_IF_ERROR(RehydrateShard(&it->second));
   }
-  return it->second;
+  TouchLive(it->first, &it->second, clock_);
+  if (enforce_cap) EnforceLiveCap(&key);
+  return it->second.live.get();
 }
 
-void ShardManager::Ingest(const std::string& key, Point p) {
-  GetOrCreate(key).Update(std::move(p));
+Status ShardManager::Ingest(const std::string& key, Point p) {
+  FKC_RETURN_IF_ERROR(ValidateArrival(key, p));
+  ++clock_;
+  auto shard = TouchShard(key, /*create_missing=*/true, /*enforce_cap=*/true);
+  if (!shard.ok()) return shard.status();
+  shard.value()->Update(std::move(p));
+  return Status::OK();
 }
 
-void ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
-  if (batch.empty()) return;
+Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
+  if (batch.empty()) return Status::OK();
+
   // Group by key, preserving per-key arrival order (the only order that
   // matters: shards share no state, so cross-key interleaving is
-  // unobservable).
-  std::map<std::string, std::vector<Point>> groups;
+  // unobservable). Invalid arrivals are dropped here, one by one — the
+  // valid rest of the batch is consumed regardless.
+  struct Group {
+    std::vector<Point> points;
+    int64_t last_clock = 0;  ///< manager clock at the group's last arrival
+    FairCenterSlidingWindow* window = nullptr;
+  };
+  std::map<std::string, Group> groups;
+  int64_t dropped = 0;
+  Status first_error = Status::OK();
   for (KeyedPoint& kp : batch) {
-    groups[kp.key].push_back(std::move(kp.point));
+    Status status = ValidateArrival(kp.key, kp.point);
+    if (!status.ok()) {
+      ++dropped;
+      if (first_error.ok()) first_error = std::move(status);
+      continue;
+    }
+    Group& group = groups[kp.key];
+    group.points.push_back(std::move(kp.point));
+    group.last_clock = ++clock_;
   }
 
-  // Create missing shards up front: the map must not mutate under the
-  // fan-out.
+  // Create or rehydrate every touched shard up front: the map must not
+  // mutate under the fan-out, and LRU spills must not run while group
+  // pointers are outstanding — the cap is enforced once, after the batch.
+  for (auto& [key, group] : groups) {
+    auto shard = TouchShard(key, /*create_missing=*/true,
+                            /*enforce_cap=*/false);
+    if (!shard.ok()) {
+      dropped += static_cast<int64_t>(group.points.size());
+      if (first_error.ok()) first_error = shard.status();
+      continue;
+    }
+    group.window = shard.value();
+  }
+
   std::vector<std::pair<FairCenterSlidingWindow*, std::vector<Point>*>> work;
   work.reserve(groups.size());
-  for (auto& [key, points] : groups) {
-    work.emplace_back(&GetOrCreate(key), &points);
+  for (auto& [key, group] : groups) {
+    if (group.window != nullptr) work.emplace_back(group.window, &group.points);
   }
 
   ThreadPool* pool = Pool();
@@ -83,130 +287,266 @@ void ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
     for (auto& [shard, points] : work) {
       shard->UpdateBatch(std::move(*points));
     }
-    return;
+  } else {
+    pool->ParallelFor(static_cast<int64_t>(work.size()), [&](int64_t i) {
+      work[i].first->UpdateBatch(std::move(*work[i].second));
+    });
   }
-  pool->ParallelFor(static_cast<int64_t>(work.size()), [&](int64_t i) {
-    work[i].first->UpdateBatch(std::move(*work[i].second));
-  });
+  // Refresh last_touch to each group's final arrival (matches the per-point
+  // Ingest path bit for bit), then apply the cap.
+  for (auto& [key, group] : groups) {
+    if (group.window == nullptr) continue;
+    TouchLive(key, &shards_.find(key)->second, group.last_clock);
+  }
+  EnforceLiveCap(nullptr);
+
+  if (dropped > 0) {
+    return Status::InvalidArgument(
+        StrFormat("dropped %lld of %lld arrivals; first error: %s",
+                  static_cast<long long>(dropped),
+                  static_cast<long long>(batch.size()),
+                  first_error.message().c_str()));
+  }
+  return Status::OK();
+}
+
+Status ShardManager::SetTenantOptions(const std::string& key,
+                                      SlidingWindowOptions options) {
+  if (key.size() >= kMaxKeyBytes) {
+    return Status::InvalidArgument("tenant key exceeds the size limit");
+  }
+  FKC_RETURN_IF_ERROR(ValidateSlidingWindowOptions(options));
+  if (shards_.count(key) != 0) {
+    return Status::FailedPrecondition(
+        "shard '" + key + "' already exists; options are fixed at creation");
+  }
+  options.num_threads = 1;
+  if (SameCheckpointedOptions(options, options_.window)) {
+    overrides_.erase(key);  // identical to the template: nothing to store
+  } else {
+    overrides_[key] = options;
+  }
+  return Status::OK();
+}
+
+const SlidingWindowOptions* ShardManager::TenantOptions(
+    const std::string& key) const {
+  auto it = overrides_.find(key);
+  return it == overrides_.end() ? nullptr : &it->second;
 }
 
 Result<FairCenterSolution> ShardManager::Query(const std::string& key,
                                                QueryStats* stats) {
-  auto it = shards_.find(key);
-  if (it == shards_.end()) {
-    return Status::NotFound("no shard for key '" + key + "'");
-  }
-  return it->second.Query(stats);
+  auto shard = TouchShard(key, /*create_missing=*/false, /*enforce_cap=*/true);
+  if (!shard.ok()) return shard.status();
+  return shard.value()->Query(stats);
 }
 
 std::vector<ShardAnswer> ShardManager::QueryAll() {
+  // Live shards answer in place; spilled shards answer from an ephemeral
+  // deserialization so a fleet-wide query round does not defeat eviction.
+  // Tasks are independent, so the fan-out is deterministic either way.
+  struct Task {
+    FairCenterSlidingWindow* live = nullptr;
+    const std::string* spill = nullptr;
+  };
   std::vector<ShardAnswer> answers;
+  std::vector<Task> tasks;
   answers.reserve(shards_.size());
-  std::vector<FairCenterSlidingWindow*> windows;
-  windows.reserve(shards_.size());
+  tasks.reserve(shards_.size());
   for (auto& [key, shard] : shards_) {  // ascending key order
     ShardAnswer answer;
     answer.key = key;
     answers.push_back(std::move(answer));
-    windows.push_back(&shard);
+    tasks.push_back(shard.live ? Task{shard.live.get(), nullptr}
+                               : Task{nullptr, &shard.spill});
   }
 
   auto run_one = [&](int64_t i) {
-    answers[i].solution = windows[i]->Query(&answers[i].stats);
+    if (tasks[i].live != nullptr) {
+      answers[i].solution = tasks[i].live->Query(&answers[i].stats);
+      return;
+    }
+    auto window = FairCenterSlidingWindow::DeserializeState(*tasks[i].spill,
+                                                            metric_, solver_);
+    if (!window.ok()) {
+      answers[i].solution = window.status();
+      return;
+    }
+    answers[i].solution = window.value().Query(&answers[i].stats);
   };
   ThreadPool* pool = Pool();
-  if (pool == nullptr || windows.size() < 2) {
-    for (size_t i = 0; i < windows.size(); ++i) run_one(static_cast<int64_t>(i));
+  if (pool == nullptr || tasks.size() < 2) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_one(static_cast<int64_t>(i));
   } else {
-    pool->ParallelFor(static_cast<int64_t>(windows.size()), run_one);
+    pool->ParallelFor(static_cast<int64_t>(tasks.size()), run_one);
   }
   return answers;
 }
 
-std::string ShardManager::CheckpointAll() const {
+int64_t ShardManager::EvictIdle(int64_t idle_ttl) {
+  if (idle_ttl < 0) return 0;
+  int64_t evicted = 0;
+  for (auto& [key, shard] : shards_) {
+    if (!shard.live) continue;
+    if (clock_ - shard.last_touch > idle_ttl) {
+      SpillShard(key, &shard);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+std::string ShardManager::CheckpointAll() {
   std::ostringstream out;
-  out << kMagic << ' ';
+  out << kMagicV2 << ' ';
 
   // The window template (needed to spawn shards for keys first seen after a
-  // restore) and the constraint. num_threads is an execution knob and is
-  // deliberately excluded, like in the core checkpoint.
-  const SlidingWindowOptions& w = options_.window;
-  out << w.window_size << ' ';
-  WriteCheckpointDouble(&out, w.beta);
-  WriteCheckpointDouble(&out, w.delta);
-  out << static_cast<int>(w.variant) << ' ' << (w.adaptive_range ? 1 : 0)
-      << ' ';
-  WriteCheckpointDouble(&out, w.d_min);
-  WriteCheckpointDouble(&out, w.d_max);
-  out << w.adaptive_slack_exponents << ' '
-      << (w.warm_start_new_guesses ? 1 : 0) << ' ';
+  // restore), the constraint, and the override table. num_threads and
+  // max_live_shards are execution/resource knobs and are deliberately
+  // excluded, like in the core checkpoint.
+  WriteSlidingWindowOptions(&out, options_.window);
+  WriteConstraint(&out, constraint_);
+  WriteOverrides(&out, overrides_);
 
-  out << constraint_.ell() << ' ';
-  for (int cap : constraint_.caps()) out << cap << ' ';
-
-  // Every shard: length-prefixed key, length-prefixed core checkpoint.
+  // Every shard: length-prefixed key, length-prefixed core checkpoint. A
+  // spilled shard's state is its spill blob, verbatim.
   out << shards_.size() << ' ';
-  for (const auto& [key, shard] : shards_) {
+  for (auto& [key, shard] : shards_) {
     WriteCheckpointRaw(&out, key);
-    WriteCheckpointRaw(&out, shard.SerializeState());
+    if (shard.live) {
+      WriteCheckpointRaw(&out, shard.live->SerializeState());
+      shard.clean_epoch = shard.live->state_epoch();
+    } else {
+      WriteCheckpointRaw(&out, shard.spill);
+      shard.spill_dirty = false;
+    }
   }
   return out.str();
+}
+
+size_t ShardManager::dirty_shard_count() const {
+  size_t dirty = 0;
+  for (const auto& [key, shard] : shards_) {
+    if (IsDirty(shard)) ++dirty;
+  }
+  return dirty;
+}
+
+std::string ShardManager::CheckpointDelta() {
+  std::ostringstream out;
+  out << kDeltaMagic << ' ';
+  // Constraint (so the receiver can verify compatibility) and the override
+  // table (tiny, and replacing it wholesale keeps deltas self-contained).
+  WriteConstraint(&out, constraint_);
+  WriteOverrides(&out, overrides_);
+
+  out << dirty_shard_count() << ' ';
+  for (auto& [key, shard] : shards_) {
+    if (!IsDirty(shard)) continue;
+    WriteCheckpointRaw(&out, key);
+    if (shard.live) {
+      WriteCheckpointRaw(&out, shard.live->SerializeState());
+      shard.clean_epoch = shard.live->state_epoch();
+    } else {
+      WriteCheckpointRaw(&out, shard.spill);
+      shard.spill_dirty = false;
+    }
+  }
+  return out.str();
+}
+
+Status ShardManager::ApplyDelta(const std::string& bytes) {
+  CheckpointReader cursor(bytes);
+  std::string magic;
+  FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
+  if (magic != kDeltaMagic) {
+    return Status::InvalidArgument("not an fkc shard delta (bad magic '" +
+                                   magic + "')");
+  }
+
+  std::vector<int> caps;
+  FKC_RETURN_IF_ERROR(ReadConstraint(&cursor, &caps));
+  if (caps != constraint_.caps()) {
+    return Status::InvalidArgument(
+        "delta constraint does not match this manager's");
+  }
+  std::map<std::string, SlidingWindowOptions> overrides;
+  FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &overrides));
+
+  // Stage every shard before touching the manager: a truncated or corrupt
+  // delta must leave the fleet exactly as it was.
+  int64_t shard_count = 0;
+  FKC_RETURN_IF_ERROR(cursor.NextInt(&shard_count));
+  if (shard_count < 0 || shard_count > kMaxShards ||
+      static_cast<size_t>(shard_count) > cursor.Remaining()) {
+    return Status::InvalidArgument("implausible shard count in delta");
+  }
+  // No reserve from the blob-supplied count: growth is paid only for
+  // entries that actually parse.
+  std::vector<std::pair<std::string, FairCenterSlidingWindow>> staged;
+  for (int64_t s = 0; s < shard_count; ++s) {
+    std::string key, blob;
+    FKC_RETURN_IF_ERROR(cursor.NextRaw(&key, kMaxKeyBytes));
+    FKC_RETURN_IF_ERROR(cursor.NextRaw(&blob));
+    auto window =
+        FairCenterSlidingWindow::DeserializeState(blob, metric_, solver_);
+    if (!window.ok()) return window.status();
+    staged.emplace_back(std::move(key), std::move(window).value());
+  }
+
+  overrides_ = std::move(overrides);
+  for (auto& [key, window] : staged) {
+    Shard& shard = shards_[key];
+    const bool was_live = shard.live != nullptr;
+    if (!was_live) ++live_count_;
+    shard.live =
+        std::make_unique<FairCenterSlidingWindow>(std::move(window));
+    shard.spill.clear();
+    shard.spill_dirty = false;
+    // The shard now matches the leader's checkpointed state exactly.
+    shard.clean_epoch = shard.live->state_epoch();
+    TouchLive(key, &shard, clock_);
+  }
+  EnforceLiveCap(nullptr);
+  return Status::OK();
 }
 
 Result<ShardManager> ShardManager::Restore(const std::string& bytes,
                                            const Metric* metric,
                                            const FairCenterSolver* solver,
-                                           int num_threads) {
+                                           int num_threads,
+                                           int64_t max_live_shards) {
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
-  if (magic != kMagic) {
+  const bool v2 = magic == kMagicV2;
+  if (!v2 && magic != kMagicV1) {
     return Status::InvalidArgument("not an fkc shard checkpoint (bad magic '" +
                                    magic + "')");
   }
 
   ShardManagerOptions options;
   options.num_threads = num_threads;
-  SlidingWindowOptions& w = options.window;
-  int64_t variant = 0, adaptive = 0, slack = 0, warm = 0;
-  FKC_RETURN_IF_ERROR(cursor.NextInt(&w.window_size));
-  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.beta));
-  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.delta));
-  FKC_RETURN_IF_ERROR(cursor.NextInt(&variant));
-  FKC_RETURN_IF_ERROR(cursor.NextInt(&adaptive));
-  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.d_min));
-  FKC_RETURN_IF_ERROR(cursor.NextDouble(&w.d_max));
-  FKC_RETURN_IF_ERROR(cursor.NextInt(&slack));
-  FKC_RETURN_IF_ERROR(cursor.NextInt(&warm));
-  if (variant < 0 || variant > 1) {
-    return Status::InvalidArgument("bad variant in shard checkpoint");
-  }
-  w.variant = static_cast<CoreVariant>(variant);
-  w.adaptive_range = adaptive != 0;
-  w.adaptive_slack_exponents = static_cast<int>(slack);
-  w.warm_start_new_guesses = warm != 0;
+  options.max_live_shards = max_live_shards;
+  // ReadSlidingWindowOptions validates what it parses (window size, delta,
+  // beta, variant, slack exponents, range bounds): a corrupted or
+  // adversarial blob must fail here, not abort in a constructor CHECK.
+  FKC_RETURN_IF_ERROR(ReadSlidingWindowOptions(&cursor, &options.window));
 
-  int64_t ell = 0;
-  FKC_RETURN_IF_ERROR(cursor.NextInt(&ell));
-  if (ell < 1 || ell > (1 << 20)) {
-    return Status::InvalidArgument("implausible color count in checkpoint");
-  }
-  std::vector<int> caps(static_cast<size_t>(ell));
-  for (int& cap : caps) {
-    int64_t value = 0;
-    FKC_RETURN_IF_ERROR(cursor.NextInt(&value));
-    if (value < 0) {
-      return Status::InvalidArgument("negative cap in shard checkpoint");
-    }
-    cap = static_cast<int>(value);
-  }
+  std::vector<int> caps;
+  FKC_RETURN_IF_ERROR(ReadConstraint(&cursor, &caps));
 
   ShardManager manager(options, ColorConstraint(std::move(caps)), metric,
                        solver);
+  if (v2) {
+    FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &manager.overrides_));
+  }
 
   int64_t shard_count = 0;
   FKC_RETURN_IF_ERROR(cursor.NextInt(&shard_count));
-  if (shard_count < 0 || shard_count > (1 << 24)) {
+  if (shard_count < 0 || shard_count > kMaxShards ||
+      static_cast<size_t>(shard_count) > cursor.Remaining()) {
     return Status::InvalidArgument("implausible shard count in checkpoint");
   }
   for (int64_t s = 0; s < shard_count; ++s) {
@@ -216,8 +556,19 @@ Result<ShardManager> ShardManager::Restore(const std::string& bytes,
     auto window =
         FairCenterSlidingWindow::DeserializeState(blob, metric, solver);
     if (!window.ok()) return window.status();
-    manager.shards_.emplace(std::move(key), std::move(window).value());
+    Shard shard;
+    shard.live = std::make_unique<FairCenterSlidingWindow>(
+        std::move(window).value());
+    shard.clean_epoch = shard.live->state_epoch();  // restored = checkpointed
+    auto [pos, inserted] =
+        manager.shards_.emplace(std::move(key), std::move(shard));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate shard key in checkpoint");
+    }
+    manager.live_lru_.insert({pos->second.last_touch, pos->first});
+    ++manager.live_count_;
   }
+  manager.EnforceLiveCap(nullptr);
   return manager;
 }
 
@@ -229,19 +580,22 @@ std::vector<std::string> ShardManager::Keys() const {
 }
 
 FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
-  auto it = shards_.find(key);
-  return it == shards_.end() ? nullptr : &it->second;
+  auto result = TouchShard(key, /*create_missing=*/false,
+                           /*enforce_cap=*/true);
+  return result.ok() ? result.value() : nullptr;
 }
 
 const FairCenterSlidingWindow* ShardManager::shard(
     const std::string& key) const {
   auto it = shards_.find(key);
-  return it == shards_.end() ? nullptr : &it->second;
+  return it == shards_.end() ? nullptr : it->second.live.get();
 }
 
 MemoryStats ShardManager::TotalMemory() const {
   MemoryStats stats;
-  for (const auto& [key, shard] : shards_) stats += shard.Memory();
+  for (const auto& [key, shard] : shards_) {
+    if (shard.live) stats += shard.live->Memory();
+  }
   return stats;
 }
 

@@ -5,14 +5,34 @@
 // Each shard is a full FairCenterSlidingWindow keyed by an opaque string.
 // Shards share no state, so ingest batches and query multiplexing fan out
 // across the pool with bit-identical per-shard results at any thread count —
-// the same determinism contract as the core engine. The whole fleet
-// checkpoints into a single self-describing blob (every shard through the
-// core's SerializeState) and restores into an identically answering manager.
+// the same determinism contract as the core engine.
+//
+// Multi-tenant hardening on top of the basic routing:
+//   * per-tenant options: a tenant key may carry its own SlidingWindowOptions
+//     (window size, delta, beta, variant) applied when its shard is created;
+//     overrides travel in the fleet checkpoint.
+//   * bounded residency: EvictIdle(ttl) spills shards that stopped receiving
+//     arrivals, and an optional LRU cap bounds the number of live shards;
+//     a spilled shard is checkpointed into an in-memory spill map and
+//     transparently rehydrated on its next touch, answering exactly as if it
+//     had never left.
+//   * incremental checkpointing: every shard carries a dirty bit (set on
+//     ingest, cleared on checkpoint); CheckpointDelta() serializes only the
+//     dirty shards and ApplyDelta() folds such a delta into a fleet restored
+//     from the matching base — steady-state fleets ship deltas, not the
+//     whole blob. Full checkpoints use the fkc-shards-v2 format; Restore
+//     still accepts v1 blobs from earlier builds.
+//
+// Malformed input is rejected, never fatal: oversized keys and out-of-range
+// colors fail with kInvalidArgument (dropping only the offending arrivals),
+// and corrupted or truncated checkpoint blobs fail Restore/ApplyDelta with
+// a non-OK Status instead of aborting the process.
 #ifndef FKC_SERVING_SHARD_MANAGER_H_
 #define FKC_SERVING_SHARD_MANAGER_H_
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,9 +52,10 @@ struct KeyedPoint {
 
 /// Configuration of the serving layer.
 struct ShardManagerOptions {
-  /// Template for every shard's sliding window. The per-shard `num_threads`
-  /// is forced to 1: parallelism lives at the manager level (one pool fanned
-  /// across shards), never nested inside a shard.
+  /// Template for every shard's sliding window (tenants without an override
+  /// use it verbatim). The per-shard `num_threads` is forced to 1:
+  /// parallelism lives at the manager level (one pool fanned across
+  /// shards), never nested inside a shard.
   SlidingWindowOptions window;
 
   /// Worker threads of the shared pool multiplexing ingest and queries over
@@ -42,6 +63,13 @@ struct ShardManagerOptions {
   /// execution knob: results are bit-identical at any value and it is not
   /// part of the checkpoint.
   int num_threads = 1;
+
+  /// Upper bound on simultaneously live (in-memory) shards; 0 = unlimited.
+  /// When a create or rehydration would exceed it, the least-recently
+  /// touched live shard is spilled. Enforced between ingest batches, so a
+  /// single batch touching more distinct keys than the cap still works. A
+  /// resource knob, not state: it is not checkpointed.
+  int64_t max_live_shards = 0;
 };
 
 /// Per-shard answer of a fan-out query.
@@ -55,11 +83,17 @@ struct ShardAnswer {
 ///
 /// Typical use:
 ///   ShardManager manager(options, constraint, &metric, &solver);
+///   manager.SetTenantOptions("tenant-7", small_window);  // optional
 ///   manager.IngestBatch(keyed_arrivals);       // routed + fanned out
 ///   auto answer = manager.Query("tenant-7");   // one shard
 ///   auto all = manager.QueryAll();             // every shard, multiplexed
-///   std::string blob = manager.CheckpointAll();
+///   manager.EvictIdle(100000);                 // spill idle tenants
+///   std::string delta = manager.CheckpointDelta();  // dirty shards only
+///   std::string blob = manager.CheckpointAll();     // the whole fleet
 ///   auto restored = ShardManager::Restore(blob, &metric, &solver);
+///
+/// Not thread-safe: callers serialize access; the manager parallelizes
+/// internally over its own pool.
 class ShardManager {
  public:
   /// `metric` and `solver` must outlive the manager; they are shared by all
@@ -68,57 +102,162 @@ class ShardManager {
   ShardManager(ShardManagerOptions options, ColorConstraint constraint,
                const Metric* metric, const FairCenterSolver* solver);
 
-  /// Feeds one arrival to the shard of `key`, creating the shard on first
-  /// sight. Per-shard clocks are independent: each shard sees its own
-  /// arrivals as one logical time step each.
-  void Ingest(const std::string& key, Point p);
+  /// Feeds one arrival to the shard of `key`, creating (or rehydrating) the
+  /// shard on first sight. Per-shard clocks are independent: each shard
+  /// sees its own arrivals as one logical time step each. Fails with
+  /// kInvalidArgument — consuming nothing — for an oversized key or an
+  /// out-of-range color; other tenants are unaffected.
+  Status Ingest(const std::string& key, Point p);
 
   /// Routes a batch of keyed arrivals: groups by key (preserving per-key
-  /// arrival order), creates missing shards, then fans the per-shard groups
-  /// out over the pool, each shard consuming its group through the core
-  /// UpdateBatch engine. Equivalent to calling Ingest per arrival in order.
-  void IngestBatch(std::vector<KeyedPoint> batch);
+  /// arrival order), creates/rehydrates missing shards, then fans the
+  /// per-shard groups out over the pool, each shard consuming its group
+  /// through the core UpdateBatch engine. Equivalent to calling Ingest per
+  /// arrival in order. Invalid arrivals (oversized key, out-of-range color)
+  /// are dropped individually — every valid arrival in the batch is still
+  /// consumed — and reported through a kInvalidArgument status describing
+  /// the first offender and the drop count.
+  Status IngestBatch(std::vector<KeyedPoint> batch);
 
-  /// Queries one shard. Fails with kNotFound for an unknown key.
+  /// Registers per-tenant options applied when `key`'s shard is created;
+  /// until then the fleet template applies to everyone else. Must be called
+  /// before the tenant's first arrival (kFailedPrecondition once the shard
+  /// exists — options are fixed at creation, like the core's). Overrides
+  /// identical to the template are not stored. `options.num_threads` is
+  /// ignored (forced to 1). Overrides travel in v2 fleet checkpoints, so a
+  /// restored manager applies them to tenants first seen after the restore.
+  Status SetTenantOptions(const std::string& key, SlidingWindowOptions options);
+
+  /// The override registered for `key`, or nullptr if the tenant uses the
+  /// fleet template. The pointer is invalidated by SetTenantOptions,
+  /// ApplyDelta, and destruction.
+  const SlidingWindowOptions* TenantOptions(const std::string& key) const;
+
+  /// Queries one shard, transparently rehydrating it if spilled. Fails with
+  /// kNotFound for an unknown key.
   Result<FairCenterSolution> Query(const std::string& key,
                                    QueryStats* stats = nullptr);
 
-  /// Queries every shard, multiplexed over the pool (each shard's query
-  /// pipeline runs sequentially inside its task). Answers are ordered by
-  /// key, deterministically.
+  /// Queries every shard — live and spilled — multiplexed over the pool
+  /// (each shard's query pipeline runs sequentially inside its task).
+  /// Spilled shards are answered from an ephemeral deserialization without
+  /// changing their residency, so a fleet-wide dashboard query does not
+  /// defeat eviction. Answers are ordered by key, deterministically.
   std::vector<ShardAnswer> QueryAll();
 
-  /// Serializes the manager — the window template, constraint, and every
-  /// shard via the core SerializeState — into one self-describing blob.
-  std::string CheckpointAll() const;
+  /// Spills every live shard whose last arrival is more than `idle_ttl`
+  /// ticks ago, where the manager clock ticks once per ingested arrival
+  /// fleet-wide. A spilled shard keeps answering (QueryAll) and is
+  /// rehydrated in place by its next touch (Ingest / Query / shard()).
+  /// Returns the number of shards spilled. idle_ttl = 0 spills everything
+  /// not touched at the current clock; negative is a no-op.
+  int64_t EvictIdle(int64_t idle_ttl);
 
-  /// Reconstructs a manager from CheckpointAll output. The restored fleet
-  /// answers every query identically and behaves identically under any
-  /// future ingest sequence. `num_threads` is an execution knob supplied at
-  /// restore time, like the metric and solver.
+  /// Serializes the fleet — template, constraint, tenant overrides, and
+  /// every shard (live or spilled) — into one self-describing v2 blob, and
+  /// marks every shard clean. Spilled shards are written from their spill
+  /// blob without rehydration.
+  std::string CheckpointAll();
+
+  /// Serializes only the shards dirtied since the last CheckpointAll /
+  /// CheckpointDelta (plus the constraint and override table, which are
+  /// cheap), and marks them clean. Applying the sequence of deltas, in
+  /// order, onto a manager restored from the matching base reproduces the
+  /// full fleet state. An idle fleet yields an empty delta (zero shards).
+  std::string CheckpointDelta();
+
+  /// Folds a CheckpointDelta blob into this manager: replaces the override
+  /// table and upserts every contained shard as live-and-clean. Validates
+  /// everything before mutating anything — on a non-OK return the manager
+  /// is unchanged. The delta's constraint must match this manager's.
+  Status ApplyDelta(const std::string& bytes);
+
+  /// Reconstructs a manager from CheckpointAll output — v2 or the earlier
+  /// v1 format. The restored fleet answers every query identically and
+  /// behaves identically under any future ingest sequence. All shards come
+  /// back live (then the LRU cap, if any, applies). `num_threads` and
+  /// `max_live_shards` are execution/resource knobs supplied at restore
+  /// time, like the metric and solver. Corrupted, truncated, or
+  /// implausible blobs fail with kInvalidArgument, never a process abort.
   static Result<ShardManager> Restore(const std::string& bytes,
                                       const Metric* metric,
                                       const FairCenterSolver* solver,
-                                      int num_threads = 1);
+                                      int num_threads = 1,
+                                      int64_t max_live_shards = 0);
 
-  /// Shard keys in deterministic (lexicographic) order.
+  /// Shard keys — live and spilled — in deterministic (lexicographic)
+  /// order.
   std::vector<std::string> Keys() const;
 
-  /// Direct access to one shard (nullptr for an unknown key). The manager
-  /// retains ownership.
+  /// Direct access to one shard, transparently rehydrating it if spilled
+  /// (nullptr for an unknown key or a spill blob that fails to load). The
+  /// manager retains ownership. When `max_live_shards` is set, any later
+  /// mutating access (Ingest, IngestBatch, Query, shard, EvictIdle,
+  /// ApplyDelta) may spill the pointed-to window — use the pointer before
+  /// the next manager call, or run without a cap.
   FairCenterSlidingWindow* shard(const std::string& key);
+  /// Const access never changes residency: returns nullptr for spilled as
+  /// well as unknown keys.
   const FairCenterSlidingWindow* shard(const std::string& key) const;
 
+  /// All shards the manager knows, live + spilled.
   size_t shard_count() const { return shards_.size(); }
+  size_t live_shard_count() const { return live_count_; }
+  size_t spilled_shard_count() const { return shards_.size() - live_count_; }
+  /// Shards a CheckpointDelta() would serialize right now.
+  size_t dirty_shard_count() const;
 
-  /// Stored-point totals across the fleet (the paper's memory unit).
+  /// Fleet-wide arrival count — the clock EvictIdle's TTL is measured in.
+  int64_t clock() const { return clock_; }
+  /// Lifetime spill / rehydration totals (EvictIdle + LRU-cap spills;
+  /// ephemeral QueryAll reads of spilled shards count as neither).
+  int64_t evictions() const { return evictions_; }
+  int64_t rehydrations() const { return rehydrations_; }
+
+  /// Stored-point totals of the live (resident) shards — the paper's memory
+  /// unit, here doubling as the resident-memory gauge eviction exists to
+  /// bound. Spilled shards hold their points in serialized form only.
   MemoryStats TotalMemory() const;
 
   const ShardManagerOptions& options() const { return options_; }
   const ColorConstraint& constraint() const { return constraint_; }
 
  private:
-  FairCenterSlidingWindow& GetOrCreate(const std::string& key);
+  /// One tenant's slot: a live window, or its serialized state after a
+  /// spill (exactly one of the two at any time).
+  struct Shard {
+    std::unique_ptr<FairCenterSlidingWindow> live;  ///< null when spilled
+    std::string spill;       ///< core checkpoint bytes when spilled
+    bool spill_dirty = false;  ///< spilled state not yet in a fleet blob
+    /// Live shards: state_epoch() at the last fleet checkpoint;
+    /// kNeverCheckpointed marks dirty-since-birth (or since a dirty spill
+    /// was rehydrated, which resets the window's epoch counter).
+    int64_t clean_epoch = kNeverCheckpointed;
+    int64_t last_touch = 0;  ///< manager clock at the last touch
+  };
+
+  static constexpr int64_t kNeverCheckpointed = -1;
+
+  bool IsDirty(const Shard& shard) const;
+  /// The offending-arrival checks shared by Ingest and IngestBatch.
+  Status ValidateArrival(const std::string& key, const Point& p) const;
+  /// Template or override for `key`, num_threads forced to 1.
+  SlidingWindowOptions OptionsForKey(const std::string& key) const;
+  /// Finds `key`'s shard, rehydrating a spilled one and (optionally)
+  /// creating a missing one; refreshes last_touch. `enforce_cap` runs the
+  /// LRU cap afterwards, never spilling `key` itself — batch paths pass
+  /// false and enforce once after the fan-out.
+  Result<FairCenterSlidingWindow*> TouchShard(const std::string& key,
+                                              bool create_missing,
+                                              bool enforce_cap);
+  /// Sets a live shard's last_touch, keeping the LRU index in sync.
+  void TouchLive(const std::string& key, Shard* shard, int64_t touch);
+  Status RehydrateShard(Shard* shard);
+  void SpillShard(const std::string& key, Shard* shard);
+  /// Spills least-recently-touched live shards (ties broken by smaller
+  /// key, deterministically — the LRU index order) until the cap holds.
+  /// `exclude` (may be null) is never spilled.
+  void EnforceLiveCap(const std::string* exclude);
   ThreadPool* Pool();
 
   ShardManagerOptions options_;
@@ -126,11 +265,26 @@ class ShardManager {
   const Metric* metric_;
   const FairCenterSolver* solver_;
 
-  /// Shards keyed by tenant id; std::map for deterministic iteration.
-  std::map<std::string, FairCenterSlidingWindow> shards_;
+  /// Per-tenant option overrides, applied at shard creation.
+  std::map<std::string, SlidingWindowOptions> overrides_;
 
-  /// Lazily created shared pool (nullptr while sequential).
+  /// Shards keyed by tenant id; std::map for deterministic iteration.
+  std::map<std::string, Shard> shards_;
+  size_t live_count_ = 0;
+
+  /// (last_touch, key) of every live shard: the LRU victim is begin(), so
+  /// cap enforcement is O(log n) per eviction instead of a scan over the
+  /// whole fleet. Maintained by TouchLive / SpillShard.
+  std::set<std::pair<int64_t, std::string>> live_lru_;
+
+  /// Lazily created shared pool (nullptr while sequential) and its
+  /// resolved effective size (-1 = not yet resolved).
   std::unique_ptr<ThreadPool> pool_;
+  int pool_threads_ = -1;
+
+  int64_t clock_ = 0;
+  int64_t evictions_ = 0;
+  int64_t rehydrations_ = 0;
 };
 
 }  // namespace serving

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "sequential/radius.h"
 
 namespace fkc {
@@ -178,7 +179,8 @@ ShardedThroughputReport RunShardedThroughput(
   auto flush = [&]() {
     if (pending.empty()) return;
     Stopwatch timer;
-    manager->IngestBatch(std::move(pending));
+    const Status status = manager->IngestBatch(std::move(pending));
+    FKC_CHECK(status.ok()) << status.ToString();
     report.update_seconds += timer.ElapsedMillis() / 1e3;
     pending = {};
     pending.reserve(static_cast<size_t>(options.batch_size));
@@ -207,6 +209,71 @@ ShardedThroughputReport RunShardedThroughput(
     }
   }
   flush();
+  return report;
+}
+
+ShardedChurnReport RunShardedChurn(serving::ShardManager* manager,
+                                   PointStream* stream,
+                                   const ShardedChurnOptions& options) {
+  FKC_CHECK(manager != nullptr);
+  FKC_CHECK(stream != nullptr);
+  FKC_CHECK_GT(options.stream_length, 0);
+  FKC_CHECK_GT(options.batch_size, 0);
+  FKC_CHECK_GT(options.tenants, 0);
+  FKC_CHECK_GT(options.active, 0);
+  FKC_CHECK_GT(options.rotate_every, 0);
+
+  ShardedChurnReport report;
+  std::vector<serving::KeyedPoint> pending;
+  pending.reserve(static_cast<size_t>(options.batch_size));
+  auto flush = [&]() {
+    if (pending.empty()) return;
+    Stopwatch timer;
+    const Status status = manager->IngestBatch(std::move(pending));
+    FKC_CHECK(status.ok()) << status.ToString();
+    report.update_seconds += timer.ElapsedMillis() / 1e3;
+    pending = {};
+    pending.reserve(static_cast<size_t>(options.batch_size));
+  };
+
+  for (int64_t t = 0; t < options.stream_length; ++t) {
+    auto next = stream->Next();
+    FKC_CHECK(next.has_value()) << "stream exhausted at arrival " << t;
+    // The active set slides forward one tenant per rotate_every arrivals;
+    // tenants behind the set go idle and the periodic sweep spills them.
+    const int64_t tenant =
+        (t / options.rotate_every + t % options.active) % options.tenants;
+    pending.push_back(
+        {StrFormat("tenant-%04lld", static_cast<long long>(tenant)),
+         std::move(*next)});
+    ++report.updates;
+    if (static_cast<int64_t>(pending.size()) >= options.batch_size) flush();
+
+    if (options.evict_every > 0 && (t + 1) % options.evict_every == 0) {
+      flush();
+      Stopwatch timer;
+      manager->EvictIdle(options.idle_ttl);
+      report.maintenance_seconds += timer.ElapsedMillis() / 1e3;
+    }
+    if (options.delta_every > 0 && (t + 1) % options.delta_every == 0) {
+      flush();
+      Stopwatch timer;
+      const std::string delta = manager->CheckpointDelta();
+      report.maintenance_seconds += timer.ElapsedMillis() / 1e3;
+      ++report.delta_checkpoints;
+      report.delta_bytes += static_cast<int64_t>(delta.size());
+    }
+  }
+  flush();
+
+  Stopwatch timer;
+  report.full_checkpoint_bytes =
+      static_cast<int64_t>(manager->CheckpointAll().size());
+  report.maintenance_seconds += timer.ElapsedMillis() / 1e3;
+  report.evictions = manager->evictions();
+  report.rehydrations = manager->rehydrations();
+  report.total_shards = static_cast<int64_t>(manager->shard_count());
+  report.live_shards = static_cast<int64_t>(manager->live_shard_count());
   return report;
 }
 

@@ -200,6 +200,59 @@ ShardedThroughputReport RunShardedThroughput(
     serving::ShardManager* manager, PointStream* stream,
     const std::vector<std::string>& keys, const ShardedRunOptions& options);
 
+/// Schedule of an eviction-churn serving run: a large tenant population of
+/// which only a small set is active at any moment, the active set sliding
+/// over time so tenants go idle, get spilled by periodic EvictIdle sweeps,
+/// and are rehydrated if the schedule returns to them. Periodic
+/// CheckpointDelta captures measure how much smaller steady-state deltas
+/// are than the full fleet blob.
+struct ShardedChurnOptions {
+  /// Total keyed arrivals fed across the run.
+  int64_t stream_length = 0;
+  /// Keyed arrivals per IngestBatch call.
+  int64_t batch_size = 64;
+  /// Tenant population the schedule cycles through.
+  int64_t tenants = 32;
+  /// Tenants receiving arrivals at any moment (arrival t goes to tenant
+  /// (t / rotate_every + t % active) % tenants).
+  int64_t active = 4;
+  /// Arrivals between sliding the active set forward by one tenant.
+  int64_t rotate_every = 1024;
+  /// Arrivals between EvictIdle sweeps (0 = never evict).
+  int64_t evict_every = 1024;
+  /// Idle TTL handed to EvictIdle, in fleet-wide arrivals.
+  int64_t idle_ttl = 4096;
+  /// Arrivals between CheckpointDelta captures (0 = never).
+  int64_t delta_every = 8192;
+};
+
+/// Outcome of one churn run. The counters (updates, evictions,
+/// rehydrations, shard/byte totals) are deterministic for a fixed stream
+/// and schedule; the wall times are not.
+struct ShardedChurnReport {
+  int64_t updates = 0;
+  int64_t evictions = 0;
+  int64_t rehydrations = 0;
+  int64_t total_shards = 0;      ///< live + spilled at the end
+  int64_t live_shards = 0;       ///< live at the end (post final sweep)
+  int64_t delta_checkpoints = 0;
+  int64_t delta_bytes = 0;       ///< summed over all delta captures
+  int64_t full_checkpoint_bytes = 0;  ///< one CheckpointAll at the end
+  double update_seconds = 0.0;
+  double maintenance_seconds = 0.0;  ///< EvictIdle + checkpoint time
+
+  double UpdatesPerSecond() const {
+    return update_seconds > 0.0 ? static_cast<double>(updates) / update_seconds
+                                : 0.0;
+  }
+};
+
+/// Drives a ShardManager through the churn schedule above. Every IngestBatch
+/// status is checked OK (the schedule only produces valid arrivals).
+ShardedChurnReport RunShardedChurn(serving::ShardManager* manager,
+                                   PointStream* stream,
+                                   const ShardedChurnOptions& options);
+
 }  // namespace fkc
 
 #endif  // FKC_STREAM_WINDOW_DRIVER_H_

@@ -157,5 +157,57 @@ TEST(CheckpointTest, RejectsVersionMismatch) {
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
 
+// Truncation cannot alter interior tokens, so corruption of content a
+// restored window would feed into CHECK-guarded code — inconsistent point
+// dimensions, non-finite coordinates, aliasing guess exponents, counts far
+// beyond the blob — is covered by hand-built blobs: every one must fail
+// with InvalidArgument, never abort or over-allocate.
+TEST(CheckpointTest, RejectsCorruptInteriorContent) {
+  // Minimal adaptive blob: header, {2,1} constraint, now=3, next_id=4, one
+  // last point, one estimator bucket, one guess holding one v-attractor.
+  const std::string header = "fkc-checkpoint-v1 10 0x1p+1 0x1p+0 0 1 "
+                             "0x0p+0 0x0p+0 1 1 2 2 1 3 4 ";
+  const std::string point = "2 0x1p+0 0x1p+0 0 3 3 ";
+  const std::string buckets = "1 0 3 ";
+  auto blob = [&](const std::string& guesses) {
+    return header + "1 " + point + buckets + guesses;
+  };
+  const std::string good_guess =
+      std::string("1 0 ") + "1 " + point + "0 " + "0 0 0 ";
+  ASSERT_TRUE(FairCenterSlidingWindow::DeserializeState(blob(good_guess),
+                                                        &kMetric, &kJones)
+                  .ok());
+
+  const struct {
+    const char* label;
+    std::string guesses;
+  } kCases[] = {
+      // The attractor's dimension disagrees with the last point's.
+      {"inconsistent dim",
+       std::string("1 0 ") + "1 " + "1 0x1p+0 0 3 3 " + "0 " + "0 0 0 "},
+      {"nan coordinate",
+       std::string("1 0 ") + "1 " + "2 nan 0x1p+0 0 3 3 " + "0 " + "0 0 0 "},
+      {"color out of range",
+       std::string("1 0 ") + "1 " + "2 0x1p+0 0x1p+0 5 3 3 " + "0 " +
+           "0 0 0 "},
+      // Orphan count far beyond the blob: must reject before resizing.
+      {"forged point count",
+       std::string("1 0 ") + "1 " + point + "268435455 " + "0 0 0 "},
+      // 2^32 + 3 would alias to exponent 3 after an unchecked narrowing.
+      {"aliasing exponent",
+       std::string("1 4294967299 ") + "1 " + point + "0 " + "0 0 0 "},
+      {"duplicate exponent",
+       std::string("2 0 ") + "1 " + point + "0 " + "0 0 0 " + "0 " + "1 " +
+           point + "0 " + "0 0 0 "},
+  };
+  for (const auto& c : kCases) {
+    auto restored = FairCenterSlidingWindow::DeserializeState(
+        blob(c.guesses), &kMetric, &kJones);
+    ASSERT_FALSE(restored.ok()) << c.label;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << c.label;
+  }
+}
+
 }  // namespace
 }  // namespace fkc

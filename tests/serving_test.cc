@@ -3,11 +3,20 @@
 // deterministic, and the fleet survives a kill/restore cycle — every shard
 // answers identically before and after, including under interleaved
 // post-restore updates.
+//
+// Multi-tenant hardening contract: invalid arrivals are rejected without
+// aborting (dropping only the offenders), per-tenant option overrides apply
+// at creation and survive checkpoints, TTL/LRU eviction is transparent
+// (spilled shards answer identically and rehydrate bit-exactly), delta
+// checkpoints reproduce the full-checkpoint fleet, v1 blobs still restore,
+// and no truncation of any blob can crash the process.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/checkpoint_io.h"
 #include "common/random.h"
 #include "metric/metric.h"
 #include "sequential/jones_fair_center.h"
@@ -206,6 +215,320 @@ TEST(ShardManagerTest, RestoreRejectsGarbage) {
   truncated.resize(truncated.size() / 2);
   EXPECT_FALSE(
       serving::ShardManager::Restore(truncated, &kMetric, &kJones).ok());
+}
+
+// A front-end must reject one tenant's garbage without taking down the
+// fleet: oversized keys and out-of-range colors fail with InvalidArgument,
+// and a mixed batch drops exactly the offending arrivals.
+TEST(ShardManagerTest, InvalidArrivalsAreRejectedNotFatal) {
+  const auto stream = KeyedStream(120, 23);
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  serving::ShardManager reference(Options(1), kConstraint, &kMetric, &kJones);
+
+  const std::string oversized(1u << 20, 'k');
+  auto status = manager.Ingest(oversized, Point({1.0, 1.0}, 0));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Ingest("ok", Point({1.0, 1.0}, 7)).code(),
+            StatusCode::kInvalidArgument)
+      << "color 7 is outside the 3-color constraint";
+  EXPECT_EQ(manager.shard_count(), 0u) << "nothing was consumed";
+
+  // A batch with offenders sprinkled in: every valid arrival lands, the
+  // offenders are dropped, and the status names the problem.
+  std::vector<serving::KeyedPoint> batch;
+  for (const auto& kp : stream) {
+    batch.push_back(kp);
+    ASSERT_TRUE(reference.Ingest(kp.key, kp.point).ok());
+  }
+  batch.insert(batch.begin() + 5, {oversized, Point({0.0, 0.0}, 0)});
+  batch.insert(batch.begin() + 40, {"ok", Point({0.0, 0.0}, -1)});
+  auto mixed = manager.IngestBatch(std::move(batch));
+  EXPECT_EQ(mixed.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mixed.message().find("dropped 2 of 122"), std::string::npos)
+      << mixed.message();
+
+  ASSERT_EQ(manager.Keys(), reference.Keys());
+  for (const std::string& key : reference.Keys()) {
+    EXPECT_EQ(manager.shard(key)->SerializeState(),
+              reference.shard(key)->SerializeState())
+        << key;
+  }
+}
+
+// Writes the PR-2 era fkc-shards-v1 fleet layout (no override table) for
+// the shards of `manager`, byte-compatible with the old CheckpointAll.
+std::string BuildV1Checkpoint(serving::ShardManager* manager) {
+  std::ostringstream out;
+  out << "fkc-shards-v1 ";
+  const SlidingWindowOptions& w = manager->options().window;
+  out << w.window_size << ' ';
+  WriteCheckpointDouble(&out, w.beta);
+  WriteCheckpointDouble(&out, w.delta);
+  out << static_cast<int>(w.variant) << ' ' << (w.adaptive_range ? 1 : 0)
+      << ' ';
+  WriteCheckpointDouble(&out, w.d_min);
+  WriteCheckpointDouble(&out, w.d_max);
+  out << w.adaptive_slack_exponents << ' '
+      << (w.warm_start_new_guesses ? 1 : 0) << ' ';
+  out << manager->constraint().ell() << ' ';
+  for (int cap : manager->constraint().caps()) out << cap << ' ';
+  const auto keys = manager->Keys();
+  out << keys.size() << ' ';
+  for (const std::string& key : keys) {
+    WriteCheckpointRaw(&out, key);
+    WriteCheckpointRaw(&out, manager->shard(key)->SerializeState());
+  }
+  return out.str();
+}
+
+// Fleet blobs written before the v2 format (PR 2) must keep restoring.
+TEST(ShardManagerTest, RestoreAcceptsV1Blobs) {
+  const auto stream = KeyedStream(200, 29);
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) {
+    ASSERT_TRUE(manager.Ingest(kp.key, kp.point).ok());
+  }
+
+  auto restored = serving::ShardManager::Restore(BuildV1Checkpoint(&manager),
+                                                 &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().shard_count(), manager.shard_count());
+  ExpectSameAnswers(manager.QueryAll(), restored.value().QueryAll());
+
+  // And the v1 fleet re-checkpoints as v2 without losing anything.
+  auto v2 = serving::ShardManager::Restore(restored.value().CheckpointAll(),
+                                           &kMetric, &kJones);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ExpectSameAnswers(manager.QueryAll(), v2.value().QueryAll());
+}
+
+// The satellite bugfix: implausible options in a blob (the adaptive slack
+// read used to be narrowed to int unchecked; window_size / delta / beta
+// were not validated at all) must fail with InvalidArgument, never abort.
+TEST(ShardManagerTest, RestoreRejectsImplausibleOptions) {
+  // Field order: window_size beta delta variant adaptive d_min d_max slack
+  // warm, then the constraint. Each case corrupts one field of an
+  // otherwise plausible header.
+  const struct {
+    const char* label;
+    const char* header;
+  } kCases[] = {
+      {"zero window", "0 0x1p+1 0x1p+0 0 1 0x0p+0 0x0p+0 1 1"},
+      {"zero delta", "60 0x1p+1 0x0p+0 0 1 0x0p+0 0x0p+0 1 1"},
+      {"negative beta", "60 -0x1p+1 0x1p+0 0 1 0x0p+0 0x0p+0 1 1"},
+      {"nan beta", "60 nan 0x1p+0 0 1 0x0p+0 0x0p+0 1 1"},
+      {"bad variant", "60 0x1p+1 0x1p+0 9 1 0x0p+0 0x0p+0 1 1"},
+      {"huge slack", "60 0x1p+1 0x1p+0 0 1 0x0p+0 0x0p+0 99999999999 1"},
+      {"bad fixed range", "60 0x1p+1 0x1p+0 0 0 0x0p+0 0x0p+0 1 1"},
+  };
+  for (const auto& c : kCases) {
+    const std::string blob =
+        std::string("fkc-shards-v2 ") + c.header + " 3 2 1 1 0 0 ";
+    auto restored = serving::ShardManager::Restore(blob, &kMetric, &kJones);
+    ASSERT_FALSE(restored.ok()) << c.label;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << c.label;
+  }
+  // All-zero caps would abort in the window constructor downstream.
+  auto zero_caps = serving::ShardManager::Restore(
+      "fkc-shards-v2 60 0x1p+1 0x1p+0 0 1 0x0p+0 0x0p+0 1 1 2 0 0 0 0 ",
+      &kMetric, &kJones);
+  ASSERT_FALSE(zero_caps.ok());
+}
+
+// The fuzz loop of the acceptance criterion: truncating a fleet blob (or a
+// delta) at every byte offset must never crash — each prefix either fails
+// with a non-OK status or (when only trailing separators were cut) restores
+// a fleet that answers identically.
+TEST(ShardManagerTest, CheckpointTruncationFuzzNeverCrashes) {
+  serving::ShardManagerOptions options = Options(1);
+  options.window.window_size = 20;
+  serving::ShardManager manager(options, kConstraint, &kMetric, &kJones);
+  ASSERT_TRUE(manager
+                  .SetTenantOptions("tenant-b",
+                                    [&] {
+                                      auto small = options.window;
+                                      small.window_size = 8;
+                                      return small;
+                                    }())
+                  .ok());
+  const auto stream = KeyedStream(40, 31);
+  for (const auto& kp : stream) {
+    ASSERT_TRUE(manager.Ingest(kp.key, kp.point).ok());
+  }
+  const auto expected = manager.QueryAll();
+
+  const std::string blob = manager.CheckpointAll();
+  int restored_ok = 0;
+  for (size_t cut = 0; cut <= blob.size(); ++cut) {
+    auto restored = serving::ShardManager::Restore(blob.substr(0, cut),
+                                                   &kMetric, &kJones);
+    if (cut < blob.size() / 2) {
+      EXPECT_FALSE(restored.ok()) << "cut=" << cut;
+    }
+    if (restored.ok()) {
+      ++restored_ok;
+      ExpectSameAnswers(expected, restored.value().QueryAll());
+    }
+  }
+  EXPECT_GE(restored_ok, 1) << "the untruncated blob must restore";
+
+  // Same sweep for the incremental format: a truncated delta must reject
+  // and leave the target fleet untouched.
+  ASSERT_TRUE(manager.Ingest("tenant-a", Point({3.0, 4.0}, 1)).ok());
+  const std::string delta = manager.CheckpointDelta();
+  const auto leader_answers = manager.QueryAll();
+  auto follower = serving::ShardManager::Restore(blob, &kMetric, &kJones);
+  ASSERT_TRUE(follower.ok());
+  bool caught_up = false;  // flips once a (trailing-cut) apply succeeds
+  for (size_t cut = 0; cut < delta.size(); ++cut) {
+    const bool ok = follower.value().ApplyDelta(delta.substr(0, cut)).ok();
+    caught_up = caught_up || ok;
+    // A failed apply must leave the fleet untouched; verifying answers on
+    // every one of thousands of cuts would dominate the test, so sample.
+    if (ok || cut % 97 == 0) {
+      ExpectSameAnswers(caught_up ? leader_answers : expected,
+                        follower.value().QueryAll());
+    }
+  }
+  ASSERT_TRUE(follower.value().ApplyDelta(delta).ok());
+  ExpectSameAnswers(leader_answers, follower.value().QueryAll());
+}
+
+// Per-tenant overrides: applied at creation, rejected once the shard
+// exists, carried through the v2 checkpoint so tenants first seen after a
+// restore still get their configuration.
+TEST(ShardManagerTest, TenantOverridesApplyAndSurviveCheckpoint) {
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  SlidingWindowOptions small = Options(1).window;
+  small.window_size = 12;
+  small.delta = 2.0;
+  ASSERT_TRUE(manager.SetTenantOptions("small", small).ok());
+  ASSERT_TRUE(manager.SetTenantOptions("future", small).ok());
+
+  // An override identical to the template is not stored.
+  ASSERT_TRUE(manager.SetTenantOptions("default", Options(1).window).ok());
+  EXPECT_EQ(manager.TenantOptions("default"), nullptr);
+  ASSERT_NE(manager.TenantOptions("small"), nullptr);
+
+  const auto stream = KeyedStream(150, 37);
+  for (const auto& kp : stream) {
+    ASSERT_TRUE(manager.Ingest(kp.key, kp.point).ok());
+    ASSERT_TRUE(manager.Ingest("small", kp.point).ok());
+  }
+  EXPECT_EQ(manager.shard("small")->options().window_size, 12);
+  EXPECT_EQ(manager.shard("small")->options().delta, 2.0);
+  EXPECT_EQ(manager.shard("tenant-a")->options().window_size,
+            Options(1).window.window_size);
+
+  // Too late for a tenant that already has a shard.
+  EXPECT_EQ(manager.SetTenantOptions("small", Options(1).window).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The override shard matches a standalone window with the same options.
+  FairCenterSlidingWindow standalone(small, kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) standalone.Update(kp.point);
+  EXPECT_EQ(manager.shard("small")->SerializeState(),
+            standalone.SerializeState());
+
+  // "future" never ingested: its override must travel through the blob.
+  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+                                                 &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(restored.value().Ingest("future", Point({1.0, 2.0}, 0)).ok());
+  EXPECT_EQ(restored.value().shard("future")->options().window_size, 12);
+  EXPECT_EQ(restored.value().shard("small")->options().window_size, 12);
+}
+
+// TTL eviction and the LRU cap must be invisible to answers: a fleet under
+// aggressive spilling answers every query round — and finishes with the
+// same per-shard state — as a never-evicted reference.
+TEST(ShardManagerTest, EvictionIsTransparentToAnswers) {
+  const auto stream = KeyedStream(400, 41);
+  serving::ShardManagerOptions capped = Options(2);
+  capped.max_live_shards = 1;
+  serving::ShardManager evicting(capped, kConstraint, &kMetric, &kJones);
+  serving::ShardManager reference(Options(1), kConstraint, &kMetric, &kJones);
+
+  for (size_t start = 0; start < stream.size(); start += 50) {
+    std::vector<serving::KeyedPoint> a(
+        stream.begin() + start,
+        stream.begin() + std::min(start + 50, stream.size()));
+    std::vector<serving::KeyedPoint> b = a;
+    ASSERT_TRUE(evicting.IngestBatch(std::move(a)).ok());
+    ASSERT_TRUE(reference.IngestBatch(std::move(b)).ok());
+    EXPECT_LE(evicting.live_shard_count(), 1u);
+    evicting.EvictIdle(/*idle_ttl=*/20);
+    ExpectSameAnswers(reference.QueryAll(), evicting.QueryAll());
+  }
+  EXPECT_GT(evicting.evictions(), 0);
+  EXPECT_GT(evicting.rehydrations(), 0);
+
+  // Touching a shard rehydrates bit-exact state. Query both sides first:
+  // a live shard persists query-time expiry sweeps while a spilled one is
+  // answered ephemerally, so the serialized bytes only synchronize once
+  // both shards have swept up to the same clock.
+  for (const std::string& key : reference.Keys()) {
+    auto lhs = evicting.Query(key);  // rehydrates + sweeps
+    auto rhs = reference.Query(key);
+    ASSERT_EQ(lhs.ok(), rhs.ok()) << key;
+    ASSERT_NE(evicting.shard(key), nullptr) << key;
+    EXPECT_EQ(evicting.shard(key)->SerializeState(),
+              reference.shard(key)->SerializeState())
+        << key;
+  }
+}
+
+// The acceptance criterion end to end: ingest → EvictIdle → re-touch →
+// CheckpointDelta/ApplyDelta → Restore answers bit-identically to a
+// never-evicted, full-checkpoint fleet, at multiple thread counts.
+TEST(ShardManagerTest, DeltaCheckpointsReproduceFullCheckpoints) {
+  for (int threads : {1, 4}) {
+    const auto stream = KeyedStream(360, 43);
+    serving::ShardManager leader(Options(threads), kConstraint, &kMetric,
+                                 &kJones);
+    serving::ShardManager reference(Options(1), kConstraint, &kMetric,
+                                    &kJones);
+
+    // Base checkpoint after a first tranche.
+    for (size_t i = 0; i < 120; ++i) {
+      ASSERT_TRUE(leader.Ingest(stream[i].key, stream[i].point).ok());
+      ASSERT_TRUE(reference.Ingest(stream[i].key, stream[i].point).ok());
+    }
+    auto follower = serving::ShardManager::Restore(leader.CheckpointAll(),
+                                                   &kMetric, &kJones, threads);
+    ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+    EXPECT_EQ(leader.dirty_shard_count(), 0u);
+
+    // Idle fleet ⇒ empty delta, and applying it is a no-op.
+    const std::string empty_delta = leader.CheckpointDelta();
+    ASSERT_TRUE(follower.value().ApplyDelta(empty_delta).ok());
+    ExpectSameAnswers(leader.QueryAll(), follower.value().QueryAll());
+
+    // Churn rounds: ingest a tranche into one tenant only, evict, re-touch,
+    // then replicate through a delta and compare against a fleet restored
+    // from the full blob.
+    for (size_t round = 0; round < 3; ++round) {
+      const std::string touched = kKeys[round % 3];
+      for (size_t i = 120 + round * 80; i < 200 + round * 80; ++i) {
+        ASSERT_TRUE(leader.Ingest(touched, stream[i].point).ok());
+        ASSERT_TRUE(reference.Ingest(touched, stream[i].point).ok());
+      }
+      leader.EvictIdle(/*idle_ttl=*/0);  // spill everything idle
+      EXPECT_EQ(leader.dirty_shard_count(), 1u)
+          << "only the touched tenant is dirty";
+      ASSERT_TRUE(follower.value().ApplyDelta(leader.CheckpointDelta()).ok());
+      EXPECT_EQ(leader.dirty_shard_count(), 0u);
+
+      auto full = serving::ShardManager::Restore(leader.CheckpointAll(),
+                                                 &kMetric, &kJones, threads);
+      ASSERT_TRUE(full.ok());
+      const auto want = reference.QueryAll();
+      ExpectSameAnswers(want, leader.QueryAll());
+      ExpectSameAnswers(want, follower.value().QueryAll());
+      ExpectSameAnswers(want, full.value().QueryAll());
+    }
+  }
 }
 
 // Keys are raw bytes: spaces and separators must round-trip.
