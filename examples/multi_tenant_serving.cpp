@@ -129,17 +129,27 @@ int main(int argc, char** argv) {
               keys[0].c_str(), static_cast<long long>(small.window_size),
               static_cast<long long>(window));
 
+  // The trace is generated clean, so a rejected arrival here is a bug in
+  // the example itself — fail loudly instead of demoing an empty fleet.
+  const auto must_ingest = [](const fkc::Status& ingest_status) {
+    if (!ingest_status.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingest_status.ToString().c_str());
+      std::exit(1);
+    }
+  };
+
   // --- Route the keyed stream, batched. ---
   std::vector<fkc::serving::KeyedPoint> pending;
   const int64_t first_phase = points / 2;
   for (int64_t t = 0; t < first_phase; ++t) {
     pending.push_back({keys[t % keys.size()], trace[t]});
     if (static_cast<int64_t>(pending.size()) >= batch) {
-      manager.IngestBatch(std::move(pending));
+      must_ingest(manager.IngestBatch(std::move(pending)));
       pending = {};
     }
   }
-  manager.IngestBatch(std::move(pending));
+  must_ingest(manager.IngestBatch(std::move(pending)));
   pending = {};
 
   // --- 2. Serve a fan-out query round. ---
@@ -177,11 +187,11 @@ int main(int argc, char** argv) {
   for (int64_t t = first_phase; t < points; ++t) {
     pending.push_back({keys[t % keys.size()], trace[t]});
     if (static_cast<int64_t>(pending.size()) >= batch) {
-      restored.value().IngestBatch(std::move(pending));
+      must_ingest(restored.value().IngestBatch(std::move(pending)));
       pending = {};
     }
   }
-  restored.value().IngestBatch(std::move(pending));
+  must_ingest(restored.value().IngestBatch(std::move(pending)));
   pending = {};
   std::printf("\nfleet after %lld more arrivals into the restored manager:\n",
               static_cast<long long>(points - first_phase));
@@ -256,7 +266,7 @@ int main(int argc, char** argv) {
   std::string delta = leader.CheckpointDelta();
   if (!compare("catch-up delta", dirty, delta)) return 1;
   for (int64_t t = 0; t < window / 4; ++t) {
-    leader.Ingest(keys[0], trace[static_cast<size_t>(t)]);
+    must_ingest(leader.Ingest(keys[0], trace[static_cast<size_t>(t)]));
   }
   dirty = leader.dirty_shard_count();
   delta = leader.CheckpointDelta();

@@ -51,6 +51,8 @@ void WritePoints(std::ostringstream* out, const std::vector<Point>& points) {
 struct PointBounds {
   int64_t ell = 0;
   int64_t dim = -1;  ///< -1 until the first point is read
+  int64_t now = 0;   ///< restored clock; stored arrivals may not exceed it
+  int64_t max_id = -1;  ///< largest point id read; next_id_ must exceed it
 };
 
 Status NextPoint(CheckpointReader* reader, PointBounds* bounds, Point* out) {
@@ -60,6 +62,12 @@ Status NextPoint(CheckpointReader* reader, PointBounds* bounds, Point* out) {
   size_t dim = 0;
   FKC_RETURN_IF_ERROR(
       reader->NextSize(&dim, std::min<size_t>(1u << 20, reader->Remaining())));
+  // No honest window holds a zero-dimension point (the coordinate pools
+  // abort on empty points long before serialization), and restoring one
+  // would hit the same abort while rebuilding the pools.
+  if (dim == 0) {
+    return Status::InvalidArgument("zero-dimension point in checkpoint");
+  }
   if (bounds->dim < 0) bounds->dim = static_cast<int64_t>(dim);
   if (static_cast<int64_t>(dim) != bounds->dim) {
     return Status::InvalidArgument("inconsistent point dimension");
@@ -78,9 +86,17 @@ Status NextPoint(CheckpointReader* reader, PointBounds* bounds, Point* out) {
   if (color < 0 || color >= bounds->ell) {
     return Status::InvalidArgument("point color outside constraint range");
   }
-  if (arrival < 0) {
-    return Status::InvalidArgument("negative arrival time in checkpoint");
+  // Arrivals are stamped from the window clock, so no stored arrival can
+  // exceed the serialized now_ — a forged future arrival would never expire.
+  if (arrival < 0 || arrival > bounds->now) {
+    return Status::InvalidArgument("arrival outside the restored clock");
   }
+  // Ids are issued from next_id_; a negative one would alias to a huge
+  // uint64 after the cast and collide with future arrivals.
+  if (id < 0) {
+    return Status::InvalidArgument("negative point id in checkpoint");
+  }
+  bounds->max_id = std::max(bounds->max_id, id);
   out->color = static_cast<int>(color);
   out->arrival = arrival;
   out->id = static_cast<uint64_t>(id);
@@ -189,7 +205,11 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
   if (window.now_ < 0) {
     return Status::InvalidArgument("negative clock in checkpoint");
   }
+  if (next_id < 0) {
+    return Status::InvalidArgument("negative id counter in checkpoint");
+  }
   window.next_id_ = static_cast<uint64_t>(next_id);
+  bounds.now = window.now_;
 
   int64_t has_last = 0;
   FKC_RETURN_IF_ERROR(reader.NextInt(&has_last));
@@ -214,6 +234,13 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
       FKC_RETURN_IF_ERROR(reader.NextInt(&seen));
       if (e < -kMaxLadderExponent || e > kMaxLadderExponent) {
         return Status::InvalidArgument("bucket exponent out of range");
+      }
+      // Witness times are stamped from the clock, like arrivals; a forged
+      // future witness would keep its bucket alive forever and permanently
+      // inflate the adaptive guess-ladder range.
+      if (seen < 0 || seen > window.now_) {
+        return Status::InvalidArgument(
+            "bucket witness time outside the restored clock");
       }
       exponent = static_cast<int>(e);
     }
@@ -251,6 +278,20 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
              .second) {
       return Status::InvalidArgument("duplicate guess exponent in checkpoint");
     }
+  }
+  // Every stored id was issued by a past next_id_++, so the restored
+  // counter must be strictly ahead of all of them — otherwise future
+  // arrivals would re-issue ids that SamePoint treats as identity.
+  if (next_id <= bounds.max_id) {
+    return Status::InvalidArgument(
+        "id counter behind stored point ids in checkpoint");
+  }
+  // last_point_ is set on every Update and never cleared, so stored points
+  // without it occur only in forged blobs — and would leave dimension()
+  // unpinned (-1) while the pools hold points of a fixed dimension.
+  if (!window.last_point_.has_value() && bounds.dim >= 0) {
+    return Status::InvalidArgument(
+        "stored points without a last point in checkpoint");
   }
   return window;
 }

@@ -202,6 +202,17 @@ class FairCenterSlidingWindow {
   /// Number of points currently in the window: min(now, window_size).
   int64_t WindowPopulation() const;
 
+  /// Coordinate dimension this window is pinned to — the dimension of its
+  /// most recent arrival, or -1 before the first one. The SoA pools (and
+  /// the checkpoint reader's uniformity check) require every stored point
+  /// to share one dimension, so front-ends use this to reject mismatched
+  /// arrivals before they reach CHECK-guarded code.
+  int64_t dimension() const {
+    return last_point_.has_value()
+               ? static_cast<int64_t>(last_point_->dimension())
+               : -1;
+  }
+
   const SlidingWindowOptions& options() const { return options_; }
   const ColorConstraint& constraint() const { return constraint_; }
 

@@ -37,6 +37,19 @@ Status ValidateSlidingWindowOptions(const SlidingWindowOptions& options) {
       return Status::InvalidArgument(
           "fixed-range mode requires finite 0 < d_min <= d_max");
     }
+    // Bound the ladder the constructor will materialize from this range:
+    // log_{1+beta}(d) is the rung index, one GuessStructure per rung. Past
+    // ~2^12 rungs (the checkpoint reader's exponent bound) the combination
+    // is corruption, not configuration — and an unbounded index would hit
+    // the undefined double->int narrowing in GuessLadder::FloorExponent
+    // long before the allocation blow-up.
+    constexpr double kMaxLadderExponent = 1 << 12;
+    const double log_base = std::log1p(options.beta);
+    if (std::fabs(std::log(options.d_min)) / log_base > kMaxLadderExponent ||
+        std::fabs(std::log(options.d_max)) / log_base > kMaxLadderExponent) {
+      return Status::InvalidArgument(
+          "fixed-range guess ladder exceeds the exponent bound");
+    }
   }
   return Status::OK();
 }

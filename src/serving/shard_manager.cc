@@ -1,5 +1,6 @@
 #include "serving/shard_manager.h"
 
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -131,19 +132,48 @@ bool ShardManager::IsDirty(const Shard& shard) const {
                     : shard.spill_dirty;
 }
 
-Status ShardManager::ValidateArrival(const std::string& key,
-                                     const Point& p) const {
+Status ShardManager::ValidateArrival(const std::string& key, const Point& p,
+                                     int64_t pinned_dim) const {
   if (key.size() >= kMaxKeyBytes) {
     return Status::InvalidArgument(
         StrFormat("shard key of %zu bytes exceeds the checkpointable limit",
                   key.size()));
+  }
+  // The coordinate pools CHECK-abort on empty points and on dimension
+  // changes while points are stored, and the checkpoint reader rejects
+  // non-finite coordinates — so any of these, once ingested, would either
+  // kill the process or make CheckpointAll emit a blob Restore refuses
+  // (and a spilled shard permanently fail rehydration).
+  if (p.coords.empty()) {
+    return Status::InvalidArgument("arrival carries no coordinates");
+  }
+  for (double x : p.coords) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("non-finite coordinate in arrival");
+    }
+  }
+  if (pinned_dim >= 0 && static_cast<int64_t>(p.dimension()) != pinned_dim) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu-dimensional arrival for a shard pinned to %lld dimensions",
+        p.dimension(), static_cast<long long>(pinned_dim)));
   }
   if (p.color < 0 || p.color >= constraint_.ell()) {
     return Status::InvalidArgument(
         StrFormat("color %d outside the constraint's [0, %d) range", p.color,
                   constraint_.ell()));
   }
+  // In-range colors with a zero cap are representable in checkpoints but
+  // can never host a center; GuessStructure::Update CHECK-aborts on them.
+  if (constraint_.cap(p.color) < 1) {
+    return Status::InvalidArgument(
+        StrFormat("color %d has a zero cap and cannot be served", p.color));
+  }
   return Status::OK();
+}
+
+int64_t ShardManager::PinnedDimension(const std::string& key) const {
+  auto it = shards_.find(key);
+  return it == shards_.end() ? -1 : it->second.dim;
 }
 
 SlidingWindowOptions ShardManager::OptionsForKey(const std::string& key) const {
@@ -206,8 +236,9 @@ void ShardManager::EnforceLiveCap(const std::string* exclude) {
   }
 }
 
-Result<FairCenterSlidingWindow*> ShardManager::TouchShard(
-    const std::string& key, bool create_missing, bool enforce_cap) {
+Result<ShardManager::Shard*> ShardManager::TouchShard(const std::string& key,
+                                                      bool create_missing,
+                                                      bool enforce_cap) {
   auto it = shards_.find(key);
   if (it == shards_.end()) {
     if (!create_missing) {
@@ -223,15 +254,16 @@ Result<FairCenterSlidingWindow*> ShardManager::TouchShard(
   }
   TouchLive(it->first, &it->second, clock_);
   if (enforce_cap) EnforceLiveCap(&key);
-  return it->second.live.get();
+  return &it->second;
 }
 
 Status ShardManager::Ingest(const std::string& key, Point p) {
-  FKC_RETURN_IF_ERROR(ValidateArrival(key, p));
+  FKC_RETURN_IF_ERROR(ValidateArrival(key, p, PinnedDimension(key)));
   ++clock_;
   auto shard = TouchShard(key, /*create_missing=*/true, /*enforce_cap=*/true);
   if (!shard.ok()) return shard.status();
-  shard.value()->Update(std::move(p));
+  shard.value()->dim = static_cast<int64_t>(p.dimension());
+  shard.value()->live->Update(std::move(p));
   return Status::OK();
 }
 
@@ -245,19 +277,27 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   struct Group {
     std::vector<Point> points;
     int64_t last_clock = 0;  ///< manager clock at the group's last arrival
+    int64_t dim = -1;        ///< dimension pinned by the first accepted point
     FairCenterSlidingWindow* window = nullptr;
   };
   std::map<std::string, Group> groups;
   int64_t dropped = 0;
   Status first_error = Status::OK();
   for (KeyedPoint& kp : batch) {
-    Status status = ValidateArrival(kp.key, kp.point);
+    // For a key already accepted earlier in this batch the group carries
+    // the pinned dimension (a brand-new shard has none on record yet).
+    auto git = groups.find(kp.key);
+    const int64_t pinned =
+        git != groups.end() ? git->second.dim : PinnedDimension(kp.key);
+    Status status = ValidateArrival(kp.key, kp.point, pinned);
     if (!status.ok()) {
       ++dropped;
       if (first_error.ok()) first_error = std::move(status);
       continue;
     }
-    Group& group = groups[kp.key];
+    if (git == groups.end()) git = groups.try_emplace(kp.key).first;
+    Group& group = git->second;
+    group.dim = static_cast<int64_t>(kp.point.dimension());
     group.points.push_back(std::move(kp.point));
     group.last_clock = ++clock_;
   }
@@ -273,7 +313,8 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
       if (first_error.ok()) first_error = shard.status();
       continue;
     }
-    group.window = shard.value();
+    shard.value()->dim = group.dim;
+    group.window = shard.value()->live.get();
   }
 
   std::vector<std::pair<FairCenterSlidingWindow*, std::vector<Point>*>> work;
@@ -339,7 +380,7 @@ Result<FairCenterSolution> ShardManager::Query(const std::string& key,
                                                QueryStats* stats) {
   auto shard = TouchShard(key, /*create_missing=*/false, /*enforce_cap=*/true);
   if (!shard.ok()) return shard.status();
-  return shard.value()->Query(stats);
+  return shard.value()->live->Query(stats);
 }
 
 std::vector<ShardAnswer> ShardManager::QueryAll() {
@@ -387,12 +428,14 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
 int64_t ShardManager::EvictIdle(int64_t idle_ttl) {
   if (idle_ttl < 0) return 0;
   int64_t evicted = 0;
-  for (auto& [key, shard] : shards_) {
-    if (!shard.live) continue;
-    if (clock_ - shard.last_touch > idle_ttl) {
-      SpillShard(key, &shard);
-      ++evicted;
-    }
+  // The LRU index orders live shards by last_touch, so the idle ones are
+  // exactly its prefix — O(victims * log n), not a walk over the whole
+  // (mostly spilled) fleet.
+  while (!live_lru_.empty()) {
+    const auto victim = live_lru_.begin();
+    if (clock_ - victim->first <= idle_ttl) break;
+    SpillShard(victim->second, &shards_.find(victim->second)->second);
+    ++evicted;
   }
   return evicted;
 }
@@ -492,6 +535,13 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
     auto window =
         FairCenterSlidingWindow::DeserializeState(blob, metric_, solver_);
     if (!window.ok()) return window.status();
+    // An interior-corrupt or forged shard blob under a different constraint
+    // would restore fine and then CHECK-abort on its next in-range ingest
+    // (StampArrival checks color against the shard's own ell).
+    if (window.value().constraint().caps() != constraint_.caps()) {
+      return Status::InvalidArgument(
+          "shard constraint does not match the fleet constraint in delta");
+    }
     staged.emplace_back(std::move(key), std::move(window).value());
   }
 
@@ -504,6 +554,7 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
         std::make_unique<FairCenterSlidingWindow>(std::move(window));
     shard.spill.clear();
     shard.spill_dirty = false;
+    shard.dim = shard.live->dimension();
     // The shard now matches the leader's checkpointed state exactly.
     shard.clean_epoch = shard.live->state_epoch();
     TouchLive(key, &shard, clock_);
@@ -556,9 +607,17 @@ Result<ShardManager> ShardManager::Restore(const std::string& bytes,
     auto window =
         FairCenterSlidingWindow::DeserializeState(blob, metric, solver);
     if (!window.ok()) return window.status();
+    // Same forged-blob guard as ApplyDelta: a shard under a different
+    // constraint would pass the manager's ValidateArrival yet CHECK-abort
+    // inside the window on the next ingest.
+    if (window.value().constraint().caps() != manager.constraint_.caps()) {
+      return Status::InvalidArgument(
+          "shard constraint does not match the fleet constraint");
+    }
     Shard shard;
     shard.live = std::make_unique<FairCenterSlidingWindow>(
         std::move(window).value());
+    shard.dim = shard.live->dimension();
     shard.clean_epoch = shard.live->state_epoch();  // restored = checkpointed
     auto [pos, inserted] =
         manager.shards_.emplace(std::move(key), std::move(shard));
@@ -567,8 +626,13 @@ Result<ShardManager> ShardManager::Restore(const std::string& bytes,
     }
     manager.live_lru_.insert({pos->second.last_touch, pos->first});
     ++manager.live_count_;
+    // Enforce the cap as shards stream in, not after: a fleet far larger
+    // than max_live_shards must never be fully resident at once — that is
+    // the exact condition the cap exists to prevent. All last_touch values
+    // are equal here, so the surviving set (the largest keys) matches what
+    // one sweep at the end would keep.
+    manager.EnforceLiveCap(nullptr);
   }
-  manager.EnforceLiveCap(nullptr);
   return manager;
 }
 
@@ -582,7 +646,7 @@ std::vector<std::string> ShardManager::Keys() const {
 FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
   auto result = TouchShard(key, /*create_missing=*/false,
                            /*enforce_cap=*/true);
-  return result.ok() ? result.value() : nullptr;
+  return result.ok() ? result.value()->live.get() : nullptr;
 }
 
 const FairCenterSlidingWindow* ShardManager::shard(

@@ -11,8 +11,9 @@
 //   * per-tenant options: a tenant key may carry its own SlidingWindowOptions
 //     (window size, delta, beta, variant) applied when its shard is created;
 //     overrides travel in the fleet checkpoint.
-//   * bounded residency: EvictIdle(ttl) spills shards that stopped receiving
-//     arrivals, and an optional LRU cap bounds the number of live shards;
+//   * bounded residency: EvictIdle(ttl) spills shards nobody has touched
+//     (ingest or per-key query) for ttl arrivals fleet-wide, and an
+//     optional LRU cap bounds the number of live shards;
 //     a spilled shard is checkpointed into an in-memory spill map and
 //     transparently rehydrated on its next touch, answering exactly as if it
 //     had never left.
@@ -23,10 +24,14 @@
 //     whole blob. Full checkpoints use the fkc-shards-v2 format; Restore
 //     still accepts v1 blobs from earlier builds.
 //
-// Malformed input is rejected, never fatal: oversized keys and out-of-range
-// colors fail with kInvalidArgument (dropping only the offending arrivals),
-// and corrupted or truncated checkpoint blobs fail Restore/ApplyDelta with
-// a non-OK Status instead of aborting the process.
+// Malformed input is rejected, never fatal: oversized keys, out-of-range or
+// zero-cap colors, empty or non-finite coordinates, and dimension changes
+// within a shard's stream all fail with kInvalidArgument (dropping only the
+// offending arrivals) — each of those would otherwise CHECK-abort the
+// process downstream or poison the next checkpoint into one Restore
+// rejects. Corrupted or truncated checkpoint blobs (including shard blobs
+// whose embedded constraint disagrees with the fleet's) fail
+// Restore/ApplyDelta with a non-OK Status instead of aborting the process.
 #ifndef FKC_SERVING_SHARD_MANAGER_H_
 #define FKC_SERVING_SHARD_MANAGER_H_
 
@@ -97,24 +102,27 @@ struct ShardAnswer {
 class ShardManager {
  public:
   /// `metric` and `solver` must outlive the manager; they are shared by all
-  /// shards (code, not state). Every color in any stream must have a
-  /// positive cap, exactly as for a single window.
+  /// shards (code, not state). Arrivals whose color has a zero cap are
+  /// rejected at ingest (a single window CHECK-aborts on them instead).
   ShardManager(ShardManagerOptions options, ColorConstraint constraint,
                const Metric* metric, const FairCenterSolver* solver);
 
   /// Feeds one arrival to the shard of `key`, creating (or rehydrating) the
   /// shard on first sight. Per-shard clocks are independent: each shard
   /// sees its own arrivals as one logical time step each. Fails with
-  /// kInvalidArgument — consuming nothing — for an oversized key or an
-  /// out-of-range color; other tenants are unaffected.
+  /// kInvalidArgument — consuming nothing — for an oversized key, an
+  /// out-of-range or zero-cap color, empty or non-finite coordinates, or a
+  /// dimension differing from the shard's earlier arrivals (the first
+  /// accepted arrival pins it); other tenants are unaffected.
   Status Ingest(const std::string& key, Point p);
 
   /// Routes a batch of keyed arrivals: groups by key (preserving per-key
   /// arrival order), creates/rehydrates missing shards, then fans the
   /// per-shard groups out over the pool, each shard consuming its group
   /// through the core UpdateBatch engine. Equivalent to calling Ingest per
-  /// arrival in order. Invalid arrivals (oversized key, out-of-range color)
-  /// are dropped individually — every valid arrival in the batch is still
+  /// arrival in order. Invalid arrivals (oversized key, out-of-range or
+  /// zero-cap color, empty/non-finite coordinates, dimension mismatch) are
+  /// dropped individually — every valid arrival in the batch is still
   /// consumed — and reported through a kInvalidArgument status describing
   /// the first offender and the drop count.
   Status IngestBatch(std::vector<KeyedPoint> batch);
@@ -145,12 +153,15 @@ class ShardManager {
   /// defeat eviction. Answers are ordered by key, deterministically.
   std::vector<ShardAnswer> QueryAll();
 
-  /// Spills every live shard whose last arrival is more than `idle_ttl`
+  /// Spills every live shard whose last touch is more than `idle_ttl`
   /// ticks ago, where the manager clock ticks once per ingested arrival
-  /// fleet-wide. A spilled shard keeps answering (QueryAll) and is
-  /// rehydrated in place by its next touch (Ingest / Query / shard()).
-  /// Returns the number of shards spilled. idle_ttl = 0 spills everything
-  /// not touched at the current clock; negative is a no-op.
+  /// fleet-wide. A touch is an ingest, a per-key Query, or shard() — a
+  /// shard a dashboard keeps querying stays live even without arrivals
+  /// (spilling it would only thrash rehydration); QueryAll's ephemeral
+  /// reads deliberately do not touch. A spilled shard keeps answering
+  /// (QueryAll) and is rehydrated in place by its next touch. Returns the
+  /// number of shards spilled. idle_ttl = 0 spills everything not touched
+  /// at the current clock; negative is a no-op.
   int64_t EvictIdle(int64_t idle_ttl);
 
   /// Serializes the fleet — template, constraint, tenant overrides, and
@@ -234,22 +245,31 @@ class ShardManager {
     /// was rehydrated, which resets the window's epoch counter).
     int64_t clean_epoch = kNeverCheckpointed;
     int64_t last_touch = 0;  ///< manager clock at the last touch
+    /// Coordinate dimension pinned by the first accepted arrival (or the
+    /// restored state); -1 until then. Kept outside the window so a
+    /// mismatched arrival is rejected without rehydrating a spilled shard.
+    int64_t dim = -1;
   };
 
   static constexpr int64_t kNeverCheckpointed = -1;
 
   bool IsDirty(const Shard& shard) const;
-  /// The offending-arrival checks shared by Ingest and IngestBatch.
-  Status ValidateArrival(const std::string& key, const Point& p) const;
+  /// The offending-arrival checks shared by Ingest and IngestBatch:
+  /// everything the core engine would CHECK-abort on, or that the
+  /// checkpoint reader would later refuse to restore. `pinned_dim` is the
+  /// dimension the arrival must have (-1 = not pinned yet).
+  Status ValidateArrival(const std::string& key, const Point& p,
+                         int64_t pinned_dim) const;
+  /// `key`'s pinned coordinate dimension, or -1 for unknown keys.
+  int64_t PinnedDimension(const std::string& key) const;
   /// Template or override for `key`, num_threads forced to 1.
   SlidingWindowOptions OptionsForKey(const std::string& key) const;
   /// Finds `key`'s shard, rehydrating a spilled one and (optionally)
-  /// creating a missing one; refreshes last_touch. `enforce_cap` runs the
-  /// LRU cap afterwards, never spilling `key` itself — batch paths pass
-  /// false and enforce once after the fan-out.
-  Result<FairCenterSlidingWindow*> TouchShard(const std::string& key,
-                                              bool create_missing,
-                                              bool enforce_cap);
+  /// creating a missing one; refreshes last_touch. On success the shard is
+  /// live. `enforce_cap` runs the LRU cap afterwards, never spilling `key`
+  /// itself — batch paths pass false and enforce once after the fan-out.
+  Result<Shard*> TouchShard(const std::string& key, bool create_missing,
+                            bool enforce_cap);
   /// Sets a live shard's last_touch, keeping the LRU index in sync.
   void TouchLive(const std::string& key, Shard* shard, int64_t touch);
   Status RehydrateShard(Shard* shard);

@@ -209,5 +209,63 @@ TEST(CheckpointTest, RejectsCorruptInteriorContent) {
   }
 }
 
+// Forged ids and clocks used to pass validation: a negative id aliased to a
+// huge uint64 (colliding with future arrivals), an arrival beyond the
+// restored clock never expired, and an id counter at or below a stored id
+// would re-issue ids that SamePoint treats as identity. All must reject.
+TEST(CheckpointTest, RejectsForgedClocksAndIds) {
+  // Same minimal adaptive layout as above, with the clock fields and the
+  // stored point's "<arrival> <id>" injectable.
+  auto blob = [](const char* now_and_next, const char* arrival_and_id) {
+    const std::string point =
+        std::string("2 0x1p+0 0x1p+0 0 ") + arrival_and_id + " ";
+    return std::string("fkc-checkpoint-v1 10 0x1p+1 0x1p+0 0 1 "
+                       "0x0p+0 0x0p+0 1 1 2 2 1 ") +
+           now_and_next + " 1 " + point + "1 0 3 " + "1 0 " + "1 " + point +
+           "0 " + "0 0 0 ";
+  };
+  ASSERT_TRUE(FairCenterSlidingWindow::DeserializeState(blob("3 4", "3 3"),
+                                                        &kMetric, &kJones)
+                  .ok());
+
+  // Two forgeries no honest writer can produce, each of which used to
+  // CHECK-abort after restore: a zero-dimension point aborts the pool
+  // rebuild, and stored points without a last point leave the dimension
+  // pin unset so a mismatched ingest reaches the SoA kernels.
+  const std::string header = "fkc-checkpoint-v1 10 0x1p+1 0x1p+0 0 1 "
+                             "0x0p+0 0x0p+0 1 1 2 2 1 3 4 ";
+  const std::string point = "2 0x1p+0 0x1p+0 0 3 3 ";
+  const std::string zero_dim_blob = header + "1 " + "0 0 3 3 " + "1 0 3 " +
+                                    "1 0 " + "1 " + "0 0 3 3 " + "0 " +
+                                    "0 0 0 ";
+  const std::string orphaned_points_blob =
+      header + "0 " + "1 0 3 " + "1 0 " + "1 " + point + "0 " + "0 0 0 ";
+  // An estimator bucket witnessed at t=5 in a window whose clock is 3: the
+  // bucket would never expire and permanently inflate the adaptive range.
+  const std::string future_bucket_blob =
+      header + "1 " + point + "1 0 5 " + "1 0 " + "1 " + point + "0 " +
+      "0 0 0 ";
+
+  const struct {
+    const char* label;
+    std::string bytes;
+  } kCases[] = {
+      {"negative id counter", blob("3 -1", "3 3")},
+      {"negative point id", blob("3 4", "3 -7")},
+      {"arrival beyond the clock", blob("3 4", "5 3")},
+      {"id counter behind stored ids", blob("3 3", "3 3")},
+      {"zero-dimension point", zero_dim_blob},
+      {"stored points without a last point", orphaned_points_blob},
+      {"bucket witness beyond the clock", future_bucket_blob},
+  };
+  for (const auto& c : kCases) {
+    auto restored =
+        FairCenterSlidingWindow::DeserializeState(c.bytes, &kMetric, &kJones);
+    ASSERT_FALSE(restored.ok()) << c.label;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << c.label;
+  }
+}
+
 }  // namespace
 }  // namespace fkc

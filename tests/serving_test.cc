@@ -12,12 +12,14 @@
 // and no truncation of any blob can crash the process.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/checkpoint_io.h"
 #include "common/random.h"
+#include "core/options_io.h"
 #include "metric/metric.h"
 #include "sequential/jones_fair_center.h"
 #include "serving/shard_manager.h"
@@ -255,6 +257,165 @@ TEST(ShardManagerTest, InvalidArrivalsAreRejectedNotFatal) {
   }
 }
 
+// A NaN/Inf (or empty) coordinate used to be accepted at ingest although
+// DeserializeState rejects it — one poisoned arrival made CheckpointAll
+// emit a blob Restore refuses and a spilled shard permanently fail
+// rehydration. It must be rejected up front, so every blob the fleet emits
+// stays restorable.
+TEST(ShardManagerTest, NonFiniteCoordinatesRejectedAndBlobsStayRestorable) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  ASSERT_TRUE(manager.Ingest("tenant-a", Point({1.0, 2.0}, 0)).ok());
+
+  EXPECT_EQ(manager.Ingest("tenant-a", Point({nan, 1.0}, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Ingest("tenant-a", Point({1.0, -inf}, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Ingest("tenant-a", Point(Coordinates{}, 0)).code(),
+            StatusCode::kInvalidArgument);
+
+  // Batch path: the offender is dropped, the valid arrival still lands.
+  std::vector<serving::KeyedPoint> batch;
+  batch.push_back({"tenant-a", Point({nan, nan}, 0)});
+  batch.push_back({"tenant-a", Point({3.0, 4.0}, 1)});
+  EXPECT_EQ(manager.IngestBatch(std::move(batch)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.shard("tenant-a")->WindowPopulation(), 2);
+
+  // The round trip the poisoned arrivals used to break: a full checkpoint
+  // restores, and a spilled shard rehydrates and answers identically.
+  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+                                                 &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameAnswers(manager.QueryAll(), restored.value().QueryAll());
+
+  ASSERT_TRUE(manager.Ingest("tenant-b", Point({5.0, 6.0}, 0)).ok());
+  EXPECT_GT(manager.EvictIdle(/*idle_ttl=*/0), 0);
+  auto rehydrated = manager.Query("tenant-a");
+  ASSERT_TRUE(rehydrated.ok()) << rehydrated.status().ToString();
+}
+
+// A color inside [0, ell) whose cap is zero is representable everywhere but
+// can never host a center — GuessStructure::Update CHECK-aborts on it, so
+// the front-end must reject it like any other invalid arrival.
+TEST(ShardManagerTest, ZeroCapColorsAreRejectedNotFatal) {
+  serving::ShardManager manager(Options(1), ColorConstraint({2, 0}), &kMetric,
+                                &kJones);
+  EXPECT_EQ(manager.Ingest("t", Point({1.0, 1.0}, 1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.shard_count(), 0u) << "nothing was consumed";
+  ASSERT_TRUE(manager.Ingest("t", Point({1.0, 1.0}, 0)).ok());
+
+  std::vector<serving::KeyedPoint> batch;
+  batch.push_back({"t", Point({2.0, 2.0}, 1)});
+  batch.push_back({"t", Point({3.0, 3.0}, 0)});
+  EXPECT_EQ(manager.IngestBatch(std::move(batch)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.shard("t")->WindowPopulation(), 2)
+      << "only the zero-cap arrival was dropped";
+}
+
+// The first accepted arrival pins a shard's coordinate dimension; a later
+// mismatch would CHECK-abort in the SoA distance kernels and poison the
+// checkpoint (DeserializeState requires one dimension per shard). Distinct
+// shards may still use distinct dimensions.
+TEST(ShardManagerTest, DimensionMismatchesAreRejectedPerShard) {
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  ASSERT_TRUE(manager.Ingest("2d", Point({1.0, 2.0}, 0)).ok());
+  EXPECT_EQ(manager.Ingest("2d", Point({1.0, 2.0, 3.0}, 0)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(manager.Ingest("3d", Point({1.0, 2.0, 3.0}, 0)).ok());
+  EXPECT_EQ(manager.shard("2d")->WindowPopulation(), 1);
+
+  // The pin survives spilling — and rejecting must not rehydrate.
+  ASSERT_TRUE(manager.Ingest("3d", Point({4.0, 5.0, 6.0}, 1)).ok());
+  EXPECT_EQ(manager.EvictIdle(/*idle_ttl=*/0), 1) << "only '2d' was idle";
+  EXPECT_EQ(manager.Ingest("2d", Point({1.0}, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.spilled_shard_count(), 1u)
+      << "the rejected arrival must not rehydrate the shard";
+  ASSERT_TRUE(manager.Ingest("2d", Point({7.0, 8.0}, 0)).ok());
+
+  // In a batch, the first accepted arrival of a brand-new key pins the
+  // dimension for the rest of the batch.
+  std::vector<serving::KeyedPoint> batch;
+  batch.push_back({"new", Point({1.0}, 0)});
+  batch.push_back({"new", Point({1.0, 2.0}, 0)});
+  EXPECT_EQ(manager.IngestBatch(std::move(batch)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.shard("new")->WindowPopulation(), 1);
+
+  // And it survives a checkpoint round trip.
+  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+                                                 &kMetric, &kJones);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().Ingest("2d", Point({1.0, 2.0, 3.0}, 0)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(restored.value().Ingest("2d", Point({9.0, 9.0}, 0)).ok());
+}
+
+// Builds a v2 fleet blob whose single shard was serialized under `caps` —
+// letting tests forge a shard whose embedded constraint disagrees with the
+// fleet-level one ({2, 1, 1} here, written as "3 2 1 1").
+std::string BuildFleetBlobWithShardCaps(std::vector<int> caps) {
+  FairCenterSlidingWindow shard(Options(1).window,
+                                ColorConstraint(std::move(caps)), &kMetric,
+                                &kJones);
+  shard.Update(Point({1.0, 2.0}, 0));
+  std::ostringstream out;
+  out << "fkc-shards-v2 ";
+  WriteSlidingWindowOptions(&out, Options(1).window);
+  out << "3 2 1 1 ";  // fleet constraint
+  out << "0 ";        // no overrides
+  out << "1 ";
+  WriteCheckpointRaw(&out, "tenant-a");
+  WriteCheckpointRaw(&out, shard.SerializeState());
+  return out.str();
+}
+
+// A forged or interior-corrupt blob whose shard was built under a different
+// constraint used to restore fine and then CHECK-abort on the shard's next
+// in-range ingest (StampArrival checks color against the shard's own ell).
+// Restore must reject the mismatch up front.
+TEST(ShardManagerTest, RestoreRejectsShardWithMismatchedConstraint) {
+  auto mismatched = serving::ShardManager::Restore(
+      BuildFleetBlobWithShardCaps({1}), &kMetric, &kJones);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  // Sanity: the same layout with a matching shard constraint restores.
+  auto matching = serving::ShardManager::Restore(
+      BuildFleetBlobWithShardCaps({2, 1, 1}), &kMetric, &kJones);
+  ASSERT_TRUE(matching.ok()) << matching.status().ToString();
+  EXPECT_TRUE(matching.value().Ingest("tenant-a", Point({3.0, 4.0}, 2)).ok());
+}
+
+// Same guard on the incremental path: ApplyDelta already verified the
+// delta's fleet-level constraint but not each embedded shard blob's. A
+// rejected delta must leave the fleet untouched.
+TEST(ShardManagerTest, ApplyDeltaRejectsShardWithMismatchedConstraint) {
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  ASSERT_TRUE(manager.Ingest("tenant-a", Point({1.0, 2.0}, 0)).ok());
+  const auto before = manager.QueryAll();
+
+  FairCenterSlidingWindow shard(Options(1).window, ColorConstraint({1}),
+                                &kMetric, &kJones);
+  shard.Update(Point({1.0, 2.0}, 0));
+  std::ostringstream out;
+  out << "fkc-shards-delta-v2 ";
+  out << "3 2 1 1 ";  // delta fleet constraint matches the manager's
+  out << "0 ";        // no overrides
+  out << "1 ";
+  WriteCheckpointRaw(&out, "tenant-b");
+  WriteCheckpointRaw(&out, shard.SerializeState());
+
+  EXPECT_EQ(manager.ApplyDelta(out.str()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.shard_count(), 1u) << "a rejected delta changes nothing";
+  ExpectSameAnswers(before, manager.QueryAll());
+}
+
 // Writes the PR-2 era fkc-shards-v1 fleet layout (no override table) for
 // the shards of `manager`, byte-compatible with the old CheckpointAll.
 std::string BuildV1Checkpoint(serving::ShardManager* manager) {
@@ -320,6 +481,11 @@ TEST(ShardManagerTest, RestoreRejectsImplausibleOptions) {
       {"bad variant", "60 0x1p+1 0x1p+0 9 1 0x0p+0 0x0p+0 1 1"},
       {"huge slack", "60 0x1p+1 0x1p+0 0 1 0x0p+0 0x0p+0 99999999999 1"},
       {"bad fixed range", "60 0x1p+1 0x1p+0 0 0 0x0p+0 0x0p+0 1 1"},
+      // Per-field-plausible combo whose guess ladder would hold ~1e21
+      // rungs: tiny beta, astronomical d_min..d_max span. Building it
+      // would OOM (one GuessStructure per rung) after undefined
+      // double->int narrowing in the ladder math.
+      {"ladder blow-up", "60 0x1p-60 0x1p+0 0 0 0x1p-1000 0x1p+1000 1 1"},
   };
   for (const auto& c : kCases) {
     const std::string blob =
@@ -529,6 +695,24 @@ TEST(ShardManagerTest, DeltaCheckpointsReproduceFullCheckpoints) {
       ExpectSameAnswers(want, full.value().QueryAll());
     }
   }
+}
+
+// Restore must respect max_live_shards while shards stream in — bounded
+// residency during the restore itself, not only after it — yet still load
+// and answer for the whole fleet.
+TEST(ShardManagerTest, RestoreHonorsLiveCap) {
+  const auto stream = KeyedStream(120, 47);
+  serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
+  for (const auto& kp : stream) {
+    ASSERT_TRUE(manager.Ingest(kp.key, kp.point).ok());
+  }
+  auto capped = serving::ShardManager::Restore(
+      manager.CheckpointAll(), &kMetric, &kJones, /*num_threads=*/1,
+      /*max_live_shards=*/1);
+  ASSERT_TRUE(capped.ok()) << capped.status().ToString();
+  EXPECT_EQ(capped.value().shard_count(), manager.shard_count());
+  EXPECT_LE(capped.value().live_shard_count(), 1u);
+  ExpectSameAnswers(manager.QueryAll(), capped.value().QueryAll());
 }
 
 // Keys are raw bytes: spaces and separators must round-trip.
