@@ -8,21 +8,27 @@
 //                 [--query_every=2048] [--delta=1.0]
 //                 [--churn_tenants=32] [--churn_active=4]
 //                 [--churn_cap=8] [--churn_ttl=4096]
-//                 [--out=BENCH_shard_scaling.json]
+//                 [--spill_dir=<tmp>] [--out=BENCH_shard_scaling.json]
 //
 // After the shard-count sweep, an eviction-churn scenario drives a much
 // larger tenant population than the live-shard cap — the active set slides,
 // idle tenants are spilled by periodic EvictIdle sweeps and rehydrated when
 // the schedule returns to them — and records incremental-vs-full
 // checkpoint sizes (the steady-state delta is a small fraction of the
-// fleet blob).
+// fleet blob) plus the DeltaLog's compaction counters. The scenario runs
+// twice: once over the in-memory spill store and once over the durable
+// FileSpillStore (under --spill_dir, default a fresh directory beside the
+// output, removed afterwards), so the JSON records the wall-time price of
+// spilling to disk.
 //
 // Wall-clock throughput is hardware-dependent; the JSON also records the
 // deterministic per-run totals (updates, queries, shard memory, eviction /
 // rehydration / checkpoint-size counters) which are stable across machines
 // and usable for regression checks.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +38,7 @@
 #include "metric/simd_kernels.h"
 #include "sequential/jones_fair_center.h"
 #include "serving/shard_manager.h"
+#include "serving/spill_store.h"
 #include "stream/window_driver.h"
 
 namespace {
@@ -41,6 +48,38 @@ struct RunResult {
   fkc::ShardedThroughputReport report;
   int64_t memory_points = 0;
 };
+
+void PrintChurn(const char* backend, const fkc::ShardedChurnReport& churn) {
+  std::printf(
+      "# Eviction churn [%s spill]: %.0f updates/s, %lld evictions, "
+      "%lld rehydrations, delta %lld B over %lld checkpoints "
+      "(%lld rebases, log %lld B) vs %lld B full\n",
+      backend, churn.UpdatesPerSecond(),
+      static_cast<long long>(churn.evictions),
+      static_cast<long long>(churn.rehydrations),
+      static_cast<long long>(churn.delta_bytes),
+      static_cast<long long>(churn.delta_checkpoints),
+      static_cast<long long>(churn.rebases),
+      static_cast<long long>(churn.log_bytes),
+      static_cast<long long>(churn.full_checkpoint_bytes));
+}
+
+void WriteChurnJson(std::ofstream& out, const char* backend,
+                    const fkc::ShardedChurnReport& churn) {
+  out << "    \"" << backend << "\": {\"updates\": " << churn.updates
+      << ", \"updates_per_s\": "
+      << fkc::StrFormat("%.1f", churn.UpdatesPerSecond())
+      << ", \"evictions\": " << churn.evictions
+      << ", \"rehydrations\": " << churn.rehydrations
+      << ", \"total_shards\": " << churn.total_shards
+      << ", \"live_shards\": " << churn.live_shards
+      << ", \"delta_checkpoints\": " << churn.delta_checkpoints
+      << ", \"delta_bytes\": " << churn.delta_bytes
+      << ", \"rebases\": " << churn.rebases
+      << ", \"log_bytes\": " << churn.log_bytes
+      << ", \"full_checkpoint_bytes\": " << churn.full_checkpoint_bytes
+      << "}";
+}
 
 }  // namespace
 
@@ -58,6 +97,7 @@ int main(int argc, char** argv) {
   int64_t churn_active = 4;
   int64_t churn_cap = 8;
   int64_t churn_ttl = 4096;
+  std::string spill_dir;
 
   fkc::FlagParser flags;
   flags.AddString("dataset", &dataset, "dataset name (see datasets/registry)");
@@ -79,6 +119,9 @@ int main(int argc, char** argv) {
                  "max_live_shards (LRU cap) in the churn scenario");
   flags.AddInt64("churn_ttl", &churn_ttl,
                  "EvictIdle TTL in arrivals for the churn scenario");
+  flags.AddString("spill_dir", &spill_dir,
+                  "directory for the FileSpillStore churn run (default: "
+                  "<out>.spill, removed afterwards)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -146,38 +189,49 @@ int main(int argc, char** argv) {
   }
 
   // --- Eviction-churn scenario: tenants arriving and expiring under an LRU
-  // cap, with periodic EvictIdle sweeps and incremental checkpoints. ---
-  fkc::serving::ShardManagerOptions churn_options;
-  churn_options.window.window_size = window;
-  churn_options.window.delta = delta;
-  churn_options.window.adaptive_range = true;
-  churn_options.num_threads = num_threads;
-  churn_options.max_live_shards = churn_cap;
-  fkc::serving::ShardManager churn_manager(churn_options, prepared.constraint,
-                                           &metric, &jones);
-
-  auto churn_stream = fkc::datasets::MakeStream(prepared.dataset);
-  fkc::ShardedChurnOptions churn_run;
-  churn_run.stream_length = points;
-  churn_run.batch_size = batch;
-  churn_run.tenants = churn_tenants;
-  churn_run.active = churn_active;
-  churn_run.idle_ttl = churn_ttl;
-  const fkc::ShardedChurnReport churn =
-      fkc::RunShardedChurn(&churn_manager, churn_stream.get(), churn_run);
-
+  // cap, with periodic EvictIdle sweeps and DeltaLog captures — once per
+  // spill backend. The schedules are identical, so the deterministic
+  // counters must agree between the two runs; the wall times show what
+  // durability costs. ---
   std::printf(
-      "# Eviction churn: %lld tenants (%lld active, cap %lld, ttl %lld): "
-      "%.0f updates/s, %lld evictions, %lld rehydrations, "
-      "delta %lld B over %lld checkpoints vs %lld B full\n",
+      "# Eviction churn: %lld tenants (%lld active, cap %lld, ttl %lld)\n",
       static_cast<long long>(churn_tenants),
       static_cast<long long>(churn_active), static_cast<long long>(churn_cap),
-      static_cast<long long>(churn_ttl), churn.UpdatesPerSecond(),
-      static_cast<long long>(churn.evictions),
-      static_cast<long long>(churn.rehydrations),
-      static_cast<long long>(churn.delta_bytes),
-      static_cast<long long>(churn.delta_checkpoints),
-      static_cast<long long>(churn.full_checkpoint_bytes));
+      static_cast<long long>(churn_ttl));
+  // Only a directory this run invented gets deleted afterwards: blowing
+  // away a user-supplied --spill_dir (which may pre-exist and hold foreign
+  // files) is not this bench's call.
+  const bool owns_spill_dir = spill_dir.empty();
+  if (owns_spill_dir) spill_dir = out_path + ".spill";
+  auto run_churn = [&](std::shared_ptr<fkc::serving::SpillStore> store) {
+    fkc::serving::ShardManagerOptions churn_options;
+    churn_options.window.window_size = window;
+    churn_options.window.delta = delta;
+    churn_options.window.adaptive_range = true;
+    churn_options.num_threads = num_threads;
+    churn_options.max_live_shards = churn_cap;
+    churn_options.spill_store = std::move(store);
+    fkc::serving::ShardManager manager(churn_options, prepared.constraint,
+                                       &metric, &jones);
+    auto stream = fkc::datasets::MakeStream(prepared.dataset);
+    fkc::ShardedChurnOptions churn_run;
+    churn_run.stream_length = points;
+    churn_run.batch_size = batch;
+    churn_run.tenants = churn_tenants;
+    churn_run.active = churn_active;
+    churn_run.idle_ttl = churn_ttl;
+    return fkc::RunShardedChurn(&manager, stream.get(), churn_run);
+  };
+
+  const fkc::ShardedChurnReport churn = run_churn(nullptr);  // in-memory
+  PrintChurn("memory", churn);
+  const fkc::ShardedChurnReport churn_file =
+      run_churn(std::make_shared<fkc::serving::FileSpillStore>(spill_dir));
+  PrintChurn("file", churn_file);
+  if (owns_spill_dir) {
+    std::error_code spill_cleanup;  // best-effort; the bench ran either way
+    std::filesystem::remove_all(spill_dir, spill_cleanup);
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -207,17 +261,11 @@ int main(int argc, char** argv) {
   out << "  ],\n";
   out << "  \"churn\": {\"tenants\": " << churn_tenants
       << ", \"active\": " << churn_active << ", \"cap\": " << churn_cap
-      << ", \"ttl\": " << churn_ttl << ", \"updates\": " << churn.updates
-      << ", \"updates_per_s\": "
-      << fkc::StrFormat("%.1f", churn.UpdatesPerSecond())
-      << ", \"evictions\": " << churn.evictions
-      << ", \"rehydrations\": " << churn.rehydrations
-      << ", \"total_shards\": " << churn.total_shards
-      << ", \"live_shards\": " << churn.live_shards
-      << ", \"delta_checkpoints\": " << churn.delta_checkpoints
-      << ", \"delta_bytes\": " << churn.delta_bytes
-      << ", \"full_checkpoint_bytes\": " << churn.full_checkpoint_bytes
-      << "}\n}\n";
+      << ", \"ttl\": " << churn_ttl << ",\n";
+  WriteChurnJson(out, "memory", churn);
+  out << ",\n";
+  WriteChurnJson(out, "file", churn_file);
+  out << "\n  }\n}\n";
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;
 }

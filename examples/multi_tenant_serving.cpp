@@ -18,12 +18,21 @@
 //      anyway (ephemeral in QueryAll, transparently rehydrated on Query),
 //   6. replicate incrementally: a follower restored from the step-3 blob
 //      catches up to the leader by applying one CheckpointDelta — a small
-//      fraction of the full blob — and answers identically.
+//      fraction of the full blob — and answers identically,
+//   7. go durable and hands-off: a fleet whose evicted shards spill to
+//      disk (FileSpillStore), with the background maintenance thread
+//      running the eviction sweep, DeltaLog capture, and spill GC on a
+//      cadence — then replay the log and verify the replayed fleet
+//      answers identically.
 //
 //   multi_tenant_serving [--tenants=4] [--threads=0] [--batch=32]
 //                        [--window=1000] [--points=12000]
+//                        [--spill_dir=<tmp>]
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,7 +42,9 @@
 #include "matroid/color_constraint.h"
 #include "metric/metric.h"
 #include "sequential/jones_fair_center.h"
+#include "serving/delta_log.h"
 #include "serving/shard_manager.h"
+#include "serving/spill_store.h"
 
 namespace {
 
@@ -74,6 +85,7 @@ int main(int argc, char** argv) {
   int64_t batch = 32;
   int64_t window = 1000;
   int64_t points = 12000;
+  std::string spill_dir;
 
   fkc::FlagParser flags;
   flags.AddInt64("tenants", &tenants, "number of tenant shards");
@@ -81,6 +93,9 @@ int main(int argc, char** argv) {
   flags.AddInt64("batch", &batch, "keyed arrivals per IngestBatch");
   flags.AddInt64("window", &window, "per-tenant window size");
   flags.AddInt64("points", &points, "total arrivals across all tenants");
+  flags.AddString("spill_dir", &spill_dir,
+                  "directory for the durable-spill phase (default: a "
+                  "fresh ./multi_tenant_spill, removed afterwards)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -160,7 +175,13 @@ int main(int argc, char** argv) {
   PrintAnswers(before);
 
   // --- 3. Kill/restore cycle. ---
-  const std::string blob = manager.CheckpointAll();
+  auto checkpoint = manager.CheckpointAll();
+  if (!checkpoint.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n",
+                 checkpoint.status().ToString().c_str());
+    return 1;
+  }
+  const std::string blob = std::move(checkpoint).value();
   auto restored = fkc::serving::ShardManager::Restore(
       blob, &metric, &jones, options.num_threads);
   if (!restored.ok()) {
@@ -262,14 +283,101 @@ int main(int argc, char** argv) {
   // whole fleet. Steady state is different: only one tenant moves before
   // the second delta, which therefore ships one shard.
   std::printf("\n");
+  const auto must_delta = [](fkc::Result<std::string> delta) {
+    if (!delta.ok()) {
+      std::fprintf(stderr, "CheckpointDelta failed: %s\n",
+                   delta.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(delta).value();
+  };
   size_t dirty = leader.dirty_shard_count();
-  std::string delta = leader.CheckpointDelta();
+  std::string delta = must_delta(leader.CheckpointDelta());
   if (!compare("catch-up delta", dirty, delta)) return 1;
   for (int64_t t = 0; t < window / 4; ++t) {
     must_ingest(leader.Ingest(keys[0], trace[static_cast<size_t>(t)]));
   }
   dirty = leader.dirty_shard_count();
-  delta = leader.CheckpointDelta();
+  delta = must_delta(leader.CheckpointDelta());
   if (!compare("steady-state delta", dirty, delta)) return 1;
-  return 0;
+
+  // --- 7. Durable and hands-off: evicted shards spill to disk, and the
+  // background maintenance thread does the sweeping, DeltaLog capture, and
+  // spill GC — no maintenance calls in the ingest loop at all. ---
+  // Delete only a directory this run invented — never a user-supplied
+  // --spill_dir, which may pre-exist and hold foreign files.
+  const bool owns_spill_dir = spill_dir.empty();
+  if (owns_spill_dir) spill_dir = "multi_tenant_spill";
+  fkc::serving::ShardManagerOptions durable_options = options;
+  durable_options.max_live_shards = std::max<int64_t>(tenants / 2, 1);
+  durable_options.spill_store =
+      std::make_shared<fkc::serving::FileSpillStore>(spill_dir);
+  fkc::serving::ShardManager durable(durable_options, constraint, &metric,
+                                     &jones);
+  fkc::serving::DeltaLog log;
+
+  fkc::serving::MaintenanceOptions maintenance;
+  maintenance.cadence = std::chrono::milliseconds(5);
+  maintenance.idle_ttl = window;  // spill tenants idle for a full window
+  maintenance.delta_log = &log;
+  maintenance.gc_every = 4;
+  auto started = durable.StartMaintenance(maintenance);
+  if (!started.ok()) {
+    std::fprintf(stderr, "StartMaintenance failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  for (int64_t t = 0; t < points; ++t) {
+    pending.push_back({keys[t % keys.size()], trace[t]});
+    if (static_cast<int64_t>(pending.size()) >= batch) {
+      must_ingest(durable.IngestBatch(std::move(pending)));
+      pending = {};
+    }
+  }
+  must_ingest(durable.IngestBatch(std::move(pending)));
+  pending = {};
+  durable.StopMaintenance();
+  // One final capture so the log reflects the last arrivals, then replay
+  // the whole log and verify the replayed fleet answers identically.
+  auto final_capture = log.Capture(&durable);
+  if (!final_capture.ok()) {
+    std::fprintf(stderr, "final capture failed: %s\n",
+                 final_capture.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\ndurable fleet: %lld maintenance ticks, %lld evictions (%zu live / "
+      "%zu spilled via '%s'), delta log: %zu B base + %lld B over %zu "
+      "chained deltas, %lld rebases\n",
+      static_cast<long long>(durable.maintenance_ticks()),
+      static_cast<long long>(durable.evictions()),
+      durable.live_shard_count(), durable.spilled_shard_count(),
+      durable.spill_store()->Name(), log.base_bytes(),
+      static_cast<long long>(log.chain_bytes()), log.chain_length(),
+      static_cast<long long>(log.rebases()));
+  auto replayed = log.Replay(&metric, &jones, options.num_threads);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 replayed.status().ToString().c_str());
+    return 1;
+  }
+  const auto durable_answers = durable.QueryAll();
+  const auto replayed_answers = replayed.value().QueryAll();
+  bool replay_identical = durable_answers.size() == replayed_answers.size();
+  for (size_t i = 0; replay_identical && i < durable_answers.size(); ++i) {
+    replay_identical =
+        durable_answers[i].key == replayed_answers[i].key &&
+        durable_answers[i].solution.ok() ==
+            replayed_answers[i].solution.ok() &&
+        (!durable_answers[i].solution.ok() ||
+         SameSolution(durable_answers[i].solution.value(),
+                      replayed_answers[i].solution.value()));
+  }
+  std::printf("replayed fleet answers %s\n",
+              replay_identical ? "IDENTICALLY" : "DIFFERENTLY (bug!)");
+  if (owns_spill_dir) {
+    std::error_code cleanup;  // best-effort
+    std::filesystem::remove_all(spill_dir, cleanup);
+  }
+  return replay_identical ? 0 : 1;
 }

@@ -101,8 +101,7 @@ void AddThreadsFlag(FlagParser* flags, int64_t* target) {
 }
 
 int ResolveThreadCount(int64_t requested) {
-  if (requested == 0) return ThreadPool::HardwareThreads();
-  return requested < 1 ? 1 : static_cast<int>(requested);
+  return ThreadPool::ResolveThreadCount(requested);
 }
 
 std::string FlagParser::Usage(const std::string& program) const {

@@ -66,7 +66,9 @@ class FlagParser {
 void AddThreadsFlag(FlagParser* flags, int64_t* target);
 
 /// Maps a --threads value to an engine thread count: 0 -> hardware
-/// concurrency, anything else clamped to >= 1.
+/// concurrency, anything else clamped to >= 1. Forwards to
+/// ThreadPool::ResolveThreadCount — the same mapping the core window and
+/// the serving layer resolve their pools with.
 int ResolveThreadCount(int64_t requested);
 
 }  // namespace fkc

@@ -1,0 +1,165 @@
+#include "common/fs_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace fkc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Flushes a file (or directory) to stable storage. No-op on platforms
+// without fsync; there the write is atomic against crashes of this
+// process, not against power loss.
+Status SyncPath(const std::string& path, bool directory) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(),
+                        directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "' for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync failed on '" + path + "'");
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    hash ^= static_cast<uint64_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+// Open failures split by cause: an absent file is kNotFound (a fact),
+// anything else kIoError (possibly transient — fd exhaustion, EACCES). The
+// spill store's probe scans depend on the distinction: a hole is writable,
+// an unreadable file must never be treated as one.
+static Status ClassifyOpenFailure(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec) && !ec) {
+    return Status::NotFound("no such file: '" + path + "'");
+  }
+  return Status::IoError("cannot open '" + path + "' for reading");
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ClassifyOpenFailure(path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed on '" + path + "'");
+  }
+  *out = std::move(buffer).str();
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::IoError("write failed on '" + tmp + "'");
+    }
+  }
+  // Data before name: publishing an unsynced file would let a power loss
+  // replace the previous good version with a truncated one.
+  Status synced = SyncPath(tmp, /*directory=*/false);
+  if (!synced.ok()) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return synced;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return Status::IoError("cannot publish '" + path + "': " + ec.message());
+  }
+  const std::string parent = fs::path(path).parent_path().string();
+  return SyncPath(parent.empty() ? "." : parent, /*directory=*/true);
+}
+
+Status ReadFilePrefix(const std::string& path, size_t max_bytes,
+                      std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ClassifyOpenFailure(path);
+  }
+  out->resize(max_bytes);
+  in.read(out->data(), static_cast<std::streamsize>(max_bytes));
+  out->resize(static_cast<size_t>(in.gcount()));
+  if (in.bad()) {
+    return Status::IoError("read failed on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // removing a missing file is not an error
+  if (ec) {
+    return Status::IoError("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status ListDirectoryFiles(const std::string& dir,
+                          std::vector<std::string>* out) {
+  out->clear();
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec), end;
+  if (ec) {
+    return Status::IoError("cannot list '" + dir + "': " + ec.message());
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) {
+      return Status::IoError("cannot list '" + dir + "': " + ec.message());
+    }
+    std::error_code type_ec;
+    if (it->is_regular_file(type_ec) && !type_ec) {
+      out->push_back(it->path().filename().string());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fkc

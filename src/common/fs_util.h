@@ -1,0 +1,56 @@
+// Small filesystem and checksum helpers for the durable (on-disk) backends:
+// whole-file read, atomic write-rename publication, and the FNV-1a content
+// checksum the spill files embed. All failures travel as Status (kIoError
+// for the filesystem, kInvalidArgument for corrupt content) — disk trouble
+// must never abort a serving process.
+#ifndef FKC_COMMON_FS_UTIL_H_
+#define FKC_COMMON_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkc {
+
+/// FNV-1a 64-bit over `bytes` — the integrity checksum of the on-disk spill
+/// format. Not cryptographic: it detects truncation and bit rot, not
+/// adversaries (a forged spill file still has to survive DeserializeState's
+/// full validation).
+uint64_t Fnv1a64(const std::string& bytes);
+
+/// Creates `path` (and parents) as a directory if it does not exist yet.
+Status EnsureDirectory(const std::string& path);
+
+/// Reads the entire file into `out`. kNotFound when the file is absent,
+/// kIoError when it exists but cannot be read (possibly transient).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Reads at most the first `max_bytes` of the file into `out` (shorter
+/// when the file is). Lets header-only consumers (the spill store's slot
+/// scan) avoid paying for multi-megabyte payloads they will discard.
+Status ReadFilePrefix(const std::string& path, size_t max_bytes,
+                      std::string* out);
+
+/// Publishes `bytes` at `path` atomically and durably: writes `path` +
+/// ".tmp", fsyncs it (POSIX — the data must be on stable storage BEFORE
+/// the name is, or a power loss could publish a truncated file over the
+/// previous good version), renames over the target, and fsyncs the
+/// directory so the rename itself survives. A reader never observes a
+/// half-written file — a process killed mid-write leaves only a `.tmp`
+/// orphan (swept by the spill store's GC), and the previous version of
+/// `path`, if any, survives intact.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Deletes `path` if it exists; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Names of the regular files directly inside `dir` (no recursion), in
+/// unspecified order. kIoError when the directory cannot be listed.
+Status ListDirectoryFiles(const std::string& dir,
+                          std::vector<std::string>* out);
+
+}  // namespace fkc
+
+#endif  // FKC_COMMON_FS_UTIL_H_

@@ -11,6 +11,11 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+int ThreadPool::ResolveThreadCount(int64_t requested) {
+  if (requested == 0) return HardwareThreads();
+  return requested < 1 ? 1 : static_cast<int>(requested);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   int total = num_threads == 0 ? HardwareThreads() : num_threads;
   FKC_CHECK_GE(total, 1);

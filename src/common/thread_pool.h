@@ -41,6 +41,12 @@ class ThreadPool {
   /// std::thread::hardware_concurrency clamped to >= 1.
   static int HardwareThreads();
 
+  /// The one thread-count convention of the codebase: 0 means "all hardware
+  /// threads", anything else is clamped to >= 1. Shared by the core window's
+  /// pool, the serving layer's pool, and the --threads flag so the mapping
+  /// cannot drift between layers.
+  static int ResolveThreadCount(int64_t requested);
+
  private:
   /// Shared state of one ParallelFor call.
   struct ForJob {

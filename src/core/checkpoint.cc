@@ -131,10 +131,7 @@ std::string FairCenterSlidingWindow::SerializeState() const {
   out << kMagic << ' ';
 
   WriteSlidingWindowOptions(&out, options_);
-
-  // Constraint.
-  out << constraint_.ell() << ' ';
-  for (int cap : constraint_.caps()) out << cap << ' ';
+  WriteColorCaps(&out, constraint_);
 
   // Clocks and the latest point.
   out << now_ << ' ' << next_id_ << ' ';
@@ -176,23 +173,9 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
   SlidingWindowOptions options;
   FKC_RETURN_IF_ERROR(ReadSlidingWindowOptions(&reader, &options));
 
-  size_t ell = 0;
-  FKC_RETURN_IF_ERROR(reader.NextSize(&ell, 1u << 20));
-  if (ell == 0) {
-    return Status::InvalidArgument("empty constraint in checkpoint");
-  }
-  std::vector<int> caps(ell);
-  int64_t total_k = 0;
-  for (size_t c = 0; c < ell; ++c) {
-    int64_t cap = 0;
-    FKC_RETURN_IF_ERROR(reader.NextInt(&cap));
-    if (cap < 0) return Status::InvalidArgument("negative cap in checkpoint");
-    caps[c] = static_cast<int>(cap);
-    total_k += cap;
-  }
-  if (total_k < 1) {
-    return Status::InvalidArgument("all-zero caps in checkpoint");
-  }
+  std::vector<int> caps;
+  FKC_RETURN_IF_ERROR(ReadColorCaps(&reader, &caps));
+  const size_t ell = caps.size();
 
   FairCenterSlidingWindow window(options, ColorConstraint(std::move(caps)),
                                  metric, solver);
@@ -218,11 +201,6 @@ Result<FairCenterSlidingWindow> FairCenterSlidingWindow::DeserializeState(
     FKC_RETURN_IF_ERROR(NextPoint(&reader, &bounds, &last));
     window.last_point_ = std::move(last);
   }
-
-  // Any honest ladder exponent is tiny (|e| well under the double exponent
-  // range); corrupt values must be rejected before the int64 -> int
-  // narrowing, or they would alias modulo 2^32 into plausible rungs.
-  constexpr int64_t kMaxLadderExponent = 1 << 12;
 
   if (options.adaptive_range) {
     size_t bucket_count = 0;

@@ -88,8 +88,7 @@ ThreadPool* FairCenterSlidingWindow::Pool() {
     // Resolve the effective size before constructing: num_threads = 0 on a
     // single-core host resolves to 1, and building a ThreadPool just to
     // discover that would park an idle worker for the window's lifetime.
-    pool_threads_ = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
-                                              : options_.num_threads;
+    pool_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
   }
   if (pool_threads_ <= 1) return nullptr;
   if (pool_ == nullptr) {

@@ -12,6 +12,34 @@ constexpr int64_t kMaxSlackExponents = 1024;
 
 }  // namespace
 
+Status ReadColorCaps(CheckpointReader* reader, std::vector<int>* caps) {
+  int64_t ell = 0;
+  FKC_RETURN_IF_ERROR(reader->NextInt(&ell));
+  if (ell < 1 || ell > kMaxCheckpointColors) {
+    return Status::InvalidArgument("implausible color count in checkpoint");
+  }
+  caps->assign(static_cast<size_t>(ell), 0);
+  int64_t total_k = 0;
+  for (int& cap : *caps) {
+    int64_t value = 0;
+    FKC_RETURN_IF_ERROR(reader->NextInt(&value));
+    if (value < 0) {
+      return Status::InvalidArgument("negative cap in checkpoint");
+    }
+    cap = static_cast<int>(value);
+    total_k += value;
+  }
+  if (total_k < 1) {
+    return Status::InvalidArgument("all-zero caps in checkpoint");
+  }
+  return Status::OK();
+}
+
+void WriteColorCaps(std::ostringstream* out, const ColorConstraint& c) {
+  *out << c.ell() << ' ';
+  for (int cap : c.caps()) *out << cap << ' ';
+}
+
 Status ValidateSlidingWindowOptions(const SlidingWindowOptions& options) {
   if (options.window_size < 1) {
     return Status::InvalidArgument("window_size must be >= 1");
@@ -38,15 +66,11 @@ Status ValidateSlidingWindowOptions(const SlidingWindowOptions& options) {
           "fixed-range mode requires finite 0 < d_min <= d_max");
     }
     // Bound the ladder the constructor will materialize from this range:
-    // log_{1+beta}(d) is the rung index, one GuessStructure per rung. Past
-    // ~2^12 rungs (the checkpoint reader's exponent bound) the combination
-    // is corruption, not configuration — and an unbounded index would hit
-    // the undefined double->int narrowing in GuessLadder::FloorExponent
-    // long before the allocation blow-up.
-    constexpr double kMaxLadderExponent = 1 << 12;
+    // log_{1+beta}(d) is the rung index, one GuessStructure per rung.
+    constexpr double kMaxExponent = static_cast<double>(kMaxLadderExponent);
     const double log_base = std::log1p(options.beta);
-    if (std::fabs(std::log(options.d_min)) / log_base > kMaxLadderExponent ||
-        std::fabs(std::log(options.d_max)) / log_base > kMaxLadderExponent) {
+    if (std::fabs(std::log(options.d_min)) / log_base > kMaxExponent ||
+        std::fabs(std::log(options.d_max)) / log_base > kMaxExponent) {
       return Status::InvalidArgument(
           "fixed-range guess ladder exceeds the exponent bound");
     }

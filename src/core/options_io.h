@@ -7,12 +7,36 @@
 #define FKC_CORE_OPTIONS_IO_H_
 
 #include <sstream>
+#include <vector>
 
 #include "common/checkpoint_io.h"
 #include "common/status.h"
 #include "core/fair_center_sliding_window.h"
+#include "matroid/color_constraint.h"
 
 namespace fkc {
+
+/// Upper bound on any guess-ladder rung exponent a checkpoint may carry (or
+/// a fixed distance range may imply). Any honest exponent is tiny — |e| well
+/// under the double exponent range — so values past this are corruption, not
+/// configuration; they must be rejected before the int64 -> int narrowing
+/// (which would alias modulo 2^32 into plausible rungs) and before the
+/// one-GuessStructure-per-rung allocation blow-up. One constant shared by
+/// the options validator, the core checkpoint reader, and the serving-layer
+/// fleet formats, so the bound cannot drift between layers.
+constexpr int64_t kMaxLadderExponent = 1 << 12;
+
+/// Upper bound on a plausible checkpointed color count.
+constexpr int64_t kMaxCheckpointColors = 1 << 20;
+
+/// Reads and validates the "<ell> <caps...>" constraint block shared by the
+/// core checkpoint and the serving layer's fleet/delta formats: ell in
+/// [1, kMaxCheckpointColors], no negative cap, at least one positive cap
+/// (an all-zero constraint would abort the window constructor downstream).
+Status ReadColorCaps(CheckpointReader* reader, std::vector<int>* caps);
+
+/// Writes the constraint block ReadColorCaps reads.
+void WriteColorCaps(std::ostringstream* out, const ColorConstraint& c);
 
 /// Rejects options that a FairCenterSlidingWindow cannot be built from —
 /// the exact set the constructor would otherwise abort on via CHECK

@@ -1,0 +1,86 @@
+#include "serving/delta_log.h"
+
+#include <utility>
+
+namespace fkc {
+namespace serving {
+
+DeltaLog::DeltaLog() : DeltaLog(Options()) {}
+
+DeltaLog::DeltaLog(Options options) : options_(options) {}
+
+Result<DeltaLog::CaptureStats> DeltaLog::Capture(ShardManager* manager) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CaptureStats stats;
+
+  // Over-budget chains re-base instead of appending: replay cost and log
+  // size stay bounded no matter how long the fleet runs.
+  const bool rebase =
+      !has_base_ ||
+      static_cast<int64_t>(chain_.size()) >= options_.max_chain_length ||
+      chain_bytes_ >= options_.max_chain_bytes;
+  if (rebase) {
+    auto full = manager->CheckpointAll();
+    if (!full.ok()) return full.status();
+    if (has_base_) ++rebases_;
+    base_ = std::move(full).value();
+    has_base_ = true;
+    chain_.clear();
+    chain_bytes_ = 0;
+    stats.rebased = true;
+    stats.bytes = base_.size();
+  } else {
+    auto delta = manager->CheckpointDelta();
+    if (!delta.ok()) return delta.status();
+    stats.bytes = delta.value().size();
+    chain_bytes_ += static_cast<int64_t>(delta.value().size());
+    chain_.push_back(std::move(delta).value());
+  }
+  stats.chain_length = chain_.size();
+  return stats;
+}
+
+Result<ShardManager> DeltaLog::Replay(
+    const Metric* metric, const FairCenterSolver* solver, int num_threads,
+    int64_t max_live_shards, std::shared_ptr<SpillStore> spill_store) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_base_) {
+    return Status::FailedPrecondition("delta log has no base checkpoint yet");
+  }
+  auto manager =
+      ShardManager::Restore(base_, metric, solver, num_threads,
+                            max_live_shards, std::move(spill_store));
+  if (!manager.ok()) return manager.status();
+  for (const std::string& delta : chain_) {
+    FKC_RETURN_IF_ERROR(manager.value().ApplyDelta(delta));
+  }
+  return manager;
+}
+
+bool DeltaLog::has_base() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_base_;
+}
+
+size_t DeltaLog::base_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_.size();
+}
+
+size_t DeltaLog::chain_length() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chain_.size();
+}
+
+int64_t DeltaLog::chain_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chain_bytes_;
+}
+
+int64_t DeltaLog::rebases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebases_;
+}
+
+}  // namespace serving
+}  // namespace fkc

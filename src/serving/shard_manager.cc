@@ -1,13 +1,16 @@
 #include "serving/shard_manager.h"
 
 #include <cmath>
+#include <condition_variable>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/checkpoint_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/options_io.h"
+#include "serving/delta_log.h"
 
 namespace fkc {
 namespace serving {
@@ -29,36 +32,6 @@ constexpr size_t kMaxKeyBytes = 1u << 20;
 
 // Upper bounds on checkpointed table sizes, rejected before any allocation.
 constexpr int64_t kMaxShards = 1 << 24;
-
-// Reads and validates the "<ell> <caps...>" constraint block shared by the
-// full and delta formats.
-Status ReadConstraint(CheckpointReader* cursor, std::vector<int>* caps) {
-  int64_t ell = 0;
-  FKC_RETURN_IF_ERROR(cursor->NextInt(&ell));
-  if (ell < 1 || ell > (1 << 20)) {
-    return Status::InvalidArgument("implausible color count in checkpoint");
-  }
-  caps->assign(static_cast<size_t>(ell), 0);
-  int64_t total_k = 0;
-  for (int& cap : *caps) {
-    int64_t value = 0;
-    FKC_RETURN_IF_ERROR(cursor->NextInt(&value));
-    if (value < 0) {
-      return Status::InvalidArgument("negative cap in shard checkpoint");
-    }
-    cap = static_cast<int>(value);
-    total_k += value;
-  }
-  if (total_k < 1) {
-    return Status::InvalidArgument("all-zero caps in shard checkpoint");
-  }
-  return Status::OK();
-}
-
-void WriteConstraint(std::ostringstream* out, const ColorConstraint& c) {
-  *out << c.ell() << ' ';
-  for (int cap : c.caps()) *out << cap << ' ';
-}
 
 // Reads the v2 "<count> { <raw key> <options> }*" override table.
 Status ReadOverrides(CheckpointReader* cursor,
@@ -96,19 +69,84 @@ void WriteOverrides(std::ostringstream* out,
 
 }  // namespace
 
+/// Timer-thread state. The condition variable makes StopMaintenance prompt:
+/// the loop sleeps on it, not on a bare sleep_for.
+struct ShardManager::MaintenanceState {
+  MaintenanceOptions options;
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+};
+
 ShardManager::ShardManager(ShardManagerOptions options,
                            ColorConstraint constraint, const Metric* metric,
                            const FairCenterSolver* solver)
     : options_(std::move(options)),
       constraint_(std::move(constraint)),
       metric_(metric),
-      solver_(solver) {
+      solver_(solver),
+      mu_(std::make_unique<std::mutex>()),
+      maintenance_admin_mu_(std::make_unique<std::mutex>()) {
   FKC_CHECK(metric_ != nullptr);
   FKC_CHECK(solver_ != nullptr);
   // Shards run sequentially inside their manager-pool task; nesting pools
   // would oversubscribe and buys nothing (shard fan-out already covers the
   // cores).
   options_.window.num_threads = 1;
+  if (options_.spill_store == nullptr) {
+    options_.spill_store = std::make_shared<InMemorySpillStore>();
+  }
+}
+
+ShardManager::~ShardManager() { StopMaintenance(); }
+
+ShardManager::ShardManager(ShardManager&& other) noexcept
+    : options_(std::move(other.options_)),
+      constraint_(std::move(other.constraint_)),
+      metric_(other.metric_),
+      solver_(other.solver_),
+      mu_(std::move(other.mu_)),
+      overrides_(std::move(other.overrides_)),
+      shards_(std::move(other.shards_)),
+      live_count_(other.live_count_),
+      live_lru_(std::move(other.live_lru_)),
+      pool_(std::move(other.pool_)),
+      pool_threads_(other.pool_threads_),
+      maintenance_admin_mu_(std::move(other.maintenance_admin_mu_)),
+      maintenance_(std::move(other.maintenance_)),
+      maintenance_ticks_(other.maintenance_ticks_.load()),
+      clock_(other.clock_),
+      evictions_(other.evictions_),
+      rehydrations_(other.rehydrations_) {
+  // Moving a manager whose maintenance thread is running is unsupported
+  // (the thread would keep the old `this`); Restore/Replay outputs — the
+  // only places managers are moved — never have one.
+  FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable());
+}
+
+ShardManager& ShardManager::operator=(ShardManager&& other) noexcept {
+  if (this == &other) return *this;
+  StopMaintenance();  // join our thread before its state is replaced
+  options_ = std::move(other.options_);
+  constraint_ = std::move(other.constraint_);
+  metric_ = other.metric_;
+  solver_ = other.solver_;
+  mu_ = std::move(other.mu_);
+  overrides_ = std::move(other.overrides_);
+  shards_ = std::move(other.shards_);
+  live_count_ = other.live_count_;
+  live_lru_ = std::move(other.live_lru_);
+  pool_ = std::move(other.pool_);
+  pool_threads_ = other.pool_threads_;
+  maintenance_admin_mu_ = std::move(other.maintenance_admin_mu_);
+  maintenance_ = std::move(other.maintenance_);
+  maintenance_ticks_.store(other.maintenance_ticks_.load());
+  clock_ = other.clock_;
+  evictions_ = other.evictions_;
+  rehydrations_ = other.rehydrations_;
+  FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable());
+  return *this;
 }
 
 ThreadPool* ShardManager::Pool() {
@@ -117,8 +155,7 @@ ThreadPool* ShardManager::Pool() {
     // Resolve the effective size before constructing: num_threads = 0 on a
     // single-core host resolves to 1, and building a ThreadPool just to
     // discover that would park an idle pool for the manager's lifetime.
-    pool_threads_ = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
-                                              : options_.num_threads;
+    pool_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
   }
   if (pool_threads_ <= 1) return nullptr;
   if (pool_ == nullptr) {
@@ -184,18 +221,38 @@ SlidingWindowOptions ShardManager::OptionsForKey(const std::string& key) const {
   return options;
 }
 
-Status ShardManager::RehydrateShard(Shard* shard) {
+Status ShardManager::RehydrateShard(const std::string& key, Shard* shard) {
+  auto blob = options_.spill_store->Get(key);
+  if (!blob.ok()) return blob.status();
   auto window =
-      FairCenterSlidingWindow::DeserializeState(shard->spill, metric_, solver_);
+      FairCenterSlidingWindow::DeserializeState(blob.value(), metric_,
+                                                solver_);
   if (!window.ok()) return window.status();
+  // Same forged-blob guards as Restore/ApplyDelta: with a durable backend
+  // the bytes come from a directory two fleets could share (or anyone
+  // could write — the FNV checksum is integrity, not authentication). A
+  // shard under a different constraint would pass ValidateArrival yet
+  // CHECK-abort in StampArrival on its next ingest; a different dimension
+  // would feed mismatched points into the coordinate pools.
+  if (window.value().constraint().caps() != constraint_.caps()) {
+    return Status::InvalidArgument(
+        "spilled shard's constraint does not match the fleet constraint");
+  }
+  if (shard->dim >= 0 && window.value().dimension() >= 0 &&
+      window.value().dimension() != shard->dim) {
+    return Status::InvalidArgument(
+        "spilled shard's dimension does not match its pinned dimension");
+  }
   shard->live = std::make_unique<FairCenterSlidingWindow>(
       std::move(window).value());
+  if (shard->live->dimension() >= 0) shard->dim = shard->live->dimension();
   // A fresh deserialization restarts the epoch counter at 0; a clean spill
   // therefore rehydrates clean, a dirty one stays dirty via the sentinel.
   shard->clean_epoch = shard->spill_dirty ? kNeverCheckpointed : 0;
-  shard->spill.clear();
-  shard->spill.shrink_to_fit();
   shard->spill_dirty = false;
+  // Best-effort: a failed erase only leaves a stale store entry behind —
+  // never read again (the shard is live now) and swept by the next GC.
+  options_.spill_store->Erase(key);
   ++live_count_;
   ++rehydrations_;
   return Status::OK();
@@ -211,14 +268,19 @@ void ShardManager::TouchLive(const std::string& key, Shard* shard,
   live_lru_.insert({touch, key});
 }
 
-void ShardManager::SpillShard(const std::string& key, Shard* shard) {
-  shard->spill_dirty = IsDirty(*shard);
-  shard->spill = shard->live->SerializeState();
+Status ShardManager::SpillShard(const std::string& key, Shard* shard) {
+  const bool dirty = IsDirty(*shard);
+  // Put before dropping the window: a failing backend must leave the shard
+  // live and the fleet lossless.
+  FKC_RETURN_IF_ERROR(
+      options_.spill_store->Put(key, shard->live->SerializeState()));
+  shard->spill_dirty = dirty;
   shard->live.reset();
   shard->clean_epoch = kNeverCheckpointed;
   live_lru_.erase({shard->last_touch, key});
   --live_count_;
   ++evictions_;
+  return Status::OK();
 }
 
 void ShardManager::EnforceLiveCap(const std::string* exclude) {
@@ -232,7 +294,12 @@ void ShardManager::EnforceLiveCap(const std::string* exclude) {
     if (exclude != nullptr && victim->second == *exclude) {
       if (++victim == live_lru_.end()) return;  // only the excluded is live
     }
-    SpillShard(victim->second, &shards_.find(victim->second)->second);
+    if (!SpillShard(victim->second, &shards_.find(victim->second)->second)
+             .ok()) {
+      // Spill backend down: the victim stays live and the cap is enforced
+      // best-effort until the backend recovers. Nothing is lost.
+      return;
+    }
   }
 }
 
@@ -250,7 +317,7 @@ Result<ShardManager::Shard*> ShardManager::TouchShard(const std::string& key,
     ++live_count_;
     it = shards_.emplace(key, std::move(shard)).first;
   } else if (!it->second.live) {
-    FKC_RETURN_IF_ERROR(RehydrateShard(&it->second));
+    FKC_RETURN_IF_ERROR(RehydrateShard(it->first, &it->second));
   }
   TouchLive(it->first, &it->second, clock_);
   if (enforce_cap) EnforceLiveCap(&key);
@@ -258,6 +325,7 @@ Result<ShardManager::Shard*> ShardManager::TouchShard(const std::string& key,
 }
 
 Status ShardManager::Ingest(const std::string& key, Point p) {
+  std::lock_guard<std::mutex> lock(*mu_);
   FKC_RETURN_IF_ERROR(ValidateArrival(key, p, PinnedDimension(key)));
   ++clock_;
   auto shard = TouchShard(key, /*create_missing=*/true, /*enforce_cap=*/true);
@@ -269,6 +337,7 @@ Status ShardManager::Ingest(const std::string& key, Point p) {
 
 Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   if (batch.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(*mu_);
 
   // Group by key, preserving per-key arrival order (the only order that
   // matters: shards share no state, so cross-key interleaving is
@@ -353,6 +422,7 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
 
 Status ShardManager::SetTenantOptions(const std::string& key,
                                       SlidingWindowOptions options) {
+  std::lock_guard<std::mutex> lock(*mu_);
   if (key.size() >= kMaxKeyBytes) {
     return Status::InvalidArgument("tenant key exceeds the size limit");
   }
@@ -372,24 +442,32 @@ Status ShardManager::SetTenantOptions(const std::string& key,
 
 const SlidingWindowOptions* ShardManager::TenantOptions(
     const std::string& key) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto it = overrides_.find(key);
   return it == overrides_.end() ? nullptr : &it->second;
 }
 
 Result<FairCenterSolution> ShardManager::Query(const std::string& key,
                                                QueryStats* stats) {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto shard = TouchShard(key, /*create_missing=*/false, /*enforce_cap=*/true);
   if (!shard.ok()) return shard.status();
   return shard.value()->live->Query(stats);
 }
 
 std::vector<ShardAnswer> ShardManager::QueryAll() {
+  std::lock_guard<std::mutex> lock(*mu_);
   // Live shards answer in place; spilled shards answer from an ephemeral
   // deserialization so a fleet-wide query round does not defeat eviction.
-  // Tasks are independent, so the fan-out is deterministic either way.
+  // Each spilled task fetches its own blob inside the fan-out (behind a
+  // mutex — the store is not thread-safe) and drops it with the task:
+  // fetching the whole fleet's blobs up front would transiently hold
+  // every spilled shard in memory, the exact condition a durable store
+  // plus live-shard cap exists to prevent. Tasks are independent, so the
+  // fan-out is deterministic either way.
   struct Task {
-    FairCenterSlidingWindow* live = nullptr;
-    const std::string* spill = nullptr;
+    FairCenterSlidingWindow* live = nullptr;  ///< null: spilled, use key
+    const std::string* key = nullptr;
   };
   std::vector<ShardAnswer> answers;
   std::vector<Task> tasks;
@@ -400,16 +478,26 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
     answer.key = key;
     answers.push_back(std::move(answer));
     tasks.push_back(shard.live ? Task{shard.live.get(), nullptr}
-                               : Task{nullptr, &shard.spill});
+                               : Task{nullptr, &key});
   }
 
+  std::mutex store_mu;
   auto run_one = [&](int64_t i) {
     if (tasks[i].live != nullptr) {
       answers[i].solution = tasks[i].live->Query(&answers[i].stats);
       return;
     }
-    auto window = FairCenterSlidingWindow::DeserializeState(*tasks[i].spill,
+    Result<std::string> blob = [&]() -> Result<std::string> {
+      std::lock_guard<std::mutex> store_lock(store_mu);
+      return options_.spill_store->Get(*tasks[i].key);
+    }();
+    if (!blob.ok()) {
+      answers[i].solution = blob.status();
+      return;
+    }
+    auto window = FairCenterSlidingWindow::DeserializeState(blob.value(),
                                                             metric_, solver_);
+    blob = std::string();  // the deserialized window supersedes the bytes
     if (!window.ok()) {
       answers[i].solution = window.status();
       return;
@@ -425,7 +513,8 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
   return answers;
 }
 
-int64_t ShardManager::EvictIdle(int64_t idle_ttl) {
+int64_t ShardManager::EvictIdleLocked(int64_t idle_ttl, Status* spill_status) {
+  if (spill_status != nullptr) *spill_status = Status::OK();
   if (idle_ttl < 0) return 0;
   int64_t evicted = 0;
   // The LRU index orders live shards by last_touch, so the idle ones are
@@ -434,41 +523,67 @@ int64_t ShardManager::EvictIdle(int64_t idle_ttl) {
   while (!live_lru_.empty()) {
     const auto victim = live_lru_.begin();
     if (clock_ - victim->first <= idle_ttl) break;
-    SpillShard(victim->second, &shards_.find(victim->second)->second);
+    const Status spilled =
+        SpillShard(victim->second, &shards_.find(victim->second)->second);
+    if (!spilled.ok()) {
+      // Backend down: stop the sweep, leave the remaining shards live.
+      if (spill_status != nullptr) *spill_status = spilled;
+      break;
+    }
     ++evicted;
   }
   return evicted;
 }
 
-std::string ShardManager::CheckpointAll() {
+int64_t ShardManager::EvictIdle(int64_t idle_ttl, Status* spill_status) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return EvictIdleLocked(idle_ttl, spill_status);
+}
+
+Result<std::string> ShardManager::CheckpointAll() {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::ostringstream out;
   out << kMagicV2 << ' ';
 
   // The window template (needed to spawn shards for keys first seen after a
-  // restore), the constraint, and the override table. num_threads and
-  // max_live_shards are execution/resource knobs and are deliberately
-  // excluded, like in the core checkpoint.
+  // restore), the constraint, and the override table. num_threads,
+  // max_live_shards, and the spill store are execution/resource knobs and
+  // are deliberately excluded, like in the core checkpoint.
   WriteSlidingWindowOptions(&out, options_.window);
-  WriteConstraint(&out, constraint_);
+  WriteColorCaps(&out, constraint_);
   WriteOverrides(&out, overrides_);
 
   // Every shard: length-prefixed key, length-prefixed core checkpoint. A
-  // spilled shard's state is its spill blob, verbatim.
+  // spilled shard's state is its spill blob, verbatim. Clean marks are
+  // staged and committed only after every blob is in hand — a failing
+  // spill read must not leave half the fleet marked clean for a
+  // checkpoint that never existed.
+  std::vector<std::pair<Shard*, int64_t>> clean_marks;
+  clean_marks.reserve(shards_.size());
   out << shards_.size() << ' ';
   for (auto& [key, shard] : shards_) {
     WriteCheckpointRaw(&out, key);
     if (shard.live) {
       WriteCheckpointRaw(&out, shard.live->SerializeState());
-      shard.clean_epoch = shard.live->state_epoch();
+      clean_marks.emplace_back(&shard, shard.live->state_epoch());
     } else {
-      WriteCheckpointRaw(&out, shard.spill);
-      shard.spill_dirty = false;
+      auto blob = options_.spill_store->Get(key);
+      if (!blob.ok()) return blob.status();
+      WriteCheckpointRaw(&out, blob.value());
+      clean_marks.emplace_back(&shard, kNeverCheckpointed);
+    }
+  }
+  for (auto& [shard, epoch] : clean_marks) {
+    if (shard->live) {
+      shard->clean_epoch = epoch;
+    } else {
+      shard->spill_dirty = false;
     }
   }
   return out.str();
 }
 
-size_t ShardManager::dirty_shard_count() const {
+size_t ShardManager::DirtyCountLocked() const {
   size_t dirty = 0;
   for (const auto& [key, shard] : shards_) {
     if (IsDirty(shard)) ++dirty;
@@ -476,30 +591,49 @@ size_t ShardManager::dirty_shard_count() const {
   return dirty;
 }
 
-std::string ShardManager::CheckpointDelta() {
+size_t ShardManager::dirty_shard_count() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return DirtyCountLocked();
+}
+
+Result<std::string> ShardManager::CheckpointDelta() {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::ostringstream out;
   out << kDeltaMagic << ' ';
   // Constraint (so the receiver can verify compatibility) and the override
   // table (tiny, and replacing it wholesale keeps deltas self-contained).
-  WriteConstraint(&out, constraint_);
+  WriteColorCaps(&out, constraint_);
   WriteOverrides(&out, overrides_);
 
-  out << dirty_shard_count() << ' ';
+  // Same staged clean-marking as CheckpointAll: all blobs first, marks
+  // after.
+  std::vector<std::pair<Shard*, int64_t>> clean_marks;
+  out << DirtyCountLocked() << ' ';
   for (auto& [key, shard] : shards_) {
     if (!IsDirty(shard)) continue;
     WriteCheckpointRaw(&out, key);
     if (shard.live) {
       WriteCheckpointRaw(&out, shard.live->SerializeState());
-      shard.clean_epoch = shard.live->state_epoch();
+      clean_marks.emplace_back(&shard, shard.live->state_epoch());
     } else {
-      WriteCheckpointRaw(&out, shard.spill);
-      shard.spill_dirty = false;
+      auto blob = options_.spill_store->Get(key);
+      if (!blob.ok()) return blob.status();
+      WriteCheckpointRaw(&out, blob.value());
+      clean_marks.emplace_back(&shard, kNeverCheckpointed);
+    }
+  }
+  for (auto& [shard, epoch] : clean_marks) {
+    if (shard->live) {
+      shard->clean_epoch = epoch;
+    } else {
+      shard->spill_dirty = false;
     }
   }
   return out.str();
 }
 
 Status ShardManager::ApplyDelta(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(*mu_);
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
@@ -509,7 +643,7 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   }
 
   std::vector<int> caps;
-  FKC_RETURN_IF_ERROR(ReadConstraint(&cursor, &caps));
+  FKC_RETURN_IF_ERROR(ReadColorCaps(&cursor, &caps));
   if (caps != constraint_.caps()) {
     return Status::InvalidArgument(
         "delta constraint does not match this manager's");
@@ -549,10 +683,14 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   for (auto& [key, window] : staged) {
     Shard& shard = shards_[key];
     const bool was_live = shard.live != nullptr;
-    if (!was_live) ++live_count_;
+    if (!was_live) {
+      ++live_count_;
+      // A previously spilled shard's store entry is superseded; drop it
+      // (best-effort — a stale entry is never read and GC sweeps it).
+      options_.spill_store->Erase(key);
+    }
     shard.live =
         std::make_unique<FairCenterSlidingWindow>(std::move(window));
-    shard.spill.clear();
     shard.spill_dirty = false;
     shard.dim = shard.live->dimension();
     // The shard now matches the leader's checkpointed state exactly.
@@ -563,11 +701,10 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   return Status::OK();
 }
 
-Result<ShardManager> ShardManager::Restore(const std::string& bytes,
-                                           const Metric* metric,
-                                           const FairCenterSolver* solver,
-                                           int num_threads,
-                                           int64_t max_live_shards) {
+Result<ShardManager> ShardManager::Restore(
+    const std::string& bytes, const Metric* metric,
+    const FairCenterSolver* solver, int num_threads, int64_t max_live_shards,
+    std::shared_ptr<SpillStore> spill_store) {
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
@@ -580,13 +717,14 @@ Result<ShardManager> ShardManager::Restore(const std::string& bytes,
   ShardManagerOptions options;
   options.num_threads = num_threads;
   options.max_live_shards = max_live_shards;
+  options.spill_store = std::move(spill_store);
   // ReadSlidingWindowOptions validates what it parses (window size, delta,
   // beta, variant, slack exponents, range bounds): a corrupted or
   // adversarial blob must fail here, not abort in a constructor CHECK.
   FKC_RETURN_IF_ERROR(ReadSlidingWindowOptions(&cursor, &options.window));
 
   std::vector<int> caps;
-  FKC_RETURN_IF_ERROR(ReadConstraint(&cursor, &caps));
+  FKC_RETURN_IF_ERROR(ReadColorCaps(&cursor, &caps));
 
   ShardManager manager(options, ColorConstraint(std::move(caps)), metric,
                        solver);
@@ -600,6 +738,11 @@ Result<ShardManager> ShardManager::Restore(const std::string& bytes,
       static_cast<size_t>(shard_count) > cursor.Remaining()) {
     return Status::InvalidArgument("implausible shard count in checkpoint");
   }
+  // Verbatim blob segments of the currently-live shards, so enforcing the
+  // cap mid-restore hands the exact bytes just read to the spill store
+  // instead of re-serializing a window that was deserialized moments ago.
+  // Holds at most max_live_shards entries at any time.
+  std::map<std::string, std::string> verbatim;
   for (int64_t s = 0; s < shard_count; ++s) {
     std::string key, blob;
     FKC_RETURN_IF_ERROR(cursor.NextRaw(&key, kMaxKeyBytes));
@@ -626,17 +769,142 @@ Result<ShardManager> ShardManager::Restore(const std::string& bytes,
     }
     manager.live_lru_.insert({pos->second.last_touch, pos->first});
     ++manager.live_count_;
+    if (max_live_shards <= 0) continue;
+    verbatim.emplace(pos->first, std::move(blob));
     // Enforce the cap as shards stream in, not after: a fleet far larger
     // than max_live_shards must never be fully resident at once — that is
     // the exact condition the cap exists to prevent. All last_touch values
     // are equal here, so the surviving set (the largest keys) matches what
     // one sweep at the end would keep.
-    manager.EnforceLiveCap(nullptr);
+    while (manager.live_count_ > static_cast<size_t>(max_live_shards)) {
+      const auto victim = manager.live_lru_.begin();
+      Shard& victim_shard = manager.shards_.find(victim->second)->second;
+      auto segment = verbatim.find(victim->second);
+      // A spill backend that cannot even absorb the restore is fatal to
+      // the restore, not the process.
+      FKC_RETURN_IF_ERROR(manager.options_.spill_store->Put(
+          victim->second, std::move(segment->second)));
+      verbatim.erase(segment);
+      victim_shard.live.reset();
+      victim_shard.spill_dirty = false;  // restored = checkpointed = clean
+      victim_shard.clean_epoch = kNeverCheckpointed;
+      manager.live_lru_.erase(victim);
+      --manager.live_count_;
+      ++manager.evictions_;
+    }
   }
   return manager;
 }
 
+Status ShardManager::StartMaintenance(MaintenanceOptions options) {
+  if (options.cadence <= std::chrono::milliseconds::zero()) {
+    return Status::InvalidArgument("maintenance cadence must be positive");
+  }
+  std::lock_guard<std::mutex> admin(*maintenance_admin_mu_);
+  if (maintenance_ != nullptr) {
+    return Status::FailedPrecondition("maintenance thread already running");
+  }
+  maintenance_ = std::make_unique<MaintenanceState>();
+  maintenance_->options = std::move(options);
+  maintenance_->thread = std::thread(
+      [this, state = maintenance_.get()] { MaintenanceLoop(state); });
+  return Status::OK();
+}
+
+void ShardManager::StopMaintenance() {
+  if (maintenance_admin_mu_ == nullptr) return;  // moved-from shell
+  // Detach the state from the manager under the admin lock, then signal
+  // and join WITHOUT it: the maintenance thread may itself be inside a
+  // re-entrant StopMaintenance (an on_tick hook) waiting on the admin
+  // mutex, and joining while holding it would deadlock both sides.
+  std::unique_ptr<MaintenanceState> state;
+  {
+    std::lock_guard<std::mutex> admin(*maintenance_admin_mu_);
+    if (maintenance_ == nullptr) return;
+    if (maintenance_->thread.get_id() == std::this_thread::get_id()) {
+      // Called from the maintenance thread (an on_tick hook): joining
+      // oneself is impossible. Signal the loop to exit after this tick;
+      // the thread stays attached until another thread's Stop (or the
+      // destructor) reaps it.
+      std::lock_guard<std::mutex> lock(maintenance_->mu);
+      maintenance_->stop = true;
+      return;
+    }
+    state = std::move(maintenance_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stop = true;
+  }
+  state->cv.notify_all();
+  if (state->thread.joinable()) state->thread.join();
+}
+
+bool ShardManager::maintenance_running() const {
+  std::lock_guard<std::mutex> admin(*maintenance_admin_mu_);
+  return maintenance_ != nullptr;
+}
+
+void ShardManager::MaintenanceLoop(MaintenanceState* state) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    // wait_for returns true only when stop was signalled — a prompt,
+    // race-free shutdown even when StopMaintenance lands mid-sleep.
+    if (state->cv.wait_for(lock, state->options.cadence,
+                           [state] { return state->stop; })) {
+      return;
+    }
+    lock.unlock();
+    RunMaintenanceTick(state->options);
+    lock.lock();
+  }
+}
+
+MaintenanceTickReport ShardManager::RunMaintenanceTick(
+    const MaintenanceOptions& options) {
+  MaintenanceTickReport report;
+  report.tick = maintenance_ticks_.fetch_add(1) + 1;
+
+  if (options.idle_ttl >= 0) {
+    Status spill_status;
+    report.evicted = EvictIdle(options.idle_ttl, &spill_status);
+    if (report.status.ok()) report.status = spill_status;
+  }
+
+  if (options.delta_log != nullptr && dirty_shard_count() > 0) {
+    auto captured = options.delta_log->Capture(this);
+    if (captured.ok()) {
+      report.capture_bytes = captured.value().bytes;
+      report.rebased = captured.value().rebased;
+    } else if (report.status.ok()) {
+      report.status = captured.status();
+    }
+  }
+
+  if (options.gc_every > 0 && report.tick % options.gc_every == 0) {
+    auto removed = GarbageCollectSpill();
+    if (removed.ok()) {
+      report.gc_removed = removed.value();
+    } else if (report.status.ok()) {
+      report.status = removed.status();
+    }
+  }
+
+  if (options.on_tick) options.on_tick(report);
+  return report;
+}
+
+Result<int64_t> ShardManager::GarbageCollectSpill() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  std::set<std::string> spilled;
+  for (const auto& [key, shard] : shards_) {
+    if (!shard.live) spilled.insert(key);
+  }
+  return options_.spill_store->GarbageCollect(spilled);
+}
+
 std::vector<std::string> ShardManager::Keys() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::vector<std::string> keys;
   keys.reserve(shards_.size());
   for (const auto& [key, shard] : shards_) keys.push_back(key);
@@ -644,6 +912,7 @@ std::vector<std::string> ShardManager::Keys() const {
 }
 
 FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto result = TouchShard(key, /*create_missing=*/false,
                            /*enforce_cap=*/true);
   return result.ok() ? result.value()->live.get() : nullptr;
@@ -651,11 +920,43 @@ FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
 
 const FairCenterSlidingWindow* ShardManager::shard(
     const std::string& key) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto it = shards_.find(key);
   return it == shards_.end() ? nullptr : it->second.live.get();
 }
 
+size_t ShardManager::shard_count() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return shards_.size();
+}
+
+size_t ShardManager::live_shard_count() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return live_count_;
+}
+
+size_t ShardManager::spilled_shard_count() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return shards_.size() - live_count_;
+}
+
+int64_t ShardManager::clock() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return clock_;
+}
+
+int64_t ShardManager::evictions() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return evictions_;
+}
+
+int64_t ShardManager::rehydrations() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return rehydrations_;
+}
+
 MemoryStats ShardManager::TotalMemory() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   MemoryStats stats;
   for (const auto& [key, shard] : shards_) {
     if (shard.live) stats += shard.live->Memory();

@@ -14,15 +14,24 @@
 //   * bounded residency: EvictIdle(ttl) spills shards nobody has touched
 //     (ingest or per-key query) for ttl arrivals fleet-wide, and an
 //     optional LRU cap bounds the number of live shards;
-//     a spilled shard is checkpointed into an in-memory spill map and
-//     transparently rehydrated on its next touch, answering exactly as if it
-//     had never left.
+//     a spilled shard is checkpointed into the configured SpillStore
+//     (in-memory by default, on-disk via FileSpillStore — see
+//     serving/spill_store.h) and transparently rehydrated on its next
+//     touch, answering exactly as if it had never left.
 //   * incremental checkpointing: every shard carries a dirty bit (set on
 //     ingest, cleared on checkpoint); CheckpointDelta() serializes only the
 //     dirty shards and ApplyDelta() folds such a delta into a fleet restored
 //     from the matching base — steady-state fleets ship deltas, not the
 //     whole blob. Full checkpoints use the fkc-shards-v2 format; Restore
-//     still accepts v1 blobs from earlier builds.
+//     still accepts v1 blobs from earlier builds. DeltaLog
+//     (serving/delta_log.h) turns the delta stream into a replayable,
+//     self-compacting log.
+//   * background maintenance: StartMaintenance(options) runs the eviction
+//     sweep, DeltaLog capture, and spill-store GC on a timer thread instead
+//     of caller-driven; StopMaintenance() (also run by the destructor)
+//     joins it cleanly. While maintenance runs, the manager's public
+//     methods are safe to call concurrently — each is internally
+//     serialized by one mutex.
 //
 // Malformed input is rejected, never fatal: oversized keys, out-of-range or
 // zero-cap colors, empty or non-finite coordinates, and dimension changes
@@ -31,12 +40,18 @@
 // process downstream or poison the next checkpoint into one Restore
 // rejects. Corrupted or truncated checkpoint blobs (including shard blobs
 // whose embedded constraint disagrees with the fleet's) fail
-// Restore/ApplyDelta with a non-OK Status instead of aborting the process.
+// Restore/ApplyDelta with a non-OK Status instead of aborting the process,
+// and a failing spill backend (disk full, checksum mismatch) surfaces as a
+// Status too — an unspillable shard simply stays live.
 #ifndef FKC_SERVING_SHARD_MANAGER_H_
 #define FKC_SERVING_SHARD_MANAGER_H_
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -45,9 +60,12 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/fair_center_sliding_window.h"
+#include "serving/spill_store.h"
 
 namespace fkc {
 namespace serving {
+
+class DeltaLog;
 
 /// An arrival addressed to one shard.
 struct KeyedPoint {
@@ -75,6 +93,49 @@ struct ShardManagerOptions {
   /// single batch touching more distinct keys than the cap still works. A
   /// resource knob, not state: it is not checkpointed.
   int64_t max_live_shards = 0;
+
+  /// Backend holding evicted-shard state. nullptr = a private
+  /// InMemorySpillStore (the historical behaviour). Pass a FileSpillStore
+  /// to bound resident memory by the live-shard cap regardless of fleet
+  /// size. A resource knob, not state: it is not checkpointed.
+  std::shared_ptr<SpillStore> spill_store;
+};
+
+/// What one maintenance tick did. Delivered to the on_tick test hook and
+/// returned by RunMaintenanceTick.
+struct MaintenanceTickReport {
+  int64_t tick = 0;          ///< 1-based tick counter (across Start cycles)
+  int64_t evicted = 0;       ///< shards spilled by the eviction sweep
+  int64_t gc_removed = 0;    ///< spill-store entries removed by GC
+  size_t capture_bytes = 0;  ///< delta (or rebase) bytes appended to the log
+  bool rebased = false;      ///< the DeltaLog re-based this tick
+  Status status;             ///< first error of the tick (OK when clean)
+};
+
+/// Schedule of the background maintenance thread.
+struct MaintenanceOptions {
+  /// Time between ticks. The thread wakes early on StopMaintenance, so
+  /// shutdown never waits out a cadence.
+  std::chrono::milliseconds cadence{1000};
+
+  /// TTL handed to the per-tick EvictIdle sweep; negative = no sweep.
+  int64_t idle_ttl = -1;
+
+  /// When set, every tick captures into this log (CheckpointDelta while the
+  /// chain budget holds, re-base otherwise — see DeltaLog). The log must
+  /// outlive the maintenance run. Ticks with zero dirty shards skip the
+  /// capture entirely. The per-shard dirty bit is a SINGLE-CONSUMER
+  /// cursor: while a log captures on a cadence, nothing else may call
+  /// CheckpointDelta/CheckpointAll on the same manager — a direct call
+  /// marks shards clean and the log's next delta silently omits them.
+  DeltaLog* delta_log = nullptr;
+
+  /// Run spill-store GarbageCollect every this many ticks (0 = never).
+  int64_t gc_every = 0;
+
+  /// Test-visible tick hook, called after each tick outside the manager's
+  /// internal lock (so it may call back into the manager).
+  std::function<void(const MaintenanceTickReport&)> on_tick;
 };
 
 /// Per-shard answer of a fan-out query.
@@ -93,12 +154,17 @@ struct ShardAnswer {
 ///   auto answer = manager.Query("tenant-7");   // one shard
 ///   auto all = manager.QueryAll();             // every shard, multiplexed
 ///   manager.EvictIdle(100000);                 // spill idle tenants
-///   std::string delta = manager.CheckpointDelta();  // dirty shards only
-///   std::string blob = manager.CheckpointAll();     // the whole fleet
-///   auto restored = ShardManager::Restore(blob, &metric, &solver);
+///   auto delta = manager.CheckpointDelta();    // dirty shards only
+///   auto blob = manager.CheckpointAll();       // the whole fleet
+///   auto restored = ShardManager::Restore(blob.value(), &metric, &solver);
 ///
-/// Not thread-safe: callers serialize access; the manager parallelizes
-/// internally over its own pool.
+/// Thread-safety: every public method is internally serialized by one
+/// mutex, so the background maintenance thread (and any other caller) can
+/// interleave with ingest and queries. Compound caller sequences are not
+/// atomic, and pointers returned by shard() may be invalidated by a
+/// maintenance tick — stop maintenance (or drive ticks manually via
+/// RunMaintenanceTick) around code that retains shard pointers. Do not
+/// move a manager whose maintenance thread is running.
 class ShardManager {
  public:
   /// `metric` and `solver` must outlive the manager; they are shared by all
@@ -106,6 +172,10 @@ class ShardManager {
   /// rejected at ingest (a single window CHECK-aborts on them instead).
   ShardManager(ShardManagerOptions options, ColorConstraint constraint,
                const Metric* metric, const FairCenterSolver* solver);
+  ~ShardManager();  ///< stops the maintenance thread, if running
+
+  ShardManager(ShardManager&& other) noexcept;
+  ShardManager& operator=(ShardManager&& other) noexcept;
 
   /// Feeds one arrival to the shard of `key`, creating (or rehydrating) the
   /// shard on first sight. Per-shard clocks are independent: each shard
@@ -150,7 +220,8 @@ class ShardManager {
   /// (each shard's query pipeline runs sequentially inside its task).
   /// Spilled shards are answered from an ephemeral deserialization without
   /// changing their residency, so a fleet-wide dashboard query does not
-  /// defeat eviction. Answers are ordered by key, deterministically.
+  /// defeat eviction. Answers are ordered by key, deterministically. A
+  /// spilled shard whose blob fails to load answers with that error.
   std::vector<ShardAnswer> QueryAll();
 
   /// Spills every live shard whose last touch is more than `idle_ttl`
@@ -161,21 +232,25 @@ class ShardManager {
   /// reads deliberately do not touch. A spilled shard keeps answering
   /// (QueryAll) and is rehydrated in place by its next touch. Returns the
   /// number of shards spilled. idle_ttl = 0 spills everything not touched
-  /// at the current clock; negative is a no-op.
-  int64_t EvictIdle(int64_t idle_ttl);
+  /// at the current clock; negative is a no-op. If the spill backend fails
+  /// the sweep stops early (the shard stays live, nothing is lost) and the
+  /// error is reported through `spill_status` when provided.
+  int64_t EvictIdle(int64_t idle_ttl, Status* spill_status = nullptr);
 
   /// Serializes the fleet — template, constraint, tenant overrides, and
   /// every shard (live or spilled) — into one self-describing v2 blob, and
   /// marks every shard clean. Spilled shards are written from their spill
-  /// blob without rehydration.
-  std::string CheckpointAll();
+  /// blob without rehydration; a spill blob that fails to load fails the
+  /// whole checkpoint (leaving every dirty bit as it was — the next
+  /// delta loses nothing).
+  Result<std::string> CheckpointAll();
 
   /// Serializes only the shards dirtied since the last CheckpointAll /
   /// CheckpointDelta (plus the constraint and override table, which are
   /// cheap), and marks them clean. Applying the sequence of deltas, in
   /// order, onto a manager restored from the matching base reproduces the
   /// full fleet state. An idle fleet yields an empty delta (zero shards).
-  std::string CheckpointDelta();
+  Result<std::string> CheckpointDelta();
 
   /// Folds a CheckpointDelta blob into this manager: replaces the override
   /// table and upserts every contained shard as live-and-clean. Validates
@@ -185,16 +260,57 @@ class ShardManager {
 
   /// Reconstructs a manager from CheckpointAll output — v2 or the earlier
   /// v1 format. The restored fleet answers every query identically and
-  /// behaves identically under any future ingest sequence. All shards come
-  /// back live (then the LRU cap, if any, applies). `num_threads` and
-  /// `max_live_shards` are execution/resource knobs supplied at restore
-  /// time, like the metric and solver. Corrupted, truncated, or
-  /// implausible blobs fail with kInvalidArgument, never a process abort.
-  static Result<ShardManager> Restore(const std::string& bytes,
-                                      const Metric* metric,
-                                      const FairCenterSolver* solver,
-                                      int num_threads = 1,
-                                      int64_t max_live_shards = 0);
+  /// behaves identically under any future ingest sequence. Shards come
+  /// back live until `max_live_shards` is reached; past the cap the
+  /// verbatim blob segment is handed to the spill store directly (never
+  /// deserialized-then-reserialized), so a fleet far larger than the cap
+  /// restores without ever being fully resident. `num_threads`,
+  /// `max_live_shards`, and `spill_store` are execution/resource knobs
+  /// supplied at restore time, like the metric and solver. Corrupted,
+  /// truncated, or implausible blobs fail with kInvalidArgument, never a
+  /// process abort.
+  static Result<ShardManager> Restore(
+      const std::string& bytes, const Metric* metric,
+      const FairCenterSolver* solver, int num_threads = 1,
+      int64_t max_live_shards = 0,
+      std::shared_ptr<SpillStore> spill_store = nullptr);
+
+  // --- Background maintenance. ---
+
+  /// Spawns the maintenance thread: every `options.cadence` it runs one
+  /// RunMaintenanceTick(options). kFailedPrecondition if already running,
+  /// kInvalidArgument for a non-positive cadence. Start/Stop/
+  /// maintenance_running are serialized against each other by a dedicated
+  /// admin mutex (not `mu_` — Stop must not block behind an in-flight
+  /// tick it is about to join).
+  Status StartMaintenance(MaintenanceOptions options);
+
+  /// Joins the maintenance thread; prompt (wakes the thread mid-sleep) and
+  /// idempotent — concurrent Stops are safe. Any tick already executing
+  /// finishes first. Calling it from inside an on_tick hook (i.e. on the
+  /// maintenance thread itself) cannot join: it signals the loop to exit
+  /// after the current tick and returns immediately; a later Stop — or
+  /// the destructor — on any other thread reaps the finished thread.
+  void StopMaintenance();
+
+  bool maintenance_running() const;
+  /// Ticks executed so far, across StartMaintenance cycles and manual
+  /// RunMaintenanceTick calls.
+  int64_t maintenance_ticks() const { return maintenance_ticks_.load(); }
+
+  /// Runs one maintenance tick synchronously on the calling thread:
+  /// eviction sweep (options.idle_ttl >= 0), DeltaLog capture
+  /// (options.delta_log, skipped while no shard is dirty), spill-store GC
+  /// (every options.gc_every ticks). The deterministic alternative to the
+  /// timer for tests and single-threaded drivers; the timer thread calls
+  /// exactly this. Composed of the ordinary locked public operations — the
+  /// tick as a whole is not atomic against concurrent callers.
+  MaintenanceTickReport RunMaintenanceTick(const MaintenanceOptions& options);
+
+  /// Removes spill-store entries no longer backing a spilled shard, plus
+  /// temp-file debris from interrupted writes. Returns entries removed.
+  /// Cheap for the in-memory store; a directory scan for the file store.
+  Result<int64_t> GarbageCollectSpill();
 
   /// Shard keys — live and spilled — in deterministic (lexicographic)
   /// order.
@@ -204,26 +320,27 @@ class ShardManager {
   /// (nullptr for an unknown key or a spill blob that fails to load). The
   /// manager retains ownership. When `max_live_shards` is set, any later
   /// mutating access (Ingest, IngestBatch, Query, shard, EvictIdle,
-  /// ApplyDelta) may spill the pointed-to window — use the pointer before
-  /// the next manager call, or run without a cap.
+  /// ApplyDelta) — or a concurrent maintenance tick — may spill the
+  /// pointed-to window: use the pointer before the next manager call, and
+  /// not while the maintenance thread runs.
   FairCenterSlidingWindow* shard(const std::string& key);
   /// Const access never changes residency: returns nullptr for spilled as
   /// well as unknown keys.
   const FairCenterSlidingWindow* shard(const std::string& key) const;
 
   /// All shards the manager knows, live + spilled.
-  size_t shard_count() const { return shards_.size(); }
-  size_t live_shard_count() const { return live_count_; }
-  size_t spilled_shard_count() const { return shards_.size() - live_count_; }
+  size_t shard_count() const;
+  size_t live_shard_count() const;
+  size_t spilled_shard_count() const;
   /// Shards a CheckpointDelta() would serialize right now.
   size_t dirty_shard_count() const;
 
   /// Fleet-wide arrival count — the clock EvictIdle's TTL is measured in.
-  int64_t clock() const { return clock_; }
+  int64_t clock() const;
   /// Lifetime spill / rehydration totals (EvictIdle + LRU-cap spills;
   /// ephemeral QueryAll reads of spilled shards count as neither).
-  int64_t evictions() const { return evictions_; }
-  int64_t rehydrations() const { return rehydrations_; }
+  int64_t evictions() const;
+  int64_t rehydrations() const;
 
   /// Stored-point totals of the live (resident) shards — the paper's memory
   /// unit, here doubling as the resident-memory gauge eviction exists to
@@ -232,13 +349,13 @@ class ShardManager {
 
   const ShardManagerOptions& options() const { return options_; }
   const ColorConstraint& constraint() const { return constraint_; }
+  SpillStore* spill_store() const { return options_.spill_store.get(); }
 
  private:
-  /// One tenant's slot: a live window, or its serialized state after a
-  /// spill (exactly one of the two at any time).
+  /// One tenant's slot: a live window, or (live == nullptr) its serialized
+  /// state parked in the spill store under the tenant key.
   struct Shard {
     std::unique_ptr<FairCenterSlidingWindow> live;  ///< null when spilled
-    std::string spill;       ///< core checkpoint bytes when spilled
     bool spill_dirty = false;  ///< spilled state not yet in a fleet blob
     /// Live shards: state_epoch() at the last fleet checkpoint;
     /// kNeverCheckpointed marks dirty-since-birth (or since a dirty spill
@@ -251,9 +368,15 @@ class ShardManager {
     int64_t dim = -1;
   };
 
+  /// Timer-thread state; heap-allocated so the manager stays movable while
+  /// no thread is running.
+  struct MaintenanceState;
+
   static constexpr int64_t kNeverCheckpointed = -1;
 
   bool IsDirty(const Shard& shard) const;
+  size_t DirtyCountLocked() const;
+  int64_t EvictIdleLocked(int64_t idle_ttl, Status* spill_status);
   /// The offending-arrival checks shared by Ingest and IngestBatch:
   /// everything the core engine would CHECK-abort on, or that the
   /// checkpoint reader would later refuse to restore. `pinned_dim` is the
@@ -272,18 +395,29 @@ class ShardManager {
                             bool enforce_cap);
   /// Sets a live shard's last_touch, keeping the LRU index in sync.
   void TouchLive(const std::string& key, Shard* shard, int64_t touch);
-  Status RehydrateShard(Shard* shard);
-  void SpillShard(const std::string& key, Shard* shard);
+  Status RehydrateShard(const std::string& key, Shard* shard);
+  /// Serializes the live window into the spill store and drops it. On a
+  /// backend failure the shard stays live and untouched.
+  Status SpillShard(const std::string& key, Shard* shard);
   /// Spills least-recently-touched live shards (ties broken by smaller
   /// key, deterministically — the LRU index order) until the cap holds.
-  /// `exclude` (may be null) is never spilled.
+  /// `exclude` (may be null) is never spilled. Best-effort: a failing
+  /// spill backend leaves the victim live and stops enforcing.
   void EnforceLiveCap(const std::string* exclude);
   ThreadPool* Pool();
+  /// `state` is passed explicitly: StopMaintenance detaches the state from
+  /// the manager (under the admin mutex) before joining, so the loop must
+  /// not read the member it was started from.
+  void MaintenanceLoop(MaintenanceState* state);
 
   ShardManagerOptions options_;
   ColorConstraint constraint_;
   const Metric* metric_;
   const FairCenterSolver* solver_;
+
+  /// Serializes every public operation; via unique_ptr so the manager
+  /// stays movable (the moved-from shell is destroy-only).
+  std::unique_ptr<std::mutex> mu_;
 
   /// Per-tenant option overrides, applied at shard creation.
   std::map<std::string, SlidingWindowOptions> overrides_;
@@ -301,6 +435,12 @@ class ShardManager {
   /// resolved effective size (-1 = not yet resolved).
   std::unique_ptr<ThreadPool> pool_;
   int pool_threads_ = -1;
+
+  /// Guards maintenance_ lifecycle (Start/Stop/running); never held while
+  /// joining, so a hook's re-entrant Stop cannot deadlock the join.
+  std::unique_ptr<std::mutex> maintenance_admin_mu_;
+  std::unique_ptr<MaintenanceState> maintenance_;
+  std::atomic<int64_t> maintenance_ticks_{0};
 
   int64_t clock_ = 0;
   int64_t evictions_ = 0;

@@ -1,0 +1,360 @@
+#include "serving/spill_store.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/checkpoint_io.h"
+#include "common/fs_util.h"
+#include "common/string_util.h"
+
+namespace fkc {
+namespace serving {
+namespace {
+
+// On-disk spill file layout:
+//   fkc-spill-v1 <checksum> <payload>
+// where <checksum> is the hex FNV-1a 64 of <payload> and <payload> is the
+// length-prefixed key followed by the length-prefixed shard blob (the same
+// raw-segment encoding as the fleet checkpoint). The checksum covers the
+// payload bytes exactly, so any truncation or bit flip past the header is
+// caught before the blob reaches DeserializeState.
+constexpr const char* kSpillMagic = "fkc-spill-v1";
+constexpr const char* kSpillSuffix = ".spill";
+constexpr const char* kTempSuffix = ".tmp";
+
+// Mirrors the fleet checkpoint's key bound (serving/shard_manager.cc): the
+// manager rejects larger keys at ingest, so no spilled shard can carry one.
+constexpr size_t kMaxSpillKeyBytes = 1u << 20;
+
+// Length of a key's probe chain. Every operation scans the WHOLE chain —
+// never stopping early at a missing or corrupt slot — so holes left by
+// Erase/GC and slots ruined by bit rot can shadow nothing. With a 64-bit
+// hash even a second occupied slot is vanishingly rare; eight bounds the
+// scan without ever being the binding constraint in practice.
+constexpr int kMaxProbes = 8;
+
+std::string EncodeSpillFile(const std::string& key, const std::string& blob) {
+  std::ostringstream payload;
+  WriteCheckpointRaw(&payload, key);
+  WriteCheckpointRaw(&payload, blob);
+  std::string payload_bytes = std::move(payload).str();
+  return StrFormat("%s %016llx ", kSpillMagic,
+                   static_cast<unsigned long long>(Fnv1a64(payload_bytes))) +
+         payload_bytes;
+}
+
+// Parses the "fkc-spill-v1 <checksum> " header: on success `payload_pos`
+// is the first payload byte and `checksum` the embedded FNV-1a.
+Status ParseSpillHeader(const std::string& file, size_t* payload_pos,
+                        uint64_t* checksum) {
+  const std::string prefix = std::string(kSpillMagic) + ' ';
+  if (file.compare(0, prefix.size(), prefix) != 0) {
+    return Status::InvalidArgument("not an fkc spill file (bad magic)");
+  }
+  const size_t checksum_end = file.find(' ', prefix.size());
+  if (checksum_end == std::string::npos) {
+    return Status::InvalidArgument("truncated spill file header");
+  }
+  const std::string checksum_hex =
+      file.substr(prefix.size(), checksum_end - prefix.size());
+  char* end = nullptr;
+  *checksum = std::strtoull(checksum_hex.c_str(), &end, 16);
+  if (checksum_hex.empty() ||
+      end != checksum_hex.c_str() + checksum_hex.size()) {
+    return Status::InvalidArgument("unparsable spill file checksum");
+  }
+  *payload_pos = checksum_end + 1;
+  return Status::OK();
+}
+
+// Splits a spill file into its validated payload: checks the magic, parses
+// the checksum token, and verifies it over the remaining bytes.
+Status DecodeSpillFile(const std::string& file, std::string* key,
+                       std::string* blob) {
+  size_t payload_pos = 0;
+  uint64_t checksum = 0;
+  FKC_RETURN_IF_ERROR(ParseSpillHeader(file, &payload_pos, &checksum));
+  const std::string payload = file.substr(payload_pos);
+  if (Fnv1a64(payload) != checksum) {
+    return Status::InvalidArgument(
+        "spill file checksum mismatch (torn write or bit rot)");
+  }
+  CheckpointReader reader(payload);
+  FKC_RETURN_IF_ERROR(reader.NextRaw(key, kMaxSpillKeyBytes));
+  FKC_RETURN_IF_ERROR(reader.NextRaw(blob));
+  return Status::OK();
+}
+
+// First read of a key-only scan: ample for the header plus the length
+// token of any key, and covers most keys outright.
+constexpr size_t kKeyScanBudget = 4096;
+
+// Extracts just the stored key from the head of a spill file, reading only
+// as many bytes as the key needs — Put's slot scan must not read (or
+// checksum) the multi-megabyte payload it is about to replace. The key is
+// identified WITHOUT checksum validation: good enough to pick a write/erase
+// slot, while Get keeps full validation before any payload is trusted.
+Status ReadStoredKey(const std::string& path, std::string* key) {
+  std::string head;
+  FKC_RETURN_IF_ERROR(ReadFilePrefix(path, kKeyScanBudget, &head));
+  size_t payload_pos = 0;
+  uint64_t checksum = 0;
+  FKC_RETURN_IF_ERROR(ParseSpillHeader(head, &payload_pos, &checksum));
+  // The payload opens with the key's "<len> <bytes>" raw segment.
+  size_t digits_end = payload_pos;
+  while (digits_end < head.size() && head[digits_end] >= '0' &&
+         head[digits_end] <= '9') {
+    ++digits_end;
+  }
+  if (digits_end == payload_pos || digits_end >= head.size()) {
+    return Status::InvalidArgument("truncated spill file key header");
+  }
+  const std::string len_digits =
+      head.substr(payload_pos, digits_end - payload_pos);
+  char* end = nullptr;
+  const uint64_t len = std::strtoull(len_digits.c_str(), &end, 10);
+  if (end != len_digits.c_str() + len_digits.size() ||
+      len > kMaxSpillKeyBytes) {
+    return Status::InvalidArgument("implausible key length in spill file");
+  }
+  const size_t key_start = digits_end + 1;  // the single separator
+  const size_t needed = key_start + static_cast<size_t>(len);
+  if (head.size() < needed) {  // key outgrew the first read: fetch exactly it
+    FKC_RETURN_IF_ERROR(ReadFilePrefix(path, needed, &head));
+    if (head.size() < needed) {
+      return Status::InvalidArgument("truncated spill file key");
+    }
+  }
+  key->assign(head, key_start, static_cast<size_t>(len));
+  return Status::OK();
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+// --- InMemorySpillStore. ---
+
+Status InMemorySpillStore::Put(const std::string& key, std::string blob) {
+  blobs_[key] = std::move(blob);
+  return Status::OK();
+}
+
+Result<std::string> InMemorySpillStore::Get(const std::string& key) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no spilled state for key '" + key + "'");
+  }
+  return it->second;
+}
+
+Status InMemorySpillStore::Erase(const std::string& key) {
+  blobs_.erase(key);
+  return Status::OK();
+}
+
+Result<int64_t> InMemorySpillStore::GarbageCollect(
+    const std::set<std::string>& keep) {
+  int64_t removed = 0;
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    if (keep.count(it->first) == 0) {
+      it = blobs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+Result<int64_t> InMemorySpillStore::Count() const {
+  return static_cast<int64_t>(blobs_.size());
+}
+
+// --- FileSpillStore. ---
+
+FileSpillStore::FileSpillStore(std::string directory)
+    : directory_(std::move(directory)), init_(EnsureDirectory(directory_)) {}
+
+std::string FileSpillStore::CandidatePath(const std::string& key,
+                                          int probe) const {
+  return directory_ + '/' +
+         StrFormat("%016llx-%d%s",
+                   static_cast<unsigned long long>(Fnv1a64(key)), probe,
+                   kSpillSuffix);
+}
+
+FileSpillStore::ChainScan FileSpillStore::ScanChain(const std::string& key,
+                                                    bool verify_payload) const {
+  ChainScan scan;
+  for (int probe = 0; probe < kMaxProbes; ++probe) {
+    const std::string path = CandidatePath(key, probe);
+    std::string stored_key, blob;
+    Status decoded;
+    if (verify_payload) {
+      // Full read + checksum: the payload is about to be trusted (Get).
+      std::string file;
+      const Status read = ReadFileToString(path, &file);
+      if (read.code() == StatusCode::kNotFound) {  // hole / never written
+        if (scan.first_free < 0) scan.first_free = probe;
+        continue;
+      }
+      if (!read.ok()) {
+        // Exists but unreadable (possibly transient — fd exhaustion,
+        // EACCES). NOT a hole: its key is unknowable right now, and
+        // treating it as free or absent turns a retryable hiccup into
+        // reported data loss (or, for a write, a stale duplicate).
+        if (scan.first_unreadable < 0) {
+          scan.first_unreadable = probe;
+          scan.unreadable_status = read;
+        }
+        continue;
+      }
+      decoded = DecodeSpillFile(file, &stored_key, &blob);
+    } else {
+      // Key-only read: slot selection (Put/Erase) must not pay for — or
+      // checksum — a payload it is about to replace or delete.
+      const Status read = ReadStoredKey(path, &stored_key);
+      if (read.code() == StatusCode::kNotFound) {  // hole / never written
+        if (scan.first_free < 0) scan.first_free = probe;
+        continue;
+      }
+      if (read.code() == StatusCode::kIoError) {  // unreadable, see above
+        if (scan.first_unreadable < 0) {
+          scan.first_unreadable = probe;
+          scan.unreadable_status = read;
+        }
+        continue;
+      }
+      decoded = read;
+    }
+    if (!decoded.ok()) {
+      // The slot is ruined; whether it held `key` is unknowable. Remember
+      // the error — it is the honest answer when no valid copy turns up.
+      if (scan.first_corrupt < 0) {
+        scan.first_corrupt = probe;
+        scan.corrupt_status = decoded;
+      }
+      continue;
+    }
+    if (stored_key == key && scan.match < 0) {
+      scan.match = probe;
+      scan.match_blob = std::move(blob);
+    }
+  }
+  return scan;
+}
+
+Status FileSpillStore::Put(const std::string& key, std::string blob) {
+  FKC_RETURN_IF_ERROR(init_);
+  // Overwrite the key's own slot when it has one; otherwise the first hole;
+  // otherwise reclaim a corrupt slot (its content is unreadable for anyone
+  // — GC would sweep it too). Only a chain full of OTHER keys' valid files
+  // (an eight-fold 64-bit hash collision) has nowhere to write.
+  const ChainScan scan = ScanChain(key, /*verify_payload=*/false);
+  // A transiently unreadable slot might hold this very key: writing a
+  // second copy elsewhere would let a later Get prefer the stale one once
+  // the slot heals. Fail instead — the caller keeps the live shard and
+  // retries. (With a readable match the unreadable slot is provably some
+  // other key's, because this invariant keeps keys single-slotted.)
+  if (scan.match < 0 && scan.first_unreadable >= 0) {
+    return scan.unreadable_status;
+  }
+  const int slot = scan.match >= 0       ? scan.match
+                   : scan.first_free >= 0 ? scan.first_free
+                                          : scan.first_corrupt;
+  if (slot < 0) {
+    return Status::IoError("spill probe chain exhausted for key '" + key +
+                           "'");
+  }
+  return WriteFileAtomic(CandidatePath(key, slot), EncodeSpillFile(key, blob));
+}
+
+Result<std::string> FileSpillStore::Get(const std::string& key) const {
+  FKC_RETURN_IF_ERROR(init_);
+  ChainScan scan = ScanChain(key, /*verify_payload=*/true);
+  // A valid copy wins even when an earlier slot is corrupt or unreadable:
+  // keys are single-slotted (see Put), so those slots are stale debris or
+  // other keys' — either way the valid bytes are the state. With no valid
+  // copy, an unreadable slot makes the honest answer "retry" (kIoError),
+  // not "lost"; only then does a corrupt slot's error surface.
+  if (scan.match >= 0) return std::move(scan.match_blob);
+  if (scan.first_unreadable >= 0) return scan.unreadable_status;
+  if (scan.first_corrupt >= 0) return scan.corrupt_status;
+  return Status::NotFound("no spill file for key '" + key + "'");
+}
+
+Status FileSpillStore::Erase(const std::string& key) {
+  FKC_RETURN_IF_ERROR(init_);
+  // Remove every slot whose stored key is `key`; corrupt and foreign slots
+  // stay (GC owns debris). Holes are harmless — readers scan the whole
+  // chain.
+  const ChainScan scan = ScanChain(key, /*verify_payload=*/false);
+  if (scan.match >= 0) {
+    return RemoveFileIfExists(CandidatePath(key, scan.match));
+  }
+  // No verifiable slot. An unreadable one might be this key's, and
+  // pretending it was erased would leave it to resurface later.
+  if (scan.first_unreadable >= 0) return scan.unreadable_status;
+  return Status::OK();
+}
+
+Result<int64_t> FileSpillStore::GarbageCollect(
+    const std::set<std::string>& keep) {
+  FKC_RETURN_IF_ERROR(init_);
+  std::vector<std::string> files;
+  FKC_RETURN_IF_ERROR(ListDirectoryFiles(directory_, &files));
+  int64_t removed = 0;
+  for (const std::string& name : files) {
+    const std::string path = directory_ + '/' + name;
+    bool orphan = false;
+    if (EndsWith(name, kTempSuffix)) {
+      // A temp file is a write that never published — the writer was killed
+      // between write and rename. The published version (if any) is intact.
+      orphan = true;
+    } else if (EndsWith(name, kSpillSuffix)) {
+      // The keep-set decision needs only the stored key (a prefix read),
+      // never the payload: GC runs on a maintenance cadence and must not
+      // re-read and re-hash every spilled gigabyte each sweep.
+      std::string key;
+      const Status read = ReadStoredKey(path, &key);
+      if (read.code() == StatusCode::kIoError ||
+          read.code() == StatusCode::kNotFound) {
+        // Could not READ the file (fd exhaustion, transient EACCES…) or
+        // it vanished after the listing. Neither is evidence of debris —
+        // deleting on a read failure would destroy a live shard's only
+        // copy. Skip; a later sweep decides.
+        continue;
+      }
+      // Unparsable header/key = debris; parsable = orphan iff not kept.
+      orphan = !read.ok() || keep.count(key) == 0;
+    }
+    // Files matching neither suffix are not ours; leave them alone.
+    if (orphan) {
+      FKC_RETURN_IF_ERROR(RemoveFileIfExists(path));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+Result<int64_t> FileSpillStore::Count() const {
+  FKC_RETURN_IF_ERROR(init_);
+  std::vector<std::string> files;
+  FKC_RETURN_IF_ERROR(ListDirectoryFiles(directory_, &files));
+  int64_t count = 0;
+  for (const std::string& name : files) {
+    std::string key;
+    if (EndsWith(name, kSpillSuffix) &&
+        ReadStoredKey(directory_ + '/' + name, &key).ok()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace serving
+}  // namespace fkc

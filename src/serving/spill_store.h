@@ -1,0 +1,123 @@
+// Pluggable backend for evicted-shard state. When the ShardManager spills an
+// idle shard it hands the shard's serialized core checkpoint to a SpillStore
+// keyed by the tenant key; rehydration, ephemeral QueryAll reads, and fleet
+// checkpoints read it back. The store sees opaque bytes only — validation of
+// the content stays with FairCenterSlidingWindow::DeserializeState.
+//
+// Two implementations:
+//   * InMemorySpillStore — the PR-4 behaviour, a std::map. Spilled shards
+//     stop costing live window structures but still cost RAM.
+//   * FileSpillStore — one file per spilled shard under a spill directory,
+//     so resident memory is bounded by the live-shard cap no matter how
+//     large the fleet grows. Writes are atomic (write-to-temp + rename), a
+//     FNV-1a checksum is verified on every load (a torn or bit-rotted file
+//     surfaces as kInvalidArgument, never as a crash or a silently wrong
+//     window), and GarbageCollect sweeps orphans: temp files left by a
+//     kill mid-write and spill files whose tenant is no longer spilled.
+//
+// Stores are not thread-safe on their own; the owning ShardManager
+// serializes access (including from its maintenance thread).
+#ifndef FKC_SERVING_SPILL_STORE_H_
+#define FKC_SERVING_SPILL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkc {
+namespace serving {
+
+/// Keyed blob storage for spilled shards.
+class SpillStore {
+ public:
+  virtual ~SpillStore() = default;
+
+  /// Stores `blob` under `key`, replacing any previous value. By value so
+  /// callers can move multi-megabyte shard states straight into the store.
+  virtual Status Put(const std::string& key, std::string blob) = 0;
+
+  /// Retrieves the blob stored under `key`. kNotFound when absent,
+  /// kInvalidArgument when present but failing integrity validation.
+  virtual Result<std::string> Get(const std::string& key) const = 0;
+
+  /// Drops `key`'s blob; absent keys are not an error.
+  virtual Status Erase(const std::string& key) = 0;
+
+  /// Removes every stored blob whose key is not in `keep`, plus any backend
+  /// debris (temp files from interrupted writes, unparsable files). Returns
+  /// the number of entries removed.
+  virtual Result<int64_t> GarbageCollect(const std::set<std::string>& keep) = 0;
+
+  /// Entries currently stored (unparsable backend files excluded).
+  virtual Result<int64_t> Count() const = 0;
+
+  /// Human-readable backend name for logs and bench output.
+  virtual const char* Name() const = 0;
+};
+
+/// The default backend: blobs live in process memory.
+class InMemorySpillStore final : public SpillStore {
+ public:
+  Status Put(const std::string& key, std::string blob) override;
+  Result<std::string> Get(const std::string& key) const override;
+  Status Erase(const std::string& key) override;
+  Result<int64_t> GarbageCollect(const std::set<std::string>& keep) override;
+  Result<int64_t> Count() const override;
+  const char* Name() const override { return "memory"; }
+
+ private:
+  std::map<std::string, std::string> blobs_;
+};
+
+/// Durable backend: one "<fnv1a(key)>-<probe>.spill" file per key under
+/// `directory` (created on construction if missing). Keys are raw bytes and
+/// may exceed filename limits, so files are named by the key's 64-bit hash —
+/// the key itself travels inside the file, and the rare hash collision is
+/// resolved by a short, fully-scanned probe chain on the `-<probe>` suffix:
+/// every operation inspects the whole chain, so holes left by Erase/GC and
+/// slots ruined by bit rot can never shadow a valid file behind them.
+class FileSpillStore final : public SpillStore {
+ public:
+  /// `directory` is created if absent. A failure to create it is deferred
+  /// to the first Put/Get (constructors cannot return Status).
+  explicit FileSpillStore(std::string directory);
+
+  Status Put(const std::string& key, std::string blob) override;
+  Result<std::string> Get(const std::string& key) const override;
+  Status Erase(const std::string& key) override;
+  Result<int64_t> GarbageCollect(const std::set<std::string>& keep) override;
+  Result<int64_t> Count() const override;
+  const char* Name() const override { return "file"; }
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  /// What a full scan of `key`'s probe chain found.
+  struct ChainScan {
+    int match = -1;         ///< slot verifiably holding `key` (-1: none)
+    std::string match_blob; ///< its payload when match >= 0
+    int first_free = -1;    ///< first missing slot
+    int first_corrupt = -1; ///< first undecodable slot
+    Status corrupt_status;  ///< why, when first_corrupt >= 0
+    int first_unreadable = -1;  ///< first existing-but-unreadable slot
+    Status unreadable_status;   ///< why, when first_unreadable >= 0
+  };
+
+  /// Path of the probe-th candidate file for `key`.
+  std::string CandidatePath(const std::string& key, int probe) const;
+  /// `verify_payload` = full read + checksum (Get, which trusts the
+  /// payload); false = key-only header reads (Put/Erase slot selection).
+  ChainScan ScanChain(const std::string& key, bool verify_payload) const;
+
+  std::string directory_;
+  Status init_;  ///< directory creation outcome, reported on first use
+};
+
+}  // namespace serving
+}  // namespace fkc
+
+#endif  // FKC_SERVING_SPILL_STORE_H_

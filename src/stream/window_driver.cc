@@ -7,8 +7,48 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "sequential/radius.h"
+#include "serving/delta_log.h"
 
 namespace fkc {
+namespace {
+
+/// The keyed-arrival batching both sharded drivers share: buffers arrivals,
+/// delivers them through IngestBatch in `batch_size` chunks, accumulates the
+/// ingest wall time, and CHECKs every status (the drivers' schedules only
+/// produce valid arrivals, so a rejection is a driver bug).
+class KeyedBatchFeeder {
+ public:
+  KeyedBatchFeeder(serving::ShardManager* manager, int64_t batch_size,
+                   double* update_seconds)
+      : manager_(manager),
+        batch_size_(batch_size),
+        update_seconds_(update_seconds) {
+    pending_.reserve(static_cast<size_t>(batch_size_));
+  }
+
+  void Add(std::string key, Point point) {
+    pending_.push_back({std::move(key), std::move(point)});
+    if (static_cast<int64_t>(pending_.size()) >= batch_size_) Flush();
+  }
+
+  void Flush() {
+    if (pending_.empty()) return;
+    Stopwatch timer;
+    const Status status = manager_->IngestBatch(std::move(pending_));
+    FKC_CHECK(status.ok()) << status.ToString();
+    *update_seconds_ += timer.ElapsedMillis() / 1e3;
+    pending_ = {};
+    pending_.reserve(static_cast<size_t>(batch_size_));
+  }
+
+ private:
+  serving::ShardManager* manager_;
+  int64_t batch_size_;
+  double* update_seconds_;
+  std::vector<serving::KeyedPoint> pending_;
+};
+
+}  // namespace
 
 BaselineAdapter::BaselineAdapter(std::string name,
                                  const FairCenterSolver* solver,
@@ -174,29 +214,17 @@ ShardedThroughputReport RunShardedThroughput(
   ShardedThroughputReport report;
   report.shards = static_cast<int>(keys.size());
 
-  std::vector<serving::KeyedPoint> pending;
-  pending.reserve(static_cast<size_t>(options.batch_size));
-  auto flush = [&]() {
-    if (pending.empty()) return;
-    Stopwatch timer;
-    const Status status = manager->IngestBatch(std::move(pending));
-    FKC_CHECK(status.ok()) << status.ToString();
-    report.update_seconds += timer.ElapsedMillis() / 1e3;
-    pending = {};
-    pending.reserve(static_cast<size_t>(options.batch_size));
-  };
-
+  KeyedBatchFeeder feeder(manager, options.batch_size,
+                          &report.update_seconds);
   for (int64_t t = 0; t < options.stream_length; ++t) {
     auto next = stream->Next();
     FKC_CHECK(next.has_value()) << "stream exhausted at arrival " << t;
-    pending.push_back(
-        {keys[static_cast<size_t>(t % static_cast<int64_t>(keys.size()))],
-         std::move(*next)});
+    feeder.Add(keys[static_cast<size_t>(t % static_cast<int64_t>(keys.size()))],
+               std::move(*next));
     ++report.updates;
-    if (static_cast<int64_t>(pending.size()) >= options.batch_size) flush();
 
     if (options.query_every > 0 && (t + 1) % options.query_every == 0) {
-      flush();  // answers must reflect every arrival delivered so far
+      feeder.Flush();  // answers must reflect every arrival delivered so far
       Stopwatch timer;
       const auto answers = manager->QueryAll();
       report.query_seconds += timer.ElapsedMillis() / 1e3;
@@ -208,7 +236,7 @@ ShardedThroughputReport RunShardedThroughput(
       report.queries += static_cast<int64_t>(answers.size());
     }
   }
-  flush();
+  feeder.Flush();
   return report;
 }
 
@@ -224,17 +252,11 @@ ShardedChurnReport RunShardedChurn(serving::ShardManager* manager,
   FKC_CHECK_GT(options.rotate_every, 0);
 
   ShardedChurnReport report;
-  std::vector<serving::KeyedPoint> pending;
-  pending.reserve(static_cast<size_t>(options.batch_size));
-  auto flush = [&]() {
-    if (pending.empty()) return;
-    Stopwatch timer;
-    const Status status = manager->IngestBatch(std::move(pending));
-    FKC_CHECK(status.ok()) << status.ToString();
-    report.update_seconds += timer.ElapsedMillis() / 1e3;
-    pending = {};
-    pending.reserve(static_cast<size_t>(options.batch_size));
-  };
+  KeyedBatchFeeder feeder(manager, options.batch_size,
+                          &report.update_seconds);
+  serving::DeltaLog::Options log_options;
+  log_options.max_chain_length = options.delta_chain_budget;
+  serving::DeltaLog log(log_options);
 
   for (int64_t t = 0; t < options.stream_length; ++t) {
     auto next = stream->Next();
@@ -243,33 +265,39 @@ ShardedChurnReport RunShardedChurn(serving::ShardManager* manager,
     // tenants behind the set go idle and the periodic sweep spills them.
     const int64_t tenant =
         (t / options.rotate_every + t % options.active) % options.tenants;
-    pending.push_back(
-        {StrFormat("tenant-%04lld", static_cast<long long>(tenant)),
-         std::move(*next)});
+    feeder.Add(StrFormat("tenant-%04lld", static_cast<long long>(tenant)),
+               std::move(*next));
     ++report.updates;
-    if (static_cast<int64_t>(pending.size()) >= options.batch_size) flush();
 
     if (options.evict_every > 0 && (t + 1) % options.evict_every == 0) {
-      flush();
+      feeder.Flush();
       Stopwatch timer;
-      manager->EvictIdle(options.idle_ttl);
+      Status spill_status;
+      manager->EvictIdle(options.idle_ttl, &spill_status);
+      FKC_CHECK(spill_status.ok()) << spill_status.ToString();
       report.maintenance_seconds += timer.ElapsedMillis() / 1e3;
     }
     if (options.delta_every > 0 && (t + 1) % options.delta_every == 0) {
-      flush();
+      feeder.Flush();
       Stopwatch timer;
-      const std::string delta = manager->CheckpointDelta();
+      auto captured = log.Capture(manager);
       report.maintenance_seconds += timer.ElapsedMillis() / 1e3;
-      ++report.delta_checkpoints;
-      report.delta_bytes += static_cast<int64_t>(delta.size());
+      FKC_CHECK(captured.ok()) << captured.status().ToString();
+      if (!captured.value().rebased) {
+        ++report.delta_checkpoints;
+        report.delta_bytes += static_cast<int64_t>(captured.value().bytes);
+      }
     }
   }
-  flush();
+  feeder.Flush();
 
   Stopwatch timer;
-  report.full_checkpoint_bytes =
-      static_cast<int64_t>(manager->CheckpointAll().size());
+  auto full = manager->CheckpointAll();
+  FKC_CHECK(full.ok()) << full.status().ToString();
+  report.full_checkpoint_bytes = static_cast<int64_t>(full.value().size());
   report.maintenance_seconds += timer.ElapsedMillis() / 1e3;
+  report.log_bytes = static_cast<int64_t>(log.base_bytes()) + log.chain_bytes();
+  report.rebases = log.rebases();
   report.evictions = manager->evictions();
   report.rehydrations = manager->rehydrations();
   report.total_shards = static_cast<int64_t>(manager->shard_count());

@@ -202,10 +202,11 @@ ShardedThroughputReport RunShardedThroughput(
 
 /// Schedule of an eviction-churn serving run: a large tenant population of
 /// which only a small set is active at any moment, the active set sliding
-/// over time so tenants go idle, get spilled by periodic EvictIdle sweeps,
-/// and are rehydrated if the schedule returns to them. Periodic
-/// CheckpointDelta captures measure how much smaller steady-state deltas
-/// are than the full fleet blob.
+/// over time so tenants go idle, get spilled by periodic EvictIdle sweeps
+/// (into whichever SpillStore backend the manager was built with), and are
+/// rehydrated if the schedule returns to them. Periodic delta captures feed
+/// a compacting serving::DeltaLog, measuring how much smaller steady-state
+/// deltas are than the full fleet blob and how often the chain re-bases.
 struct ShardedChurnOptions {
   /// Total keyed arrivals fed across the run.
   int64_t stream_length = 0;
@@ -222,8 +223,11 @@ struct ShardedChurnOptions {
   int64_t evict_every = 1024;
   /// Idle TTL handed to EvictIdle, in fleet-wide arrivals.
   int64_t idle_ttl = 4096;
-  /// Arrivals between CheckpointDelta captures (0 = never).
+  /// Arrivals between DeltaLog captures (0 = never).
   int64_t delta_every = 8192;
+  /// DeltaLog chain-length budget: captures past this many chained deltas
+  /// re-base on a full checkpoint.
+  int64_t delta_chain_budget = 8;
 };
 
 /// Outcome of one churn run. The counters (updates, evictions,
@@ -235,8 +239,10 @@ struct ShardedChurnReport {
   int64_t rehydrations = 0;
   int64_t total_shards = 0;      ///< live + spilled at the end
   int64_t live_shards = 0;       ///< live at the end (post final sweep)
-  int64_t delta_checkpoints = 0;
+  int64_t delta_checkpoints = 0;  ///< DeltaLog captures that shipped a delta
   int64_t delta_bytes = 0;       ///< summed over all delta captures
+  int64_t rebases = 0;           ///< chain compactions (budget exceeded)
+  int64_t log_bytes = 0;         ///< final DeltaLog size (base + chain)
   int64_t full_checkpoint_bytes = 0;  ///< one CheckpointAll at the end
   double update_seconds = 0.0;
   double maintenance_seconds = 0.0;  ///< EvictIdle + checkpoint time

@@ -55,6 +55,20 @@ serving::ShardManagerOptions Options(int num_threads) {
 
 const ColorConstraint kConstraint({2, 1, 1});
 
+// CheckpointAll / CheckpointDelta are fallible now (a spill backend read
+// may fail); the happy-path tests unwrap through these.
+std::string MustCheckpoint(serving::ShardManager* manager) {
+  auto blob = manager->CheckpointAll();
+  EXPECT_TRUE(blob.ok()) << blob.status().ToString();
+  return blob.ValueOr("");
+}
+
+std::string MustDelta(serving::ShardManager* manager) {
+  auto blob = manager->CheckpointDelta();
+  EXPECT_TRUE(blob.ok()) << blob.status().ToString();
+  return blob.ValueOr("");
+}
+
 bool SameSolution(const FairCenterSolution& a, const FairCenterSolution& b) {
   if (a.radius != b.radius || a.centers.size() != b.centers.size()) {
     return false;
@@ -168,7 +182,7 @@ TEST(ShardManagerTest, SurvivesKillRestoreCycle) {
   for (const auto& kp : stream) original.Ingest(kp.key, kp.point);
   const auto before = original.QueryAll();
 
-  const std::string blob = original.CheckpointAll();
+  const std::string blob = MustCheckpoint(&original);
   auto restored =
       serving::ShardManager::Restore(blob, &kMetric, &kJones, /*threads=*/4);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
@@ -195,7 +209,7 @@ TEST(ShardManagerTest, SurvivesKillRestoreCycle) {
 TEST(ShardManagerTest, NewTenantAfterRestoreUsesTemplate) {
   serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
   manager.Ingest("tenant-a", Point({1.0, 2.0}, 0));
-  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+  auto restored = serving::ShardManager::Restore(MustCheckpoint(&manager),
                                                  &kMetric, &kJones);
   ASSERT_TRUE(restored.ok());
   restored.value().Ingest("tenant-new", Point({3.0, 4.0}, 1));
@@ -213,7 +227,7 @@ TEST(ShardManagerTest, RestoreRejectsGarbage) {
 
   serving::ShardManager manager(Options(1), kConstraint, &kMetric, &kJones);
   manager.Ingest("tenant-a", Point({1.0, 2.0}, 0));
-  std::string truncated = manager.CheckpointAll();
+  std::string truncated = MustCheckpoint(&manager);
   truncated.resize(truncated.size() / 2);
   EXPECT_FALSE(
       serving::ShardManager::Restore(truncated, &kMetric, &kJones).ok());
@@ -285,7 +299,7 @@ TEST(ShardManagerTest, NonFiniteCoordinatesRejectedAndBlobsStayRestorable) {
 
   // The round trip the poisoned arrivals used to break: a full checkpoint
   // restores, and a spilled shard rehydrates and answers identically.
-  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+  auto restored = serving::ShardManager::Restore(MustCheckpoint(&manager),
                                                  &kMetric, &kJones);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ExpectSameAnswers(manager.QueryAll(), restored.value().QueryAll());
@@ -347,7 +361,7 @@ TEST(ShardManagerTest, DimensionMismatchesAreRejectedPerShard) {
   EXPECT_EQ(manager.shard("new")->WindowPopulation(), 1);
 
   // And it survives a checkpoint round trip.
-  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+  auto restored = serving::ShardManager::Restore(MustCheckpoint(&manager),
                                                  &kMetric, &kJones);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored.value().Ingest("2d", Point({1.0, 2.0, 3.0}, 0)).code(),
@@ -457,7 +471,7 @@ TEST(ShardManagerTest, RestoreAcceptsV1Blobs) {
   ExpectSameAnswers(manager.QueryAll(), restored.value().QueryAll());
 
   // And the v1 fleet re-checkpoints as v2 without losing anything.
-  auto v2 = serving::ShardManager::Restore(restored.value().CheckpointAll(),
+  auto v2 = serving::ShardManager::Restore(MustCheckpoint(&restored.value()),
                                            &kMetric, &kJones);
   ASSERT_TRUE(v2.ok()) << v2.status().ToString();
   ExpectSameAnswers(manager.QueryAll(), v2.value().QueryAll());
@@ -524,7 +538,7 @@ TEST(ShardManagerTest, CheckpointTruncationFuzzNeverCrashes) {
   }
   const auto expected = manager.QueryAll();
 
-  const std::string blob = manager.CheckpointAll();
+  const std::string blob = MustCheckpoint(&manager);
   int restored_ok = 0;
   for (size_t cut = 0; cut <= blob.size(); ++cut) {
     auto restored = serving::ShardManager::Restore(blob.substr(0, cut),
@@ -542,7 +556,7 @@ TEST(ShardManagerTest, CheckpointTruncationFuzzNeverCrashes) {
   // Same sweep for the incremental format: a truncated delta must reject
   // and leave the target fleet untouched.
   ASSERT_TRUE(manager.Ingest("tenant-a", Point({3.0, 4.0}, 1)).ok());
-  const std::string delta = manager.CheckpointDelta();
+  const std::string delta = MustDelta(&manager);
   const auto leader_answers = manager.QueryAll();
   auto follower = serving::ShardManager::Restore(blob, &kMetric, &kJones);
   ASSERT_TRUE(follower.ok());
@@ -598,7 +612,7 @@ TEST(ShardManagerTest, TenantOverridesApplyAndSurviveCheckpoint) {
             standalone.SerializeState());
 
   // "future" never ingested: its override must travel through the blob.
-  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+  auto restored = serving::ShardManager::Restore(MustCheckpoint(&manager),
                                                  &kMetric, &kJones);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ASSERT_TRUE(restored.value().Ingest("future", Point({1.0, 2.0}, 0)).ok());
@@ -661,13 +675,13 @@ TEST(ShardManagerTest, DeltaCheckpointsReproduceFullCheckpoints) {
       ASSERT_TRUE(leader.Ingest(stream[i].key, stream[i].point).ok());
       ASSERT_TRUE(reference.Ingest(stream[i].key, stream[i].point).ok());
     }
-    auto follower = serving::ShardManager::Restore(leader.CheckpointAll(),
+    auto follower = serving::ShardManager::Restore(MustCheckpoint(&leader),
                                                    &kMetric, &kJones, threads);
     ASSERT_TRUE(follower.ok()) << follower.status().ToString();
     EXPECT_EQ(leader.dirty_shard_count(), 0u);
 
     // Idle fleet ⇒ empty delta, and applying it is a no-op.
-    const std::string empty_delta = leader.CheckpointDelta();
+    const std::string empty_delta = MustDelta(&leader);
     ASSERT_TRUE(follower.value().ApplyDelta(empty_delta).ok());
     ExpectSameAnswers(leader.QueryAll(), follower.value().QueryAll());
 
@@ -683,10 +697,10 @@ TEST(ShardManagerTest, DeltaCheckpointsReproduceFullCheckpoints) {
       leader.EvictIdle(/*idle_ttl=*/0);  // spill everything idle
       EXPECT_EQ(leader.dirty_shard_count(), 1u)
           << "only the touched tenant is dirty";
-      ASSERT_TRUE(follower.value().ApplyDelta(leader.CheckpointDelta()).ok());
+      ASSERT_TRUE(follower.value().ApplyDelta(MustDelta(&leader)).ok());
       EXPECT_EQ(leader.dirty_shard_count(), 0u);
 
-      auto full = serving::ShardManager::Restore(leader.CheckpointAll(),
+      auto full = serving::ShardManager::Restore(MustCheckpoint(&leader),
                                                  &kMetric, &kJones, threads);
       ASSERT_TRUE(full.ok());
       const auto want = reference.QueryAll();
@@ -707,7 +721,7 @@ TEST(ShardManagerTest, RestoreHonorsLiveCap) {
     ASSERT_TRUE(manager.Ingest(kp.key, kp.point).ok());
   }
   auto capped = serving::ShardManager::Restore(
-      manager.CheckpointAll(), &kMetric, &kJones, /*num_threads=*/1,
+      MustCheckpoint(&manager), &kMetric, &kJones, /*num_threads=*/1,
       /*max_live_shards=*/1);
   ASSERT_TRUE(capped.ok()) << capped.status().ToString();
   EXPECT_EQ(capped.value().shard_count(), manager.shard_count());
@@ -721,7 +735,7 @@ TEST(ShardManagerTest, AwkwardKeysRoundTrip) {
   const std::string awkward = "tenant 7\twith spaces";
   manager.Ingest(awkward, Point({1.0, 1.0}, 0));
   manager.Ingest(awkward, Point({2.0, 2.0}, 1));
-  auto restored = serving::ShardManager::Restore(manager.CheckpointAll(),
+  auto restored = serving::ShardManager::Restore(MustCheckpoint(&manager),
                                                  &kMetric, &kJones);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ASSERT_NE(restored.value().shard(awkward), nullptr);

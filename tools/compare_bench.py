@@ -1,17 +1,34 @@
 #!/usr/bin/env python3
-"""Compares a fresh micro_kernels run against the committed baseline.
+"""Compares two bench runs: counters against a committed baseline, and —
+for paired before/after runs on the same machine — wall-time throughput.
 
-Only wall-time-STABLE metrics are compared: the deterministic counters the
-engine benches emit (distance calls per arrival, expiry sweeps per arrival,
-query selection diagnostics). Nanosecond timings are machine-dependent and
-deliberately ignored — the baseline was recorded on a different box than CI.
+Two input formats are auto-detected:
+
+* google-benchmark JSON (bench/micro_kernels): only wall-time-STABLE
+  metrics are compared — the deterministic counters the engine benches
+  emit (distance calls per arrival, expiry sweeps per arrival, query
+  selection diagnostics). Nanosecond timings are machine-dependent and
+  deliberately ignored — the committed baseline was recorded on a
+  different box than CI.
+
+* shard_scaling JSON (bench/shard_scaling, a top-level "bench" key):
+  deterministic counters (updates, queries, memory points, evictions,
+  rehydrations, checkpoint sizes) are compared like stable counters, and
+  the throughput fields (updates_per_s, queries_per_s) can additionally
+  be compared with --max-walltime-regression. Wall-time comparison is
+  only meaningful when both files were produced in the same run
+  environment — the CI walltime job builds the PR's base commit and head
+  in the same runner and runs both, so the pair IS comparable.
 
 Usage:
   python3 tools/compare_bench.py BENCH_micro_kernels.json new.json \
       [--max-regression 0.20] [--exact-prefixes distance_calls,...]
+  python3 tools/compare_bench.py base_shard.json head_shard.json \
+      --max-walltime-regression 0.25 --walltime-only
 
-Exit code 1 when any stable counter moved by more than --max-regression
-relative to the baseline, or when a baseline benchmark with stable counters
+Exit code 1 when any compared counter moved by more than --max-regression
+relative to the baseline, any throughput fell by more than
+--max-walltime-regression, or a baseline benchmark with stable counters
 disappeared from the new run (dropped coverage hides regressions).
 New benchmarks absent from the baseline are reported but pass: they become
 baseline on the next regeneration.
@@ -20,20 +37,30 @@ baseline on the next regeneration.
 --max-regression. The CI perf job uses it to assert that a run on the
 SoA/SIMD distance path performs exactly the same distance evaluations as a
 scalar run (FKC_SIMD=scalar): kernel width must change wall time only, never
-any algorithmic counter. Wall-time fields are never compared at all.
+any algorithmic counter.
+
+--walltime-only skips the counter comparison entirely: the paired
+before/after job compares commits whose counters may differ by design (the
+PR changed the algorithm), so only the wall-time axis is gated there; the
+perf job keeps gating counters at its existing 0%/20% tolerances.
 """
 
 import argparse
 import json
 import sys
 
-# Counter-name prefixes considered machine-independent.
+# Counter-name prefixes considered machine-independent (google-benchmark
+# entries).
 STABLE_PREFIXES = (
     "distance_calls",
     "expiry_sweeps",
     "guesses_inspected",
     "coreset_size",
 )
+
+# shard_scaling fields: higher-is-better throughputs (wall time axis) vs
+# deterministic counters.
+THROUGHPUT_FIELDS = ("updates_per_s", "queries_per_s")
 
 
 def stable_counters(entry):
@@ -45,14 +72,41 @@ def stable_counters(entry):
     return out
 
 
-def load(path):
-    with open(path) as f:
-        data = json.load(f)
+def load_google_benchmark(data):
     return {
         entry["name"]: entry
         for entry in data.get("benchmarks", [])
         if entry.get("run_type", "iteration") == "iteration"
     }
+
+
+def flatten_shard_scaling(data):
+    """shard_scaling JSON -> {entry_name: {field: value}} with throughput
+    fields kept apart from the deterministic counters."""
+    entries = {}
+    for run in data.get("runs", []):
+        name = f"shards/{run.get('shards')}"
+        entries[name] = {
+            k: float(v) for k, v in run.items()
+            if isinstance(v, (int, float)) and k != "shards"
+        }
+    churn = data.get("churn", {})
+    for backend in ("memory", "file"):
+        sub = churn.get(backend)
+        if isinstance(sub, dict):
+            entries[f"churn/{backend}"] = {
+                k: float(v) for k, v in sub.items()
+                if isinstance(v, (int, float))
+            }
+    return entries
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("bench") == "shard_scaling":
+        return "shard_scaling", flatten_shard_scaling(data)
+    return "google_benchmark", load_google_benchmark(data)
 
 
 def main():
@@ -64,63 +118,125 @@ def main():
     parser.add_argument("--exact-prefixes", default="",
                         help="comma-separated counter-name prefixes that must "
                              "match the baseline exactly (0%% tolerance)")
+    parser.add_argument("--max-walltime-regression", type=float, default=None,
+                        help="max allowed relative DROP of a throughput "
+                             "field (shard_scaling format); only meaningful "
+                             "for paired same-machine runs")
+    parser.add_argument("--walltime-only", action="store_true",
+                        help="compare only throughput fields (for paired "
+                             "base-vs-head runs whose counters may differ "
+                             "by design)")
     args = parser.parse_args()
     exact_prefixes = tuple(p for p in args.exact_prefixes.split(",") if p)
 
-    baseline = load(args.baseline)
-    fresh = load(args.new)
+    base_format, baseline = load(args.baseline)
+    new_format, fresh = load(args.new)
+    if base_format != new_format:
+        print(f"error: format mismatch ({base_format} vs {new_format})",
+              file=sys.stderr)
+        return 1
+    if args.walltime_only and args.max_walltime_regression is None:
+        print("error: --walltime-only requires --max-walltime-regression",
+              file=sys.stderr)
+        return 1
+    if (args.max_walltime_regression is not None
+            and base_format != "shard_scaling"):
+        print("error: wall-time comparison needs shard_scaling JSON "
+              "(google-benchmark timings are never compared)",
+              file=sys.stderr)
+        return 1
 
     failures = []
     compared = 0
+
+    def compare_counter(name, counter, base_value, new_value, exact):
+        nonlocal compared
+        compared += 1
+        if base_value == 0.0:
+            rel = 0.0 if new_value == 0.0 else float("inf")
+        else:
+            rel = abs(new_value - base_value) / abs(base_value)
+        limit = 0.0 if exact else args.max_regression
+        marker = "FAIL" if rel > limit else "ok"
+        suffix = " [exact]" if exact else ""
+        print(f"[{marker}] {name}/{counter}: "
+              f"{base_value:.4g} -> {new_value:.4g} ({rel:+.1%}){suffix}")
+        if rel > limit:
+            failures.append(
+                f"{name}/{counter}: {base_value:.4g} -> {new_value:.4g} "
+                f"moved {rel:.1%} (limit "
+                f"{'exact match' if exact else f'{limit:.0%}'})")
+
+    def compare_walltime(name, field, base_value, new_value):
+        nonlocal compared
+        compared += 1
+        # Throughput: only a DROP is a regression; faster always passes.
+        drop = 0.0 if base_value <= 0.0 \
+            else max(0.0, (base_value - new_value) / base_value)
+        limit = args.max_walltime_regression
+        marker = "FAIL" if drop > limit else "ok"
+        print(f"[{marker}] {name}/{field}: "
+              f"{base_value:.4g} -> {new_value:.4g} "
+              f"(-{drop:.1%} vs limit {limit:.0%}) [walltime]")
+        if drop > limit:
+            failures.append(
+                f"{name}/{field}: throughput fell {drop:.1%} "
+                f"({base_value:.4g} -> {new_value:.4g}, limit {limit:.0%})")
+
     for name, base_entry in sorted(baseline.items()):
-        base_counters = stable_counters(base_entry)
-        if not base_counters:
+        if base_format == "google_benchmark":
+            base_counters = stable_counters(base_entry)
+        else:
+            base_counters = {
+                k: v for k, v in base_entry.items()
+                if k not in THROUGHPUT_FIELDS
+            }
+        base_walltimes = {} if base_format == "google_benchmark" else {
+            k: v for k, v in base_entry.items() if k in THROUGHPUT_FIELDS
+        }
+        if not base_counters and not base_walltimes:
             continue  # timing-only entry: nothing stable to compare
         if name not in fresh:
             failures.append(f"{name}: present in baseline but missing from "
                             "the new run (dropped bench coverage)")
             continue
-        new_counters = stable_counters(fresh[name])
-        for counter, base_value in sorted(base_counters.items()):
-            if counter not in new_counters:
-                failures.append(f"{name}/{counter}: counter disappeared")
-                continue
-            new_value = new_counters[counter]
-            compared += 1
-            if base_value == 0.0:
-                rel = 0.0 if new_value == 0.0 else float("inf")
-            else:
-                rel = abs(new_value - base_value) / abs(base_value)
-            exact = counter.startswith(exact_prefixes) if exact_prefixes \
-                else False
-            limit = 0.0 if exact else args.max_regression
-            marker = "FAIL" if rel > limit else "ok"
-            suffix = " [exact]" if exact else ""
-            print(f"[{marker}] {name}/{counter}: "
-                  f"{base_value:.4g} -> {new_value:.4g} ({rel:+.1%})"
-                  f"{suffix}")
-            if rel > limit:
-                failures.append(
-                    f"{name}/{counter}: {base_value:.4g} -> {new_value:.4g} "
-                    f"moved {rel:.1%} (limit "
-                    f"{'exact match' if exact else f'{limit:.0%}'})")
+        fresh_entry = fresh[name]
+        if not args.walltime_only:
+            new_counters = stable_counters(fresh_entry) \
+                if base_format == "google_benchmark" else fresh_entry
+            for counter, base_value in sorted(base_counters.items()):
+                if counter not in new_counters:
+                    failures.append(f"{name}/{counter}: counter disappeared")
+                    continue
+                exact = counter.startswith(exact_prefixes) \
+                    if exact_prefixes else False
+                compare_counter(name, counter, base_value,
+                                float(new_counters[counter]), exact)
+        if args.max_walltime_regression is not None:
+            for field, base_value in sorted(base_walltimes.items()):
+                if field not in fresh_entry:
+                    failures.append(f"{name}/{field}: throughput disappeared")
+                    continue
+                compare_walltime(name, field, base_value,
+                                 float(fresh_entry[field]))
 
     for name in sorted(set(fresh) - set(baseline)):
-        if stable_counters(fresh[name]):
+        has_stable = stable_counters(fresh[name]) \
+            if base_format == "google_benchmark" else fresh[name]
+        if has_stable:
             print(f"[new ] {name}: not in baseline yet (will be on next "
                   "regeneration)")
 
     if compared == 0:
-        print("error: no stable counters in the baseline — regenerate it "
-              "with the current micro_kernels", file=sys.stderr)
+        print("error: nothing compared — regenerate the baseline with the "
+              "current bench binary", file=sys.stderr)
         return 1
     if failures:
-        print(f"\n{len(failures)} perf-counter regression(s):", file=sys.stderr)
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {compared} stable counters within "
-          f"{args.max_regression:.0%} of baseline")
+    print(f"\nall {compared} compared metrics within tolerance")
     return 0
 
 
