@@ -8,6 +8,10 @@
 //                 [--query_every=2048] [--delta=1.0]
 //                 [--churn_tenants=32] [--churn_active=4]
 //                 [--churn_cap=8] [--churn_ttl=4096]
+//                 [--contention_clients=8] [--contention_points=1500]
+//                 [--contention_idle_tenants=24] [--contention_idle_points=1500]
+//                 [--contention_client_pause_ms=10] [--contention_query_pause_ms=10]
+//                 [--contention_delta=1.0]
 //                 [--spill_dir=<tmp>] [--out=BENCH_shard_scaling.json]
 //
 // After the shard-count sweep, an eviction-churn scenario drives a much
@@ -20,6 +24,20 @@
 // FileSpillStore (under --spill_dir, default a fresh directory beside the
 // output, removed afterwards), so the JSON records the wall-time price of
 // spilling to disk.
+//
+// After churn, a multi-thread CONTENTION scenario: N paced client threads
+// each ingesting into its own hot tenant shard, a population of cold
+// spilled tenants, a background thread running continuous QueryAll fleet
+// scans, and a maintenance thread running eviction-sweep ticks. It runs
+// twice — once with the manager's own per-shard locking and once with
+// every call wrapped in one external global mutex, emulating the old
+// single-internal-mutex serving layer — and records both aggregate
+// updates/s figures plus their ratio. Each fleet scan pays a store read +
+// full state deserialization per cold tenant, so it costs real time: under
+// the global mutex that whole scan runs with every hot client blocked,
+// while per-shard locking absorbs it into the clients' think time. The win
+// is unblocking, not parallelism, so it is measurable even on a
+// single-core host.
 //
 // Wall-clock throughput is hardware-dependent; the JSON also records the
 // deterministic per-run totals (updates, queries, shard memory, eviction /
@@ -97,6 +115,13 @@ int main(int argc, char** argv) {
   int64_t churn_active = 4;
   int64_t churn_cap = 8;
   int64_t churn_ttl = 4096;
+  int64_t contention_clients = 8;
+  int64_t contention_points = 1500;
+  int64_t contention_query_pause_ms = 10;
+  int64_t contention_client_pause_ms = 10;
+  int64_t contention_idle_tenants = 24;
+  int64_t contention_idle_points = 1500;
+  double contention_delta = 1.0;
   std::string spill_dir;
 
   fkc::FlagParser flags;
@@ -119,6 +144,25 @@ int main(int argc, char** argv) {
                  "max_live_shards (LRU cap) in the churn scenario");
   flags.AddInt64("churn_ttl", &churn_ttl,
                  "EvictIdle TTL in arrivals for the churn scenario");
+  flags.AddInt64("contention_clients", &contention_clients,
+                 "client threads (= tenant shards) in the contention "
+                 "scenario (0 = skip it)");
+  flags.AddInt64("contention_points", &contention_points,
+                 "arrivals each contention client ingests");
+  flags.AddInt64("contention_query_pause_ms", &contention_query_pause_ms,
+                 "pause between background QueryAll rounds in the "
+                 "contention scenario");
+  flags.AddInt64("contention_client_pause_ms", &contention_client_pause_ms,
+                 "per-client think time between ingest batches in the "
+                 "contention scenario (paced arrival streams)");
+  flags.AddInt64("contention_idle_tenants", &contention_idle_tenants,
+                 "cold spilled tenants each QueryAll round must scan in "
+                 "the contention scenario");
+  flags.AddInt64("contention_idle_points", &contention_idle_points,
+                 "arrivals pre-ingested into each cold tenant (sets the "
+                 "per-shard cost of a fleet scan)");
+  flags.AddDouble("contention_delta", &contention_delta,
+                  "coreset precision delta for the contention scenario");
   flags.AddString("spill_dir", &spill_dir,
                   "directory for the FileSpillStore churn run (default: "
                   "<out>.spill, removed afterwards)");
@@ -233,6 +277,77 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(spill_dir, spill_cleanup);
   }
 
+  // --- Contention scenario: per-shard locking vs the emulated single
+  // global mutex, same schedule. num_threads = 1: the client threads ARE
+  // the concurrency, and an internal pool would only oversubscribe. ---
+  fkc::ShardedContentionReport contention, contention_global;
+  if (contention_clients > 0) {
+    // The contention runs replay prefixes of the same prepared dataset, so
+    // fit the scenario to the stream: the cold setup may take at most half
+    // of it, and the measured workload shares the rest.
+    if (contention_idle_tenants > 0) {
+      const int64_t max_idle = (points / 2) / contention_idle_tenants;
+      if (contention_idle_points > max_idle) contention_idle_points = max_idle;
+      FKC_CHECK_GT(contention_idle_points, 0)
+          << "stream too short for cold tenants";
+    }
+    const int64_t setup_demand =
+        contention_idle_tenants * contention_idle_points + contention_clients;
+    if (contention_clients * contention_points + setup_demand > points) {
+      contention_points = (points - setup_demand) / contention_clients;
+      FKC_CHECK_GT(contention_points, 0);
+    }
+    std::printf(
+        "# Contention: %lld clients x %lld arrivals (pause %lld ms), "
+        "%lld cold tenants x %lld, QueryAll pause %lld ms\n",
+        static_cast<long long>(contention_clients),
+        static_cast<long long>(contention_points),
+        static_cast<long long>(contention_client_pause_ms),
+        static_cast<long long>(contention_idle_tenants),
+        static_cast<long long>(contention_idle_points),
+        static_cast<long long>(contention_query_pause_ms));
+    auto run_contention = [&](bool global_mutex) {
+      fkc::serving::ShardManagerOptions options;
+      options.window.window_size = window;
+      options.window.delta = contention_delta;
+      options.window.adaptive_range = true;
+      options.num_threads = 1;
+      fkc::serving::ShardManager manager(options, prepared.constraint,
+                                         &metric, &jones);
+      auto stream = fkc::datasets::MakeStream(prepared.dataset);
+      fkc::ShardedContentionOptions contention_run;
+      contention_run.client_threads = static_cast<int>(contention_clients);
+      contention_run.points_per_client = contention_points;
+      contention_run.batch_size = batch;
+      contention_run.query_pause_ms = contention_query_pause_ms;
+      contention_run.client_pause_ms = contention_client_pause_ms;
+      contention_run.idle_tenants = contention_idle_tenants;
+      contention_run.idle_points = contention_idle_points;
+      contention_run.global_mutex = global_mutex;
+      return fkc::RunShardedContention(&manager, stream.get(),
+                                       contention_run);
+    };
+    contention_global = run_contention(/*global_mutex=*/true);
+    contention = run_contention(/*global_mutex=*/false);
+    const double speedup =
+        contention_global.UpdatesPerSecond() > 0.0
+            ? contention.UpdatesPerSecond() /
+                  contention_global.UpdatesPerSecond()
+            : 0.0;
+    std::printf(
+        "#   global mutex:     %10.0f updates/s (%lld query rounds, "
+        "%lld ticks)\n",
+        contention_global.UpdatesPerSecond(),
+        static_cast<long long>(contention_global.query_rounds),
+        static_cast<long long>(contention_global.maintenance_ticks));
+    std::printf(
+        "#   per-shard locks:  %10.0f updates/s (%lld query rounds, "
+        "%lld ticks) -> %.2fx\n",
+        contention.UpdatesPerSecond(),
+        static_cast<long long>(contention.query_rounds),
+        static_cast<long long>(contention.maintenance_ticks), speedup);
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -265,7 +380,34 @@ int main(int argc, char** argv) {
   WriteChurnJson(out, "memory", churn);
   out << ",\n";
   WriteChurnJson(out, "file", churn_file);
-  out << "\n  }\n}\n";
+  out << "\n  }";
+  if (contention_clients > 0) {
+    const double speedup =
+        contention_global.UpdatesPerSecond() > 0.0
+            ? contention.UpdatesPerSecond() /
+                  contention_global.UpdatesPerSecond()
+            : 0.0;
+    auto write_contention = [&out](const char* name,
+                                   const fkc::ShardedContentionReport& r) {
+      out << "    \"" << name << "\": {\"updates\": " << r.updates
+          << ", \"updates_per_s\": "
+          << fkc::StrFormat("%.1f", r.UpdatesPerSecond())
+          << ", \"query_rounds\": " << r.query_rounds
+          << ", \"maintenance_ticks\": " << r.maintenance_ticks << "}";
+    };
+    out << ",\n  \"contention\": {\"client_threads\": " << contention_clients
+        << ", \"points_per_client\": " << contention_points
+        << ", \"idle_tenants\": " << contention_idle_tenants
+        << ", \"idle_points\": " << contention_idle_points
+        << ", \"client_pause_ms\": " << contention_client_pause_ms
+        << ", \"query_pause_ms\": " << contention_query_pause_ms << ",\n";
+    write_contention("global_mutex", contention_global);
+    out << ",\n";
+    write_contention("per_shard", contention);
+    out << ",\n    \"speedup\": " << fkc::StrFormat("%.2f", speedup)
+        << "\n  }";
+  }
+  out << "\n}\n";
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;
 }

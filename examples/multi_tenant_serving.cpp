@@ -23,17 +23,25 @@
 //      disk (FileSpillStore), with the background maintenance thread
 //      running the eviction sweep, DeltaLog capture, and spill GC on a
 //      cadence — then replay the log and verify the replayed fleet
-//      answers identically.
+//      answers identically,
+//   8. serve concurrent clients: one ingest thread per tenant plus a
+//      dashboard thread running QueryAll rounds, all against one manager
+//      at once (per-shard locking means the tenants never contend with
+//      each other and the dashboard never stalls ingest) — then verify
+//      the concurrently-built fleet checkpoints byte-identically to a
+//      serially-built one.
 //
 //   multi_tenant_serving [--tenants=4] [--threads=0] [--batch=32]
 //                        [--window=1000] [--points=12000]
 //                        [--spill_dir=<tmp>]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -379,5 +387,64 @@ int main(int argc, char** argv) {
     std::error_code cleanup;  // best-effort
     std::filesystem::remove_all(spill_dir, cleanup);
   }
-  return replay_identical ? 0 : 1;
+  if (!replay_identical) return 1;
+
+  // --- 8. Concurrent clients: every tenant ingests from its own thread
+  // while a dashboard thread runs fleet scans — no external locking, the
+  // manager's per-shard locks carry it. Per-shard state depends only on
+  // that tenant's own arrival order, so the result must checkpoint
+  // byte-identically to a serially built fleet. ---
+  fkc::serving::ShardManager live(options, constraint, &metric, &jones);
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> scans{0};
+  std::thread dashboard([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (const auto& answer : live.QueryAll()) {
+        if (!answer.solution.ok() &&
+            answer.solution.status().code() != fkc::StatusCode::kNotFound) {
+          std::fprintf(stderr, "dashboard: %s\n",
+                       answer.solution.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+      scans.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < keys.size(); ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<fkc::serving::KeyedPoint> chunk;
+      for (int64_t t = static_cast<int64_t>(c); t < points;
+           t += static_cast<int64_t>(keys.size())) {
+        chunk.push_back({keys[c], trace[static_cast<size_t>(t)]});
+        if (static_cast<int64_t>(chunk.size()) >= batch) {
+          must_ingest(live.IngestBatch(std::move(chunk)));
+          chunk = {};
+        }
+      }
+      must_ingest(live.IngestBatch(std::move(chunk)));
+    });
+  }
+  for (auto& client : clients) client.join();
+  done.store(true, std::memory_order_relaxed);
+  dashboard.join();
+
+  fkc::serving::ShardManager serial(options, constraint, &metric, &jones);
+  for (size_t c = 0; c < keys.size(); ++c) {
+    for (int64_t t = static_cast<int64_t>(c); t < points;
+         t += static_cast<int64_t>(keys.size())) {
+      must_ingest(serial.Ingest(keys[c], trace[static_cast<size_t>(t)]));
+    }
+  }
+  auto live_blob = live.CheckpointAll();
+  auto serial_blob = serial.CheckpointAll();
+  const bool concurrent_identical = live_blob.ok() && serial_blob.ok() &&
+                                    live_blob.value() == serial_blob.value();
+  std::printf(
+      "\nconcurrent serving: %zu client threads + %lld dashboard scans "
+      "against one manager; checkpoint %s a serially built fleet's\n",
+      keys.size(), static_cast<long long>(scans.load()),
+      concurrent_identical ? "MATCHES" : "DIFFERS FROM (bug!)");
+  return concurrent_identical ? 0 : 1;
 }

@@ -58,10 +58,14 @@ void ThreadPool::WorkerLoop() {
     }
     DrainJob(job);
     {
+      // Notify while still holding the lock: the ParallelFor caller owns
+      // the job on its stack and destroys it the moment it observes
+      // helpers_active == 0 — notifying after unlocking would race that
+      // destruction.
       std::lock_guard<std::mutex> lock(job->mu);
       --job->helpers_active;
+      job->done.notify_one();
     }
-    job->done.notify_one();
   }
 }
 

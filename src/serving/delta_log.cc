@@ -10,6 +10,10 @@ DeltaLog::DeltaLog() : DeltaLog(Options()) {}
 DeltaLog::DeltaLog(Options options) : options_(options) {}
 
 Result<DeltaLog::CaptureStats> DeltaLog::Capture(ShardManager* manager) {
+  // The log's own mutex guards only log state; the manager calls below are
+  // epoch snapshots with their own locking, so holding mu_ across them
+  // never blocks the manager's ingest or query paths (they take no lock of
+  // ours) and cannot invert against the manager's fleet/shard order.
   std::lock_guard<std::mutex> lock(mu_);
   CaptureStats stats;
 

@@ -15,6 +15,16 @@
 // would ship base_ and each appended delta to followers. Thread-safe: one
 // internal mutex serializes Capture/Replay/accessors (the manager calls it
 // from the maintenance thread while tests read from the main thread).
+//
+// Under the manager's two-level locking, a Capture runs concurrently with
+// ingest: CheckpointDelta/CheckpointAll are epoch snapshots that pin the
+// shard set under the fleet lock and then serialize one shard lock at a
+// time, so a capture never stalls ingest to unrelated tenants. Each
+// captured shard segment is that shard's state at the moment its lock was
+// taken; arrivals landing after a shard's segment was written leave the
+// shard dirty for the NEXT capture (the epoch-based clean mark records
+// what was captured, not what is latest), so a replayed log is always some
+// prefix-consistent fleet, never a torn one.
 #ifndef FKC_SERVING_DELTA_LOG_H_
 #define FKC_SERVING_DELTA_LOG_H_
 

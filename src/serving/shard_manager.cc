@@ -77,6 +77,26 @@ struct ShardManager::MaintenanceState {
   std::mutex mu;
   std::condition_variable cv;
   bool stop = false;
+  /// Set (under mu) by the loop as its last act. Distinguishes a finished
+  /// thread awaiting its join (safe to reap, even from StartMaintenance)
+  /// from a loop still executing ticks.
+  bool exited = false;
+};
+
+/// Unpins an epoch snapshot on scope exit, whatever the exit path (normal
+/// return, early error return) — a leaked pin would block that shard's
+/// eviction forever.
+class ShardManager::FleetPin {
+ public:
+  FleetPin(ShardManager* manager, const std::vector<PinnedShard>* pinned)
+      : manager_(manager), pinned_(pinned) {}
+  ~FleetPin() { manager_->UnpinFleet(*pinned_); }
+  FleetPin(const FleetPin&) = delete;
+  FleetPin& operator=(const FleetPin&) = delete;
+
+ private:
+  ShardManager* manager_;
+  const std::vector<PinnedShard>* pinned_;
 };
 
 ShardManager::ShardManager(ShardManagerOptions options,
@@ -86,7 +106,8 @@ ShardManager::ShardManager(ShardManagerOptions options,
       constraint_(std::move(constraint)),
       metric_(metric),
       solver_(solver),
-      mu_(std::make_unique<std::mutex>()),
+      fleet_mu_(std::make_unique<std::mutex>()),
+      gc_mu_(std::make_unique<std::mutex>()),
       maintenance_admin_mu_(std::make_unique<std::mutex>()) {
   FKC_CHECK(metric_ != nullptr);
   FKC_CHECK(solver_ != nullptr);
@@ -97,6 +118,13 @@ ShardManager::ShardManager(ShardManagerOptions options,
   if (options_.spill_store == nullptr) {
     options_.spill_store = std::make_shared<InMemorySpillStore>();
   }
+  // Resolve and build the pool eagerly: concurrent fan-outs must never race
+  // a lazy construction. num_threads = 0 on a single-core host resolves to
+  // 1, in which case no pool is parked at all.
+  const int resolved = options_.num_threads == 1
+                           ? 1
+                           : ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
 }
 
 ShardManager::~ShardManager() { StopMaintenance(); }
@@ -106,13 +134,13 @@ ShardManager::ShardManager(ShardManager&& other) noexcept
       constraint_(std::move(other.constraint_)),
       metric_(other.metric_),
       solver_(other.solver_),
-      mu_(std::move(other.mu_)),
+      fleet_mu_(std::move(other.fleet_mu_)),
+      gc_mu_(std::move(other.gc_mu_)),
       overrides_(std::move(other.overrides_)),
       shards_(std::move(other.shards_)),
       live_count_(other.live_count_),
       live_lru_(std::move(other.live_lru_)),
       pool_(std::move(other.pool_)),
-      pool_threads_(other.pool_threads_),
       maintenance_admin_mu_(std::move(other.maintenance_admin_mu_)),
       maintenance_(std::move(other.maintenance_)),
       maintenance_ticks_(other.maintenance_ticks_.load()),
@@ -121,8 +149,13 @@ ShardManager::ShardManager(ShardManager&& other) noexcept
       rehydrations_(other.rehydrations_) {
   // Moving a manager whose maintenance thread is running is unsupported
   // (the thread would keep the old `this`); Restore/Replay outputs — the
-  // only places managers are moved — never have one.
-  FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable());
+  // only places managers are moved — never have one. A finished
+  // (self-stopped) thread is fine: it no longer touches the manager.
+  FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable() ||
+            [&] {
+              std::lock_guard<std::mutex> lock(maintenance_->mu);
+              return maintenance_->exited;
+            }());
 }
 
 ShardManager& ShardManager::operator=(ShardManager&& other) noexcept {
@@ -132,36 +165,25 @@ ShardManager& ShardManager::operator=(ShardManager&& other) noexcept {
   constraint_ = std::move(other.constraint_);
   metric_ = other.metric_;
   solver_ = other.solver_;
-  mu_ = std::move(other.mu_);
+  fleet_mu_ = std::move(other.fleet_mu_);
+  gc_mu_ = std::move(other.gc_mu_);
   overrides_ = std::move(other.overrides_);
   shards_ = std::move(other.shards_);
   live_count_ = other.live_count_;
   live_lru_ = std::move(other.live_lru_);
   pool_ = std::move(other.pool_);
-  pool_threads_ = other.pool_threads_;
   maintenance_admin_mu_ = std::move(other.maintenance_admin_mu_);
   maintenance_ = std::move(other.maintenance_);
   maintenance_ticks_.store(other.maintenance_ticks_.load());
   clock_ = other.clock_;
   evictions_ = other.evictions_;
   rehydrations_ = other.rehydrations_;
-  FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable());
+  FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable() ||
+            [&] {
+              std::lock_guard<std::mutex> lock(maintenance_->mu);
+              return maintenance_->exited;
+            }());
   return *this;
-}
-
-ThreadPool* ShardManager::Pool() {
-  if (options_.num_threads == 1) return nullptr;
-  if (pool_threads_ < 0) {
-    // Resolve the effective size before constructing: num_threads = 0 on a
-    // single-core host resolves to 1, and building a ThreadPool just to
-    // discover that would park an idle pool for the manager's lifetime.
-    pool_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
-  }
-  if (pool_threads_ <= 1) return nullptr;
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(pool_threads_);
-  }
-  return pool_.get();
 }
 
 bool ShardManager::IsDirty(const Shard& shard) const {
@@ -208,7 +230,7 @@ Status ShardManager::ValidateArrival(const std::string& key, const Point& p,
   return Status::OK();
 }
 
-int64_t ShardManager::PinnedDimension(const std::string& key) const {
+int64_t ShardManager::PinnedDimensionLocked(const std::string& key) const {
   auto it = shards_.find(key);
   return it == shards_.end() ? -1 : it->second.dim;
 }
@@ -221,12 +243,34 @@ SlidingWindowOptions ShardManager::OptionsForKey(const std::string& key) const {
   return options;
 }
 
-Status ShardManager::RehydrateShard(const std::string& key, Shard* shard) {
+ShardManager::Shard* ShardManager::RouteLocked(const std::string& key,
+                                               bool create_missing,
+                                               int64_t touch) {
+  auto it = shards_.find(key);
+  if (it == shards_.end()) {
+    if (!create_missing) return nullptr;
+    it = shards_.try_emplace(key).first;
+    it->second.live = std::make_unique<FairCenterSlidingWindow>(
+        OptionsForKey(key), constraint_, metric_, solver_);
+    ++live_count_;
+  }
+  Shard* shard = &it->second;
+  if (shard->live != nullptr) {
+    TouchLive(it->first, shard, touch);
+  } else {
+    // Spilled: refresh last_touch only — the LRU index tracks live shards.
+    // If a later rehydration commits, it inserts this value.
+    shard->last_touch = touch;
+  }
+  return shard;
+}
+
+Status ShardManager::EnsureLiveHeld(const std::string& key, Shard* shard) {
+  if (shard->live != nullptr) return Status::OK();
   auto blob = options_.spill_store->Get(key);
   if (!blob.ok()) return blob.status();
-  auto window =
-      FairCenterSlidingWindow::DeserializeState(blob.value(), metric_,
-                                                solver_);
+  auto window = FairCenterSlidingWindow::DeserializeState(blob.value(),
+                                                          metric_, solver_);
   if (!window.ok()) return window.status();
   // Same forged-blob guards as Restore/ApplyDelta: with a durable backend
   // the bytes come from a directory two fleets could share (or anyone
@@ -238,23 +282,30 @@ Status ShardManager::RehydrateShard(const std::string& key, Shard* shard) {
     return Status::InvalidArgument(
         "spilled shard's constraint does not match the fleet constraint");
   }
-  if (shard->dim >= 0 && window.value().dimension() >= 0 &&
-      window.value().dimension() != shard->dim) {
-    return Status::InvalidArgument(
-        "spilled shard's dimension does not match its pinned dimension");
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    if (shard->dim >= 0 && window.value().dimension() >= 0 &&
+        window.value().dimension() != shard->dim) {
+      return Status::InvalidArgument(
+          "spilled shard's dimension does not match its pinned dimension");
+    }
+    shard->live = std::make_unique<FairCenterSlidingWindow>(
+        std::move(window).value());
+    if (shard->live->dimension() >= 0) shard->dim = shard->live->dimension();
+    // A fresh deserialization restarts the epoch counter at 0; a clean
+    // spill therefore rehydrates clean, a dirty one stays dirty via the
+    // sentinel.
+    shard->clean_epoch = shard->spill_dirty ? kNeverCheckpointed : 0;
+    shard->spill_dirty = false;
+    ++live_count_;
+    ++rehydrations_;
+    live_lru_.insert({shard->last_touch, key});
   }
-  shard->live = std::make_unique<FairCenterSlidingWindow>(
-      std::move(window).value());
-  if (shard->live->dimension() >= 0) shard->dim = shard->live->dimension();
-  // A fresh deserialization restarts the epoch counter at 0; a clean spill
-  // therefore rehydrates clean, a dirty one stays dirty via the sentinel.
-  shard->clean_epoch = shard->spill_dirty ? kNeverCheckpointed : 0;
-  shard->spill_dirty = false;
-  // Best-effort: a failed erase only leaves a stale store entry behind —
-  // never read again (the shard is live now) and swept by the next GC.
+  // Best-effort, still under the shard lock (so a concurrent QueryAll
+  // cannot read a half-erased entry): a failed erase only leaves a stale
+  // store entry behind — never read again (the shard is live now) and
+  // swept by the next GC.
   options_.spill_store->Erase(key);
-  ++live_count_;
-  ++rehydrations_;
   return Status::OK();
 }
 
@@ -268,145 +319,218 @@ void ShardManager::TouchLive(const std::string& key, Shard* shard,
   live_lru_.insert({touch, key});
 }
 
-Status ShardManager::SpillShard(const std::string& key, Shard* shard) {
+Result<ShardManager::SpillAttempt> ShardManager::TrySpillShard(
+    const std::string& key, int64_t idle_ttl) {
+  std::unique_lock<std::mutex> fleet(*fleet_mu_);
+  auto it = shards_.find(key);
+  if (it == shards_.end()) return SpillAttempt::kSkipped;
+  Shard* shard = &it->second;
+  if (shard->live == nullptr || shard->pins > 0) return SpillAttempt::kSkipped;
+  // Re-check idleness under the fleet lock: the shard may have been
+  // touched between the caller's candidate snapshot and now.
+  if (idle_ttl >= 0 && clock_ - shard->last_touch <= idle_ttl) {
+    return SpillAttempt::kSkipped;
+  }
+  // Only ever try_lock a shard mutex under the fleet lock (lock-order
+  // protocol): a busy shard is mid-ingest or mid-query — skip it, the
+  // next sweep catches it.
+  std::unique_lock<std::mutex> shard_lock(shard->mu, std::try_to_lock);
+  if (!shard_lock.owns_lock()) return SpillAttempt::kSkipped;
   const bool dirty = IsDirty(*shard);
+  FairCenterSlidingWindow* window = shard->live.get();
+  fleet.unlock();
+
+  // Serialize and write outside the fleet lock (the shard lock keeps the
+  // window stable). The GC mutex spans the write and the commit so a
+  // concurrent GarbageCollectSpill, whose keep-set predates this spill,
+  // can never reap the blob just written.
+  std::string blob = window->SerializeState();
+  std::lock_guard<std::mutex> gc(*gc_mu_);
   // Put before dropping the window: a failing backend must leave the shard
   // live and the fleet lossless.
-  FKC_RETURN_IF_ERROR(
-      options_.spill_store->Put(key, shard->live->SerializeState()));
+  Status put = options_.spill_store->Put(key, std::move(blob));
+  if (!put.ok()) return put;
+
+  fleet.lock();
+  if (shard->pins > 0) {
+    // A fleet read pinned the shard while the blob was being written; the
+    // reader expects live shards to stay live, so abort the spill and drop
+    // the just-written entry (best-effort — GC would sweep it anyway).
+    fleet.unlock();
+    options_.spill_store->Erase(key);
+    return SpillAttempt::kSkipped;
+  }
   shard->spill_dirty = dirty;
   shard->live.reset();
   shard->clean_epoch = kNeverCheckpointed;
   live_lru_.erase({shard->last_touch, key});
   --live_count_;
   ++evictions_;
-  return Status::OK();
+  return SpillAttempt::kSpilled;
 }
 
 void ShardManager::EnforceLiveCap(const std::string* exclude) {
   if (options_.max_live_shards <= 0) return;
-  while (live_count_ > static_cast<size_t>(options_.max_live_shards)) {
-    // The index orders by (last_touch, key), so begin() is exactly the
-    // old linear scan's deterministic victim: least recently touched,
-    // ties broken by smaller key.
-    auto victim = live_lru_.begin();
-    if (victim == live_lru_.end()) return;
-    if (exclude != nullptr && victim->second == *exclude) {
-      if (++victim == live_lru_.end()) return;  // only the excluded is live
+  // Best-effort loop: each round picks the current LRU victim under the
+  // fleet lock — least recently touched, ties broken by smaller key, the
+  // same deterministic order as the single-threaded path — and attempts
+  // the spill without it. Victims whose attempt failed are not retried,
+  // so the loop always terminates; pinned shards are skipped but stay
+  // eligible for later rounds (their pin is transient).
+  std::set<std::string> attempted;
+  for (;;) {
+    std::string victim;
+    {
+      std::lock_guard<std::mutex> fleet(*fleet_mu_);
+      if (live_count_ <= static_cast<size_t>(options_.max_live_shards)) return;
+      bool found = false;
+      for (const auto& [touch, key] : live_lru_) {
+        if (exclude != nullptr && key == *exclude) continue;
+        if (attempted.count(key) != 0) continue;
+        if (shards_.find(key)->second.pins > 0) continue;
+        victim = key;
+        found = true;
+        break;
+      }
+      if (!found) return;  // everything left is excluded, pinned, or failed
     }
-    if (!SpillShard(victim->second, &shards_.find(victim->second)->second)
-             .ok()) {
-      // Spill backend down: the victim stays live and the cap is enforced
-      // best-effort until the backend recovers. Nothing is lost.
+    attempted.insert(victim);
+    auto spilled = TrySpillShard(victim, /*idle_ttl=*/-1);
+    if (!spilled.ok()) {
+      // Spill backend down: the cap is enforced best-effort until the
+      // backend recovers. Nothing is lost.
       return;
     }
   }
 }
 
-Result<ShardManager::Shard*> ShardManager::TouchShard(const std::string& key,
-                                                      bool create_missing,
-                                                      bool enforce_cap) {
-  auto it = shards_.find(key);
-  if (it == shards_.end()) {
-    if (!create_missing) {
-      return Status::NotFound("no shard for key '" + key + "'");
-    }
-    Shard shard;
-    shard.live = std::make_unique<FairCenterSlidingWindow>(
-        OptionsForKey(key), constraint_, metric_, solver_);
-    ++live_count_;
-    it = shards_.emplace(key, std::move(shard)).first;
-  } else if (!it->second.live) {
-    FKC_RETURN_IF_ERROR(RehydrateShard(it->first, &it->second));
+std::vector<ShardManager::PinnedShard> ShardManager::PinFleet() {
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
+  std::vector<PinnedShard> pinned;
+  pinned.reserve(shards_.size());
+  for (auto& [key, shard] : shards_) {  // ascending key order
+    ++shard.pins;
+    pinned.push_back(PinnedShard{&key, &shard});
   }
-  TouchLive(it->first, &it->second, clock_);
-  if (enforce_cap) EnforceLiveCap(&key);
-  return &it->second;
+  return pinned;
+}
+
+void ShardManager::UnpinFleet(const std::vector<PinnedShard>& pinned) {
+  if (pinned.empty()) return;
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
+  for (const PinnedShard& entry : pinned) --entry.shard->pins;
 }
 
 Status ShardManager::Ingest(const std::string& key, Point p) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  FKC_RETURN_IF_ERROR(ValidateArrival(key, p, PinnedDimension(key)));
-  ++clock_;
-  auto shard = TouchShard(key, /*create_missing=*/true, /*enforce_cap=*/true);
-  if (!shard.ok()) return shard.status();
-  shard.value()->dim = static_cast<int64_t>(p.dimension());
-  shard.value()->live->Update(std::move(p));
-  return Status::OK();
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    // Validate and route in ONE fleet critical section, and pin the
+    // dimension at routing time: two first arrivals racing on a fresh key
+    // with different dimensions must resolve to first-writer-wins, the
+    // loser rejected here instead of CHECK-aborting in the window.
+    FKC_RETURN_IF_ERROR(ValidateArrival(key, p, PinnedDimensionLocked(key)));
+    ++clock_;
+    shard = RouteLocked(key, /*create_missing=*/true, clock_);
+    shard->dim = static_cast<int64_t>(p.dimension());
+    ++shard->pins;
+  }
+  Status status;
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    status = EnsureLiveHeld(key, shard);
+    if (status.ok()) shard->live->Update(std::move(p));
+  }
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    --shard->pins;
+  }
+  EnforceLiveCap(&key);
+  return status;
 }
 
 Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   if (batch.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(*mu_);
 
   // Group by key, preserving per-key arrival order (the only order that
   // matters: shards share no state, so cross-key interleaving is
   // unobservable). Invalid arrivals are dropped here, one by one — the
   // valid rest of the batch is consumed regardless.
   struct Group {
+    const std::string* key = nullptr;
     std::vector<Point> points;
     int64_t last_clock = 0;  ///< manager clock at the group's last arrival
     int64_t dim = -1;        ///< dimension pinned by the first accepted point
-    FairCenterSlidingWindow* window = nullptr;
+    Shard* shard = nullptr;
+    Status status;           ///< the group's ingest outcome
   };
   std::map<std::string, Group> groups;
   int64_t dropped = 0;
   Status first_error = Status::OK();
-  for (KeyedPoint& kp : batch) {
-    // For a key already accepted earlier in this batch the group carries
-    // the pinned dimension (a brand-new shard has none on record yet).
-    auto git = groups.find(kp.key);
-    const int64_t pinned =
-        git != groups.end() ? git->second.dim : PinnedDimension(kp.key);
-    Status status = ValidateArrival(kp.key, kp.point, pinned);
-    if (!status.ok()) {
-      ++dropped;
-      if (first_error.ok()) first_error = std::move(status);
-      continue;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    for (KeyedPoint& kp : batch) {
+      // For a key already accepted earlier in this batch the group carries
+      // the pinned dimension (a brand-new shard has none on record yet).
+      auto git = groups.find(kp.key);
+      const int64_t pinned =
+          git != groups.end() ? git->second.dim : PinnedDimensionLocked(kp.key);
+      Status status = ValidateArrival(kp.key, kp.point, pinned);
+      if (!status.ok()) {
+        ++dropped;
+        if (first_error.ok()) first_error = std::move(status);
+        continue;
+      }
+      if (git == groups.end()) git = groups.try_emplace(kp.key).first;
+      Group& group = git->second;
+      group.dim = static_cast<int64_t>(kp.point.dimension());
+      group.points.push_back(std::move(kp.point));
+      group.last_clock = ++clock_;
     }
-    if (git == groups.end()) git = groups.try_emplace(kp.key).first;
-    Group& group = git->second;
-    group.dim = static_cast<int64_t>(kp.point.dimension());
-    group.points.push_back(std::move(kp.point));
-    group.last_clock = ++clock_;
+    // Route (create) and pin every touched shard in the same critical
+    // section that validated against its dimension, so a racing batch on
+    // the same fresh key validates against the dimension pinned here.
+    for (auto& [key, group] : groups) {
+      group.key = &key;
+      group.shard = RouteLocked(key, /*create_missing=*/true,
+                                group.last_clock);
+      group.shard->dim = group.dim;
+      ++group.shard->pins;
+    }
   }
 
-  // Create or rehydrate every touched shard up front: the map must not
-  // mutate under the fan-out, and LRU spills must not run while group
-  // pointers are outstanding — the cap is enforced once, after the batch.
-  for (auto& [key, group] : groups) {
-    auto shard = TouchShard(key, /*create_missing=*/true,
-                            /*enforce_cap=*/false);
-    if (!shard.ok()) {
-      dropped += static_cast<int64_t>(group.points.size());
-      if (first_error.ok()) first_error = shard.status();
-      continue;
-    }
-    shard.value()->dim = group.dim;
-    group.window = shard.value()->live.get();
-  }
-
-  std::vector<std::pair<FairCenterSlidingWindow*, std::vector<Point>*>> work;
+  std::vector<Group*> work;
   work.reserve(groups.size());
-  for (auto& [key, group] : groups) {
-    if (group.window != nullptr) work.emplace_back(group.window, &group.points);
-  }
+  for (auto& [key, group] : groups) work.push_back(&group);
 
+  // Fan the per-shard groups out over the pool. Each task blocks only on
+  // its own shard's lock (held by nobody else routing a disjoint key set).
+  auto run_one = [&](int64_t i) {
+    Group* group = work[i];
+    std::lock_guard<std::mutex> shard_lock(group->shard->mu);
+    group->status = EnsureLiveHeld(*group->key, group->shard);
+    if (group->status.ok()) {
+      group->shard->live->UpdateBatch(std::move(group->points));
+    }
+  };
   ThreadPool* pool = Pool();
   if (pool == nullptr || work.size() < 2) {
-    for (auto& [shard, points] : work) {
-      shard->UpdateBatch(std::move(*points));
-    }
+    for (size_t i = 0; i < work.size(); ++i) run_one(static_cast<int64_t>(i));
   } else {
-    pool->ParallelFor(static_cast<int64_t>(work.size()), [&](int64_t i) {
-      work[i].first->UpdateBatch(std::move(*work[i].second));
-    });
+    pool->ParallelFor(static_cast<int64_t>(work.size()), run_one);
   }
-  // Refresh last_touch to each group's final arrival (matches the per-point
-  // Ingest path bit for bit), then apply the cap.
-  for (auto& [key, group] : groups) {
-    if (group.window == nullptr) continue;
-    TouchLive(key, &shards_.find(key)->second, group.last_clock);
+
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    for (auto& [key, group] : groups) {
+      --group.shard->pins;
+      if (!group.status.ok()) {
+        // Rehydration failed: the whole group was dropped (points were
+        // only consumed on success).
+        dropped += static_cast<int64_t>(group.points.size());
+        if (first_error.ok()) first_error = group.status;
+      }
+    }
   }
   EnforceLiveCap(nullptr);
 
@@ -422,7 +546,7 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
 
 Status ShardManager::SetTenantOptions(const std::string& key,
                                       SlidingWindowOptions options) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   if (key.size() >= kMaxKeyBytes) {
     return Status::InvalidArgument("tenant key exceeds the size limit");
   }
@@ -442,55 +566,62 @@ Status ShardManager::SetTenantOptions(const std::string& key,
 
 const SlidingWindowOptions* ShardManager::TenantOptions(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   auto it = overrides_.find(key);
   return it == overrides_.end() ? nullptr : &it->second;
 }
 
 Result<FairCenterSolution> ShardManager::Query(const std::string& key,
                                                QueryStats* stats) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto shard = TouchShard(key, /*create_missing=*/false, /*enforce_cap=*/true);
-  if (!shard.ok()) return shard.status();
-  return shard.value()->live->Query(stats);
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    shard = RouteLocked(key, /*create_missing=*/false, clock_);
+    if (shard == nullptr) {
+      return Status::NotFound("no shard for key '" + key + "'");
+    }
+    ++shard->pins;
+  }
+  Result<FairCenterSolution> result = [&]() -> Result<FairCenterSolution> {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    FKC_RETURN_IF_ERROR(EnsureLiveHeld(key, shard));
+    return shard->live->Query(stats);
+  }();
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    --shard->pins;
+  }
+  EnforceLiveCap(&key);
+  return result;
 }
 
 std::vector<ShardAnswer> ShardManager::QueryAll() {
-  std::lock_guard<std::mutex> lock(*mu_);
+  // Epoch snapshot: pin the current shard set under one fleet-lock
+  // acquisition, then answer shard by shard under per-shard locks only —
+  // ingest to unrelated shards proceeds throughout the round.
+  std::vector<PinnedShard> pinned = PinFleet();
+  FleetPin unpin(this, &pinned);
+
   // Live shards answer in place; spilled shards answer from an ephemeral
   // deserialization so a fleet-wide query round does not defeat eviction.
-  // Each spilled task fetches its own blob inside the fan-out (behind a
-  // mutex — the store is not thread-safe) and drops it with the task:
-  // fetching the whole fleet's blobs up front would transiently hold
-  // every spilled shard in memory, the exact condition a durable store
-  // plus live-shard cap exists to prevent. Tasks are independent, so the
-  // fan-out is deterministic either way.
-  struct Task {
-    FairCenterSlidingWindow* live = nullptr;  ///< null: spilled, use key
-    const std::string* key = nullptr;
-  };
-  std::vector<ShardAnswer> answers;
-  std::vector<Task> tasks;
-  answers.reserve(shards_.size());
-  tasks.reserve(shards_.size());
-  for (auto& [key, shard] : shards_) {  // ascending key order
-    ShardAnswer answer;
-    answer.key = key;
-    answers.push_back(std::move(answer));
-    tasks.push_back(shard.live ? Task{shard.live.get(), nullptr}
-                               : Task{nullptr, &key});
-  }
-
-  std::mutex store_mu;
+  // Each spilled task fetches its own blob inside the fan-out and drops it
+  // with the task: fetching the whole fleet's blobs up front would
+  // transiently hold every spilled shard in memory, the exact condition a
+  // durable store plus live-shard cap exists to prevent.
+  std::vector<ShardAnswer> answers(pinned.size());
   auto run_one = [&](int64_t i) {
-    if (tasks[i].live != nullptr) {
-      answers[i].solution = tasks[i].live->Query(&answers[i].stats);
+    answers[i].key = *pinned[i].key;
+    Shard* shard = pinned[i].shard;
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    if (shard->live != nullptr) {
+      answers[i].solution = shard->live->Query(&answers[i].stats);
       return;
     }
-    Result<std::string> blob = [&]() -> Result<std::string> {
-      std::lock_guard<std::mutex> store_lock(store_mu);
-      return options_.spill_store->Get(*tasks[i].key);
-    }();
+    // The blob read happens under the shard lock (a concurrent rehydration
+    // commits and erases the entry under the same lock); deserialization
+    // and the query run outside every manager lock.
+    Result<std::string> blob = options_.spill_store->Get(answers[i].key);
+    shard_lock.unlock();
     if (!blob.ok()) {
       answers[i].solution = blob.status();
       return;
@@ -505,135 +636,145 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
     answers[i].solution = window.value().Query(&answers[i].stats);
   };
   ThreadPool* pool = Pool();
-  if (pool == nullptr || tasks.size() < 2) {
-    for (size_t i = 0; i < tasks.size(); ++i) run_one(static_cast<int64_t>(i));
+  if (pool == nullptr || pinned.size() < 2) {
+    for (size_t i = 0; i < pinned.size(); ++i) {
+      run_one(static_cast<int64_t>(i));
+    }
   } else {
-    pool->ParallelFor(static_cast<int64_t>(tasks.size()), run_one);
+    pool->ParallelFor(static_cast<int64_t>(pinned.size()), run_one);
   }
   return answers;
 }
 
-int64_t ShardManager::EvictIdleLocked(int64_t idle_ttl, Status* spill_status) {
+int64_t ShardManager::EvictIdle(int64_t idle_ttl, Status* spill_status) {
   if (spill_status != nullptr) *spill_status = Status::OK();
   if (idle_ttl < 0) return 0;
-  int64_t evicted = 0;
   // The LRU index orders live shards by last_touch, so the idle ones are
-  // exactly its prefix — O(victims * log n), not a walk over the whole
-  // (mostly spilled) fleet.
-  while (!live_lru_.empty()) {
-    const auto victim = live_lru_.begin();
-    if (clock_ - victim->first <= idle_ttl) break;
-    const Status spilled =
-        SpillShard(victim->second, &shards_.find(victim->second)->second);
-    if (!spilled.ok()) {
+  // exactly its prefix — snapshot those keys under the fleet lock, then
+  // spill without it, one victim at a time. TrySpillShard re-checks
+  // idleness (and pins, and the lock) per victim, so a candidate touched
+  // after the snapshot is simply skipped.
+  std::vector<std::string> candidates;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    for (const auto& [touch, key] : live_lru_) {
+      if (clock_ - touch <= idle_ttl) break;
+      candidates.push_back(key);
+    }
+  }
+  int64_t evicted = 0;
+  for (const std::string& key : candidates) {
+    auto attempt = TrySpillShard(key, idle_ttl);
+    if (!attempt.ok()) {
       // Backend down: stop the sweep, leave the remaining shards live.
-      if (spill_status != nullptr) *spill_status = spilled;
+      if (spill_status != nullptr) *spill_status = attempt.status();
       break;
     }
-    ++evicted;
+    if (attempt.value() == SpillAttempt::kSpilled) ++evicted;
   }
   return evicted;
 }
 
-int64_t ShardManager::EvictIdle(int64_t idle_ttl, Status* spill_status) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return EvictIdleLocked(idle_ttl, spill_status);
-}
-
-Result<std::string> ShardManager::CheckpointAll() {
-  std::lock_guard<std::mutex> lock(*mu_);
+Result<std::string> ShardManager::CheckpointSnapshot(bool dirty_only) {
   std::ostringstream out;
-  out << kMagicV2 << ' ';
-
-  // The window template (needed to spawn shards for keys first seen after a
-  // restore), the constraint, and the override table. num_threads,
-  // max_live_shards, and the spill store are execution/resource knobs and
-  // are deliberately excluded, like in the core checkpoint.
-  WriteSlidingWindowOptions(&out, options_.window);
-  WriteColorCaps(&out, constraint_);
-  WriteOverrides(&out, overrides_);
-
-  // Every shard: length-prefixed key, length-prefixed core checkpoint. A
-  // spilled shard's state is its spill blob, verbatim. Clean marks are
-  // staged and committed only after every blob is in hand — a failing
-  // spill read must not leave half the fleet marked clean for a
-  // checkpoint that never existed.
-  std::vector<std::pair<Shard*, int64_t>> clean_marks;
-  clean_marks.reserve(shards_.size());
-  out << shards_.size() << ' ';
-  for (auto& [key, shard] : shards_) {
-    WriteCheckpointRaw(&out, key);
-    if (shard.live) {
-      WriteCheckpointRaw(&out, shard.live->SerializeState());
-      clean_marks.emplace_back(&shard, shard.live->state_epoch());
-    } else {
-      auto blob = options_.spill_store->Get(key);
-      if (!blob.ok()) return blob.status();
-      WriteCheckpointRaw(&out, blob.value());
-      clean_marks.emplace_back(&shard, kNeverCheckpointed);
+  std::vector<PinnedShard> pinned;
+  {
+    // Header and pin set under ONE fleet-lock acquisition, so the override
+    // table travels with the shard set it was snapshotted beside.
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    out << (dirty_only ? kDeltaMagic : kMagicV2) << ' ';
+    if (!dirty_only) {
+      // The window template (needed to spawn shards for keys first seen
+      // after a restore). num_threads, max_live_shards, and the spill
+      // store are execution/resource knobs and are deliberately excluded,
+      // like in the core checkpoint.
+      WriteSlidingWindowOptions(&out, options_.window);
+    }
+    WriteColorCaps(&out, constraint_);
+    WriteOverrides(&out, overrides_);
+    pinned.reserve(shards_.size());
+    for (auto& [key, shard] : shards_) {
+      ++shard.pins;
+      pinned.push_back(PinnedShard{&key, &shard});
     }
   }
-  for (auto& [shard, epoch] : clean_marks) {
-    if (shard->live) {
-      shard->clean_epoch = epoch;
+  FleetPin unpin(this, &pinned);
+
+  // Every captured shard: length-prefixed key, length-prefixed core
+  // checkpoint, taken one shard lock at a time. A spilled shard's state is
+  // its spill blob, verbatim. Clean marks are staged and committed only
+  // after every blob is in hand — a failing spill read must not leave half
+  // the fleet marked clean for a checkpoint that never existed. The epoch
+  // recorded per live shard is the one at capture time, so arrivals
+  // landing after a shard's segment was taken leave it dirty.
+  struct CleanMark {
+    Shard* shard;
+    int64_t epoch;
+    bool was_live;
+  };
+  std::vector<CleanMark> clean_marks;
+  clean_marks.reserve(pinned.size());
+  std::ostringstream body;
+  int64_t written = 0;
+  for (const PinnedShard& entry : pinned) {
+    std::lock_guard<std::mutex> shard_lock(entry.shard->mu);
+    if (dirty_only && !IsDirty(*entry.shard)) continue;
+    WriteCheckpointRaw(&body, *entry.key);
+    if (entry.shard->live) {
+      WriteCheckpointRaw(&body, entry.shard->live->SerializeState());
+      clean_marks.push_back(
+          CleanMark{entry.shard, entry.shard->live->state_epoch(), true});
     } else {
-      shard->spill_dirty = false;
+      auto blob = options_.spill_store->Get(*entry.key);
+      if (!blob.ok()) return blob.status();
+      WriteCheckpointRaw(&body, blob.value());
+      clean_marks.push_back(CleanMark{entry.shard, kNeverCheckpointed, false});
+    }
+    ++written;
+  }
+  out << written << ' ' << body.str();
+
+  // Commit the staged marks while still holding the pins: a was_live shard
+  // is therefore still live (pinned shards are never spilled). A shard
+  // captured spilled but rehydrated since keeps its dirty state —
+  // conservative, the next delta simply re-ships it.
+  for (const CleanMark& mark : clean_marks) {
+    std::lock_guard<std::mutex> shard_lock(mark.shard->mu);
+    if (mark.was_live) {
+      mark.shard->clean_epoch = mark.epoch;
+    } else if (mark.shard->live == nullptr) {
+      mark.shard->spill_dirty = false;
     }
   }
   return out.str();
 }
 
-size_t ShardManager::DirtyCountLocked() const {
+Result<std::string> ShardManager::CheckpointAll() {
+  return CheckpointSnapshot(/*dirty_only=*/false);
+}
+
+Result<std::string> ShardManager::CheckpointDelta() {
+  return CheckpointSnapshot(/*dirty_only=*/true);
+}
+
+size_t ShardManager::dirty_shard_count() const {
+  // Shard map entries are never erased, so the snapshot stays valid after
+  // the fleet lock is dropped; dirtiness is then read per shard lock.
+  std::vector<const Shard*> snapshot;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    snapshot.reserve(shards_.size());
+    for (const auto& [key, shard] : shards_) snapshot.push_back(&shard);
+  }
   size_t dirty = 0;
-  for (const auto& [key, shard] : shards_) {
-    if (IsDirty(shard)) ++dirty;
+  for (const Shard* shard : snapshot) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    if (IsDirty(*shard)) ++dirty;
   }
   return dirty;
 }
 
-size_t ShardManager::dirty_shard_count() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return DirtyCountLocked();
-}
-
-Result<std::string> ShardManager::CheckpointDelta() {
-  std::lock_guard<std::mutex> lock(*mu_);
-  std::ostringstream out;
-  out << kDeltaMagic << ' ';
-  // Constraint (so the receiver can verify compatibility) and the override
-  // table (tiny, and replacing it wholesale keeps deltas self-contained).
-  WriteColorCaps(&out, constraint_);
-  WriteOverrides(&out, overrides_);
-
-  // Same staged clean-marking as CheckpointAll: all blobs first, marks
-  // after.
-  std::vector<std::pair<Shard*, int64_t>> clean_marks;
-  out << DirtyCountLocked() << ' ';
-  for (auto& [key, shard] : shards_) {
-    if (!IsDirty(shard)) continue;
-    WriteCheckpointRaw(&out, key);
-    if (shard.live) {
-      WriteCheckpointRaw(&out, shard.live->SerializeState());
-      clean_marks.emplace_back(&shard, shard.live->state_epoch());
-    } else {
-      auto blob = options_.spill_store->Get(key);
-      if (!blob.ok()) return blob.status();
-      WriteCheckpointRaw(&out, blob.value());
-      clean_marks.emplace_back(&shard, kNeverCheckpointed);
-    }
-  }
-  for (auto& [shard, epoch] : clean_marks) {
-    if (shard->live) {
-      shard->clean_epoch = epoch;
-    } else {
-      shard->spill_dirty = false;
-    }
-  }
-  return out.str();
-}
-
 Status ShardManager::ApplyDelta(const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(*mu_);
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
@@ -642,6 +783,9 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
                                    magic + "')");
   }
 
+  // Parse and stage everything with NO manager lock held — the inputs
+  // (constraint, metric, solver) are immutable after construction, and a
+  // truncated or corrupt delta must leave the fleet exactly as it was.
   std::vector<int> caps;
   FKC_RETURN_IF_ERROR(ReadColorCaps(&cursor, &caps));
   if (caps != constraint_.caps()) {
@@ -651,8 +795,6 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   std::map<std::string, SlidingWindowOptions> overrides;
   FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &overrides));
 
-  // Stage every shard before touching the manager: a truncated or corrupt
-  // delta must leave the fleet exactly as it was.
   int64_t shard_count = 0;
   FKC_RETURN_IF_ERROR(cursor.NextInt(&shard_count));
   if (shard_count < 0 || shard_count > kMaxShards ||
@@ -679,23 +821,56 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
     staged.emplace_back(std::move(key), std::move(window).value());
   }
 
-  overrides_ = std::move(overrides);
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    overrides_ = std::move(overrides);
+  }
+  // Swap each staged shard in under its own lock: per-shard atomicity (a
+  // concurrent QueryAll may see a partially applied delta, never a torn
+  // shard), and ingest to untouched tenants proceeds throughout.
   for (auto& [key, window] : staged) {
-    Shard& shard = shards_[key];
-    const bool was_live = shard.live != nullptr;
+    Shard* shard = nullptr;
+    {
+      std::lock_guard<std::mutex> fleet(*fleet_mu_);
+      auto it = shards_.find(key);
+      if (it == shards_.end()) {
+        // A tenant first seen in this delta: build the entry fully formed
+        // under the fleet lock (nobody can hold its shard lock yet).
+        it = shards_.try_emplace(key).first;
+        Shard* fresh = &it->second;
+        fresh->live =
+            std::make_unique<FairCenterSlidingWindow>(std::move(window));
+        fresh->dim = fresh->live->dimension();
+        // The shard now matches the leader's checkpointed state exactly.
+        fresh->clean_epoch = fresh->live->state_epoch();
+        fresh->spill_dirty = false;
+        ++live_count_;
+        TouchLive(it->first, fresh, clock_);
+        continue;
+      }
+      shard = &it->second;
+      ++shard->pins;
+    }
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    bool was_live;
+    {
+      std::lock_guard<std::mutex> fleet(*fleet_mu_);
+      was_live = shard->live != nullptr;
+      shard->live =
+          std::make_unique<FairCenterSlidingWindow>(std::move(window));
+      shard->dim = shard->live->dimension();
+      shard->clean_epoch = shard->live->state_epoch();
+      shard->spill_dirty = false;
+      if (!was_live) ++live_count_;
+      TouchLive(key, shard, clock_);
+      --shard->pins;
+    }
     if (!was_live) {
-      ++live_count_;
       // A previously spilled shard's store entry is superseded; drop it
-      // (best-effort — a stale entry is never read and GC sweeps it).
+      // under the shard lock (best-effort — a stale entry is never read
+      // and GC sweeps it).
       options_.spill_store->Erase(key);
     }
-    shard.live =
-        std::make_unique<FairCenterSlidingWindow>(std::move(window));
-    shard.spill_dirty = false;
-    shard.dim = shard.live->dimension();
-    // The shard now matches the leader's checkpointed state exactly.
-    shard.clean_epoch = shard.live->state_epoch();
-    TouchLive(key, &shard, clock_);
   }
   EnforceLiveCap(nullptr);
   return Status::OK();
@@ -726,6 +901,8 @@ Result<ShardManager> ShardManager::Restore(
   std::vector<int> caps;
   FKC_RETURN_IF_ERROR(ReadColorCaps(&cursor, &caps));
 
+  // Single-threaded throughout: the manager is not published to any other
+  // thread until Restore returns, so its members are mutated directly.
   ShardManager manager(options, ColorConstraint(std::move(caps)), metric,
                        solver);
   if (v2) {
@@ -757,17 +934,17 @@ Result<ShardManager> ShardManager::Restore(
       return Status::InvalidArgument(
           "shard constraint does not match the fleet constraint");
     }
-    Shard shard;
+    // Shards carry their mutex, so entries are built in place.
+    auto [pos, inserted] = manager.shards_.try_emplace(std::move(key));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate shard key in checkpoint");
+    }
+    Shard& shard = pos->second;
     shard.live = std::make_unique<FairCenterSlidingWindow>(
         std::move(window).value());
     shard.dim = shard.live->dimension();
     shard.clean_epoch = shard.live->state_epoch();  // restored = checkpointed
-    auto [pos, inserted] =
-        manager.shards_.emplace(std::move(key), std::move(shard));
-    if (!inserted) {
-      return Status::InvalidArgument("duplicate shard key in checkpoint");
-    }
-    manager.live_lru_.insert({pos->second.last_touch, pos->first});
+    manager.live_lru_.insert({shard.last_touch, pos->first});
     ++manager.live_count_;
     if (max_live_shards <= 0) continue;
     verbatim.emplace(pos->first, std::move(blob));
@@ -802,7 +979,21 @@ Status ShardManager::StartMaintenance(MaintenanceOptions options) {
   }
   std::lock_guard<std::mutex> admin(*maintenance_admin_mu_);
   if (maintenance_ != nullptr) {
-    return Status::FailedPrecondition("maintenance thread already running");
+    bool exited;
+    {
+      std::lock_guard<std::mutex> lock(maintenance_->mu);
+      exited = maintenance_->exited;
+    }
+    if (!exited) {
+      return Status::FailedPrecondition("maintenance thread already running");
+    }
+    // The previous loop already exited (a hook-initiated self-stop, which
+    // cannot join itself): reap the finished thread here. The join is
+    // prompt — the thread is past its last statement — and cannot be the
+    // calling thread (a hook caller would still be inside the loop, with
+    // `exited` unset).
+    if (maintenance_->thread.joinable()) maintenance_->thread.join();
+    maintenance_.reset();
   }
   maintenance_ = std::make_unique<MaintenanceState>();
   maintenance_->options = std::move(options);
@@ -824,8 +1015,8 @@ void ShardManager::StopMaintenance() {
     if (maintenance_->thread.get_id() == std::this_thread::get_id()) {
       // Called from the maintenance thread (an on_tick hook): joining
       // oneself is impossible. Signal the loop to exit after this tick;
-      // the thread stays attached until another thread's Stop (or the
-      // destructor) reaps it.
+      // the thread stays attached until another thread's Stop or Start
+      // (or the destructor) reaps it.
       std::lock_guard<std::mutex> lock(maintenance_->mu);
       maintenance_->stop = true;
       return;
@@ -842,7 +1033,9 @@ void ShardManager::StopMaintenance() {
 
 bool ShardManager::maintenance_running() const {
   std::lock_guard<std::mutex> admin(*maintenance_admin_mu_);
-  return maintenance_ != nullptr;
+  if (maintenance_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  return !maintenance_->exited;
 }
 
 void ShardManager::MaintenanceLoop(MaintenanceState* state) {
@@ -852,6 +1045,7 @@ void ShardManager::MaintenanceLoop(MaintenanceState* state) {
     // race-free shutdown even when StopMaintenance lands mid-sleep.
     if (state->cv.wait_for(lock, state->options.cadence,
                            [state] { return state->stop; })) {
+      state->exited = true;
       return;
     }
     lock.unlock();
@@ -895,16 +1089,23 @@ MaintenanceTickReport ShardManager::RunMaintenanceTick(
 }
 
 Result<int64_t> ShardManager::GarbageCollectSpill() {
-  std::lock_guard<std::mutex> lock(*mu_);
+  // The GC mutex is taken BEFORE the fleet lock (lock-order protocol) and
+  // held across the whole sweep: no spill can commit between the keep-set
+  // snapshot below and the store's delete pass, so the keep-set can never
+  // under-approximate and reap a freshly spilled blob.
+  std::lock_guard<std::mutex> gc(*gc_mu_);
   std::set<std::string> spilled;
-  for (const auto& [key, shard] : shards_) {
-    if (!shard.live) spilled.insert(key);
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    for (const auto& [key, shard] : shards_) {
+      if (!shard.live) spilled.insert(key);
+    }
   }
   return options_.spill_store->GarbageCollect(spilled);
 }
 
 std::vector<std::string> ShardManager::Keys() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   std::vector<std::string> keys;
   keys.reserve(shards_.size());
   for (const auto& [key, shard] : shards_) keys.push_back(key);
@@ -912,54 +1113,76 @@ std::vector<std::string> ShardManager::Keys() const {
 }
 
 FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto result = TouchShard(key, /*create_missing=*/false,
-                           /*enforce_cap=*/true);
-  return result.ok() ? result.value()->live.get() : nullptr;
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    shard = RouteLocked(key, /*create_missing=*/false, clock_);
+    if (shard == nullptr) return nullptr;
+    ++shard->pins;
+  }
+  FairCenterSlidingWindow* window = nullptr;
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    if (EnsureLiveHeld(key, shard).ok()) window = shard->live.get();
+  }
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    --shard->pins;
+  }
+  EnforceLiveCap(&key);
+  return window;
 }
 
 const FairCenterSlidingWindow* ShardManager::shard(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   auto it = shards_.find(key);
   return it == shards_.end() ? nullptr : it->second.live.get();
 }
 
 size_t ShardManager::shard_count() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   return shards_.size();
 }
 
 size_t ShardManager::live_shard_count() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   return live_count_;
 }
 
 size_t ShardManager::spilled_shard_count() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   return shards_.size() - live_count_;
 }
 
 int64_t ShardManager::clock() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   return clock_;
 }
 
 int64_t ShardManager::evictions() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   return evictions_;
 }
 
 int64_t ShardManager::rehydrations() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   return rehydrations_;
 }
 
 MemoryStats ShardManager::TotalMemory() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  // Same stable-entry snapshot as dirty_shard_count: collect under the
+  // fleet lock, read each shard under its own.
+  std::vector<const Shard*> snapshot;
+  {
+    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    snapshot.reserve(shards_.size());
+    for (const auto& [key, shard] : shards_) snapshot.push_back(&shard);
+  }
   MemoryStats stats;
-  for (const auto& [key, shard] : shards_) {
-    if (shard.live) stats += shard.live->Memory();
+  for (const Shard* shard : snapshot) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    if (shard->live) stats += shard->live->Memory();
   }
   return stats;
 }

@@ -29,9 +29,43 @@
 //   * background maintenance: StartMaintenance(options) runs the eviction
 //     sweep, DeltaLog capture, and spill-store GC on a timer thread instead
 //     of caller-driven; StopMaintenance() (also run by the destructor)
-//     joins it cleanly. While maintenance runs, the manager's public
-//     methods are safe to call concurrently — each is internally
-//     serialized by one mutex.
+//     joins it cleanly.
+//
+// Concurrency model (two-level locking). The manager serializes nothing
+// behind one big mutex; instead:
+//
+//   * A light FLEET lock guards the routing table (the shard map's
+//     structure), the per-tenant override table, the LRU index, the
+//     manager clock, and the lifetime counters. It is held only for map
+//     lookups and bookkeeping mutations — never across a window update, a
+//     query, a (de)serialization, or spill-store IO.
+//   * Each shard owns a PER-SHARD mutex guarding its window's contents and
+//     its dirty-tracking state. Ingest and per-key queries touch only the
+//     shards they route to, so two tenants never contend.
+//   * Fleet-wide reads (QueryAll, CheckpointAll, CheckpointDelta) take
+//     EPOCH-SNAPSHOT semantics: under the fleet lock they collect a stable
+//     vector of shard refs, pinned against eviction via a per-shard
+//     refcount, release the fleet lock, then visit shards one at a time
+//     under their own locks. A big fleet read therefore blocks ingest to
+//     one shard at a time, never the fleet; shards created after the
+//     snapshot simply appear in the next round (their dirty bits are
+//     untouched, so no delta ever loses them).
+//   * Eviction (EvictIdle and the LRU cap) try-locks its victims and
+//     SKIPS busy or pinned shards instead of stalling the world; a spill
+//     re-checks the pin count after writing to the store and aborts if a
+//     reader pinned the shard in the meantime, so rehydration stays
+//     bit-exact and the staged-commit checkpoint invariants hold.
+//
+//   Lock order: a per-shard mutex is only ever acquired blocking while no
+//   other manager lock is held; the fleet lock may be acquired while
+//   holding a shard lock (residency commits); under the fleet lock, shard
+//   mutexes are only try_lock'ed (eviction). Spill-store writes and GC are
+//   additionally serialized by a GC mutex so a sweep can never reap a
+//   blob spilled after it snapshotted the keep-set.
+//
+// Compound caller sequences are still not atomic, and a fleet-wide
+// operation concurrent with ingest sees each shard's state at the moment
+// its lock is taken (per-shard atomicity, not a fleet-wide point in time).
 //
 // Malformed input is rejected, never fatal: oversized keys, out-of-range or
 // zero-cap colors, empty or non-finite coordinates, and dimension changes
@@ -84,14 +118,17 @@ struct ShardManagerOptions {
   /// Worker threads of the shared pool multiplexing ingest and queries over
   /// the shards. 1 = fully sequential; 0 = hardware concurrency. An
   /// execution knob: results are bit-identical at any value and it is not
-  /// part of the checkpoint.
+  /// part of the checkpoint. Independent of EXTERNAL concurrency: any
+  /// number of client threads may call the manager at num_threads = 1.
   int num_threads = 1;
 
   /// Upper bound on simultaneously live (in-memory) shards; 0 = unlimited.
   /// When a create or rehydration would exceed it, the least-recently
   /// touched live shard is spilled. Enforced between ingest batches, so a
   /// single batch touching more distinct keys than the cap still works. A
-  /// resource knob, not state: it is not checkpointed.
+  /// resource knob, not state: it is not checkpointed. Best-effort under
+  /// concurrency: shards pinned by in-flight readers are skipped and
+  /// swept by the next enforcement instead.
   int64_t max_live_shards = 0;
 
   /// Backend holding evicted-shard state. nullptr = a private
@@ -133,8 +170,8 @@ struct MaintenanceOptions {
   /// Run spill-store GarbageCollect every this many ticks (0 = never).
   int64_t gc_every = 0;
 
-  /// Test-visible tick hook, called after each tick outside the manager's
-  /// internal lock (so it may call back into the manager).
+  /// Test-visible tick hook, called after each tick outside every manager
+  /// lock (so it may call back into the manager).
   std::function<void(const MaintenanceTickReport&)> on_tick;
 };
 
@@ -158,13 +195,17 @@ struct ShardAnswer {
 ///   auto blob = manager.CheckpointAll();       // the whole fleet
 ///   auto restored = ShardManager::Restore(blob.value(), &metric, &solver);
 ///
-/// Thread-safety: every public method is internally serialized by one
-/// mutex, so the background maintenance thread (and any other caller) can
-/// interleave with ingest and queries. Compound caller sequences are not
-/// atomic, and pointers returned by shard() may be invalidated by a
-/// maintenance tick — stop maintenance (or drive ticks manually via
-/// RunMaintenanceTick) around code that retains shard pointers. Do not
-/// move a manager whose maintenance thread is running.
+/// Thread-safety: every public method is safe to call from any number of
+/// threads concurrently, including while the background maintenance thread
+/// runs. Ingest and per-key queries contend only on the shards they route
+/// to (two-level locking — see the file comment); QueryAll and the
+/// checkpoint family are epoch snapshots that lock shards one at a time.
+/// Compound caller sequences are not atomic, and pointers returned by
+/// shard() are not protected by any lock once returned — do not retain
+/// them across other manager calls, and do not use the non-const shard()
+/// accessor while other threads (or the maintenance tick) may spill the
+/// pointed-to window. Do not move a manager that other threads are using
+/// or whose maintenance thread is running.
 class ShardManager {
  public:
   /// `metric` and `solver` must outlive the manager; they are shared by all
@@ -183,7 +224,8 @@ class ShardManager {
   /// kInvalidArgument — consuming nothing — for an oversized key, an
   /// out-of-range or zero-cap color, empty or non-finite coordinates, or a
   /// dimension differing from the shard's earlier arrivals (the first
-  /// accepted arrival pins it); other tenants are unaffected.
+  /// accepted arrival pins it); other tenants are unaffected. Holds only
+  /// `key`'s shard lock during the window update.
   Status Ingest(const std::string& key, Point p);
 
   /// Routes a batch of keyed arrivals: groups by key (preserving per-key
@@ -194,7 +236,8 @@ class ShardManager {
   /// zero-cap color, empty/non-finite coordinates, dimension mismatch) are
   /// dropped individually — every valid arrival in the batch is still
   /// consumed — and reported through a kInvalidArgument status describing
-  /// the first offender and the drop count.
+  /// the first offender and the drop count. Two batches touching disjoint
+  /// key sets never contend beyond the routing step.
   Status IngestBatch(std::vector<KeyedPoint> batch);
 
   /// Registers per-tenant options applied when `key`'s shard is created;
@@ -208,20 +251,27 @@ class ShardManager {
 
   /// The override registered for `key`, or nullptr if the tenant uses the
   /// fleet template. The pointer is invalidated by SetTenantOptions,
-  /// ApplyDelta, and destruction.
+  /// ApplyDelta, and destruction — under concurrency, copy what you need
+  /// while no such call can interleave.
   const SlidingWindowOptions* TenantOptions(const std::string& key) const;
 
   /// Queries one shard, transparently rehydrating it if spilled. Fails with
-  /// kNotFound for an unknown key.
+  /// kNotFound for an unknown key. Holds only `key`'s shard lock during
+  /// the query pipeline — concurrent ingest to other tenants proceeds.
   Result<FairCenterSolution> Query(const std::string& key,
                                    QueryStats* stats = nullptr);
 
   /// Queries every shard — live and spilled — multiplexed over the pool
   /// (each shard's query pipeline runs sequentially inside its task).
-  /// Spilled shards are answered from an ephemeral deserialization without
-  /// changing their residency, so a fleet-wide dashboard query does not
-  /// defeat eviction. Answers are ordered by key, deterministically. A
-  /// spilled shard whose blob fails to load answers with that error.
+  /// An epoch snapshot: the shard set is collected (and pinned against
+  /// eviction) under the fleet lock, then each shard is visited under its
+  /// own lock — ingest to unrelated shards never waits on a fleet-wide
+  /// query round. Spilled shards are answered from an ephemeral
+  /// deserialization without changing their residency, so a fleet-wide
+  /// dashboard query does not defeat eviction. Answers are ordered by key,
+  /// deterministically; each answer reflects that shard's state at the
+  /// moment its lock was taken. A spilled shard whose blob fails to load
+  /// answers with that error.
   std::vector<ShardAnswer> QueryAll();
 
   /// Spills every live shard whose last touch is more than `idle_ttl`
@@ -232,17 +282,24 @@ class ShardManager {
   /// reads deliberately do not touch. A spilled shard keeps answering
   /// (QueryAll) and is rehydrated in place by its next touch. Returns the
   /// number of shards spilled. idle_ttl = 0 spills everything not touched
-  /// at the current clock; negative is a no-op. If the spill backend fails
-  /// the sweep stops early (the shard stays live, nothing is lost) and the
+  /// at the current clock; negative is a no-op. Shards whose lock is busy
+  /// or that are pinned by an in-flight fleet read are SKIPPED, not waited
+  /// for — the next sweep catches them. If the spill backend fails the
+  /// sweep stops early (the shard stays live, nothing is lost) and the
   /// error is reported through `spill_status` when provided.
   int64_t EvictIdle(int64_t idle_ttl, Status* spill_status = nullptr);
 
   /// Serializes the fleet — template, constraint, tenant overrides, and
   /// every shard (live or spilled) — into one self-describing v2 blob, and
-  /// marks every shard clean. Spilled shards are written from their spill
-  /// blob without rehydration; a spill blob that fails to load fails the
-  /// whole checkpoint (leaving every dirty bit as it was — the next
-  /// delta loses nothing).
+  /// marks every shard clean. An epoch snapshot like QueryAll: the shard
+  /// set is pinned under the fleet lock, then serialized one shard lock at
+  /// a time; shards created after the snapshot stay dirty for the next
+  /// checkpoint, and arrivals landing on a shard after its segment was
+  /// captured leave it dirty (the epoch-based clean mark records the
+  /// captured state, not the latest). Spilled shards are written from
+  /// their spill blob without rehydration; a spill blob that fails to load
+  /// fails the whole checkpoint (leaving every dirty bit as it was — the
+  /// next delta loses nothing).
   Result<std::string> CheckpointAll();
 
   /// Serializes only the shards dirtied since the last CheckpointAll /
@@ -250,12 +307,16 @@ class ShardManager {
   /// cheap), and marks them clean. Applying the sequence of deltas, in
   /// order, onto a manager restored from the matching base reproduces the
   /// full fleet state. An idle fleet yields an empty delta (zero shards).
+  /// Epoch-snapshot semantics identical to CheckpointAll.
   Result<std::string> CheckpointDelta();
 
   /// Folds a CheckpointDelta blob into this manager: replaces the override
   /// table and upserts every contained shard as live-and-clean. Validates
   /// everything before mutating anything — on a non-OK return the manager
   /// is unchanged. The delta's constraint must match this manager's.
+  /// Shards are swapped in one at a time under their own locks; a
+  /// concurrent QueryAll may observe a partially applied delta (per-shard
+  /// atomicity), never a torn shard.
   Status ApplyDelta(const std::string& bytes);
 
   /// Reconstructs a manager from CheckpointAll output — v2 or the earlier
@@ -278,21 +339,28 @@ class ShardManager {
   // --- Background maintenance. ---
 
   /// Spawns the maintenance thread: every `options.cadence` it runs one
-  /// RunMaintenanceTick(options). kFailedPrecondition if already running,
-  /// kInvalidArgument for a non-positive cadence. Start/Stop/
-  /// maintenance_running are serialized against each other by a dedicated
-  /// admin mutex (not `mu_` — Stop must not block behind an in-flight
-  /// tick it is about to join).
+  /// RunMaintenanceTick(options). kFailedPrecondition while a thread is
+  /// running, kInvalidArgument for a non-positive cadence. A thread whose
+  /// loop already exited via a hook-initiated StopMaintenance (which
+  /// cannot join itself) is reaped here, so Stop-from-hook followed by a
+  /// later Start works. Start/Stop/maintenance_running are serialized
+  /// against each other by a dedicated admin mutex (never held while
+  /// joining a still-running loop — Stop must not block behind an
+  /// in-flight tick it is about to join).
   Status StartMaintenance(MaintenanceOptions options);
 
   /// Joins the maintenance thread; prompt (wakes the thread mid-sleep) and
   /// idempotent — concurrent Stops are safe. Any tick already executing
   /// finishes first. Calling it from inside an on_tick hook (i.e. on the
   /// maintenance thread itself) cannot join: it signals the loop to exit
-  /// after the current tick and returns immediately; a later Stop — or
-  /// the destructor — on any other thread reaps the finished thread.
+  /// after the current tick and returns immediately; a later Stop or
+  /// Start — or the destructor — on any other thread reaps the finished
+  /// thread.
   void StopMaintenance();
 
+  /// True while the maintenance loop is running (a hook-initiated
+  /// self-stop counts as stopped once the loop has exited, even before
+  /// the finished thread is reaped).
   bool maintenance_running() const;
   /// Ticks executed so far, across StartMaintenance cycles and manual
   /// RunMaintenanceTick calls.
@@ -304,12 +372,15 @@ class ShardManager {
   /// (every options.gc_every ticks). The deterministic alternative to the
   /// timer for tests and single-threaded drivers; the timer thread calls
   /// exactly this. Composed of the ordinary locked public operations — the
-  /// tick as a whole is not atomic against concurrent callers.
+  /// tick as a whole is not atomic against concurrent callers, and it
+  /// skips busy shards rather than stalling them.
   MaintenanceTickReport RunMaintenanceTick(const MaintenanceOptions& options);
 
   /// Removes spill-store entries no longer backing a spilled shard, plus
   /// temp-file debris from interrupted writes. Returns entries removed.
   /// Cheap for the in-memory store; a directory scan for the file store.
+  /// Serialized against concurrent spills by the GC mutex, so a blob
+  /// spilled after the keep-set snapshot can never be reaped.
   Result<int64_t> GarbageCollectSpill();
 
   /// Shard keys — live and spilled — in deterministic (lexicographic)
@@ -318,10 +389,12 @@ class ShardManager {
 
   /// Direct access to one shard, transparently rehydrating it if spilled
   /// (nullptr for an unknown key or a spill blob that fails to load). The
-  /// manager retains ownership. When `max_live_shards` is set, any later
-  /// mutating access (Ingest, IngestBatch, Query, shard, EvictIdle,
-  /// ApplyDelta) — or a concurrent maintenance tick — may spill the
-  /// pointed-to window: use the pointer before the next manager call, and
+  /// manager retains ownership. The returned pointer is NOT protected by
+  /// any lock: when `max_live_shards` is set, any later mutating access
+  /// (Ingest, IngestBatch, Query, shard, EvictIdle, ApplyDelta) — or a
+  /// concurrent maintenance tick — may spill the pointed-to window, and
+  /// concurrent ingest to the same key mutates it. Use the pointer before
+  /// the next manager call, from the only thread driving this key, and
   /// not while the maintenance thread runs.
   FairCenterSlidingWindow* shard(const std::string& key);
   /// Const access never changes residency: returns nullptr for spilled as
@@ -353,14 +426,32 @@ class ShardManager {
 
  private:
   /// One tenant's slot: a live window, or (live == nullptr) its serialized
-  /// state parked in the spill store under the tenant key.
+  /// state parked in the spill store under the tenant key. Entries are
+  /// never removed from the shard map (eviction only drops the live
+  /// window), so Shard* pointers are stable for the manager's lifetime.
+  ///
+  /// Field guards:
+  ///   * `mu` (the per-shard lock) guards the contents of `live` (every
+  ///     Update/Query/SerializeState call), `spill_dirty`, and
+  ///     `clean_epoch`.
+  ///   * The fleet lock guards `pins`, `last_touch`, and `dim`.
+  ///   * The `live` POINTER itself (residency) changes only with BOTH the
+  ///     fleet lock and `mu` held, so either lock suffices to read it.
   struct Shard {
+    /// Per-shard lock. Blocking-acquired only while no other manager lock
+    /// is held; try_lock'ed under the fleet lock by eviction. Mutable so
+    /// const fleet accessors can lock shards they only read.
+    mutable std::mutex mu;
     std::unique_ptr<FairCenterSlidingWindow> live;  ///< null when spilled
     bool spill_dirty = false;  ///< spilled state not yet in a fleet blob
     /// Live shards: state_epoch() at the last fleet checkpoint;
     /// kNeverCheckpointed marks dirty-since-birth (or since a dirty spill
     /// was rehydrated, which resets the window's epoch counter).
     int64_t clean_epoch = kNeverCheckpointed;
+    /// In-flight operations holding a reference (fleet lock). A pinned
+    /// shard is never spilled: the spill path re-checks after its store
+    /// write and aborts. Pins do not block rehydration.
+    int pins = 0;
     int64_t last_touch = 0;  ///< manager clock at the last touch
     /// Coordinate dimension pinned by the first accepted arrival (or the
     /// restored state); -1 until then. Kept outside the window so a
@@ -368,15 +459,26 @@ class ShardManager {
     int64_t dim = -1;
   };
 
+  /// One pinned entry of an epoch snapshot (QueryAll / checkpoints).
+  struct PinnedShard {
+    const std::string* key = nullptr;  ///< stable: map keys are never erased
+    Shard* shard = nullptr;
+  };
+
+  /// Unpins a snapshot on scope exit, whatever the exit path.
+  class FleetPin;
+
+  /// What TrySpillShard did.
+  enum class SpillAttempt { kSpilled, kSkipped };
+
   /// Timer-thread state; heap-allocated so the manager stays movable while
   /// no thread is running.
   struct MaintenanceState;
 
   static constexpr int64_t kNeverCheckpointed = -1;
 
+  /// Requires the shard's `mu` (reads the live window's epoch counter).
   bool IsDirty(const Shard& shard) const;
-  size_t DirtyCountLocked() const;
-  int64_t EvictIdleLocked(int64_t idle_ttl, Status* spill_status);
   /// The offending-arrival checks shared by Ingest and IngestBatch:
   /// everything the core engine would CHECK-abort on, or that the
   /// checkpoint reader would later refuse to restore. `pinned_dim` is the
@@ -384,27 +486,44 @@ class ShardManager {
   Status ValidateArrival(const std::string& key, const Point& p,
                          int64_t pinned_dim) const;
   /// `key`'s pinned coordinate dimension, or -1 for unknown keys.
-  int64_t PinnedDimension(const std::string& key) const;
-  /// Template or override for `key`, num_threads forced to 1.
+  /// Requires the fleet lock.
+  int64_t PinnedDimensionLocked(const std::string& key) const;
+  /// Template or override for `key`, num_threads forced to 1. Requires the
+  /// fleet lock (reads the override table).
   SlidingWindowOptions OptionsForKey(const std::string& key) const;
-  /// Finds `key`'s shard, rehydrating a spilled one and (optionally)
-  /// creating a missing one; refreshes last_touch. On success the shard is
-  /// live. `enforce_cap` runs the LRU cap afterwards, never spilling `key`
-  /// itself — batch paths pass false and enforce once after the fan-out.
-  Result<Shard*> TouchShard(const std::string& key, bool create_missing,
-                            bool enforce_cap);
+  /// Routing step of every single-shard operation. Requires the fleet
+  /// lock: finds `key`'s entry (creating a live one when `create_missing`),
+  /// and refreshes its last_touch to `touch`. Returns nullptr for an
+  /// unknown key when not creating. The caller pins before releasing the
+  /// fleet lock if it needs the shard past the lookup.
+  Shard* RouteLocked(const std::string& key, bool create_missing,
+                     int64_t touch);
+  /// Rehydrates `key`'s shard if spilled. Caller holds the shard's `mu`
+  /// and NO other lock; the residency commit takes the fleet lock
+  /// internally. On success the shard is live.
+  Status EnsureLiveHeld(const std::string& key, Shard* shard);
   /// Sets a live shard's last_touch, keeping the LRU index in sync.
+  /// Requires the fleet lock.
   void TouchLive(const std::string& key, Shard* shard, int64_t touch);
-  Status RehydrateShard(const std::string& key, Shard* shard);
-  /// Serializes the live window into the spill store and drops it. On a
-  /// backend failure the shard stays live and untouched.
-  Status SpillShard(const std::string& key, Shard* shard);
+  /// Attempts to spill `key`'s live shard right now, without blocking:
+  /// kSkipped when the shard is unknown, already spilled, pinned, its lock
+  /// is busy, or (idle_ttl >= 0) it is no longer idle by the time the
+  /// fleet lock is held; a backend failure is returned as a Status and
+  /// leaves the shard live. Caller must hold NO manager lock.
+  Result<SpillAttempt> TrySpillShard(const std::string& key, int64_t idle_ttl);
   /// Spills least-recently-touched live shards (ties broken by smaller
   /// key, deterministically — the LRU index order) until the cap holds.
-  /// `exclude` (may be null) is never spilled. Best-effort: a failing
-  /// spill backend leaves the victim live and stops enforcing.
+  /// `exclude` (may be null) is never spilled; pinned or lock-busy shards
+  /// are skipped (best-effort, like a failing spill backend). Caller must
+  /// hold NO manager lock.
   void EnforceLiveCap(const std::string* exclude);
-  ThreadPool* Pool();
+  /// Pins every current shard entry under the fleet lock and returns the
+  /// snapshot in deterministic (key) order.
+  std::vector<PinnedShard> PinFleet();
+  void UnpinFleet(const std::vector<PinnedShard>& pinned);
+  /// Shared body of CheckpointAll / CheckpointDelta (`dirty_only`).
+  Result<std::string> CheckpointSnapshot(bool dirty_only);
+  ThreadPool* Pool() { return pool_.get(); }
   /// `state` is passed explicitly: StopMaintenance detaches the state from
   /// the manager (under the admin mutex) before joining, so the loop must
   /// not read the member it was started from.
@@ -415,36 +534,43 @@ class ShardManager {
   const Metric* metric_;
   const FairCenterSolver* solver_;
 
-  /// Serializes every public operation; via unique_ptr so the manager
+  /// The fleet lock (see file comment); via unique_ptr so the manager
   /// stays movable (the moved-from shell is destroy-only).
-  std::unique_ptr<std::mutex> mu_;
+  std::unique_ptr<std::mutex> fleet_mu_;
 
-  /// Per-tenant option overrides, applied at shard creation.
+  /// Serializes spill-store writes against GarbageCollectSpill's keep-set
+  /// snapshot + sweep (lock order: shard mu -> gc_mu_ -> fleet_mu_).
+  std::unique_ptr<std::mutex> gc_mu_;
+
+  /// Per-tenant option overrides, applied at shard creation. Fleet lock.
   std::map<std::string, SlidingWindowOptions> overrides_;
 
-  /// Shards keyed by tenant id; std::map for deterministic iteration.
+  /// Shards keyed by tenant id; std::map for deterministic iteration AND
+  /// stable Shard addresses (entries are never erased). Fleet lock guards
+  /// the map structure; each Shard guards its own contents.
   std::map<std::string, Shard> shards_;
   size_t live_count_ = 0;
 
   /// (last_touch, key) of every live shard: the LRU victim is begin(), so
   /// cap enforcement is O(log n) per eviction instead of a scan over the
-  /// whole fleet. Maintained by TouchLive / SpillShard.
+  /// whole fleet. Maintained by TouchLive / the spill and rehydrate
+  /// commits, all under the fleet lock.
   std::set<std::pair<int64_t, std::string>> live_lru_;
 
-  /// Lazily created shared pool (nullptr while sequential) and its
-  /// resolved effective size (-1 = not yet resolved).
+  /// Shared pool (nullptr when the effective size is 1), created eagerly
+  /// so concurrent fan-outs never race a lazy construction.
   std::unique_ptr<ThreadPool> pool_;
-  int pool_threads_ = -1;
 
   /// Guards maintenance_ lifecycle (Start/Stop/running); never held while
-  /// joining, so a hook's re-entrant Stop cannot deadlock the join.
+  /// joining a still-running loop, so a hook's re-entrant Stop cannot
+  /// deadlock the join.
   std::unique_ptr<std::mutex> maintenance_admin_mu_;
   std::unique_ptr<MaintenanceState> maintenance_;
   std::atomic<int64_t> maintenance_ticks_{0};
 
-  int64_t clock_ = 0;
-  int64_t evictions_ = 0;
-  int64_t rehydrations_ = 0;
+  int64_t clock_ = 0;        ///< fleet lock
+  int64_t evictions_ = 0;    ///< fleet lock
+  int64_t rehydrations_ = 0; ///< fleet lock
 };
 
 }  // namespace serving

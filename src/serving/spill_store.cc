@@ -139,11 +139,13 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 // --- InMemorySpillStore. ---
 
 Status InMemorySpillStore::Put(const std::string& key, std::string blob) {
+  std::lock_guard<std::mutex> lock(mu_);
   blobs_[key] = std::move(blob);
   return Status::OK();
 }
 
 Result<std::string> InMemorySpillStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) {
     return Status::NotFound("no spilled state for key '" + key + "'");
@@ -152,12 +154,14 @@ Result<std::string> InMemorySpillStore::Get(const std::string& key) const {
 }
 
 Status InMemorySpillStore::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   blobs_.erase(key);
   return Status::OK();
 }
 
 Result<int64_t> InMemorySpillStore::GarbageCollect(
     const std::set<std::string>& keep) {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t removed = 0;
   for (auto it = blobs_.begin(); it != blobs_.end();) {
     if (keep.count(it->first) == 0) {
@@ -171,6 +175,7 @@ Result<int64_t> InMemorySpillStore::GarbageCollect(
 }
 
 Result<int64_t> InMemorySpillStore::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(blobs_.size());
 }
 
@@ -249,6 +254,7 @@ FileSpillStore::ChainScan FileSpillStore::ScanChain(const std::string& key,
 }
 
 Status FileSpillStore::Put(const std::string& key, std::string blob) {
+  std::lock_guard<std::mutex> lock(mu_);
   FKC_RETURN_IF_ERROR(init_);
   // Overwrite the key's own slot when it has one; otherwise the first hole;
   // otherwise reclaim a corrupt slot (its content is unreadable for anyone
@@ -274,6 +280,7 @@ Status FileSpillStore::Put(const std::string& key, std::string blob) {
 }
 
 Result<std::string> FileSpillStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   FKC_RETURN_IF_ERROR(init_);
   ChainScan scan = ScanChain(key, /*verify_payload=*/true);
   // A valid copy wins even when an earlier slot is corrupt or unreadable:
@@ -288,6 +295,7 @@ Result<std::string> FileSpillStore::Get(const std::string& key) const {
 }
 
 Status FileSpillStore::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   FKC_RETURN_IF_ERROR(init_);
   // Remove every slot whose stored key is `key`; corrupt and foreign slots
   // stay (GC owns debris). Holes are harmless — readers scan the whole
@@ -304,6 +312,7 @@ Status FileSpillStore::Erase(const std::string& key) {
 
 Result<int64_t> FileSpillStore::GarbageCollect(
     const std::set<std::string>& keep) {
+  std::lock_guard<std::mutex> lock(mu_);
   FKC_RETURN_IF_ERROR(init_);
   std::vector<std::string> files;
   FKC_RETURN_IF_ERROR(ListDirectoryFiles(directory_, &files));
@@ -342,6 +351,7 @@ Result<int64_t> FileSpillStore::GarbageCollect(
 }
 
 Result<int64_t> FileSpillStore::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   FKC_RETURN_IF_ERROR(init_);
   std::vector<std::string> files;
   FKC_RETURN_IF_ERROR(ListDirectoryFiles(directory_, &files));

@@ -15,13 +15,18 @@
 //     window), and GarbageCollect sweeps orphans: temp files left by a
 //     kill mid-write and spill files whose tenant is no longer spilled.
 //
-// Stores are not thread-safe on their own; the owning ShardManager
-// serializes access (including from its maintenance thread).
+// Both implementations are internally thread-safe: every operation holds
+// the store's own mutex, so concurrent per-shard spills, rehydrations,
+// ephemeral QueryAll reads, and the maintenance thread's GC may hit the
+// store at once (the ShardManager's per-shard locks already serialize
+// same-key traffic; this mutex makes cross-key concurrency safe too).
+// Custom SpillStore implementations must uphold the same contract.
 #ifndef FKC_SERVING_SPILL_STORE_H_
 #define FKC_SERVING_SPILL_STORE_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,7 +36,8 @@
 namespace fkc {
 namespace serving {
 
-/// Keyed blob storage for spilled shards.
+/// Keyed blob storage for spilled shards. Implementations must be safe to
+/// call from multiple threads concurrently (see file comment).
 class SpillStore {
  public:
   virtual ~SpillStore() = default;
@@ -70,6 +76,7 @@ class InMemorySpillStore final : public SpillStore {
   const char* Name() const override { return "memory"; }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::string> blobs_;
 };
 
@@ -113,6 +120,11 @@ class FileSpillStore final : public SpillStore {
   /// payload); false = key-only header reads (Put/Erase slot selection).
   ChainScan ScanChain(const std::string& key, bool verify_payload) const;
 
+  /// One lock over the whole store: chain scans and the atomic
+  /// write-temp-then-rename publish must not interleave across threads
+  /// (two writers could pick the same free slot, a reader could observe a
+  /// half-swept GC as a hole and double-write a key).
+  mutable std::mutex mu_;
   std::string directory_;
   Status init_;  ///< directory creation outcome, reported on first use
 };

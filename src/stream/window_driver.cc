@@ -1,7 +1,11 @@
 #include "stream/window_driver.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -302,6 +306,169 @@ ShardedChurnReport RunShardedChurn(serving::ShardManager* manager,
   report.rehydrations = manager->rehydrations();
   report.total_shards = static_cast<int64_t>(manager->shard_count());
   report.live_shards = static_cast<int64_t>(manager->live_shard_count());
+  return report;
+}
+
+ShardedContentionReport RunShardedContention(
+    serving::ShardManager* manager, PointStream* stream,
+    const ShardedContentionOptions& options) {
+  FKC_CHECK(manager != nullptr);
+  FKC_CHECK(stream != nullptr);
+  FKC_CHECK_GT(options.client_threads, 0);
+  FKC_CHECK_GT(options.points_per_client, 0);
+  FKC_CHECK_GT(options.batch_size, 0);
+
+  ShardedContentionReport report;
+  report.shards = options.client_threads;
+  report.client_threads = options.client_threads;
+  report.idle_tenants = static_cast<int>(options.idle_tenants);
+
+  // Pre-generate every client's arrivals before the clock starts: stream
+  // synthesis must not be measured, and clients must not contend on the
+  // stream itself.
+  std::vector<std::vector<Point>> per_client(
+      static_cast<size_t>(options.client_threads));
+  for (auto& points : per_client) {
+    points.reserve(static_cast<size_t>(options.points_per_client));
+    for (int64_t i = 0; i < options.points_per_client; ++i) {
+      auto next = stream->Next();
+      FKC_CHECK(next.has_value()) << "stream exhausted pre-generating points";
+      points.push_back(std::move(*next));
+    }
+  }
+
+  // Build the cold half of the fleet (also unmeasured): fill each idle
+  // tenant, then spill all of them at once. They stay spilled for the whole
+  // run — the hot keys are disjoint and the maintenance TTL is far larger
+  // than the run — so every QueryAll round pays idle_tenants ephemeral
+  // reads with full state deserialization.
+  for (int64_t t = 0; t < options.idle_tenants; ++t) {
+    const std::string key = StrFormat("idle-%02lld", static_cast<long long>(t));
+    std::vector<serving::KeyedPoint> batch;
+    batch.reserve(static_cast<size_t>(options.batch_size));
+    for (int64_t i = 0; i < options.idle_points; ++i) {
+      auto next = stream->Next();
+      FKC_CHECK(next.has_value()) << "stream exhausted building idle tenants";
+      batch.push_back({key, std::move(*next)});
+      if (static_cast<int64_t>(batch.size()) == options.batch_size ||
+          i + 1 == options.idle_points) {
+        const Status status = manager->IngestBatch(std::move(batch));
+        FKC_CHECK(status.ok()) << status.ToString();
+        batch.clear();
+        batch.reserve(static_cast<size_t>(options.batch_size));
+      }
+    }
+  }
+  // Warm up the hot shards: one arrival each, so the measured phase never
+  // pays shard creation, and the fleet clock moves past every cold
+  // tenant's last touch (EvictIdle counts a shard idle only when it is
+  // STRICTLY older than the TTL).
+  for (int c = 0; c < options.client_threads; ++c) {
+    auto next = stream->Next();
+    FKC_CHECK(next.has_value()) << "stream exhausted warming hot shards";
+    std::vector<serving::KeyedPoint> warmup;
+    warmup.push_back({StrFormat("client-%02d", c), std::move(*next)});
+    const Status status = manager->IngestBatch(std::move(warmup));
+    FKC_CHECK(status.ok()) << status.ToString();
+  }
+  if (options.idle_tenants > 0) {
+    // TTL = client_threads - 1 separates the fleet exactly: every cold
+    // tenant is at least client_threads arrivals stale (the warmups above
+    // all came later), while the oldest hot warmup is client_threads - 1.
+    Status spill_status;
+    const int64_t spilled =
+        manager->EvictIdle(options.client_threads - 1, &spill_status);
+    FKC_CHECK(spill_status.ok()) << spill_status.ToString();
+    FKC_CHECK_EQ(spilled, options.idle_tenants)
+        << "cold tenants failed to spill";
+  }
+
+  // The baseline's "one internal mutex": every manager call — ingest,
+  // QueryAll, maintenance — funnels through this lock when global_mutex is
+  // set. With it off the lambda is pass-through and the manager's own
+  // two-level locking is what's measured.
+  std::mutex global_mu;
+  auto locked = [&](auto&& fn) {
+    if (options.global_mutex) {
+      std::lock_guard<std::mutex> lock(global_mu);
+      return fn();
+    }
+    return fn();
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> query_rounds{0};
+  std::atomic<int64_t> maintenance_ticks{0};
+
+  // Background QueryAll storm: rounds run back to back, separated only by
+  // the configured pause (the baseline's ingest window — see the header).
+  std::thread query_thread([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto answers = locked([&] { return manager->QueryAll(); });
+      for (const serving::ShardAnswer& answer : answers) {
+        FKC_CHECK(answer.solution.ok())
+            << "shard '" << answer.key
+            << "': " << answer.solution.status().ToString();
+      }
+      query_rounds.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.query_pause_ms));
+    }
+  });
+  std::thread maintenance_thread([&] {
+    serving::MaintenanceOptions tick_options;
+    tick_options.idle_ttl = options.idle_ttl;
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto tick =
+          locked([&] { return manager->RunMaintenanceTick(tick_options); });
+      FKC_CHECK(tick.status.ok()) << tick.status.ToString();
+      maintenance_ticks.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.maintenance_pause_ms));
+    }
+  });
+
+  // Release the clients and time the whole concurrent phase: wall clock
+  // from here to the last client finishing its fixed workload, with the
+  // background threads hammering throughout.
+  Stopwatch timer;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(options.client_threads));
+  for (int c = 0; c < options.client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string key = StrFormat("client-%02d", c);
+      const std::vector<Point>& points =
+          per_client[static_cast<size_t>(c)];
+      for (size_t start = 0; start < points.size();
+           start += static_cast<size_t>(options.batch_size)) {
+        const size_t end = std::min(
+            points.size(), start + static_cast<size_t>(options.batch_size));
+        std::vector<serving::KeyedPoint> batch;
+        batch.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+          batch.push_back({key, points[i]});
+        }
+        const Status status =
+            locked([&] { return manager->IngestBatch(std::move(batch)); });
+        FKC_CHECK(status.ok()) << status.ToString();
+        if (options.client_pause_ms > 0 &&
+            end < points.size()) {  // no tail padding after the last batch
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options.client_pause_ms));
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  report.update_seconds = timer.ElapsedMillis() / 1e3;
+  done.store(true, std::memory_order_relaxed);
+  query_thread.join();
+  maintenance_thread.join();
+
+  report.updates = static_cast<int64_t>(options.client_threads) *
+                   options.points_per_client;
+  report.query_rounds = query_rounds.load();
+  report.maintenance_ticks = maintenance_ticks.load();
   return report;
 }
 

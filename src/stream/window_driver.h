@@ -259,6 +259,88 @@ ShardedChurnReport RunShardedChurn(serving::ShardManager* manager,
                                    PointStream* stream,
                                    const ShardedChurnOptions& options);
 
+/// Schedule of a multi-thread contention run: N client threads, each
+/// ingesting a fixed number of pre-generated arrivals into its own tenant
+/// shard, while a background thread runs continuous QueryAll rounds and a
+/// maintenance thread runs eviction-sweep ticks. Measures how much ingest
+/// the serving layer sustains while fleet-wide reads and maintenance hammer
+/// it — the scenario per-shard locking exists for. With `global_mutex` the
+/// same schedule wraps EVERY manager call in one external mutex, emulating
+/// the old single-internal-mutex design as the baseline: there a QueryAll
+/// round blocks all clients for the whole fleet scan.
+struct ShardedContentionOptions {
+  /// Client threads; client c ingests only into its own key ("client-c"),
+  /// so client threads never contend with each other under per-shard
+  /// locking, only with the fleet-wide readers.
+  int client_threads = 8;
+  /// Arrivals each client ingests (pre-generated before the clock starts,
+  /// so stream synthesis is not measured).
+  int64_t points_per_client = 0;
+  /// Keyed arrivals per IngestBatch call.
+  int64_t batch_size = 64;
+  /// Think time between a client's batches, modelling a paced per-tenant
+  /// arrival stream instead of an offline replay. The pacing leaves the
+  /// fleet idle headroom — per-shard locking spends it on the background
+  /// QueryAll scans without delaying any client, while the single-mutex
+  /// baseline stalls every client for the full duration of each scan.
+  /// 0 = hammer (clients replay as fast as the manager admits them).
+  int64_t client_pause_ms = 2;
+  /// Cold tenants: before the clock starts, each is filled with
+  /// `idle_points` arrivals and spilled to the store (EvictIdle(0)). They
+  /// never ingest again, but every background QueryAll round pays an
+  /// ephemeral read — store Get + full state deserialization — for each
+  /// one. That is what makes a fleet scan cost real time: under the
+  /// single-mutex baseline the whole scan happens with every hot client
+  /// blocked, while per-shard locking deserializes cold state outside any
+  /// lock the clients need.
+  int64_t idle_tenants = 24;
+  /// Arrivals pre-ingested into each cold tenant (sets its spilled-state
+  /// size, i.e. the per-shard cost of a fleet scan).
+  int64_t idle_points = 1000;
+  /// Pause between background QueryAll rounds. Deliberately non-zero: it
+  /// also gives the single-mutex baseline its only ingest window — with a
+  /// back-to-back query loop the global mutex would be re-acquired before
+  /// any waiting client wakes, and the baseline would measure pure
+  /// starvation instead of contention.
+  int64_t query_pause_ms = 2;
+  /// Pause between maintenance ticks (each = one eviction sweep).
+  int64_t maintenance_pause_ms = 5;
+  /// Idle TTL handed to the per-tick sweep. The default is large enough
+  /// that the sweep scans but spills nothing — the contention scenario
+  /// measures locking, not spill IO.
+  int64_t idle_ttl = int64_t{1} << 30;
+  /// Baseline mode: serialize every manager call behind one external
+  /// mutex (ingest, QueryAll, and maintenance alike).
+  bool global_mutex = false;
+};
+
+/// Outcome of one contention run. updates and shards are deterministic;
+/// everything else is wall-clock dependent (including query_rounds and
+/// maintenance_ticks — background threads run as often as the clock lets
+/// them).
+struct ShardedContentionReport {
+  int shards = 0;          ///< hot shards == client_threads (one per client)
+  int client_threads = 0;
+  int idle_tenants = 0;    ///< cold spilled tenants scanned by every round
+  int64_t updates = 0;
+  int64_t query_rounds = 0;       ///< completed background QueryAll rounds
+  int64_t maintenance_ticks = 0;  ///< completed background sweeps
+  /// Wall time from releasing the clients to the last client finishing,
+  /// with the background threads running throughout.
+  double update_seconds = 0.0;
+
+  double UpdatesPerSecond() const {
+    return update_seconds > 0.0 ? static_cast<double>(updates) / update_seconds
+                                : 0.0;
+  }
+};
+
+/// Runs the contention schedule. Every IngestBatch status, QueryAll answer,
+/// and maintenance tick is checked OK.
+ShardedContentionReport RunShardedContention(
+    serving::ShardManager* manager, PointStream* stream,
+    const ShardedContentionOptions& options);
+
 }  // namespace fkc
 
 #endif  // FKC_STREAM_WINDOW_DRIVER_H_

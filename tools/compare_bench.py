@@ -15,7 +15,12 @@ Two input formats are auto-detected:
   deterministic counters (updates, queries, memory points, evictions,
   rehydrations, checkpoint sizes) are compared like stable counters, and
   the throughput fields (updates_per_s, queries_per_s) can additionally
-  be compared with --max-walltime-regression. Wall-time comparison is
+  be compared with --max-walltime-regression. The contention scenario's
+  two runs appear as contention/per_shard and contention/global_mutex
+  (updates is a deterministic counter, updates_per_s rides the wall-time
+  axis); its query_rounds / maintenance_ticks / speedup are volatile —
+  background threads complete as many rounds as the clock allows — and
+  are excluded from comparison entirely. Wall-time comparison is
   only meaningful when both files were produced in the same run
   environment — the CI walltime job builds the PR's base commit and head
   in the same runner and runs both, so the pair IS comparable.
@@ -62,6 +67,12 @@ STABLE_PREFIXES = (
 # deterministic counters.
 THROUGHPUT_FIELDS = ("updates_per_s", "queries_per_s")
 
+# Contention-scenario fields that are neither deterministic counters nor
+# gateable throughputs: background threads complete as many rounds/ticks as
+# the wall clock lets them, and the speedup is a ratio of two wall times.
+# They stay in the JSON for humans but are never compared.
+VOLATILE_FIELDS = ("query_rounds", "maintenance_ticks", "speedup")
+
 
 def stable_counters(entry):
     """The wall-time-stable counters of one google-benchmark JSON entry."""
@@ -97,6 +108,14 @@ def flatten_shard_scaling(data):
             entries[f"churn/{backend}"] = {
                 k: float(v) for k, v in sub.items()
                 if isinstance(v, (int, float))
+            }
+    contention = data.get("contention", {})
+    for mode in ("per_shard", "global_mutex"):
+        sub = contention.get(mode)
+        if isinstance(sub, dict):
+            entries[f"contention/{mode}"] = {
+                k: float(v) for k, v in sub.items()
+                if isinstance(v, (int, float)) and k not in VOLATILE_FIELDS
             }
     return entries
 
