@@ -11,7 +11,9 @@
 //                 [--contention_clients=8] [--contention_points=1500]
 //                 [--contention_idle_tenants=24] [--contention_idle_points=1500]
 //                 [--contention_client_pause_ms=10] [--contention_query_pause_ms=10]
-//                 [--contention_delta=1.0]
+//                 [--contention_delta=1.0] [--contention_threads=2]
+//                 [--zipf_s=1.1] [--zipf_tenants=0] [--create_every=256]
+//                 [--stripes=0]
 //                 [--spill_dir=<tmp>] [--out=BENCH_shard_scaling.json]
 //
 // After the shard-count sweep, an eviction-churn scenario drives a much
@@ -25,24 +27,29 @@
 // output, removed afterwards), so the JSON records the wall-time price of
 // spilling to disk.
 //
-// After churn, a multi-thread CONTENTION scenario: N paced client threads
-// each ingesting into its own hot tenant shard, a population of cold
-// spilled tenants, a background thread running continuous QueryAll fleet
-// scans, and a maintenance thread running eviction-sweep ticks. It runs
-// twice — once with the manager's own per-shard locking and once with
-// every call wrapped in one external global mutex, emulating the old
-// single-internal-mutex serving layer — and records both aggregate
-// updates/s figures plus their ratio. Each fleet scan pays a store read +
-// full state deserialization per cold tenant, so it costs real time: under
-// the global mutex that whole scan runs with every hot client blocked,
-// while per-shard locking absorbs it into the clients' think time. The win
-// is unblocking, not parallelism, so it is measurable even on a
-// single-core host.
+// After churn, the multi-thread CONTENTION scenarios: N paced client
+// threads ingesting hot tenant shards, a population of cold spilled
+// tenants, a background thread running continuous QueryAll fleet scans,
+// and a maintenance thread running eviction-sweep ticks. The schedule runs
+// in several configurations: striped routing (the manager's own locking),
+// every call wrapped in one external global mutex (the old
+// single-internal-mutex serving layer), a single-stripe manager (isolating
+// what the striping itself buys — this needs real cores to show up), a
+// --zipf_s skewed entry where every client draws keys from one shared
+// heavy-tailed tenant population, and a --create_every create-heavy entry
+// whose key generations rotate mid-run so shard creation stays on the
+// measured path. Each fleet scan pays a store read + full state
+// deserialization per cold tenant, so it costs real time: under the global
+// mutex that whole scan runs with every hot client blocked, while
+// per-shard locking absorbs it into the clients' think time (measurable
+// even on a single-core host); the striping and work-sharing wins on top
+// need a multi-core runner.
 //
 // Wall-clock throughput is hardware-dependent; the JSON also records the
 // deterministic per-run totals (updates, queries, shard memory, eviction /
 // rehydration / checkpoint-size counters) which are stable across machines
 // and usable for regression checks.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -121,7 +128,12 @@ int main(int argc, char** argv) {
   int64_t contention_client_pause_ms = 10;
   int64_t contention_idle_tenants = 24;
   int64_t contention_idle_points = 1500;
+  int64_t contention_threads = 2;
   double contention_delta = 1.0;
+  double zipf_s = 1.1;
+  int64_t zipf_tenants = 0;
+  int64_t create_every = 256;
+  int64_t stripes = 0;
   std::string spill_dir;
 
   fkc::FlagParser flags;
@@ -161,8 +173,23 @@ int main(int argc, char** argv) {
   flags.AddInt64("contention_idle_points", &contention_idle_points,
                  "arrivals pre-ingested into each cold tenant (sets the "
                  "per-shard cost of a fleet scan)");
+  flags.AddInt64("contention_threads", &contention_threads,
+                 "manager pool threads in the contention scenario (the "
+                 "work-sharing pool concurrent IngestBatch callers and "
+                 "QueryAll rounds interleave on; 1 = no pool)");
   flags.AddDouble("contention_delta", &contention_delta,
                   "coreset precision delta for the contention scenario");
+  flags.AddDouble("zipf_s", &zipf_s,
+                  "Zipf skew of the skewed contention entry (heavy-tailed "
+                  "tenant popularity; 0 = skip the skewed entry)");
+  flags.AddInt64("zipf_tenants", &zipf_tenants,
+                 "tenant population of the skewed entry (0 = 4x clients)");
+  flags.AddInt64("create_every", &create_every,
+                 "arrivals between key-generation rotations in the "
+                 "create-heavy contention entry (0 = skip it)");
+  flags.AddInt64("stripes", &stripes,
+                 "routing stripes for every manager (0 = auto; rounded up "
+                 "to a power of two)");
   flags.AddString("spill_dir", &spill_dir,
                   "directory for the FileSpillStore churn run (default: "
                   "<out>.spill, removed afterwards)");
@@ -202,6 +229,7 @@ int main(int argc, char** argv) {
     options.window.delta = delta;
     options.window.adaptive_range = true;
     options.num_threads = num_threads;
+    options.num_stripes = static_cast<int>(stripes);
     fkc::serving::ShardManager manager(options, prepared.constraint, &metric,
                                        &jones);
 
@@ -253,6 +281,7 @@ int main(int argc, char** argv) {
     churn_options.window.delta = delta;
     churn_options.window.adaptive_range = true;
     churn_options.num_threads = num_threads;
+    churn_options.num_stripes = static_cast<int>(stripes);
     churn_options.max_live_shards = churn_cap;
     churn_options.spill_store = std::move(store);
     fkc::serving::ShardManager manager(churn_options, prepared.constraint,
@@ -277,14 +306,26 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(spill_dir, spill_cleanup);
   }
 
-  // --- Contention scenario: per-shard locking vs the emulated single
-  // global mutex, same schedule. num_threads = 1: the client threads ARE
-  // the concurrency, and an internal pool would only oversubscribe. ---
-  fkc::ShardedContentionReport contention, contention_global;
+  // --- Contention scenarios. The same paced-clients schedule runs in
+  // several configurations: striped routing vs the emulated single global
+  // mutex vs a single-stripe manager (isolating what the striping itself
+  // buys), plus a Zipf-skewed entry (shared heavy-tailed tenants — hot
+  // stripes) and a create-heavy entry (key generations rotating mid-run,
+  // so shard creation stays on the measured path). `contention_threads`
+  // gives the manager a pool the concurrent IngestBatch callers and
+  // QueryAll rounds interleave on (work sharing). ---
+  fkc::ShardedContentionReport contention, contention_global,
+      contention_single_stripe, contention_zipf, contention_create;
   if (contention_clients > 0) {
     // The contention runs replay prefixes of the same prepared dataset, so
     // fit the scenario to the stream: the cold setup may take at most half
-    // of it, and the measured workload shares the rest.
+    // of it, and the measured workload shares the rest. The warm-up set is
+    // the larger of the client keys and the Zipf rank population.
+    const int64_t zipf_warm =
+        zipf_s > 0.0
+            ? (zipf_tenants > 0 ? zipf_tenants : 4 * contention_clients)
+            : 0;
+    const int64_t warm_keys = std::max(contention_clients, zipf_warm);
     if (contention_idle_tenants > 0) {
       const int64_t max_idle = (points / 2) / contention_idle_tenants;
       if (contention_idle_points > max_idle) contention_idle_points = max_idle;
@@ -292,26 +333,37 @@ int main(int argc, char** argv) {
           << "stream too short for cold tenants";
     }
     const int64_t setup_demand =
-        contention_idle_tenants * contention_idle_points + contention_clients;
+        contention_idle_tenants * contention_idle_points + warm_keys;
     if (contention_clients * contention_points + setup_demand > points) {
       contention_points = (points - setup_demand) / contention_clients;
       FKC_CHECK_GT(contention_points, 0);
     }
     std::printf(
         "# Contention: %lld clients x %lld arrivals (pause %lld ms), "
-        "%lld cold tenants x %lld, QueryAll pause %lld ms\n",
+        "%lld cold tenants x %lld, QueryAll pause %lld ms, %lld pool "
+        "threads\n",
         static_cast<long long>(contention_clients),
         static_cast<long long>(contention_points),
         static_cast<long long>(contention_client_pause_ms),
         static_cast<long long>(contention_idle_tenants),
         static_cast<long long>(contention_idle_points),
-        static_cast<long long>(contention_query_pause_ms));
-    auto run_contention = [&](bool global_mutex) {
+        static_cast<long long>(contention_query_pause_ms),
+        static_cast<long long>(contention_threads));
+    struct ContentionConfig {
+      bool global_mutex = false;
+      int num_stripes = 0;  // 0 = the --stripes flag (itself 0 = auto)
+      double zipf_s = 0.0;
+      int64_t create_every = 0;
+    };
+    auto run_contention = [&](const ContentionConfig& config) {
       fkc::serving::ShardManagerOptions options;
       options.window.window_size = window;
       options.window.delta = contention_delta;
       options.window.adaptive_range = true;
-      options.num_threads = 1;
+      options.num_threads = static_cast<int>(contention_threads);
+      options.num_stripes = config.num_stripes != 0
+                                ? config.num_stripes
+                                : static_cast<int>(stripes);
       fkc::serving::ShardManager manager(options, prepared.constraint,
                                          &metric, &jones);
       auto stream = fkc::datasets::MakeStream(prepared.dataset);
@@ -323,29 +375,53 @@ int main(int argc, char** argv) {
       contention_run.client_pause_ms = contention_client_pause_ms;
       contention_run.idle_tenants = contention_idle_tenants;
       contention_run.idle_points = contention_idle_points;
-      contention_run.global_mutex = global_mutex;
+      contention_run.global_mutex = config.global_mutex;
+      contention_run.zipf_s = config.zipf_s;
+      contention_run.zipf_tenants = zipf_tenants;
+      contention_run.create_every = config.create_every;
       return fkc::RunShardedContention(&manager, stream.get(),
                                        contention_run);
     };
-    contention_global = run_contention(/*global_mutex=*/true);
-    contention = run_contention(/*global_mutex=*/false);
+    auto print_contention = [](const char* label,
+                               const fkc::ShardedContentionReport& r) {
+      std::printf(
+          "#   %-16s %10.0f updates/s (%lld query rounds, %lld ticks, "
+          "%d stripes, hot %.2f, steals %lld)\n",
+          label, r.UpdatesPerSecond(),
+          static_cast<long long>(r.query_rounds),
+          static_cast<long long>(r.maintenance_ticks), r.stripes,
+          r.stripe_hot_ratio, static_cast<long long>(r.pool_steals));
+    };
+    contention_global = run_contention({/*global_mutex=*/true});
+    print_contention("global mutex:", contention_global);
+    contention_single_stripe = run_contention({false, /*num_stripes=*/1});
+    print_contention("single stripe:", contention_single_stripe);
+    contention = run_contention({});
+    print_contention("striped:", contention);
+    if (zipf_s > 0.0) {
+      ContentionConfig config;
+      config.zipf_s = zipf_s;
+      contention_zipf = run_contention(config);
+      print_contention("zipf skew:", contention_zipf);
+    }
+    if (create_every > 0) {
+      ContentionConfig config;
+      config.create_every = create_every;
+      contention_create = run_contention(config);
+      print_contention("create heavy:", contention_create);
+    }
     const double speedup =
         contention_global.UpdatesPerSecond() > 0.0
             ? contention.UpdatesPerSecond() /
                   contention_global.UpdatesPerSecond()
             : 0.0;
-    std::printf(
-        "#   global mutex:     %10.0f updates/s (%lld query rounds, "
-        "%lld ticks)\n",
-        contention_global.UpdatesPerSecond(),
-        static_cast<long long>(contention_global.query_rounds),
-        static_cast<long long>(contention_global.maintenance_ticks));
-    std::printf(
-        "#   per-shard locks:  %10.0f updates/s (%lld query rounds, "
-        "%lld ticks) -> %.2fx\n",
-        contention.UpdatesPerSecond(),
-        static_cast<long long>(contention.query_rounds),
-        static_cast<long long>(contention.maintenance_ticks), speedup);
+    const double stripe_speedup =
+        contention_single_stripe.UpdatesPerSecond() > 0.0
+            ? contention.UpdatesPerSecond() /
+                  contention_single_stripe.UpdatesPerSecond()
+            : 0.0;
+    std::printf("#   striped vs global %.2fx, vs single stripe %.2fx\n",
+                speedup, stripe_speedup);
   }
 
   std::ofstream out(out_path);
@@ -387,11 +463,20 @@ int main(int argc, char** argv) {
             ? contention.UpdatesPerSecond() /
                   contention_global.UpdatesPerSecond()
             : 0.0;
+    const double stripe_speedup =
+        contention_single_stripe.UpdatesPerSecond() > 0.0
+            ? contention.UpdatesPerSecond() /
+                  contention_single_stripe.UpdatesPerSecond()
+            : 0.0;
     auto write_contention = [&out](const char* name,
                                    const fkc::ShardedContentionReport& r) {
       out << "    \"" << name << "\": {\"updates\": " << r.updates
           << ", \"updates_per_s\": "
           << fkc::StrFormat("%.1f", r.UpdatesPerSecond())
+          << ", \"shards\": " << r.shards << ", \"stripes\": " << r.stripes
+          << ", \"pool_steals\": " << r.pool_steals
+          << ", \"stripe_hot_ratio\": "
+          << fkc::StrFormat("%.3f", r.stripe_hot_ratio)
           << ", \"query_rounds\": " << r.query_rounds
           << ", \"maintenance_ticks\": " << r.maintenance_ticks << "}";
     };
@@ -400,12 +485,27 @@ int main(int argc, char** argv) {
         << ", \"idle_tenants\": " << contention_idle_tenants
         << ", \"idle_points\": " << contention_idle_points
         << ", \"client_pause_ms\": " << contention_client_pause_ms
-        << ", \"query_pause_ms\": " << contention_query_pause_ms << ",\n";
+        << ", \"query_pause_ms\": " << contention_query_pause_ms
+        << ", \"pool_threads\": " << contention_threads
+        << ", \"host_threads\": " << fkc::ThreadPool::HardwareThreads()
+        << ", \"zipf_s\": " << fkc::StrFormat("%.2f", zipf_s)
+        << ", \"create_every\": " << create_every << ",\n";
     write_contention("global_mutex", contention_global);
     out << ",\n";
+    write_contention("single_stripe", contention_single_stripe);
+    out << ",\n";
     write_contention("per_shard", contention);
+    if (zipf_s > 0.0) {
+      out << ",\n";
+      write_contention("zipf", contention_zipf);
+    }
+    if (create_every > 0) {
+      out << ",\n";
+      write_contention("create_heavy", contention_create);
+    }
     out << ",\n    \"speedup\": " << fkc::StrFormat("%.2f", speedup)
-        << "\n  }";
+        << ",\n    \"stripe_speedup\": "
+        << fkc::StrFormat("%.2f", stripe_speedup) << "\n  }";
   }
   out << "\n}\n";
   std::printf("# wrote %s\n", out_path.c_str());

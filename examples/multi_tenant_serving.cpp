@@ -26,13 +26,16 @@
 //      answers identically,
 //   8. serve concurrent clients: one ingest thread per tenant plus a
 //      dashboard thread running QueryAll rounds, all against one manager
-//      at once (per-shard locking means the tenants never contend with
-//      each other and the dashboard never stalls ingest) — then verify
-//      the concurrently-built fleet checkpoints byte-identically to a
-//      serially-built one.
+//      at once (striped routing + per-shard locking mean the tenants
+//      never contend with each other and the dashboard never stalls
+//      ingest) — then verify the concurrently-built fleet checkpoints
+//      byte-identically to a serially-built one. --stripes picks the
+//      routing-stripe count (0 = auto-size to the hardware); like
+//      --threads it is an execution knob — answers and checkpoint bytes
+//      are identical at every value.
 //
-//   multi_tenant_serving [--tenants=4] [--threads=0] [--batch=32]
-//                        [--window=1000] [--points=12000]
+//   multi_tenant_serving [--tenants=4] [--threads=0] [--stripes=0]
+//                        [--batch=32] [--window=1000] [--points=12000]
 //                        [--spill_dir=<tmp>]
 #include <algorithm>
 #include <atomic>
@@ -90,6 +93,7 @@ void PrintAnswers(const std::vector<fkc::serving::ShardAnswer>& answers) {
 int main(int argc, char** argv) {
   int64_t tenants = 4;
   int64_t threads = 0;  // all hardware threads
+  int64_t stripes = 0;  // auto-size the routing stripes
   int64_t batch = 32;
   int64_t window = 1000;
   int64_t points = 12000;
@@ -98,6 +102,9 @@ int main(int argc, char** argv) {
   fkc::FlagParser flags;
   flags.AddInt64("tenants", &tenants, "number of tenant shards");
   fkc::AddThreadsFlag(&flags, &threads);
+  flags.AddInt64("stripes", &stripes,
+                 "routing stripes of the shard map (0 = auto; rounded up "
+                 "to a power of two)");
   flags.AddInt64("batch", &batch, "keyed arrivals per IngestBatch");
   flags.AddInt64("window", &window, "per-tenant window size");
   flags.AddInt64("points", &points, "total arrivals across all tenants");
@@ -130,6 +137,7 @@ int main(int argc, char** argv) {
   options.window.delta = 1.0;
   options.window.adaptive_range = true;  // tenant scales unknown a priori
   options.num_threads = fkc::ResolveThreadCount(threads);
+  options.num_stripes = static_cast<int>(stripes);
   fkc::serving::ShardManager manager(options, constraint, &metric, &jones);
 
   std::vector<std::string> keys;
@@ -443,8 +451,9 @@ int main(int argc, char** argv) {
                                     live_blob.value() == serial_blob.value();
   std::printf(
       "\nconcurrent serving: %zu client threads + %lld dashboard scans "
-      "against one manager; checkpoint %s a serially built fleet's\n",
-      keys.size(), static_cast<long long>(scans.load()),
+      "against one manager (%d routing stripes); checkpoint %s a serially "
+      "built fleet's\n",
+      keys.size(), static_cast<long long>(scans.load()), live.num_stripes(),
       concurrent_identical ? "MATCHES" : "DIFFERS FROM (bug!)");
   return concurrent_identical ? 0 : 1;
 }

@@ -106,4 +106,33 @@ size_t Rng::NextDiscrete(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  FKC_CHECK_GE(n, 1u);
+  FKC_CHECK(std::isfinite(s));
+  FKC_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // exact, whatever rounding did above
+}
+
+size_t ZipfDistribution::Next(Rng* rng) const {
+  const double u = rng->NextDouble();  // in [0, 1)
+  // First rank whose cumulative mass exceeds u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 }  // namespace fkc

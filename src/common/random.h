@@ -62,6 +62,29 @@ class Rng {
   bool has_spare_gaussian_ = false;
 };
 
+/// Zipf(s) sampler over ranks [0, n): P(k) proportional to 1/(k+1)^s — the
+/// standard heavy-tailed popularity model (tenant/key skew in serving
+/// workloads). s = 0 degenerates to uniform; s around 1 is the classic
+/// web-ish skew where a handful of ranks absorb most of the mass. The
+/// cumulative table is precomputed once (O(n) memory, O(log n) per sample
+/// via binary search), so one sampler can be shared by many draws; sampling
+/// itself is const and deterministic per (rng seed, s, n).
+class ZipfDistribution {
+ public:
+  /// `n` must be positive; `s` must be finite and non-negative.
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n()). Rank 0 is the most popular.
+  size_t Next(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;  ///< normalized cumulative mass, cdf_.back() == 1
+  double s_ = 0.0;
+};
+
 }  // namespace fkc
 
 #endif  // FKC_COMMON_RANDOM_H_

@@ -27,45 +27,54 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  queue_cv_.notify_all();
+  work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::DrainJob(ForJob* job) {
-  for (;;) {
-    int64_t i;
-    {
-      std::lock_guard<std::mutex> lock(job->mu);
-      if (job->next >= job->count) return;
-      i = job->next++;
-    }
-    (*job->fn)(i);
+bool ThreadPool::ClaimLocked(ForJob* job, int64_t* index) {
+  if (job->next >= job->count) return false;
+  *index = job->next++;
+  if (job->next >= job->count) {
+    // Last iteration handed out: the job has nothing left to share, so drop
+    // it from the active set (claimants still inside iterations finish via
+    // the per-job pending countdown, not via this list).
+    auto it = std::find(active_.begin(), active_.end(), job);
+    if (it != active_.end()) active_.erase(it);
   }
+  return true;
+}
+
+void ThreadPool::RunIteration(ForJob* job, int64_t index) {
+  (*job->fn)(index);
+  // Notify while still holding the lock: the ParallelFor caller owns the
+  // job on its stack and destroys it the moment it observes pending == 0 —
+  // notifying after unlocking would race that destruction.
+  std::lock_guard<std::mutex> lock(job->mu);
+  if (--job->pending == 0) job->done.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     ForJob* job = nullptr;
+    int64_t index = 0;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !active_.empty(); });
       if (shutdown_) return;
-      job = queue_.front();
-      queue_.pop_front();
+      // Round-robin over the active jobs: with several callers in flight,
+      // consecutive claims rotate across their jobs, so no caller's work
+      // queues wholesale behind another's.
+      if (rr_ >= active_.size()) rr_ = 0;
+      job = active_[rr_++];
+      const bool shared = active_.size() > 1;
+      if (!ClaimLocked(job, &index)) continue;
+      worker_iterations_.fetch_add(1, std::memory_order_relaxed);
+      if (shared) shared_claims_.fetch_add(1, std::memory_order_relaxed);
     }
-    DrainJob(job);
-    {
-      // Notify while still holding the lock: the ParallelFor caller owns
-      // the job on its stack and destroys it the moment it observes
-      // helpers_active == 0 — notifying after unlocking would race that
-      // destruction.
-      std::lock_guard<std::mutex> lock(job->mu);
-      --job->helpers_active;
-      job->done.notify_one();
-    }
+    RunIteration(job, index);
   }
 }
 
@@ -81,21 +90,31 @@ void ThreadPool::ParallelFor(int64_t count,
   ForJob job;
   job.fn = &fn;
   job.count = count;
-  const int helpers =
-      static_cast<int>(std::min<int64_t>(workers_.size(), count - 1));
-  job.helpers_active = helpers;
+  job.pending = count;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    for (int h = 0; h < helpers; ++h) queue_.push_back(&job);
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(&job);
   }
-  queue_cv_.notify_all();
+  work_cv_.notify_all();
 
-  DrainJob(&job);
+  // The caller drains its own job alongside the workers: even if every
+  // worker is busy inside another caller's iterations, this call keeps
+  // making progress on its own.
+  for (;;) {
+    int64_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const bool shared = active_.size() > 1;
+      if (!ClaimLocked(&job, &index)) break;
+      if (shared) shared_claims_.fetch_add(1, std::memory_order_relaxed);
+    }
+    RunIteration(&job, index);
+  }
 
-  // The job lives on this stack frame: wait until every enlisted worker has
-  // left it before returning.
+  // The job lives on this stack frame: wait until every claimed iteration
+  // has finished before returning.
   std::unique_lock<std::mutex> lock(job.mu);
-  job.done.wait(lock, [&] { return job.helpers_active == 0; });
+  job.done.wait(lock, [&] { return job.pending == 0; });
 }
 
 }  // namespace fkc

@@ -4,12 +4,28 @@
 // any thread. Determinism is the caller's contract — iterations must not
 // share mutable state — and is what makes results bit-identical at any
 // thread count.
+//
+// Work sharing across concurrent callers. ParallelFor may be called from
+// any number of threads at once on the same pool. Overlapping calls do NOT
+// convoy: every in-flight call registers its job in one shared active set,
+// and each worker picks its next iteration round-robin across ALL active
+// jobs, so two concurrent batch ingests interleave on the same workers
+// instead of the second caller's work queueing behind the first's. The
+// calling thread always participates in its own job (so a call makes
+// progress even when every worker is busy elsewhere) and returns only when
+// every one of its iterations has finished.
+//
+// Determinism contract, unchanged from the barrier design: within one job,
+// iteration indices are claimed in strictly ascending order, each runs
+// exactly once, and which THREAD runs an iteration is never observable —
+// iterations must be independent, so results are bit-identical at any
+// thread count and under any cross-caller interleaving.
 #ifndef FKC_COMMON_THREAD_POOL_H_
 #define FKC_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,8 +51,27 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, count), distributing iterations over the
   /// workers and the calling thread, and returns only after every iteration
-  /// has finished. Iterations must be independent of each other.
+  /// has finished. Iterations must be independent of each other. Safe to
+  /// call from many threads concurrently: overlapping calls share the
+  /// workers (see the file comment) instead of serializing behind each
+  /// other.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// Iterations executed by pool workers (as opposed to the calling
+  /// threads) over the pool's lifetime. A load indicator, not state:
+  /// wall-clock dependent under concurrency, so benches must treat it as
+  /// volatile.
+  int64_t worker_iterations() const {
+    return worker_iterations_.load(std::memory_order_relaxed);
+  }
+
+  /// Iterations claimed (by a worker or a caller) while at least one OTHER
+  /// job was concurrently in flight — the "steal"/work-sharing counter:
+  /// nonzero exactly when overlapping ParallelFor calls actually
+  /// interleaved on the shared workers. Volatile like worker_iterations().
+  int64_t shared_claims() const {
+    return shared_claims_.load(std::memory_order_relaxed);
+  }
 
   /// std::thread::hardware_concurrency clamped to >= 1.
   static int HardwareThreads();
@@ -48,25 +83,43 @@ class ThreadPool {
   static int ResolveThreadCount(int64_t requested);
 
  private:
-  /// Shared state of one ParallelFor call.
+  /// Shared state of one ParallelFor call. Lives on the caller's stack;
+  /// workers may touch it only between claiming an iteration (the job is
+  /// still registered, or was a moment ago) and releasing `mu` after their
+  /// completion countdown — the caller returns (and the frame dies) only
+  /// once `pending` hits zero, which cannot happen before every claimant
+  /// has finished its iteration and released `mu`.
   struct ForJob {
     const std::function<void(int64_t)>* fn = nullptr;
     int64_t count = 0;
-    int64_t next = 0;            ///< next unclaimed iteration (under mutex)
-    int helpers_active = 0;      ///< workers still inside this job
+    int64_t next = 0;     ///< next unclaimed iteration (under pool mu_)
+    int64_t pending = 0;  ///< iterations not yet finished (under job mu)
     std::mutex mu;
     std::condition_variable done;
   };
 
   void WorkerLoop();
-  static void DrainJob(ForJob* job);
+  /// Claims the next iteration of `job` under mu_ (already held), removing
+  /// the job from the active set when it hands out the last one. Returns
+  /// false when the job has nothing left to claim.
+  bool ClaimLocked(ForJob* job, int64_t* index);
+  /// Runs one claimed iteration and counts it done, notifying the owner
+  /// when it was the last.
+  static void RunIteration(ForJob* job, int64_t index);
 
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<ForJob*> queue_;  ///< helper tickets, one per enlisted worker
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  /// Every ParallelFor call currently holding unclaimed iterations, in
+  /// registration order; workers rotate over it via rr_ so concurrent
+  /// callers share the workers instead of queueing.
+  std::vector<ForJob*> active_;
+  size_t rr_ = 0;  ///< round-robin cursor into active_
   bool shutdown_ = false;
+
+  std::atomic<int64_t> worker_iterations_{0};
+  std::atomic<int64_t> shared_claims_{0};
 };
 
 }  // namespace fkc

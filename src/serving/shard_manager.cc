@@ -1,5 +1,6 @@
 #include "serving/shard_manager.h"
 
+#include <algorithm>
 #include <cmath>
 #include <condition_variable>
 #include <sstream>
@@ -99,6 +100,18 @@ class ShardManager::FleetPin {
   const std::vector<PinnedShard>* pinned_;
 };
 
+int ShardManager::ResolveStripeCount(int requested) {
+  // Auto scales past the core count so hash collisions between concurrently
+  // hot keys are rare even with every hardware thread routing at once.
+  int64_t n = requested <= 0
+                  ? static_cast<int64_t>(4) * ThreadPool::HardwareThreads()
+                  : requested;
+  if (n > 256) n = 256;
+  int resolved = 1;
+  while (resolved < n) resolved <<= 1;  // round UP; 256 is itself a power
+  return resolved;
+}
+
 ShardManager::ShardManager(ShardManagerOptions options,
                            ColorConstraint constraint, const Metric* metric,
                            const FairCenterSolver* solver)
@@ -106,7 +119,6 @@ ShardManager::ShardManager(ShardManagerOptions options,
       constraint_(std::move(constraint)),
       metric_(metric),
       solver_(solver),
-      fleet_mu_(std::make_unique<std::mutex>()),
       gc_mu_(std::make_unique<std::mutex>()),
       maintenance_admin_mu_(std::make_unique<std::mutex>()) {
   FKC_CHECK(metric_ != nullptr);
@@ -117,6 +129,14 @@ ShardManager::ShardManager(ShardManagerOptions options,
   options_.window.num_threads = 1;
   if (options_.spill_store == nullptr) {
     options_.spill_store = std::make_shared<InMemorySpillStore>();
+  }
+  // Stripe count is fixed for the manager's lifetime (StripeOf must be a
+  // pure function of the key); the resolved value is written back so
+  // options().num_stripes reports what actually runs.
+  options_.num_stripes = ResolveStripeCount(options_.num_stripes);
+  stripes_.reserve(options_.num_stripes);
+  for (int i = 0; i < options_.num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
   }
   // Resolve and build the pool eagerly: concurrent fan-outs must never race
   // a lazy construction. num_threads = 0 on a single-core host resolves to
@@ -134,19 +154,16 @@ ShardManager::ShardManager(ShardManager&& other) noexcept
       constraint_(std::move(other.constraint_)),
       metric_(other.metric_),
       solver_(other.solver_),
-      fleet_mu_(std::move(other.fleet_mu_)),
+      stripes_(std::move(other.stripes_)),
       gc_mu_(std::move(other.gc_mu_)),
-      overrides_(std::move(other.overrides_)),
-      shards_(std::move(other.shards_)),
-      live_count_(other.live_count_),
-      live_lru_(std::move(other.live_lru_)),
+      live_count_(other.live_count_.load()),
       pool_(std::move(other.pool_)),
       maintenance_admin_mu_(std::move(other.maintenance_admin_mu_)),
       maintenance_(std::move(other.maintenance_)),
       maintenance_ticks_(other.maintenance_ticks_.load()),
-      clock_(other.clock_),
-      evictions_(other.evictions_),
-      rehydrations_(other.rehydrations_) {
+      clock_(other.clock_.load()),
+      evictions_(other.evictions_.load()),
+      rehydrations_(other.rehydrations_.load()) {
   // Moving a manager whose maintenance thread is running is unsupported
   // (the thread would keep the old `this`); Restore/Replay outputs — the
   // only places managers are moved — never have one. A finished
@@ -165,25 +182,29 @@ ShardManager& ShardManager::operator=(ShardManager&& other) noexcept {
   constraint_ = std::move(other.constraint_);
   metric_ = other.metric_;
   solver_ = other.solver_;
-  fleet_mu_ = std::move(other.fleet_mu_);
+  stripes_ = std::move(other.stripes_);
   gc_mu_ = std::move(other.gc_mu_);
-  overrides_ = std::move(other.overrides_);
-  shards_ = std::move(other.shards_);
-  live_count_ = other.live_count_;
-  live_lru_ = std::move(other.live_lru_);
+  live_count_.store(other.live_count_.load());
   pool_ = std::move(other.pool_);
   maintenance_admin_mu_ = std::move(other.maintenance_admin_mu_);
   maintenance_ = std::move(other.maintenance_);
   maintenance_ticks_.store(other.maintenance_ticks_.load());
-  clock_ = other.clock_;
-  evictions_ = other.evictions_;
-  rehydrations_ = other.rehydrations_;
+  clock_.store(other.clock_.load());
+  evictions_.store(other.evictions_.load());
+  rehydrations_.store(other.rehydrations_.load());
   FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable() ||
             [&] {
               std::lock_guard<std::mutex> lock(maintenance_->mu);
               return maintenance_->exited;
             }());
   return *this;
+}
+
+ShardManager::Stripe& ShardManager::StripeOf(const std::string& key) const {
+  // The stripe count is a power of two fixed at construction, so routing is
+  // a hash + mask — no lock, no modulo.
+  const size_t h = std::hash<std::string>{}(key);
+  return *stripes_[h & (stripes_.size() - 1)];
 }
 
 bool ShardManager::IsDirty(const Shard& shard) const {
@@ -230,33 +251,36 @@ Status ShardManager::ValidateArrival(const std::string& key, const Point& p,
   return Status::OK();
 }
 
-int64_t ShardManager::PinnedDimensionLocked(const std::string& key) const {
-  auto it = shards_.find(key);
-  return it == shards_.end() ? -1 : it->second.dim;
+int64_t ShardManager::PinnedDimensionLocked(const Stripe& stripe,
+                                            const std::string& key) const {
+  auto it = stripe.shards.find(key);
+  return it == stripe.shards.end() ? -1 : it->second.dim;
 }
 
-SlidingWindowOptions ShardManager::OptionsForKey(const std::string& key) const {
-  auto it = overrides_.find(key);
+SlidingWindowOptions ShardManager::OptionsForKey(const Stripe& stripe,
+                                                 const std::string& key) const {
+  auto it = stripe.overrides.find(key);
   SlidingWindowOptions options =
-      it == overrides_.end() ? options_.window : it->second;
+      it == stripe.overrides.end() ? options_.window : it->second;
   options.num_threads = 1;
   return options;
 }
 
-ShardManager::Shard* ShardManager::RouteLocked(const std::string& key,
+ShardManager::Shard* ShardManager::RouteLocked(Stripe& stripe,
+                                               const std::string& key,
                                                bool create_missing,
                                                int64_t touch) {
-  auto it = shards_.find(key);
-  if (it == shards_.end()) {
+  auto it = stripe.shards.find(key);
+  if (it == stripe.shards.end()) {
     if (!create_missing) return nullptr;
-    it = shards_.try_emplace(key).first;
+    it = stripe.shards.try_emplace(key).first;
     it->second.live = std::make_unique<FairCenterSlidingWindow>(
-        OptionsForKey(key), constraint_, metric_, solver_);
-    ++live_count_;
+        OptionsForKey(stripe, key), constraint_, metric_, solver_);
+    live_count_.fetch_add(1, std::memory_order_relaxed);
   }
   Shard* shard = &it->second;
   if (shard->live != nullptr) {
-    TouchLive(it->first, shard, touch);
+    TouchLive(stripe, it->first, shard, touch);
   } else {
     // Spilled: refresh last_touch only — the LRU index tracks live shards.
     // If a later rehydration commits, it inserts this value.
@@ -283,7 +307,8 @@ Status ShardManager::EnsureLiveHeld(const std::string& key, Shard* shard) {
         "spilled shard's constraint does not match the fleet constraint");
   }
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    Stripe& stripe = StripeOf(key);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
     if (shard->dim >= 0 && window.value().dimension() >= 0 &&
         window.value().dimension() != shard->dim) {
       return Status::InvalidArgument(
@@ -297,9 +322,9 @@ Status ShardManager::EnsureLiveHeld(const std::string& key, Shard* shard) {
     // sentinel.
     shard->clean_epoch = shard->spill_dirty ? kNeverCheckpointed : 0;
     shard->spill_dirty = false;
-    ++live_count_;
-    ++rehydrations_;
-    live_lru_.insert({shard->last_touch, key});
+    live_count_.fetch_add(1, std::memory_order_relaxed);
+    rehydrations_.fetch_add(1, std::memory_order_relaxed);
+    stripe.live_lru.insert({shard->last_touch, key});
   }
   // Best-effort, still under the shard lock (so a concurrent QueryAll
   // cannot read a half-erased entry): a failed erase only leaves a stale
@@ -309,38 +334,40 @@ Status ShardManager::EnsureLiveHeld(const std::string& key, Shard* shard) {
   return Status::OK();
 }
 
-void ShardManager::TouchLive(const std::string& key, Shard* shard,
-                             int64_t touch) {
+void ShardManager::TouchLive(Stripe& stripe, const std::string& key,
+                             Shard* shard, int64_t touch) {
   // The erase is a no-op for a shard that just became live (its old
   // last_touch was removed from the index when it spilled, or never
   // inserted for a brand-new shard).
-  live_lru_.erase({shard->last_touch, key});
+  stripe.live_lru.erase({shard->last_touch, key});
   shard->last_touch = touch;
-  live_lru_.insert({touch, key});
+  stripe.live_lru.insert({touch, key});
 }
 
 Result<ShardManager::SpillAttempt> ShardManager::TrySpillShard(
     const std::string& key, int64_t idle_ttl) {
-  std::unique_lock<std::mutex> fleet(*fleet_mu_);
-  auto it = shards_.find(key);
-  if (it == shards_.end()) return SpillAttempt::kSkipped;
+  Stripe& stripe = StripeOf(key);
+  std::unique_lock<std::mutex> stripe_lock(stripe.mu);
+  auto it = stripe.shards.find(key);
+  if (it == stripe.shards.end()) return SpillAttempt::kSkipped;
   Shard* shard = &it->second;
   if (shard->live == nullptr || shard->pins > 0) return SpillAttempt::kSkipped;
-  // Re-check idleness under the fleet lock: the shard may have been
+  // Re-check idleness under the stripe lock: the shard may have been
   // touched between the caller's candidate snapshot and now.
-  if (idle_ttl >= 0 && clock_ - shard->last_touch <= idle_ttl) {
+  if (idle_ttl >= 0 &&
+      clock_.load(std::memory_order_relaxed) - shard->last_touch <= idle_ttl) {
     return SpillAttempt::kSkipped;
   }
-  // Only ever try_lock a shard mutex under the fleet lock (lock-order
+  // Only ever try_lock a shard mutex under a stripe lock (lock-order
   // protocol): a busy shard is mid-ingest or mid-query — skip it, the
   // next sweep catches it.
   std::unique_lock<std::mutex> shard_lock(shard->mu, std::try_to_lock);
   if (!shard_lock.owns_lock()) return SpillAttempt::kSkipped;
   const bool dirty = IsDirty(*shard);
   FairCenterSlidingWindow* window = shard->live.get();
-  fleet.unlock();
+  stripe_lock.unlock();
 
-  // Serialize and write outside the fleet lock (the shard lock keeps the
+  // Serialize and write outside the stripe lock (the shard lock keeps the
   // window stable). The GC mutex spans the write and the commit so a
   // concurrent GarbageCollectSpill, whose keep-set predates this spill,
   // can never reap the blob just written.
@@ -351,51 +378,58 @@ Result<ShardManager::SpillAttempt> ShardManager::TrySpillShard(
   Status put = options_.spill_store->Put(key, std::move(blob));
   if (!put.ok()) return put;
 
-  fleet.lock();
+  stripe_lock.lock();
   if (shard->pins > 0) {
     // A fleet read pinned the shard while the blob was being written; the
     // reader expects live shards to stay live, so abort the spill and drop
     // the just-written entry (best-effort — GC would sweep it anyway).
-    fleet.unlock();
+    stripe_lock.unlock();
     options_.spill_store->Erase(key);
     return SpillAttempt::kSkipped;
   }
   shard->spill_dirty = dirty;
   shard->live.reset();
   shard->clean_epoch = kNeverCheckpointed;
-  live_lru_.erase({shard->last_touch, key});
-  --live_count_;
-  ++evictions_;
+  stripe.live_lru.erase({shard->last_touch, key});
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return SpillAttempt::kSpilled;
 }
 
 void ShardManager::EnforceLiveCap(const std::string* exclude) {
   if (options_.max_live_shards <= 0) return;
-  // Best-effort loop: each round picks the current LRU victim under the
-  // fleet lock — least recently touched, ties broken by smaller key, the
-  // same deterministic order as the single-threaded path — and attempts
-  // the spill without it. Victims whose attempt failed are not retried,
-  // so the loop always terminates; pinned shards are skipped but stay
-  // eligible for later rounds (their pin is transient).
+  // Best-effort loop: each round picks the fleet-wide LRU victim — the
+  // minimum of the stripes' eligible LRU fronts, least recently touched
+  // with ties broken by smaller key, the same deterministic global order
+  // the unstriped index had — and attempts the spill without any lock
+  // held. Victims whose attempt failed are not retried, so the loop always
+  // terminates; pinned shards are skipped but stay eligible for later
+  // rounds (their pin is transient).
   std::set<std::string> attempted;
   for (;;) {
-    std::string victim;
-    {
-      std::lock_guard<std::mutex> fleet(*fleet_mu_);
-      if (live_count_ <= static_cast<size_t>(options_.max_live_shards)) return;
-      bool found = false;
-      for (const auto& [touch, key] : live_lru_) {
+    if (live_count_.load(std::memory_order_relaxed) <=
+        static_cast<size_t>(options_.max_live_shards)) {
+      return;
+    }
+    bool found = false;
+    std::pair<int64_t, std::string> best;
+    for (const auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+      for (const auto& entry : stripe->live_lru) {
+        const std::string& key = entry.second;
         if (exclude != nullptr && key == *exclude) continue;
         if (attempted.count(key) != 0) continue;
-        if (shards_.find(key)->second.pins > 0) continue;
-        victim = key;
-        found = true;
-        break;
+        if (stripe->shards.find(key)->second.pins > 0) continue;
+        if (!found || entry < best) {
+          best = entry;
+          found = true;
+        }
+        break;  // stripe fronts are sorted: the first eligible is its best
       }
-      if (!found) return;  // everything left is excluded, pinned, or failed
     }
-    attempted.insert(victim);
-    auto spilled = TrySpillShard(victim, /*idle_ttl=*/-1);
+    if (!found) return;  // everything left is excluded, pinned, or failed
+    attempted.insert(best.second);
+    auto spilled = TrySpillShard(best.second, /*idle_ttl=*/-1);
     if (!spilled.ok()) {
       // Spill backend down: the cap is enforced best-effort until the
       // backend recovers. Nothing is lost.
@@ -404,36 +438,66 @@ void ShardManager::EnforceLiveCap(const std::string* exclude) {
   }
 }
 
-std::vector<ShardManager::PinnedShard> ShardManager::PinFleet() {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
+std::vector<ShardManager::PinnedShard> ShardManager::PinFleet(
+    std::map<std::string, SlidingWindowOptions>* overrides_out) {
+  // All stripe locks at once, taken in ascending index order (the one
+  // sanctioned multi-stripe acquisition), so the snapshot is a consistent
+  // cut of the routing layer: every shard that existed before the call is
+  // pinned, and the override table travels with exactly that shard set.
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) held.emplace_back(stripe->mu);
   std::vector<PinnedShard> pinned;
-  pinned.reserve(shards_.size());
-  for (auto& [key, shard] : shards_) {  // ascending key order
-    ++shard.pins;
-    pinned.push_back(PinnedShard{&key, &shard});
+  size_t total = 0;
+  for (const auto& stripe : stripes_) total += stripe->shards.size();
+  pinned.reserve(total);
+  if (overrides_out != nullptr) overrides_out->clear();
+  for (const auto& stripe : stripes_) {
+    for (auto& [key, shard] : stripe->shards) {
+      ++shard.pins;
+      pinned.push_back(PinnedShard{&key, &shard, stripe.get()});
+    }
+    if (overrides_out != nullptr) {
+      overrides_out->insert(stripe->overrides.begin(),
+                            stripe->overrides.end());
+    }
   }
+  held.clear();  // release every stripe before the (possibly long) visit
+  // Ascending key order across stripes — the exact order the unstriped map
+  // yielded, which checkpoint byte-equality at every stripe count rests on.
+  std::sort(pinned.begin(), pinned.end(),
+            [](const PinnedShard& a, const PinnedShard& b) {
+              return *a.key < *b.key;
+            });
   return pinned;
 }
 
 void ShardManager::UnpinFleet(const std::vector<PinnedShard>& pinned) {
   if (pinned.empty()) return;
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
+  // Same ascending all-stripes hold as PinFleet; one acquisition per
+  // stripe instead of one per shard.
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) held.emplace_back(stripe->mu);
   for (const PinnedShard& entry : pinned) --entry.shard->pins;
 }
 
 Status ShardManager::Ingest(const std::string& key, Point p) {
+  Stripe& stripe = StripeOf(key);
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    // Validate and route in ONE fleet critical section, and pin the
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    // Validate and route in ONE stripe critical section, and pin the
     // dimension at routing time: two first arrivals racing on a fresh key
     // with different dimensions must resolve to first-writer-wins, the
     // loser rejected here instead of CHECK-aborting in the window.
-    FKC_RETURN_IF_ERROR(ValidateArrival(key, p, PinnedDimensionLocked(key)));
-    ++clock_;
-    shard = RouteLocked(key, /*create_missing=*/true, clock_);
+    FKC_RETURN_IF_ERROR(
+        ValidateArrival(key, p, PinnedDimensionLocked(stripe, key)));
+    const int64_t tick = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    shard = RouteLocked(stripe, key, /*create_missing=*/true, tick);
     shard->dim = static_cast<int64_t>(p.dimension());
     ++shard->pins;
+    ++stripe.ops;
   }
   Status status;
   {
@@ -442,7 +506,7 @@ Status ShardManager::Ingest(const std::string& key, Point p) {
     if (status.ok()) shard->live->Update(std::move(p));
   }
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
     --shard->pins;
   }
   EnforceLiveCap(&key);
@@ -451,83 +515,138 @@ Status ShardManager::Ingest(const std::string& key, Point p) {
 
 Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   if (batch.empty()) return Status::OK();
+  const int64_t n = static_cast<int64_t>(batch.size());
+  // Reserve the whole batch's clock range up front: arrival i owns tick
+  // base + i + 1 whichever thread groups it, so LRU order and TTL
+  // bookkeeping are identical run to run (and to the serial build) no
+  // matter how the per-stripe grouping below interleaves. The flip side:
+  // an arrival dropped by validation still consumes its tick (Ingest,
+  // which validates before ticking, consumes none) — documented in the
+  // header; the clock is an ordering device, not checkpointed state.
+  const int64_t base = clock_.fetch_add(n, std::memory_order_relaxed);
 
-  // Group by key, preserving per-key arrival order (the only order that
-  // matters: shards share no state, so cross-key interleaving is
-  // unobservable). Invalid arrivals are dropped here, one by one — the
-  // valid rest of the batch is consumed regardless.
+  // One per-shard group: arrival order preserved within the key (the only
+  // order that matters — shards share no state, so cross-key interleaving
+  // is unobservable).
   struct Group {
     const std::string* key = nullptr;
     std::vector<Point> points;
+    int64_t size = 0;        ///< recorded at grouping, BEFORE any move
     int64_t last_clock = 0;  ///< manager clock at the group's last arrival
     int64_t dim = -1;        ///< dimension pinned by the first accepted point
     Shard* shard = nullptr;
-    Status status;           ///< the group's ingest outcome
+    Status status;  ///< the group's ingest outcome
   };
-  std::map<std::string, Group> groups;
-  int64_t dropped = 0;
-  Status first_error = Status::OK();
-  {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    for (KeyedPoint& kp : batch) {
+  // Per-stripe slice of the batch; groups/validates under only its own
+  // stripe's lock, so disjoint stripes never serialize on each other.
+  struct StripeBatch {
+    Stripe* stripe = nullptr;
+    std::vector<int64_t> indices;  ///< into batch, ascending
+    std::map<std::string, Group> groups;
+    int64_t dropped = 0;
+    Status first_error;
+    int64_t first_error_index = -1;  ///< original batch position
+  };
+
+  // Phase 1: partition by stripe, lock-free (StripeOf is a pure hash).
+  const size_t mask = stripes_.size() - 1;
+  std::vector<std::vector<int64_t>> indices_by_stripe(stripes_.size());
+  for (int64_t i = 0; i < n; ++i) {
+    indices_by_stripe[std::hash<std::string>{}(batch[i].key) & mask]
+        .push_back(i);
+  }
+  std::vector<StripeBatch> stripe_work;
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    if (indices_by_stripe[s].empty()) continue;
+    StripeBatch sb;
+    sb.stripe = stripes_[s].get();
+    sb.indices = std::move(indices_by_stripe[s]);
+    stripe_work.push_back(std::move(sb));
+  }
+
+  // Phase 2: group + validate + route + pin WITHIN each stripe,
+  // concurrently over the pool. Each task holds exactly its own stripe's
+  // lock; validation and dimension pinning happen in the same critical
+  // section that creates the shard, so a racing batch on the same fresh
+  // key validates against the dimension pinned here.
+  auto group_stripe = [&](int64_t w) {
+    StripeBatch& sb = stripe_work[w];
+    std::lock_guard<std::mutex> stripe_lock(sb.stripe->mu);
+    for (int64_t i : sb.indices) {
+      KeyedPoint& kp = batch[i];
       // For a key already accepted earlier in this batch the group carries
       // the pinned dimension (a brand-new shard has none on record yet).
-      auto git = groups.find(kp.key);
-      const int64_t pinned =
-          git != groups.end() ? git->second.dim : PinnedDimensionLocked(kp.key);
+      auto git = sb.groups.find(kp.key);
+      const int64_t pinned = git != sb.groups.end()
+                                 ? git->second.dim
+                                 : PinnedDimensionLocked(*sb.stripe, kp.key);
       Status status = ValidateArrival(kp.key, kp.point, pinned);
       if (!status.ok()) {
-        ++dropped;
-        if (first_error.ok()) first_error = std::move(status);
+        ++sb.dropped;
+        if (sb.first_error_index < 0) {
+          sb.first_error = std::move(status);
+          sb.first_error_index = i;
+        }
         continue;
       }
-      if (git == groups.end()) git = groups.try_emplace(kp.key).first;
+      if (git == sb.groups.end()) git = sb.groups.try_emplace(kp.key).first;
       Group& group = git->second;
       group.dim = static_cast<int64_t>(kp.point.dimension());
       group.points.push_back(std::move(kp.point));
-      group.last_clock = ++clock_;
+      ++group.size;
+      group.last_clock = base + i + 1;
     }
-    // Route (create) and pin every touched shard in the same critical
-    // section that validated against its dimension, so a racing batch on
-    // the same fresh key validates against the dimension pinned here.
-    for (auto& [key, group] : groups) {
+    for (auto& [key, group] : sb.groups) {
       group.key = &key;
-      group.shard = RouteLocked(key, /*create_missing=*/true,
+      group.shard = RouteLocked(*sb.stripe, key, /*create_missing=*/true,
                                 group.last_clock);
       group.shard->dim = group.dim;
       ++group.shard->pins;
     }
-  }
+    sb.stripe->ops += static_cast<int64_t>(sb.groups.size());
+  };
+  FanOut(static_cast<int64_t>(stripe_work.size()), group_stripe);
 
+  // Phase 3: fan the per-shard groups out over the pool. Each task blocks
+  // only on its own shard's lock (held by nobody else routing a disjoint
+  // key set).
   std::vector<Group*> work;
-  work.reserve(groups.size());
-  for (auto& [key, group] : groups) work.push_back(&group);
-
-  // Fan the per-shard groups out over the pool. Each task blocks only on
-  // its own shard's lock (held by nobody else routing a disjoint key set).
-  auto run_one = [&](int64_t i) {
+  for (StripeBatch& sb : stripe_work) {
+    for (auto& [key, group] : sb.groups) work.push_back(&group);
+  }
+  FanOut(static_cast<int64_t>(work.size()), [&](int64_t i) {
     Group* group = work[i];
     std::lock_guard<std::mutex> shard_lock(group->shard->mu);
     group->status = EnsureLiveHeld(*group->key, group->shard);
     if (group->status.ok()) {
       group->shard->live->UpdateBatch(std::move(group->points));
     }
-  };
-  ThreadPool* pool = Pool();
-  if (pool == nullptr || work.size() < 2) {
-    for (size_t i = 0; i < work.size(); ++i) run_one(static_cast<int64_t>(i));
-  } else {
-    pool->ParallelFor(static_cast<int64_t>(work.size()), run_one);
-  }
+  });
 
-  {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    for (auto& [key, group] : groups) {
-      --group.shard->pins;
+  // Phase 4: unpin per stripe and merge the accounting. The earliest
+  // validation offender (by original batch position) wins the reported
+  // error; failed groups use the size recorded at grouping time — the
+  // points vector is unreliable after the std::move above.
+  int64_t dropped = 0;
+  Status first_error = Status::OK();
+  int64_t first_error_index = n;
+  for (StripeBatch& sb : stripe_work) {
+    {
+      std::lock_guard<std::mutex> stripe_lock(sb.stripe->mu);
+      for (auto& [key, group] : sb.groups) --group.shard->pins;
+    }
+    dropped += sb.dropped;
+    if (sb.first_error_index >= 0 && sb.first_error_index < first_error_index) {
+      first_error = std::move(sb.first_error);
+      first_error_index = sb.first_error_index;
+    }
+  }
+  for (StripeBatch& sb : stripe_work) {
+    for (auto& [key, group] : sb.groups) {
       if (!group.status.ok()) {
         // Rehydration failed: the whole group was dropped (points were
         // only consumed on success).
-        dropped += static_cast<int64_t>(group.points.size());
+        dropped += group.size;
         if (first_error.ok()) first_error = group.status;
       }
     }
@@ -537,8 +656,7 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   if (dropped > 0) {
     return Status::InvalidArgument(
         StrFormat("dropped %lld of %lld arrivals; first error: %s",
-                  static_cast<long long>(dropped),
-                  static_cast<long long>(batch.size()),
+                  static_cast<long long>(dropped), static_cast<long long>(n),
                   first_error.message().c_str()));
   }
   return Status::OK();
@@ -546,41 +664,46 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
 
 Status ShardManager::SetTenantOptions(const std::string& key,
                                       SlidingWindowOptions options) {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
   if (key.size() >= kMaxKeyBytes) {
     return Status::InvalidArgument("tenant key exceeds the size limit");
   }
   FKC_RETURN_IF_ERROR(ValidateSlidingWindowOptions(options));
-  if (shards_.count(key) != 0) {
+  if (stripe.shards.count(key) != 0) {
     return Status::FailedPrecondition(
         "shard '" + key + "' already exists; options are fixed at creation");
   }
   options.num_threads = 1;
   if (SameCheckpointedOptions(options, options_.window)) {
-    overrides_.erase(key);  // identical to the template: nothing to store
+    stripe.overrides.erase(key);  // identical to the template: no store
   } else {
-    overrides_[key] = options;
+    stripe.overrides[key] = options;
   }
   return Status::OK();
 }
 
 const SlidingWindowOptions* ShardManager::TenantOptions(
     const std::string& key) const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  auto it = overrides_.find(key);
-  return it == overrides_.end() ? nullptr : &it->second;
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  auto it = stripe.overrides.find(key);
+  return it == stripe.overrides.end() ? nullptr : &it->second;
 }
 
 Result<FairCenterSolution> ShardManager::Query(const std::string& key,
                                                QueryStats* stats) {
+  Stripe& stripe = StripeOf(key);
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    shard = RouteLocked(key, /*create_missing=*/false, clock_);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    shard = RouteLocked(stripe, key, /*create_missing=*/false,
+                        clock_.load(std::memory_order_relaxed));
     if (shard == nullptr) {
       return Status::NotFound("no shard for key '" + key + "'");
     }
     ++shard->pins;
+    ++stripe.ops;
   }
   Result<FairCenterSolution> result = [&]() -> Result<FairCenterSolution> {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
@@ -588,7 +711,7 @@ Result<FairCenterSolution> ShardManager::Query(const std::string& key,
     return shard->live->Query(stats);
   }();
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
     --shard->pins;
   }
   EnforceLiveCap(&key);
@@ -596,7 +719,7 @@ Result<FairCenterSolution> ShardManager::Query(const std::string& key,
 }
 
 std::vector<ShardAnswer> ShardManager::QueryAll() {
-  // Epoch snapshot: pin the current shard set under one fleet-lock
+  // Epoch snapshot: pin the current shard set under one all-stripes
   // acquisition, then answer shard by shard under per-shard locks only —
   // ingest to unrelated shards proceeds throughout the round.
   std::vector<PinnedShard> pinned = PinFleet();
@@ -609,7 +732,7 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
   // transiently hold every spilled shard in memory, the exact condition a
   // durable store plus live-shard cap exists to prevent.
   std::vector<ShardAnswer> answers(pinned.size());
-  auto run_one = [&](int64_t i) {
+  FanOut(static_cast<int64_t>(pinned.size()), [&](int64_t i) {
     answers[i].key = *pinned[i].key;
     Shard* shard = pinned[i].shard;
     std::unique_lock<std::mutex> shard_lock(shard->mu);
@@ -634,36 +757,31 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
       return;
     }
     answers[i].solution = window.value().Query(&answers[i].stats);
-  };
-  ThreadPool* pool = Pool();
-  if (pool == nullptr || pinned.size() < 2) {
-    for (size_t i = 0; i < pinned.size(); ++i) {
-      run_one(static_cast<int64_t>(i));
-    }
-  } else {
-    pool->ParallelFor(static_cast<int64_t>(pinned.size()), run_one);
-  }
+  });
   return answers;
 }
 
 int64_t ShardManager::EvictIdle(int64_t idle_ttl, Status* spill_status) {
   if (spill_status != nullptr) *spill_status = Status::OK();
   if (idle_ttl < 0) return 0;
-  // The LRU index orders live shards by last_touch, so the idle ones are
-  // exactly its prefix — snapshot those keys under the fleet lock, then
-  // spill without it, one victim at a time. TrySpillShard re-checks
-  // idleness (and pins, and the lock) per victim, so a candidate touched
-  // after the snapshot is simply skipped.
-  std::vector<std::string> candidates;
-  {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    for (const auto& [touch, key] : live_lru_) {
-      if (clock_ - touch <= idle_ttl) break;
-      candidates.push_back(key);
+  // Each stripe's LRU index orders its live shards by last_touch, so the
+  // idle ones are exactly its prefix — snapshot those per stripe (one
+  // stripe lock at a time), merge into the global (touch, key) order the
+  // unstriped sweep had, then spill without any lock held. TrySpillShard
+  // re-checks idleness (and pins, and the lock) per victim, so a candidate
+  // touched after the snapshot is simply skipped.
+  const int64_t now = clock_.load(std::memory_order_relaxed);
+  std::vector<std::pair<int64_t, std::string>> candidates;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    for (const auto& [touch, key] : stripe->live_lru) {
+      if (now - touch <= idle_ttl) break;
+      candidates.emplace_back(touch, key);
     }
   }
+  std::sort(candidates.begin(), candidates.end());
   int64_t evicted = 0;
-  for (const std::string& key : candidates) {
+  for (const auto& [touch, key] : candidates) {
     auto attempt = TrySpillShard(key, idle_ttl);
     if (!attempt.ok()) {
       // Backend down: stop the sweep, leave the remaining shards live.
@@ -676,29 +794,26 @@ int64_t ShardManager::EvictIdle(int64_t idle_ttl, Status* spill_status) {
 }
 
 Result<std::string> ShardManager::CheckpointSnapshot(bool dirty_only) {
-  std::ostringstream out;
-  std::vector<PinnedShard> pinned;
-  {
-    // Header and pin set under ONE fleet-lock acquisition, so the override
-    // table travels with the shard set it was snapshotted beside.
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    out << (dirty_only ? kDeltaMagic : kMagicV2) << ' ';
-    if (!dirty_only) {
-      // The window template (needed to spawn shards for keys first seen
-      // after a restore). num_threads, max_live_shards, and the spill
-      // store are execution/resource knobs and are deliberately excluded,
-      // like in the core checkpoint.
-      WriteSlidingWindowOptions(&out, options_.window);
-    }
-    WriteColorCaps(&out, constraint_);
-    WriteOverrides(&out, overrides_);
-    pinned.reserve(shards_.size());
-    for (auto& [key, shard] : shards_) {
-      ++shard.pins;
-      pinned.push_back(PinnedShard{&key, &shard});
-    }
-  }
+  // Pin set and override table under ONE all-stripes acquisition, so the
+  // table travels with the shard set it was snapshotted beside. The merged
+  // override map and the key-sorted pin vector reproduce exactly the
+  // iteration order of the unstriped (or serially built) fleet — the
+  // byte-equality contract at every stripe count.
+  std::map<std::string, SlidingWindowOptions> overrides;
+  std::vector<PinnedShard> pinned = PinFleet(&overrides);
   FleetPin unpin(this, &pinned);
+
+  std::ostringstream out;
+  out << (dirty_only ? kDeltaMagic : kMagicV2) << ' ';
+  if (!dirty_only) {
+    // The window template (needed to spawn shards for keys first seen
+    // after a restore). num_threads, num_stripes, max_live_shards, and the
+    // spill store are execution/resource knobs and are deliberately
+    // excluded, like in the core checkpoint.
+    WriteSlidingWindowOptions(&out, options_.window);
+  }
+  WriteColorCaps(&out, constraint_);
+  WriteOverrides(&out, overrides);
 
   // Every captured shard: length-prefixed key, length-prefixed core
   // checkpoint, taken one shard lock at a time. A spilled shard's state is
@@ -759,12 +874,11 @@ Result<std::string> ShardManager::CheckpointDelta() {
 
 size_t ShardManager::dirty_shard_count() const {
   // Shard map entries are never erased, so the snapshot stays valid after
-  // the fleet lock is dropped; dirtiness is then read per shard lock.
+  // the stripe locks are dropped; dirtiness is then read per shard lock.
   std::vector<const Shard*> snapshot;
-  {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    snapshot.reserve(shards_.size());
-    for (const auto& [key, shard] : shards_) snapshot.push_back(&shard);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    for (const auto& [key, shard] : stripe->shards) snapshot.push_back(&shard);
   }
   size_t dirty = 0;
   for (const Shard* shard : snapshot) {
@@ -822,21 +936,29 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   }
 
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    overrides_ = std::move(overrides);
+    // Replace the override table as one unit: all stripe locks, ascending,
+    // then scatter the merged table into the per-stripe slices.
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(stripes_.size());
+    for (const auto& stripe : stripes_) held.emplace_back(stripe->mu);
+    for (const auto& stripe : stripes_) stripe->overrides.clear();
+    for (auto& [key, opts] : overrides) {
+      StripeOf(key).overrides.emplace(key, std::move(opts));
+    }
   }
   // Swap each staged shard in under its own lock: per-shard atomicity (a
   // concurrent QueryAll may see a partially applied delta, never a torn
   // shard), and ingest to untouched tenants proceeds throughout.
   for (auto& [key, window] : staged) {
+    Stripe& stripe = StripeOf(key);
     Shard* shard = nullptr;
     {
-      std::lock_guard<std::mutex> fleet(*fleet_mu_);
-      auto it = shards_.find(key);
-      if (it == shards_.end()) {
+      std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+      auto it = stripe.shards.find(key);
+      if (it == stripe.shards.end()) {
         // A tenant first seen in this delta: build the entry fully formed
-        // under the fleet lock (nobody can hold its shard lock yet).
-        it = shards_.try_emplace(key).first;
+        // under the stripe lock (nobody can hold its shard lock yet).
+        it = stripe.shards.try_emplace(key).first;
         Shard* fresh = &it->second;
         fresh->live =
             std::make_unique<FairCenterSlidingWindow>(std::move(window));
@@ -844,8 +966,9 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
         // The shard now matches the leader's checkpointed state exactly.
         fresh->clean_epoch = fresh->live->state_epoch();
         fresh->spill_dirty = false;
-        ++live_count_;
-        TouchLive(it->first, fresh, clock_);
+        live_count_.fetch_add(1, std::memory_order_relaxed);
+        TouchLive(stripe, it->first, fresh,
+                  clock_.load(std::memory_order_relaxed));
         continue;
       }
       shard = &it->second;
@@ -854,15 +977,15 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     bool was_live;
     {
-      std::lock_guard<std::mutex> fleet(*fleet_mu_);
+      std::lock_guard<std::mutex> stripe_lock(stripe.mu);
       was_live = shard->live != nullptr;
       shard->live =
           std::make_unique<FairCenterSlidingWindow>(std::move(window));
       shard->dim = shard->live->dimension();
       shard->clean_epoch = shard->live->state_epoch();
       shard->spill_dirty = false;
-      if (!was_live) ++live_count_;
-      TouchLive(key, shard, clock_);
+      if (!was_live) live_count_.fetch_add(1, std::memory_order_relaxed);
+      TouchLive(stripe, key, shard, clock_.load(std::memory_order_relaxed));
       --shard->pins;
     }
     if (!was_live) {
@@ -879,7 +1002,7 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
 Result<ShardManager> ShardManager::Restore(
     const std::string& bytes, const Metric* metric,
     const FairCenterSolver* solver, int num_threads, int64_t max_live_shards,
-    std::shared_ptr<SpillStore> spill_store) {
+    std::shared_ptr<SpillStore> spill_store, int num_stripes) {
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
@@ -891,6 +1014,7 @@ Result<ShardManager> ShardManager::Restore(
 
   ShardManagerOptions options;
   options.num_threads = num_threads;
+  options.num_stripes = num_stripes;
   options.max_live_shards = max_live_shards;
   options.spill_store = std::move(spill_store);
   // ReadSlidingWindowOptions validates what it parses (window size, delta,
@@ -906,7 +1030,11 @@ Result<ShardManager> ShardManager::Restore(
   ShardManager manager(options, ColorConstraint(std::move(caps)), metric,
                        solver);
   if (v2) {
-    FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &manager.overrides_));
+    std::map<std::string, SlidingWindowOptions> overrides;
+    FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &overrides));
+    for (auto& [key, opts] : overrides) {
+      manager.StripeOf(key).overrides.emplace(key, std::move(opts));
+    }
   }
 
   int64_t shard_count = 0;
@@ -935,7 +1063,8 @@ Result<ShardManager> ShardManager::Restore(
           "shard constraint does not match the fleet constraint");
     }
     // Shards carry their mutex, so entries are built in place.
-    auto [pos, inserted] = manager.shards_.try_emplace(std::move(key));
+    Stripe& stripe = manager.StripeOf(key);
+    auto [pos, inserted] = stripe.shards.try_emplace(std::move(key));
     if (!inserted) {
       return Status::InvalidArgument("duplicate shard key in checkpoint");
     }
@@ -944,18 +1073,32 @@ Result<ShardManager> ShardManager::Restore(
         std::move(window).value());
     shard.dim = shard.live->dimension();
     shard.clean_epoch = shard.live->state_epoch();  // restored = checkpointed
-    manager.live_lru_.insert({shard.last_touch, pos->first});
-    ++manager.live_count_;
+    stripe.live_lru.insert({shard.last_touch, pos->first});
+    manager.live_count_.fetch_add(1, std::memory_order_relaxed);
     if (max_live_shards <= 0) continue;
     verbatim.emplace(pos->first, std::move(blob));
     // Enforce the cap as shards stream in, not after: a fleet far larger
     // than max_live_shards must never be fully resident at once — that is
     // the exact condition the cap exists to prevent. All last_touch values
     // are equal here, so the surviving set (the largest keys) matches what
-    // one sweep at the end would keep.
-    while (manager.live_count_ > static_cast<size_t>(max_live_shards)) {
-      const auto victim = manager.live_lru_.begin();
-      Shard& victim_shard = manager.shards_.find(victim->second)->second;
+    // one sweep at the end would keep — the fleet-wide LRU victim is the
+    // minimum of the stripes' LRU fronts, exactly the order the unstriped
+    // index had.
+    while (manager.live_count_.load() >
+           static_cast<size_t>(max_live_shards)) {
+      Stripe* victim_stripe = nullptr;
+      for (const auto& candidate : manager.stripes_) {
+        if (candidate->live_lru.empty()) continue;
+        if (victim_stripe == nullptr ||
+            *candidate->live_lru.begin() <
+                *victim_stripe->live_lru.begin()) {
+          victim_stripe = candidate.get();
+        }
+      }
+      FKC_CHECK(victim_stripe != nullptr);
+      const auto victim = victim_stripe->live_lru.begin();
+      Shard& victim_shard =
+          victim_stripe->shards.find(victim->second)->second;
       auto segment = verbatim.find(victim->second);
       // A spill backend that cannot even absorb the restore is fatal to
       // the restore, not the process.
@@ -965,9 +1108,9 @@ Result<ShardManager> ShardManager::Restore(
       victim_shard.live.reset();
       victim_shard.spill_dirty = false;  // restored = checkpointed = clean
       victim_shard.clean_epoch = kNeverCheckpointed;
-      manager.live_lru_.erase(victim);
-      --manager.live_count_;
-      ++manager.evictions_;
+      victim_stripe->live_lru.erase(victim);
+      manager.live_count_.fetch_sub(1, std::memory_order_relaxed);
+      manager.evictions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return manager;
@@ -1089,15 +1232,15 @@ MaintenanceTickReport ShardManager::RunMaintenanceTick(
 }
 
 Result<int64_t> ShardManager::GarbageCollectSpill() {
-  // The GC mutex is taken BEFORE the fleet lock (lock-order protocol) and
+  // The GC mutex is taken BEFORE any stripe lock (lock-order protocol) and
   // held across the whole sweep: no spill can commit between the keep-set
   // snapshot below and the store's delete pass, so the keep-set can never
   // under-approximate and reap a freshly spilled blob.
   std::lock_guard<std::mutex> gc(*gc_mu_);
   std::set<std::string> spilled;
-  {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    for (const auto& [key, shard] : shards_) {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    for (const auto& [key, shard] : stripe->shards) {
       if (!shard.live) spilled.insert(key);
     }
   }
@@ -1105,20 +1248,25 @@ Result<int64_t> ShardManager::GarbageCollectSpill() {
 }
 
 std::vector<std::string> ShardManager::Keys() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
   std::vector<std::string> keys;
-  keys.reserve(shards_.size());
-  for (const auto& [key, shard] : shards_) keys.push_back(key);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    for (const auto& [key, shard] : stripe->shards) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
+  Stripe& stripe = StripeOf(key);
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    shard = RouteLocked(key, /*create_missing=*/false, clock_);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    shard = RouteLocked(stripe, key, /*create_missing=*/false,
+                        clock_.load(std::memory_order_relaxed));
     if (shard == nullptr) return nullptr;
     ++shard->pins;
+    ++stripe.ops;
   }
   FairCenterSlidingWindow* window = nullptr;
   {
@@ -1126,7 +1274,7 @@ FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
     if (EnsureLiveHeld(key, shard).ok()) window = shard->live.get();
   }
   {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
     --shard->pins;
   }
   EnforceLiveCap(&key);
@@ -1135,49 +1283,72 @@ FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
 
 const FairCenterSlidingWindow* ShardManager::shard(
     const std::string& key) const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  auto it = shards_.find(key);
-  return it == shards_.end() ? nullptr : it->second.live.get();
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  auto it = stripe.shards.find(key);
+  return it == stripe.shards.end() ? nullptr : it->second.live.get();
 }
 
 size_t ShardManager::shard_count() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  return shards_.size();
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    total += stripe->shards.size();
+  }
+  return total;
 }
 
 size_t ShardManager::live_shard_count() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  return live_count_;
+  return live_count_.load(std::memory_order_relaxed);
 }
 
 size_t ShardManager::spilled_shard_count() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  return shards_.size() - live_count_;
+  // Two relaxed reads; exact when quiescent, approximate under races (like
+  // every fleet-wide count here).
+  const size_t total = shard_count();
+  const size_t live = live_count_.load(std::memory_order_relaxed);
+  return total > live ? total - live : 0;
 }
 
-int64_t ShardManager::clock() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  return clock_;
+std::vector<int64_t> ShardManager::StripeOps() const {
+  std::vector<int64_t> ops;
+  ops.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    ops.push_back(stripe->ops);
+  }
+  return ops;
 }
 
-int64_t ShardManager::evictions() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  return evictions_;
+std::vector<int64_t> ShardManager::StripePins() const {
+  std::vector<int64_t> pins;
+  pins.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    int64_t total = 0;
+    for (const auto& [key, shard] : stripe->shards) total += shard.pins;
+    pins.push_back(total);
+  }
+  return pins;
 }
 
-int64_t ShardManager::rehydrations() const {
-  std::lock_guard<std::mutex> fleet(*fleet_mu_);
-  return rehydrations_;
+void ShardManager::FanOut(int64_t count,
+                          const std::function<void(int64_t)>& fn) {
+  ThreadPool* pool = Pool();
+  if (pool == nullptr || count < 2) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+  } else {
+    pool->ParallelFor(count, fn);
+  }
 }
 
 MemoryStats ShardManager::TotalMemory() const {
   // Same stable-entry snapshot as dirty_shard_count: collect under the
-  // fleet lock, read each shard under its own.
+  // stripe locks, read each shard under its own.
   std::vector<const Shard*> snapshot;
-  {
-    std::lock_guard<std::mutex> fleet(*fleet_mu_);
-    snapshot.reserve(shards_.size());
-    for (const auto& [key, shard] : shards_) snapshot.push_back(&shard);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    for (const auto& [key, shard] : stripe->shards) snapshot.push_back(&shard);
   }
   MemoryStats stats;
   for (const Shard* shard : snapshot) {

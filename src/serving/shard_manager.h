@@ -31,25 +31,32 @@
 //     of caller-driven; StopMaintenance() (also run by the destructor)
 //     joins it cleanly.
 //
-// Concurrency model (two-level locking). The manager serializes nothing
-// behind one big mutex; instead:
+// Concurrency model (striped routing + per-shard locks). The manager
+// serializes nothing behind one big mutex; instead:
 //
-//   * A light FLEET lock guards the routing table (the shard map's
-//     structure), the per-tenant override table, the LRU index, the
-//     manager clock, and the lifetime counters. It is held only for map
-//     lookups and bookkeeping mutations — never across a window update, a
-//     query, a (de)serialization, or spill-store IO.
+//   * The routing layer is split into N hash-partitioned STRIPES. Each
+//     stripe owns its slice of the shard map, its slice of the per-tenant
+//     override table, its own LRU index of live shards, and the pin counts
+//     of its shards — all guarded by that stripe's mutex, held only for
+//     map lookups and bookkeeping mutations (plus shard construction),
+//     never across a window update, a query, a (de)serialization, or
+//     spill-store IO. Ingest and shard creation on keys in different
+//     stripes never touch the same lock. The fleet-wide clock and the
+//     lifetime counters are plain atomics.
 //   * Each shard owns a PER-SHARD mutex guarding its window's contents and
 //     its dirty-tracking state. Ingest and per-key queries touch only the
 //     shards they route to, so two tenants never contend.
 //   * Fleet-wide reads (QueryAll, CheckpointAll, CheckpointDelta) take
-//     EPOCH-SNAPSHOT semantics: under the fleet lock they collect a stable
-//     vector of shard refs, pinned against eviction via a per-shard
-//     refcount, release the fleet lock, then visit shards one at a time
-//     under their own locks. A big fleet read therefore blocks ingest to
-//     one shard at a time, never the fleet; shards created after the
-//     snapshot simply appear in the next round (their dirty bits are
-//     untouched, so no delta ever loses them).
+//     EPOCH-SNAPSHOT semantics: they acquire ALL stripe locks in ascending
+//     index order, collect a stable key-ordered vector of shard refs
+//     pinned against eviction via a per-shard refcount (and, for
+//     checkpoints, snapshot the override table beside it), release every
+//     stripe, then visit shards one at a time under their own locks. The
+//     all-stripes hold covers bookkeeping only, so it is brief; the fleet
+//     scan itself blocks ingest to one shard at a time, never the fleet.
+//     Checkpoint bytes are identical at EVERY stripe count (including 1):
+//     shards and overrides are always emitted in ascending key order, so a
+//     striped fleet checkpoints byte-equal to a serially built one.
 //   * Eviction (EvictIdle and the LRU cap) try-locks its victims and
 //     SKIPS busy or pinned shards instead of stalling the world; a spill
 //     re-checks the pin count after writing to the store and aborts if a
@@ -57,11 +64,13 @@
 //     bit-exact and the staged-commit checkpoint invariants hold.
 //
 //   Lock order: a per-shard mutex is only ever acquired blocking while no
-//   other manager lock is held; the fleet lock may be acquired while
-//   holding a shard lock (residency commits); under the fleet lock, shard
+//   stripe lock is held; a stripe lock may be acquired while holding a
+//   shard lock (residency commits); multiple stripe locks are only ever
+//   taken in ascending stripe-index order; under a stripe lock, shard
 //   mutexes are only try_lock'ed (eviction). Spill-store writes and GC are
 //   additionally serialized by a GC mutex so a sweep can never reap a
-//   blob spilled after it snapshotted the keep-set.
+//   blob spilled after it snapshotted the keep-set. Full order:
+//   shard mu -> gc_mu_ -> stripe mu (ascending).
 //
 // Compound caller sequences are still not atomic, and a fleet-wide
 // operation concurrent with ingest sees each shard's state at the moment
@@ -121,6 +130,14 @@ struct ShardManagerOptions {
   /// part of the checkpoint. Independent of EXTERNAL concurrency: any
   /// number of client threads may call the manager at num_threads = 1.
   int num_threads = 1;
+
+  /// Routing stripes of the shard map (see the file comment). 0 = auto
+  /// (scaled to the hardware concurrency); anything else is rounded UP to
+  /// the next power of two (for mask-based key hashing) and clamped to
+  /// [1, 256]. An execution knob like num_threads: per-shard state,
+  /// checkpoint bytes, and answers are identical at every stripe count —
+  /// only contention changes. Not checkpointed.
+  int num_stripes = 0;
 
   /// Upper bound on simultaneously live (in-memory) shards; 0 = unlimited.
   /// When a create or rehydration would exceed it, the least-recently
@@ -197,9 +214,10 @@ struct ShardAnswer {
 ///
 /// Thread-safety: every public method is safe to call from any number of
 /// threads concurrently, including while the background maintenance thread
-/// runs. Ingest and per-key queries contend only on the shards they route
-/// to (two-level locking — see the file comment); QueryAll and the
-/// checkpoint family are epoch snapshots that lock shards one at a time.
+/// runs. Ingest and per-key queries contend only on their key's routing
+/// stripe and the shards they route to (striped two-level locking — see
+/// the file comment); QueryAll and the checkpoint family are epoch
+/// snapshots that lock shards one at a time.
 /// Compound caller sequences are not atomic, and pointers returned by
 /// shard() are not protected by any lock once returned — do not retain
 /// them across other manager calls, and do not use the non-const shard()
@@ -225,19 +243,26 @@ class ShardManager {
   /// out-of-range or zero-cap color, empty or non-finite coordinates, or a
   /// dimension differing from the shard's earlier arrivals (the first
   /// accepted arrival pins it); other tenants are unaffected. Holds only
-  /// `key`'s shard lock during the window update.
+  /// `key`'s stripe lock for routing and `key`'s shard lock during the
+  /// window update.
   Status Ingest(const std::string& key, Point p);
 
-  /// Routes a batch of keyed arrivals: groups by key (preserving per-key
-  /// arrival order), creates/rehydrates missing shards, then fans the
-  /// per-shard groups out over the pool, each shard consuming its group
-  /// through the core UpdateBatch engine. Equivalent to calling Ingest per
+  /// Routes a batch of keyed arrivals: partitions the batch by routing
+  /// stripe (lock-free), then groups by key WITHIN each stripe concurrently
+  /// over the pool (preserving per-key arrival order), creates/rehydrates
+  /// missing shards, and finally fans the per-shard groups out over the
+  /// pool, each shard consuming its group through the core UpdateBatch
+  /// engine. Produces the same per-shard state as calling Ingest per
   /// arrival in order. Invalid arrivals (oversized key, out-of-range or
   /// zero-cap color, empty/non-finite coordinates, dimension mismatch) are
   /// dropped individually — every valid arrival in the batch is still
   /// consumed — and reported through a kInvalidArgument status describing
-  /// the first offender and the drop count. Two batches touching disjoint
-  /// key sets never contend beyond the routing step.
+  /// the earliest offender (by batch position) and the drop count. Two
+  /// batches touching disjoint key sets contend at most on shared stripes
+  /// during the routing step, and not at all when their stripes are
+  /// disjoint. The fleet clock advances once per SUBMITTED batch arrival
+  /// (a dropped arrival still consumes its tick), keeping LRU/TTL
+  /// bookkeeping deterministic under concurrent grouping.
   Status IngestBatch(std::vector<KeyedPoint> batch);
 
   /// Registers per-tenant options applied when `key`'s shard is created;
@@ -264,9 +289,9 @@ class ShardManager {
   /// Queries every shard — live and spilled — multiplexed over the pool
   /// (each shard's query pipeline runs sequentially inside its task).
   /// An epoch snapshot: the shard set is collected (and pinned against
-  /// eviction) under the fleet lock, then each shard is visited under its
-  /// own lock — ingest to unrelated shards never waits on a fleet-wide
-  /// query round. Spilled shards are answered from an ephemeral
+  /// eviction) under the stripe locks, then each shard is visited under
+  /// its own lock — ingest to unrelated shards never waits on a
+  /// fleet-wide query round. Spilled shards are answered from an ephemeral
   /// deserialization without changing their residency, so a fleet-wide
   /// dashboard query does not defeat eviction. Answers are ordered by key,
   /// deterministically; each answer reflects that shard's state at the
@@ -292,14 +317,16 @@ class ShardManager {
   /// Serializes the fleet — template, constraint, tenant overrides, and
   /// every shard (live or spilled) — into one self-describing v2 blob, and
   /// marks every shard clean. An epoch snapshot like QueryAll: the shard
-  /// set is pinned under the fleet lock, then serialized one shard lock at
-  /// a time; shards created after the snapshot stay dirty for the next
-  /// checkpoint, and arrivals landing on a shard after its segment was
-  /// captured leave it dirty (the epoch-based clean mark records the
-  /// captured state, not the latest). Spilled shards are written from
-  /// their spill blob without rehydration; a spill blob that fails to load
-  /// fails the whole checkpoint (leaving every dirty bit as it was — the
-  /// next delta loses nothing).
+  /// set (and override table) is pinned under the stripe locks — all
+  /// stripes held at once, acquired in ascending index order — then
+  /// serialized one shard lock at a time in ascending key order, so the
+  /// bytes are identical at every stripe count; shards created after the
+  /// snapshot stay dirty for the next checkpoint, and arrivals landing on
+  /// a shard after its segment was captured leave it dirty (the
+  /// epoch-based clean mark records the captured state, not the latest).
+  /// Spilled shards are written from their spill blob without rehydration;
+  /// a spill blob that fails to load fails the whole checkpoint (leaving
+  /// every dirty bit as it was — the next delta loses nothing).
   Result<std::string> CheckpointAll();
 
   /// Serializes only the shards dirtied since the last CheckpointAll /
@@ -326,15 +353,15 @@ class ShardManager {
   /// verbatim blob segment is handed to the spill store directly (never
   /// deserialized-then-reserialized), so a fleet far larger than the cap
   /// restores without ever being fully resident. `num_threads`,
-  /// `max_live_shards`, and `spill_store` are execution/resource knobs
-  /// supplied at restore time, like the metric and solver. Corrupted,
-  /// truncated, or implausible blobs fail with kInvalidArgument, never a
-  /// process abort.
+  /// `num_stripes`, `max_live_shards`, and `spill_store` are
+  /// execution/resource knobs supplied at restore time, like the metric
+  /// and solver. Corrupted, truncated, or implausible blobs fail with
+  /// kInvalidArgument, never a process abort.
   static Result<ShardManager> Restore(
       const std::string& bytes, const Metric* metric,
       const FairCenterSolver* solver, int num_threads = 1,
       int64_t max_live_shards = 0,
-      std::shared_ptr<SpillStore> spill_store = nullptr);
+      std::shared_ptr<SpillStore> spill_store = nullptr, int num_stripes = 0);
 
   // --- Background maintenance. ---
 
@@ -384,7 +411,7 @@ class ShardManager {
   Result<int64_t> GarbageCollectSpill();
 
   /// Shard keys — live and spilled — in deterministic (lexicographic)
-  /// order.
+  /// order, merged across stripes.
   std::vector<std::string> Keys() const;
 
   /// Direct access to one shard, transparently rehydrating it if spilled
@@ -409,11 +436,33 @@ class ShardManager {
   size_t dirty_shard_count() const;
 
   /// Fleet-wide arrival count — the clock EvictIdle's TTL is measured in.
-  int64_t clock() const;
+  int64_t clock() const { return clock_.load(std::memory_order_relaxed); }
   /// Lifetime spill / rehydration totals (EvictIdle + LRU-cap spills;
   /// ephemeral QueryAll reads of spilled shards count as neither).
-  int64_t evictions() const;
-  int64_t rehydrations() const;
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  int64_t rehydrations() const {
+    return rehydrations_.load(std::memory_order_relaxed);
+  }
+
+  /// Resolved routing-stripe count (a power of two, >= 1).
+  int num_stripes() const { return static_cast<int>(stripes_.size()); }
+  /// Routing operations (single-shard routes + batch groups) served per
+  /// stripe since construction, index-aligned with the stripes. A load /
+  /// skew gauge for benches: under Zipf-skewed keys the hot tenant's
+  /// stripe dominates. Volatile under concurrency — never gate on it.
+  std::vector<int64_t> StripeOps() const;
+  /// Current pin totals per stripe (sum of Shard::pins). Quiescent
+  /// managers must report all zeros — fleet snapshots unpin on every exit
+  /// path; exposed so tests can assert exactly that.
+  std::vector<int64_t> StripePins() const;
+  /// Iterations the shared pool's workers claimed while another fan-out
+  /// was concurrently in flight (ThreadPool::shared_claims; 0 without a
+  /// pool). Volatile — a work-sharing gauge, not a counter to gate on.
+  int64_t pool_shared_claims() const {
+    return pool_ ? pool_->shared_claims() : 0;
+  }
 
   /// Stored-point totals of the live (resident) shards — the paper's memory
   /// unit, here doubling as the resident-memory gauge eviction exists to
@@ -424,22 +473,28 @@ class ShardManager {
   const ColorConstraint& constraint() const { return constraint_; }
   SpillStore* spill_store() const { return options_.spill_store.get(); }
 
+  /// The stripe-count convention: 0 means "auto" (4x the hardware
+  /// concurrency), anything else is taken as requested; the result is then
+  /// rounded up to a power of two and clamped to [1, 256].
+  static int ResolveStripeCount(int requested);
+
  private:
   /// One tenant's slot: a live window, or (live == nullptr) its serialized
   /// state parked in the spill store under the tenant key. Entries are
-  /// never removed from the shard map (eviction only drops the live
-  /// window), so Shard* pointers are stable for the manager's lifetime.
+  /// never removed from their stripe's shard map (eviction only drops the
+  /// live window), so Shard* pointers are stable for the manager's
+  /// lifetime.
   ///
   /// Field guards:
   ///   * `mu` (the per-shard lock) guards the contents of `live` (every
   ///     Update/Query/SerializeState call), `spill_dirty`, and
   ///     `clean_epoch`.
-  ///   * The fleet lock guards `pins`, `last_touch`, and `dim`.
+  ///   * The owning stripe's lock guards `pins`, `last_touch`, and `dim`.
   ///   * The `live` POINTER itself (residency) changes only with BOTH the
-  ///     fleet lock and `mu` held, so either lock suffices to read it.
+  ///     stripe lock and `mu` held, so either lock suffices to read it.
   struct Shard {
-    /// Per-shard lock. Blocking-acquired only while no other manager lock
-    /// is held; try_lock'ed under the fleet lock by eviction. Mutable so
+    /// Per-shard lock. Blocking-acquired only while no stripe lock is
+    /// held; try_lock'ed under the stripe lock by eviction. Mutable so
     /// const fleet accessors can lock shards they only read.
     mutable std::mutex mu;
     std::unique_ptr<FairCenterSlidingWindow> live;  ///< null when spilled
@@ -448,7 +503,7 @@ class ShardManager {
     /// kNeverCheckpointed marks dirty-since-birth (or since a dirty spill
     /// was rehydrated, which resets the window's epoch counter).
     int64_t clean_epoch = kNeverCheckpointed;
-    /// In-flight operations holding a reference (fleet lock). A pinned
+    /// In-flight operations holding a reference (stripe lock). A pinned
     /// shard is never spilled: the spill path re-checks after its store
     /// write and aborts. Pins do not block rehydration.
     int pins = 0;
@@ -459,10 +514,28 @@ class ShardManager {
     int64_t dim = -1;
   };
 
+  /// One hash partition of the routing layer (see the file comment). All
+  /// fields are guarded by `mu`. Held in unique_ptrs so Stripe addresses
+  /// are stable and the manager stays movable.
+  struct Stripe {
+    mutable std::mutex mu;
+    /// Shards keyed by tenant id; std::map for deterministic iteration AND
+    /// stable Shard addresses (entries are never erased).
+    std::map<std::string, Shard> shards;
+    /// This stripe's slice of the per-tenant option overrides.
+    std::map<std::string, SlidingWindowOptions> overrides;
+    /// (last_touch, key) of this stripe's live shards: the stripe-local
+    /// LRU victim is begin(); the fleet-wide victim is the minimum of the
+    /// stripes' fronts, preserving the global deterministic order.
+    std::set<std::pair<int64_t, std::string>> live_lru;
+    int64_t ops = 0;  ///< routing operations served (load/skew gauge)
+  };
+
   /// One pinned entry of an epoch snapshot (QueryAll / checkpoints).
   struct PinnedShard {
     const std::string* key = nullptr;  ///< stable: map keys are never erased
     Shard* shard = nullptr;
+    Stripe* stripe = nullptr;  ///< owner, for the unpin pass
   };
 
   /// Unpins a snapshot on scope exit, whatever the exit path.
@@ -477,6 +550,10 @@ class ShardManager {
 
   static constexpr int64_t kNeverCheckpointed = -1;
 
+  /// `key`'s routing stripe (stable hash partition; stripe count is fixed
+  /// at construction).
+  Stripe& StripeOf(const std::string& key) const;
+
   /// Requires the shard's `mu` (reads the live window's epoch counter).
   bool IsDirty(const Shard& shard) const;
   /// The offending-arrival checks shared by Ingest and IngestBatch:
@@ -486,43 +563,54 @@ class ShardManager {
   Status ValidateArrival(const std::string& key, const Point& p,
                          int64_t pinned_dim) const;
   /// `key`'s pinned coordinate dimension, or -1 for unknown keys.
-  /// Requires the fleet lock.
-  int64_t PinnedDimensionLocked(const std::string& key) const;
-  /// Template or override for `key`, num_threads forced to 1. Requires the
-  /// fleet lock (reads the override table).
-  SlidingWindowOptions OptionsForKey(const std::string& key) const;
-  /// Routing step of every single-shard operation. Requires the fleet
+  /// Requires `stripe`'s lock.
+  int64_t PinnedDimensionLocked(const Stripe& stripe,
+                                const std::string& key) const;
+  /// Template or override for `key`, num_threads forced to 1. Requires
+  /// `stripe`'s lock (reads the stripe's override slice).
+  SlidingWindowOptions OptionsForKey(const Stripe& stripe,
+                                     const std::string& key) const;
+  /// Routing step of every single-shard operation. Requires `stripe`'s
   /// lock: finds `key`'s entry (creating a live one when `create_missing`),
   /// and refreshes its last_touch to `touch`. Returns nullptr for an
   /// unknown key when not creating. The caller pins before releasing the
-  /// fleet lock if it needs the shard past the lookup.
-  Shard* RouteLocked(const std::string& key, bool create_missing,
-                     int64_t touch);
+  /// stripe lock if it needs the shard past the lookup.
+  Shard* RouteLocked(Stripe& stripe, const std::string& key,
+                     bool create_missing, int64_t touch);
   /// Rehydrates `key`'s shard if spilled. Caller holds the shard's `mu`
-  /// and NO other lock; the residency commit takes the fleet lock
+  /// and NO stripe lock; the residency commit takes the stripe lock
   /// internally. On success the shard is live.
   Status EnsureLiveHeld(const std::string& key, Shard* shard);
-  /// Sets a live shard's last_touch, keeping the LRU index in sync.
-  /// Requires the fleet lock.
-  void TouchLive(const std::string& key, Shard* shard, int64_t touch);
+  /// Sets a live shard's last_touch, keeping the stripe's LRU index in
+  /// sync. Requires `stripe`'s lock.
+  void TouchLive(Stripe& stripe, const std::string& key, Shard* shard,
+                 int64_t touch);
   /// Attempts to spill `key`'s live shard right now, without blocking:
   /// kSkipped when the shard is unknown, already spilled, pinned, its lock
   /// is busy, or (idle_ttl >= 0) it is no longer idle by the time the
-  /// fleet lock is held; a backend failure is returned as a Status and
+  /// stripe lock is held; a backend failure is returned as a Status and
   /// leaves the shard live. Caller must hold NO manager lock.
   Result<SpillAttempt> TrySpillShard(const std::string& key, int64_t idle_ttl);
-  /// Spills least-recently-touched live shards (ties broken by smaller
-  /// key, deterministically — the LRU index order) until the cap holds.
+  /// Spills least-recently-touched live shards (fleet-wide minimum of the
+  /// stripes' LRU fronts; ties broken by smaller key, deterministically —
+  /// the same global order the unstriped index had) until the cap holds.
   /// `exclude` (may be null) is never spilled; pinned or lock-busy shards
   /// are skipped (best-effort, like a failing spill backend). Caller must
   /// hold NO manager lock.
   void EnforceLiveCap(const std::string* exclude);
-  /// Pins every current shard entry under the fleet lock and returns the
-  /// snapshot in deterministic (key) order.
-  std::vector<PinnedShard> PinFleet();
+  /// Pins every current shard entry — all stripe locks held at once, taken
+  /// in ascending index order — and returns the snapshot in deterministic
+  /// (ascending key) order. When `overrides_out` is non-null, the merged
+  /// override table is copied out under the same hold, so it travels with
+  /// the exact shard set it was snapshotted beside.
+  std::vector<PinnedShard> PinFleet(
+      std::map<std::string, SlidingWindowOptions>* overrides_out = nullptr);
   void UnpinFleet(const std::vector<PinnedShard>& pinned);
   /// Shared body of CheckpointAll / CheckpointDelta (`dirty_only`).
   Result<std::string> CheckpointSnapshot(bool dirty_only);
+  /// Runs fn(0..count) over the pool, or inline without one (or for a
+  /// single task).
+  void FanOut(int64_t count, const std::function<void(int64_t)>& fn);
   ThreadPool* Pool() { return pool_.get(); }
   /// `state` is passed explicitly: StopMaintenance detaches the state from
   /// the manager (under the admin mutex) before joining, so the loop must
@@ -534,28 +622,17 @@ class ShardManager {
   const Metric* metric_;
   const FairCenterSolver* solver_;
 
-  /// The fleet lock (see file comment); via unique_ptr so the manager
-  /// stays movable (the moved-from shell is destroy-only).
-  std::unique_ptr<std::mutex> fleet_mu_;
+  /// The routing stripes (see file comment); stripe count is a power of
+  /// two fixed at construction, so StripeOf is a hash + mask.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 
   /// Serializes spill-store writes against GarbageCollectSpill's keep-set
-  /// snapshot + sweep (lock order: shard mu -> gc_mu_ -> fleet_mu_).
+  /// snapshot + sweep (lock order: shard mu -> gc_mu_ -> stripe mu).
   std::unique_ptr<std::mutex> gc_mu_;
 
-  /// Per-tenant option overrides, applied at shard creation. Fleet lock.
-  std::map<std::string, SlidingWindowOptions> overrides_;
-
-  /// Shards keyed by tenant id; std::map for deterministic iteration AND
-  /// stable Shard addresses (entries are never erased). Fleet lock guards
-  /// the map structure; each Shard guards its own contents.
-  std::map<std::string, Shard> shards_;
-  size_t live_count_ = 0;
-
-  /// (last_touch, key) of every live shard: the LRU victim is begin(), so
-  /// cap enforcement is O(log n) per eviction instead of a scan over the
-  /// whole fleet. Maintained by TouchLive / the spill and rehydrate
-  /// commits, all under the fleet lock.
-  std::set<std::pair<int64_t, std::string>> live_lru_;
+  /// Live (resident) shards across all stripes; mutated only under the
+  /// owning stripe's lock but read lock-free by the cap check.
+  std::atomic<size_t> live_count_{0};
 
   /// Shared pool (nullptr when the effective size is 1), created eagerly
   /// so concurrent fan-outs never race a lazy construction.
@@ -568,9 +645,9 @@ class ShardManager {
   std::unique_ptr<MaintenanceState> maintenance_;
   std::atomic<int64_t> maintenance_ticks_{0};
 
-  int64_t clock_ = 0;        ///< fleet lock
-  int64_t evictions_ = 0;    ///< fleet lock
-  int64_t rehydrations_ = 0; ///< fleet lock
+  std::atomic<int64_t> clock_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> rehydrations_{0};
 };
 
 }  // namespace serving

@@ -1,13 +1,16 @@
 #include "stream/window_driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "sequential/radius.h"
@@ -319,21 +322,55 @@ ShardedContentionReport RunShardedContention(
   FKC_CHECK_GT(options.batch_size, 0);
 
   ShardedContentionReport report;
-  report.shards = options.client_threads;
   report.client_threads = options.client_threads;
   report.idle_tenants = static_cast<int>(options.idle_tenants);
 
-  // Pre-generate every client's arrivals before the clock starts: stream
-  // synthesis must not be measured, and clients must not contend on the
-  // stream itself.
-  std::vector<std::vector<Point>> per_client(
+  // The key schedule. Classic mode: client c owns "client-c", fully
+  // disjoint. Zipf mode (zipf_s > 0): every arrival's key is a rank drawn
+  // from a shared heavy-tailed tenant population, so hot tenants — and
+  // their routing stripes — are contended across clients. create_every
+  // rotates either schedule to a fresh key generation mid-run, keeping
+  // shard creation on the measured path.
+  const int64_t zipf_tenants =
+      options.zipf_s > 0.0
+          ? (options.zipf_tenants > 0
+                 ? options.zipf_tenants
+                 : int64_t{4} * options.client_threads)
+          : 0;
+  std::unique_ptr<ZipfDistribution> zipf;
+  if (options.zipf_s > 0.0) {
+    zipf = std::make_unique<ZipfDistribution>(
+        static_cast<size_t>(zipf_tenants), options.zipf_s);
+  }
+  auto key_for = [&](int client, int64_t i, Rng* rng) -> std::string {
+    const long long generation =
+        options.create_every > 0
+            ? static_cast<long long>(i / options.create_every)
+            : 0;
+    if (zipf != nullptr) {
+      const long long rank = static_cast<long long>(zipf->Next(rng));
+      return generation == 0 ? StrFormat("hot-%04lld", rank)
+                             : StrFormat("hot-g%lld-%04lld", generation, rank);
+    }
+    return generation == 0
+               ? StrFormat("client-%02d", client)
+               : StrFormat("client-%02d-g%lld", client, generation);
+  };
+
+  // Pre-generate every client's keyed arrivals before the clock starts:
+  // stream synthesis (and Zipf sampling) must not be measured, and clients
+  // must not contend on the stream itself. Deterministic per client: the
+  // Zipf draws are seeded by the client index.
+  std::vector<std::vector<serving::KeyedPoint>> per_client(
       static_cast<size_t>(options.client_threads));
-  for (auto& points : per_client) {
-    points.reserve(static_cast<size_t>(options.points_per_client));
+  for (int c = 0; c < options.client_threads; ++c) {
+    Rng rng(/*seed=*/777 + static_cast<uint64_t>(c));
+    auto& arrivals = per_client[static_cast<size_t>(c)];
+    arrivals.reserve(static_cast<size_t>(options.points_per_client));
     for (int64_t i = 0; i < options.points_per_client; ++i) {
       auto next = stream->Next();
       FKC_CHECK(next.has_value()) << "stream exhausted pre-generating points";
-      points.push_back(std::move(*next));
+      arrivals.push_back({key_for(c, i, &rng), std::move(*next)});
     }
   }
 
@@ -359,25 +396,37 @@ ShardedContentionReport RunShardedContention(
       }
     }
   }
-  // Warm up the hot shards: one arrival each, so the measured phase never
-  // pays shard creation, and the fleet clock moves past every cold
+  // Warm up the generation-0 hot shards: one arrival each, so the measured
+  // phase never pays their creation (later create_every generations pay it
+  // on the hot path by design), and the fleet clock moves past every cold
   // tenant's last touch (EvictIdle counts a shard idle only when it is
-  // STRICTLY older than the TTL).
-  for (int c = 0; c < options.client_threads; ++c) {
+  // STRICTLY older than the TTL). In Zipf mode the warm set is the whole
+  // rank population — even the tail ranks a client may never draw.
+  std::vector<std::string> warm_keys;
+  if (zipf != nullptr) {
+    for (int64_t rank = 0; rank < zipf_tenants; ++rank) {
+      warm_keys.push_back(StrFormat("hot-%04lld", static_cast<long long>(rank)));
+    }
+  } else {
+    for (int c = 0; c < options.client_threads; ++c) {
+      warm_keys.push_back(StrFormat("client-%02d", c));
+    }
+  }
+  for (const std::string& key : warm_keys) {
     auto next = stream->Next();
     FKC_CHECK(next.has_value()) << "stream exhausted warming hot shards";
     std::vector<serving::KeyedPoint> warmup;
-    warmup.push_back({StrFormat("client-%02d", c), std::move(*next)});
+    warmup.push_back({key, std::move(*next)});
     const Status status = manager->IngestBatch(std::move(warmup));
     FKC_CHECK(status.ok()) << status.ToString();
   }
   if (options.idle_tenants > 0) {
-    // TTL = client_threads - 1 separates the fleet exactly: every cold
-    // tenant is at least client_threads arrivals stale (the warmups above
-    // all came later), while the oldest hot warmup is client_threads - 1.
+    // TTL = warm_keys - 1 separates the fleet exactly: every cold tenant
+    // is at least warm_keys arrivals stale (the warmups above all came
+    // later), while the oldest hot warmup is warm_keys - 1.
     Status spill_status;
-    const int64_t spilled =
-        manager->EvictIdle(options.client_threads - 1, &spill_status);
+    const int64_t spilled = manager->EvictIdle(
+        static_cast<int64_t>(warm_keys.size()) - 1, &spill_status);
     FKC_CHECK(spill_status.ok()) << spill_status.ToString();
     FKC_CHECK_EQ(spilled, options.idle_tenants)
         << "cold tenants failed to spill";
@@ -436,23 +485,19 @@ ShardedContentionReport RunShardedContention(
   clients.reserve(static_cast<size_t>(options.client_threads));
   for (int c = 0; c < options.client_threads; ++c) {
     clients.emplace_back([&, c] {
-      const std::string key = StrFormat("client-%02d", c);
-      const std::vector<Point>& points =
+      const std::vector<serving::KeyedPoint>& arrivals =
           per_client[static_cast<size_t>(c)];
-      for (size_t start = 0; start < points.size();
+      for (size_t start = 0; start < arrivals.size();
            start += static_cast<size_t>(options.batch_size)) {
         const size_t end = std::min(
-            points.size(), start + static_cast<size_t>(options.batch_size));
-        std::vector<serving::KeyedPoint> batch;
-        batch.reserve(end - start);
-        for (size_t i = start; i < end; ++i) {
-          batch.push_back({key, points[i]});
-        }
+            arrivals.size(), start + static_cast<size_t>(options.batch_size));
+        std::vector<serving::KeyedPoint> batch(arrivals.begin() + start,
+                                               arrivals.begin() + end);
         const Status status =
             locked([&] { return manager->IngestBatch(std::move(batch)); });
         FKC_CHECK(status.ok()) << status.ToString();
         if (options.client_pause_ms > 0 &&
-            end < points.size()) {  // no tail padding after the last batch
+            end < arrivals.size()) {  // no tail padding after the last batch
           std::this_thread::sleep_for(
               std::chrono::milliseconds(options.client_pause_ms));
         }
@@ -469,6 +514,18 @@ ShardedContentionReport RunShardedContention(
                    options.points_per_client;
   report.query_rounds = query_rounds.load();
   report.maintenance_ticks = maintenance_ticks.load();
+  report.shards = static_cast<int>(manager->shard_count()) -
+                  static_cast<int>(options.idle_tenants);
+  report.stripes = manager->num_stripes();
+  report.pool_steals = manager->pool_shared_claims();
+  const std::vector<int64_t> stripe_ops = manager->StripeOps();
+  int64_t hottest = 0, total_ops = 0;
+  for (int64_t ops : stripe_ops) {
+    hottest = std::max(hottest, ops);
+    total_ops += ops;
+  }
+  report.stripe_hot_ratio =
+      total_ops > 0 ? static_cast<double>(hottest) / total_ops : 0.0;
   return report;
 }
 

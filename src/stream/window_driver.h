@@ -312,6 +312,22 @@ struct ShardedContentionOptions {
   /// Baseline mode: serialize every manager call behind one external
   /// mutex (ingest, QueryAll, and maintenance alike).
   bool global_mutex = false;
+  /// Zipf skew of the key routing. 0 keeps the classic schedule (client c
+  /// owns key "client-c", fully disjoint). s > 0 switches to a shared
+  /// heavy-tailed tenant population: each client draws every arrival's key
+  /// from Zipf(s) over `zipf_tenants` ranks (deterministically, seeded per
+  /// client), so hot tenants — and their routing stripes — are shared
+  /// across clients. Measures the striped map under realistic hot-key
+  /// popularity instead of perfectly spread routing.
+  double zipf_s = 0.0;
+  /// Tenant population for the Zipf schedule; 0 = 4 * client_threads.
+  int64_t zipf_tenants = 0;
+  /// Create-heavy churn: every this many arrivals, a client rotates to a
+  /// fresh never-seen key generation (key "client-c-gN" or a fresh Zipf
+  /// rank namespace), so shard CREATION — the routing-layer write path the
+  /// stripes exist to spread — stays on the hot path instead of happening
+  /// once at warm-up. 0 = keys are stable for the whole run.
+  int64_t create_every = 0;
 };
 
 /// Outcome of one contention run. updates and shards are deterministic;
@@ -319,12 +335,19 @@ struct ShardedContentionOptions {
 /// maintenance_ticks — background threads run as often as the clock lets
 /// them).
 struct ShardedContentionReport {
-  int shards = 0;          ///< hot shards == client_threads (one per client)
+  int shards = 0;          ///< hot shards at the end (clients or Zipf ranks)
   int client_threads = 0;
   int idle_tenants = 0;    ///< cold spilled tenants scanned by every round
   int64_t updates = 0;
   int64_t query_rounds = 0;       ///< completed background QueryAll rounds
   int64_t maintenance_ticks = 0;  ///< completed background sweeps
+  int stripes = 0;                ///< manager's resolved routing-stripe count
+  /// Pool iterations claimed while another fan-out was concurrently in
+  /// flight (ThreadPool work sharing). Volatile, like query_rounds.
+  int64_t pool_steals = 0;
+  /// Fraction of routing ops landing on the single busiest stripe — 1/N is
+  /// perfectly spread, ~1.0 is one hot stripe. Volatile under concurrency.
+  double stripe_hot_ratio = 0.0;
   /// Wall time from releasing the clients to the last client finishing,
   /// with the background threads running throughout.
   double update_seconds = 0.0;

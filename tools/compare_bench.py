@@ -4,31 +4,38 @@ for paired before/after runs on the same machine — wall-time throughput.
 
 Two input formats are auto-detected:
 
-* google-benchmark JSON (bench/micro_kernels): only wall-time-STABLE
-  metrics are compared — the deterministic counters the engine benches
-  emit (distance calls per arrival, expiry sweeps per arrival, query
-  selection diagnostics). Nanosecond timings are machine-dependent and
-  deliberately ignored — the committed baseline was recorded on a
-  different box than CI.
+* google-benchmark JSON (bench/micro_kernels): by default only
+  wall-time-STABLE metrics are compared — the deterministic counters the
+  engine benches emit (distance calls per arrival, expiry sweeps per
+  arrival, query selection diagnostics). Nanosecond timings are
+  machine-dependent and ignored against the committed baseline (recorded
+  on a different box than CI), but a PAIRED base-vs-head run on the same
+  runner may gate real_time with --max-walltime-regression.
 
 * shard_scaling JSON (bench/shard_scaling, a top-level "bench" key):
   deterministic counters (updates, queries, memory points, evictions,
   rehydrations, checkpoint sizes) are compared like stable counters, and
   the throughput fields (updates_per_s, queries_per_s) can additionally
-  be compared with --max-walltime-regression. The contention scenario's
-  two runs appear as contention/per_shard and contention/global_mutex
-  (updates is a deterministic counter, updates_per_s rides the wall-time
-  axis); its query_rounds / maintenance_ticks / speedup are volatile —
-  background threads complete as many rounds as the clock allows — and
-  are excluded from comparison entirely. Wall-time comparison is
-  only meaningful when both files were produced in the same run
-  environment — the CI walltime job builds the PR's base commit and head
-  in the same runner and runs both, so the pair IS comparable.
+  be compared with --max-walltime-regression. Every dict child of the
+  contention scenario becomes an entry (contention/global_mutex,
+  contention/single_stripe, contention/per_shard, contention/zipf,
+  contention/create_heavy, ...); `updates` and `shards` are deterministic
+  counters, updates_per_s rides the wall-time axis, and the volatile
+  fields — query_rounds / maintenance_ticks (background threads complete
+  as many rounds as the clock allows), speedup / stripe_speedup (ratios
+  of two wall times), pool_steals / stripe_hot_ratio (scheduling-order
+  gauges), stripes (host-dependent when auto) — are excluded from
+  comparison entirely. Wall-time comparison is only meaningful when both
+  files were produced in the same run environment — the CI walltime job
+  builds the PR's base commit and head in the same runner and runs both,
+  so the pair IS comparable.
 
 Usage:
   python3 tools/compare_bench.py BENCH_micro_kernels.json new.json \
       [--max-regression 0.20] [--exact-prefixes distance_calls,...]
   python3 tools/compare_bench.py base_shard.json head_shard.json \
+      --max-walltime-regression 0.25 --walltime-only
+  python3 tools/compare_bench.py base_micro.json head_micro.json \
       --max-walltime-regression 0.25 --walltime-only
 
 Exit code 1 when any compared counter moved by more than --max-regression
@@ -69,9 +76,19 @@ THROUGHPUT_FIELDS = ("updates_per_s", "queries_per_s")
 
 # Contention-scenario fields that are neither deterministic counters nor
 # gateable throughputs: background threads complete as many rounds/ticks as
-# the wall clock lets them, and the speedup is a ratio of two wall times.
+# the wall clock lets them, the speedups are ratios of two wall times,
+# pool_steals / stripe_hot_ratio depend on scheduling order, and the stripe
+# count is host-dependent when the bench runs with --stripes=0 (auto).
 # They stay in the JSON for humans but are never compared.
-VOLATILE_FIELDS = ("query_rounds", "maintenance_ticks", "speedup")
+VOLATILE_FIELDS = (
+    "query_rounds",
+    "maintenance_ticks",
+    "speedup",
+    "stripe_speedup",
+    "pool_steals",
+    "stripe_hot_ratio",
+    "stripes",
+)
 
 
 def stable_counters(entry):
@@ -110,8 +127,11 @@ def flatten_shard_scaling(data):
                 if isinstance(v, (int, float))
             }
     contention = data.get("contention", {})
-    for mode in ("per_shard", "global_mutex"):
-        sub = contention.get(mode)
+    # Every dict child is a contention run (global_mutex, single_stripe,
+    # per_shard, zipf, create_heavy, and whatever future modes appear);
+    # scalar children (speedups, host facts) are header fields, not runs.
+    for mode in sorted(contention):
+        sub = contention[mode]
         if isinstance(sub, dict):
             entries[f"contention/{mode}"] = {
                 k: float(v) for k, v in sub.items()
@@ -158,12 +178,6 @@ def main():
         print("error: --walltime-only requires --max-walltime-regression",
               file=sys.stderr)
         return 1
-    if (args.max_walltime_regression is not None
-            and base_format != "shard_scaling"):
-        print("error: wall-time comparison needs shard_scaling JSON "
-              "(google-benchmark timings are never compared)",
-              file=sys.stderr)
-        return 1
 
     failures = []
     compared = 0
@@ -186,21 +200,30 @@ def main():
                 f"moved {rel:.1%} (limit "
                 f"{'exact match' if exact else f'{limit:.0%}'})")
 
-    def compare_walltime(name, field, base_value, new_value):
+    def compare_walltime(name, field, base_value, new_value,
+                         lower_is_better=False):
         nonlocal compared
         compared += 1
-        # Throughput: only a DROP is a regression; faster always passes.
-        drop = 0.0 if base_value <= 0.0 \
-            else max(0.0, (base_value - new_value) / base_value)
+        # Only a move in the WRONG direction is a regression: a throughput
+        # drop, or (for raw timings) a real_time increase. Faster always
+        # passes.
+        if base_value <= 0.0:
+            loss = 0.0
+        elif lower_is_better:
+            loss = max(0.0, (new_value - base_value) / base_value)
+        else:
+            loss = max(0.0, (base_value - new_value) / base_value)
         limit = args.max_walltime_regression
-        marker = "FAIL" if drop > limit else "ok"
+        marker = "FAIL" if loss > limit else "ok"
         print(f"[{marker}] {name}/{field}: "
               f"{base_value:.4g} -> {new_value:.4g} "
-              f"(-{drop:.1%} vs limit {limit:.0%}) [walltime]")
-        if drop > limit:
+              f"(-{loss:.1%} vs limit {limit:.0%}) [walltime]")
+        if loss > limit:
             failures.append(
-                f"{name}/{field}: throughput fell {drop:.1%} "
-                f"({base_value:.4g} -> {new_value:.4g}, limit {limit:.0%})")
+                f"{name}/{field}: "
+                f"{'slowed' if lower_is_better else 'throughput fell'} "
+                f"{loss:.1%} ({base_value:.4g} -> {new_value:.4g}, "
+                f"limit {limit:.0%})")
 
     for name, base_entry in sorted(baseline.items()):
         if base_format == "google_benchmark":
@@ -210,9 +233,16 @@ def main():
                 k: v for k, v in base_entry.items()
                 if k not in THROUGHPUT_FIELDS
             }
-        base_walltimes = {} if base_format == "google_benchmark" else {
-            k: v for k, v in base_entry.items() if k in THROUGHPUT_FIELDS
-        }
+        if base_format == "shard_scaling":
+            base_walltimes = {
+                k: v for k, v in base_entry.items() if k in THROUGHPUT_FIELDS
+            }
+        elif (args.max_walltime_regression is not None
+              and "real_time" in base_entry):
+            # Paired same-runner google-benchmark runs gate on real_time.
+            base_walltimes = {"real_time": float(base_entry["real_time"])}
+        else:
+            base_walltimes = {}
         if not base_counters and not base_walltimes:
             continue  # timing-only entry: nothing stable to compare
         if name not in fresh:
@@ -237,7 +267,8 @@ def main():
                     failures.append(f"{name}/{field}: throughput disappeared")
                     continue
                 compare_walltime(name, field, base_value,
-                                 float(fresh_entry[field]))
+                                 float(fresh_entry[field]),
+                                 lower_is_better=field == "real_time")
 
     for name in sorted(set(fresh) - set(baseline)):
         has_stable = stable_counters(fresh[name]) \
