@@ -32,11 +32,24 @@
 //      byte-identically to a serially-built one. --stripes picks the
 //      routing-stripe count (0 = auto-size to the hardware); like
 //      --threads it is an execution knob — answers and checkpoint bytes
-//      are identical at every value.
+//      are identical at every value,
+//   9. survive a SIGKILL: the leader captures every tranche into a
+//      crash-safe ReplicatedLog while a LogSender streams it over a unix
+//      socket to a fault-injected follower (frames dropped, corrupted,
+//      and truncated on a seeded schedule) that still converges to a
+//      byte-equal checkpoint — then the leader "dies" and a fresh process
+//      image reconstructs the whole fleet purely from the on-disk log.
+//
+// The replication phase doubles as the CI kill-and-recover smoke:
+// --replication_only runs phase 9 alone (slowly, so a SIGKILL lands
+// mid-stream) against --replication_log_dir, and --recover_only restarts
+// from whatever that kill left on disk — torn tail included — and
+// verifies the recovered fleet.
 //
 //   multi_tenant_serving [--tenants=4] [--threads=0] [--stripes=0]
 //                        [--batch=32] [--window=1000] [--points=12000]
-//                        [--spill_dir=<tmp>]
+//                        [--spill_dir=<tmp>] [--replication_log_dir=<tmp>]
+//                        [--replication_only] [--recover_only]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -54,6 +67,9 @@
 #include "metric/metric.h"
 #include "sequential/jones_fair_center.h"
 #include "serving/delta_log.h"
+#include "serving/replication/fault_injector.h"
+#include "serving/replication/replicated_log.h"
+#include "serving/replication/transport.h"
 #include "serving/shard_manager.h"
 #include "serving/spill_store.h"
 
@@ -88,6 +104,235 @@ void PrintAnswers(const std::vector<fkc::serving::ShardAnswer>& answers) {
   }
 }
 
+bool SameAnswers(const std::vector<fkc::serving::ShardAnswer>& a,
+                 const std::vector<fkc::serving::ShardAnswer>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].solution.ok() != b[i].solution.ok() ||
+        (a[i].solution.ok() &&
+         !SameSolution(a[i].solution.value(), b[i].solution.value()))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --recover_only: the restarted leader. Everything it knows comes from the
+// log directory the kill left behind — possibly with a torn tail, which
+// recovery truncates back to the last intact capture.
+int RunRecovery(const std::string& log_dir, const fkc::EuclideanMetric& metric,
+                const fkc::JonesFairCenter& jones, int num_threads) {
+  fkc::serving::ReplicatedLog log(log_dir);
+  auto opened = log.Open();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", opened.ToString().c_str());
+    return 1;
+  }
+  const auto stats = log.recovery_stats();
+  std::printf("recovered log: generation %lld, %lld entries (%lld torn "
+              "segments truncated, %lld stale files swept)\n",
+              static_cast<long long>(log.generation()),
+              static_cast<long long>(stats.recovered_entries),
+              static_cast<long long>(stats.truncated_segments),
+              static_cast<long long>(stats.swept_files));
+  if (!log.has_base()) {
+    std::fprintf(stderr, "nothing to recover: the log has no base\n");
+    return 1;
+  }
+  auto replayed = log.Replay(&metric, &jones, num_threads);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 replayed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replayed fleet (%zu shards):\n", replayed.value().shard_count());
+  PrintAnswers(replayed.value().QueryAll());
+  // Replay is deterministic: a second replay must checkpoint byte-equal.
+  auto again = log.Replay(&metric, &jones, num_threads);
+  auto first_blob = replayed.value().CheckpointAll();
+  auto second_blob = again.ok() ? again.value().CheckpointAll()
+                                : fkc::Result<std::string>(again.status());
+  const bool deterministic = first_blob.ok() && second_blob.ok() &&
+                             first_blob.value() == second_blob.value();
+  std::printf("recovered checkpoint: %zu bytes; independent replay %s\n",
+              first_blob.ok() ? first_blob.value().size() : size_t{0},
+              deterministic ? "MATCHES" : "DIFFERS (bug!)");
+  return deterministic ? 0 : 1;
+}
+
+// Phase 9 (and, with endless=true, the --replication_only kill target):
+// crash-safe captures + wire replication to a fault-injected follower.
+int RunReplicationPhase(const std::string& log_dir,
+                        const fkc::EuclideanMetric& metric,
+                        const fkc::JonesFairCenter& jones,
+                        const fkc::ColorConstraint& constraint,
+                        const fkc::serving::ShardManagerOptions& options,
+                        const std::vector<fkc::Point>& trace,
+                        const std::vector<std::string>& keys, int64_t batch,
+                        bool endless) {
+  namespace srv = fkc::serving;
+  std::error_code cleanup;
+  std::filesystem::remove_all(log_dir, cleanup);  // fresh leader log
+
+  srv::ShardManager leader(options, constraint, &metric, &jones);
+  srv::ReplicatedLog log(log_dir);
+  auto opened = log.Open();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "log open failed: %s\n", opened.ToString().c_str());
+    return 1;
+  }
+
+  // The follower's link misbehaves on a seeded, budget-bounded schedule:
+  // once the budget is spent every frame delivers, so convergence is
+  // guaranteed, not lucky.
+  srv::FaultInjector::Options fault_options;
+  fault_options.seed = 2024;
+  fault_options.drop_prob = 0.3;
+  fault_options.corrupt_prob = 0.2;
+  fault_options.truncate_prob = 0.1;
+  fault_options.max_faults = 8;
+  srv::FaultInjector injector(fault_options);
+
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       fkc::StrFormat("fkc_mts_%lld.sock",
+                      static_cast<long long>(
+                          std::chrono::steady_clock::now().time_since_epoch()
+                              .count() %
+                          1000000)))
+          .string();
+  srv::LogSender::Options sender_options;
+  sender_options.unix_socket_path = socket_path;
+  sender_options.heartbeat_interval = std::chrono::milliseconds(20);
+  sender_options.fault_injector = &injector;
+  srv::LogSender sender(&log, sender_options);
+  auto sender_started = sender.Start();
+  if (!sender_started.ok()) {
+    std::fprintf(stderr, "sender start failed: %s\n",
+                 sender_started.ToString().c_str());
+    return 1;
+  }
+  srv::LogReceiver::Options receiver_options;
+  receiver_options.unix_socket_path = socket_path;
+  receiver_options.receive_timeout = std::chrono::milliseconds(500);
+  receiver_options.initial_backoff = std::chrono::milliseconds(5);
+  receiver_options.max_backoff = std::chrono::milliseconds(100);
+  srv::LogReceiver receiver(&metric, &jones, receiver_options);
+  auto receiver_started = receiver.Start();
+  if (!receiver_started.ok()) {
+    std::fprintf(stderr, "receiver start failed: %s\n",
+                 receiver_started.ToString().c_str());
+    return 1;
+  }
+
+  // Stream in tranches, capturing after each. In --replication_only mode
+  // the tranches are slowed down so an external SIGKILL reliably lands
+  // mid-stream (the CI smoke polls for the MANIFEST, then kills).
+  const int64_t tranches = endless ? 200 : 6;
+  const int64_t tranche_points =
+      std::max<int64_t>(static_cast<int64_t>(trace.size()) / 6, 1);
+  std::vector<srv::KeyedPoint> pending;
+  for (int64_t tranche = 0; tranche < tranches; ++tranche) {
+    for (int64_t i = 0; i < tranche_points; ++i) {
+      const size_t t = static_cast<size_t>(
+          (tranche * tranche_points + i) % static_cast<int64_t>(trace.size()));
+      pending.push_back({keys[t % keys.size()], trace[t]});
+      if (static_cast<int64_t>(pending.size()) >= batch) {
+        auto ingest_status = leader.IngestBatch(std::move(pending));
+        pending = {};
+        if (!ingest_status.ok()) {
+          std::fprintf(stderr, "ingest failed: %s\n",
+                       ingest_status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    if (!pending.empty()) {
+      auto ingest_status = leader.IngestBatch(std::move(pending));
+      pending = {};
+      if (!ingest_status.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     ingest_status.ToString().c_str());
+        return 1;
+      }
+    }
+    auto captured = log.Capture(&leader);
+    if (!captured.ok()) {
+      std::fprintf(stderr, "capture failed: %s\n",
+                   captured.status().ToString().c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(endless ? 50 : 5));
+  }
+
+  // Wait for the follower to drain the chain despite the fault schedule.
+  const int64_t want_entries = 1 + static_cast<int64_t>(log.chain_length());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  srv::LogReceiver::StalenessBound bound;
+  do {
+    bound = receiver.staleness();
+    if (bound.has_fleet && bound.entries_behind == 0 &&
+        bound.applied_entries == want_entries) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (std::chrono::steady_clock::now() < deadline);
+
+  const auto counters = injector.counters();
+  std::printf(
+      "\nreplication: generation %lld, %zu chained deltas; follower applied "
+      "%lld/%lld entries (staleness bound %lld), surviving %lld dropped + "
+      "%lld corrupted + %lld truncated frames over %lld connects (%lld "
+      "resyncs served)\n",
+      static_cast<long long>(log.generation()), log.chain_length(),
+      static_cast<long long>(bound.applied_entries),
+      static_cast<long long>(want_entries),
+      static_cast<long long>(bound.entries_behind),
+      static_cast<long long>(counters.frames_dropped),
+      static_cast<long long>(counters.frames_corrupted),
+      static_cast<long long>(counters.frames_truncated),
+      static_cast<long long>(receiver.stats().connects),
+      static_cast<long long>(sender.stats().resyncs_served));
+  if (bound.entries_behind != 0 || bound.applied_entries != want_entries) {
+    std::fprintf(stderr, "follower never converged\n");
+    return 1;
+  }
+
+  // Byte-equal convergence: both sides replay/checkpoint their own view.
+  auto leader_fleet = log.Replay(&metric, &jones, options.num_threads);
+  auto leader_blob = leader_fleet.ok()
+                         ? leader_fleet.value().CheckpointAll()
+                         : fkc::Result<std::string>(leader_fleet.status());
+  auto follower_blob = receiver.CheckpointAll();
+  const bool converged = leader_blob.ok() && follower_blob.ok() &&
+                         leader_blob.value() == follower_blob.value();
+  std::printf("follower checkpoint %s the leader's (%zu bytes)\n",
+              converged ? "MATCHES" : "DIFFERS FROM (bug!)",
+              leader_blob.ok() ? leader_blob.value().size() : size_t{0});
+  receiver.Stop();
+  sender.Stop();
+  if (!converged) return 1;
+
+  // Simulated SIGKILL: a second process image knows nothing but the
+  // directory. Reconstruct and compare answers with the (still live
+  // here, conveniently) leader.
+  srv::ReplicatedLog risen(log_dir);
+  if (!risen.Open().ok()) return 1;
+  auto recovered = risen.Replay(&metric, &jones, options.num_threads);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery replay failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  const bool recovered_identical =
+      SameAnswers(leader.QueryAll(), recovered.value().QueryAll());
+  std::printf("fleet recovered from the on-disk log answers %s\n",
+              recovered_identical ? "IDENTICALLY" : "DIFFERENTLY (bug!)");
+  return recovered_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,6 +343,9 @@ int main(int argc, char** argv) {
   int64_t window = 1000;
   int64_t points = 12000;
   std::string spill_dir;
+  std::string replication_log_dir;
+  bool replication_only = false;
+  bool recover_only = false;
 
   fkc::FlagParser flags;
   flags.AddInt64("tenants", &tenants, "number of tenant shards");
@@ -111,6 +359,16 @@ int main(int argc, char** argv) {
   flags.AddString("spill_dir", &spill_dir,
                   "directory for the durable-spill phase (default: a "
                   "fresh ./multi_tenant_spill, removed afterwards)");
+  flags.AddString("replication_log_dir", &replication_log_dir,
+                  "directory for the replication phase's crash-safe log "
+                  "(default: a fresh ./multi_tenant_replog, removed "
+                  "afterwards)");
+  flags.AddBool("replication_only", &replication_only,
+                "run only the replication phase, slowed down so an external "
+                "SIGKILL lands mid-stream (the CI kill-and-recover smoke)");
+  flags.AddBool("recover_only", &recover_only,
+                "restart from --replication_log_dir: recover the log (torn "
+                "tail included), replay, and verify — no ingest at all");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -124,6 +382,17 @@ int main(int argc, char** argv) {
 
   const fkc::EuclideanMetric metric;
   const fkc::JonesFairCenter jones;
+
+  // Delete only a directory this run invented — never a user-supplied
+  // path, which may pre-exist and hold foreign files. (--recover_only
+  // deletes nothing: its whole input is what the kill left behind.)
+  const bool owns_replication_dir = replication_log_dir.empty();
+  if (owns_replication_dir) replication_log_dir = "multi_tenant_replog";
+
+  if (recover_only) {
+    return RunRecovery(replication_log_dir, metric, jones,
+                       fkc::ResolveThreadCount(threads));
+  }
 
   fkc::datasets::PhonesSimOptions data_options;
   data_options.num_points = points;
@@ -143,6 +412,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> keys;
   for (int64_t s = 0; s < tenants; ++s) {
     keys.push_back(fkc::StrFormat("tenant-%02lld", static_cast<long long>(s)));
+  }
+
+  if (replication_only) {
+    // The kill target: leave the log directory behind for --recover_only.
+    return RunReplicationPhase(replication_log_dir, metric, jones, constraint,
+                               options, trace, keys, batch, /*endless=*/true);
   }
 
   // --- 1. One tenant deviates from the fleet template: a quarter-size
@@ -455,5 +730,17 @@ int main(int argc, char** argv) {
       "built fleet's\n",
       keys.size(), static_cast<long long>(scans.load()), live.num_stripes(),
       concurrent_identical ? "MATCHES" : "DIFFERS FROM (bug!)");
-  return concurrent_identical ? 0 : 1;
+  if (!concurrent_identical) return 1;
+
+  // --- 9. Crash-safe replication: leader captures into a durable log, a
+  // fault-injected follower converges over the wire, and a SIGKILL'd
+  // leader rises again from nothing but the log directory. ---
+  const int replication_code =
+      RunReplicationPhase(replication_log_dir, metric, jones, constraint,
+                          options, trace, keys, batch, /*endless=*/false);
+  if (owns_replication_dir) {
+    std::error_code cleanup;  // best-effort
+    std::filesystem::remove_all(replication_log_dir, cleanup);
+  }
+  return replication_code;
 }

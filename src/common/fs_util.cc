@@ -142,6 +142,23 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+Status RemoveFileDurable(const std::string& path) {
+  std::error_code ec;
+  const bool removed = fs::remove(path, ec);
+  if (ec) {
+    return Status::IoError("cannot remove '" + path + "': " + ec.message());
+  }
+  if (!removed) {
+    return Status::OK();  // nothing unlinked, nothing to sync
+  }
+  const std::string parent = fs::path(path).parent_path().string();
+  return SyncPath(parent.empty() ? "." : parent, /*directory=*/true);
+}
+
+Status SyncDirectory(const std::string& dir) {
+  return SyncPath(dir.empty() ? "." : dir, /*directory=*/true);
+}
+
 Status ListDirectoryFiles(const std::string& dir,
                           std::vector<std::string>* out) {
   out->clear();

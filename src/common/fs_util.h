@@ -46,6 +46,19 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes);
 /// Deletes `path` if it exists; missing files are not an error.
 Status RemoveFileIfExists(const std::string& path);
 
+/// Deletes `path` (missing files are not an error) and fsyncs the parent
+/// directory, so the unlink itself survives power loss. The durable
+/// counterpart of WriteFileAtomic for the REMOVAL side of a publish: an
+/// unsynced unlink can resurrect a deleted spill file or log segment after
+/// a crash, which readers would then trust (stale shard state, or a log
+/// tail the leader already re-based away).
+Status RemoveFileDurable(const std::string& path);
+
+/// Flushes a directory's entries to stable storage (no-op on platforms
+/// without directory fsync). Exposed for batch deleters that unlink many
+/// files and want one sync instead of one per file.
+Status SyncDirectory(const std::string& dir);
+
 /// Names of the regular files directly inside `dir` (no recursion), in
 /// unspecified order. kIoError when the directory cannot be listed.
 Status ListDirectoryFiles(const std::string& dir,

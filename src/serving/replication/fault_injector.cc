@@ -1,0 +1,124 @@
+#include "serving/replication/fault_injector.h"
+
+#include <utility>
+
+namespace fkc {
+namespace serving {
+
+FaultInjector::FaultInjector(Options options)
+    : options_(options), rng_(options.seed) {}
+
+bool FaultInjector::SpendBudgetLocked() {
+  if (options_.max_faults >= 0 && faults_spent_ >= options_.max_faults) {
+    return false;
+  }
+  ++faults_spent_;
+  return true;
+}
+
+FaultInjector::FrameFate FaultInjector::NextFrameFate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.frames_seen;
+  // One uniform draw per frame keeps the schedule a pure function of the
+  // frame sequence number, independent of which fault classes are enabled.
+  const double u = rng_.NextDouble();
+  double edge = options_.drop_prob;
+  if (u < edge && SpendBudgetLocked()) {
+    ++counters_.frames_dropped;
+    return FrameFate::kDrop;
+  }
+  edge += options_.corrupt_prob;
+  if (u < edge && SpendBudgetLocked()) {
+    ++counters_.frames_corrupted;
+    return FrameFate::kCorrupt;
+  }
+  edge += options_.truncate_prob;
+  if (u < edge && SpendBudgetLocked()) {
+    ++counters_.frames_truncated;
+    return FrameFate::kTruncate;
+  }
+  edge += options_.delay_prob;
+  if (u < edge && SpendBudgetLocked()) {
+    ++counters_.frames_delayed;
+    return FrameFate::kDelay;
+  }
+  return FrameFate::kDeliver;
+}
+
+void FaultInjector::CorruptFrame(std::string* bytes) {
+  if (bytes->empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t offset =
+      static_cast<size_t>(rng_.NextBounded(bytes->size()));
+  (*bytes)[offset] = static_cast<char>((*bytes)[offset] ^ 0x5a);
+}
+
+size_t FaultInjector::TruncationPoint(size_t frame_size) {
+  if (frame_size == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(rng_.NextBounded(frame_size));
+}
+
+bool FaultInjector::NextWriteFails() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rng_.NextDouble() < options_.write_failure_prob &&
+      SpendBudgetLocked()) {
+    ++counters_.failed_writes;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NextReadFails() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rng_.NextDouble() < options_.read_failure_prob && SpendBudgetLocked()) {
+    ++counters_.failed_reads;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+FaultInjectingSpillStore::FaultInjectingSpillStore(
+    std::shared_ptr<SpillStore> inner, FaultInjector* injector)
+    : inner_(std::move(inner)),
+      injector_(injector),
+      name_(std::string("fault-injecting(") + inner_->Name() + ")") {}
+
+Status FaultInjectingSpillStore::Put(const std::string& key,
+                                     std::string blob) {
+  if (injector_->NextWriteFails()) {
+    return Status::IoError("injected write failure storing key '" + key +
+                           "' (seeded fault schedule)");
+  }
+  return inner_->Put(key, std::move(blob));
+}
+
+Result<std::string> FaultInjectingSpillStore::Get(
+    const std::string& key) const {
+  if (injector_->NextReadFails()) {
+    return Status::IoError("injected read failure loading key '" + key +
+                           "' (seeded fault schedule)");
+  }
+  return inner_->Get(key);
+}
+
+Status FaultInjectingSpillStore::Erase(const std::string& key) {
+  return inner_->Erase(key);
+}
+
+Result<int64_t> FaultInjectingSpillStore::GarbageCollect(
+    const std::set<std::string>& keep) {
+  return inner_->GarbageCollect(keep);
+}
+
+Result<int64_t> FaultInjectingSpillStore::Count() const {
+  return inner_->Count();
+}
+
+}  // namespace serving
+}  // namespace fkc

@@ -1,0 +1,127 @@
+// Deterministic fault injection for the replication stack: a seeded
+// schedule of frame-level transport faults (drop / corrupt / truncate /
+// delay) and spill-store IO failures, so the kill-and-recover and
+// partition-and-resync suites exercise the SAME misbehaviour on every run.
+//
+// One FaultInjector instance is a single fault budget shared by everything
+// wrapped around it — the LogSender consults it per outgoing frame, a
+// FaultInjectingSpillStore per Put/Get. Faults are drawn from one seeded
+// Rng under a mutex, so a single-threaded driver replays bit-identically;
+// under concurrency the SET of faults drawn is still bounded by the budget
+// even though their interleaving varies. `max_faults` caps the total
+// number of injected faults: once spent, every frame delivers and every
+// write succeeds, which is what lets convergence tests assert a
+// fault-ridden follower eventually matches the leader exactly.
+#ifndef FKC_SERVING_REPLICATION_FAULT_INJECTOR_H_
+#define FKC_SERVING_REPLICATION_FAULT_INJECTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "serving/spill_store.h"
+
+namespace fkc {
+namespace serving {
+
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 42;  ///< drives the whole schedule, bit-reproducibly
+
+    /// Per-frame fault probabilities, evaluated in this order; the first
+    /// hit wins, so they need not sum below 1.
+    double drop_prob = 0.0;      ///< frame silently not sent
+    double corrupt_prob = 0.0;   ///< one byte flipped at a seeded offset
+    double truncate_prob = 0.0;  ///< only a seeded prefix sent, then EOF
+    double delay_prob = 0.0;     ///< frame held for `delay` before sending
+    std::chrono::milliseconds delay{2};
+
+    /// Spill-store fault probabilities (FaultInjectingSpillStore).
+    double write_failure_prob = 0.0;  ///< Put fails with kIoError
+    double read_failure_prob = 0.0;   ///< Get fails with kIoError
+
+    /// Total faults injected before the injector goes quiet (every later
+    /// draw delivers/succeeds). Negative = unlimited. A finite budget is
+    /// what makes "the follower converges despite faults" a theorem
+    /// rather than a race.
+    int64_t max_faults = -1;
+  };
+
+  /// What happens to one outgoing frame.
+  enum class FrameFate { kDeliver, kDrop, kCorrupt, kTruncate, kDelay };
+
+  /// Lifetime injection counts (monotone; snapshot of the internal state).
+  struct Counters {
+    int64_t frames_seen = 0;
+    int64_t frames_dropped = 0;
+    int64_t frames_corrupted = 0;
+    int64_t frames_truncated = 0;
+    int64_t frames_delayed = 0;
+    int64_t failed_writes = 0;
+    int64_t failed_reads = 0;
+  };
+
+  explicit FaultInjector(Options options);
+
+  /// Draws the fate of the next frame from the seeded schedule.
+  FrameFate NextFrameFate();
+
+  /// Flips one byte of an encoded frame at a seeded offset (no-op on an
+  /// empty buffer). The receiver's magic/checksum validation must catch
+  /// the flip wherever it lands.
+  void CorruptFrame(std::string* bytes);
+
+  /// Seeded cut point in [0, frame_size) for a kTruncate fate.
+  size_t TruncationPoint(size_t frame_size);
+
+  /// True when the next spill-store Put / Get should fail.
+  bool NextWriteFails();
+  bool NextReadFails();
+
+  std::chrono::milliseconds delay() const { return options_.delay; }
+  Counters counters() const;
+
+ private:
+  /// True (and consumes budget) iff faults are still allowed. Requires mu_.
+  bool SpendBudgetLocked();
+
+  mutable std::mutex mu_;
+  Options options_;
+  Rng rng_;
+  int64_t faults_spent_ = 0;
+  Counters counters_;
+};
+
+/// A SpillStore that fails Put/Get on the injector's seeded schedule and
+/// forwards everything else to the wrapped backend. Drives the
+/// ShardManager's failure paths (a failed spill leaves the shard live, a
+/// failed rehydration answers with a Status, MaintenanceStats counts both)
+/// without needing a real full disk.
+class FaultInjectingSpillStore : public SpillStore {
+ public:
+  /// `injector` must outlive the store.
+  FaultInjectingSpillStore(std::shared_ptr<SpillStore> inner,
+                           FaultInjector* injector);
+
+  Status Put(const std::string& key, std::string blob) override;
+  Result<std::string> Get(const std::string& key) const override;
+  Status Erase(const std::string& key) override;
+  Result<int64_t> GarbageCollect(const std::set<std::string>& keep) override;
+  Result<int64_t> Count() const override;
+  const char* Name() const override { return name_.c_str(); }
+
+ private:
+  std::shared_ptr<SpillStore> inner_;
+  FaultInjector* injector_;
+  std::string name_;
+};
+
+}  // namespace serving
+}  // namespace fkc
+
+#endif  // FKC_SERVING_REPLICATION_FAULT_INJECTOR_H_

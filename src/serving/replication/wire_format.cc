@@ -1,0 +1,98 @@
+#include "serving/replication/wire_format.h"
+
+#include <cstring>
+
+#include "common/fs_util.h"
+
+namespace fkc {
+namespace serving {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'K', 'C', 'R'};
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(frame.type));
+  PutU64(&out, static_cast<uint64_t>(frame.generation));
+  PutU64(&out, static_cast<uint64_t>(frame.index));
+  PutU64(&out, static_cast<uint64_t>(frame.chain_length));
+  PutU64(&out, static_cast<uint64_t>(frame.payload.size()));
+  PutU64(&out, Fnv1a64(frame.payload));
+  out.append(frame.payload);
+  return out;
+}
+
+Status DecodeFrameHeader(const char* data, size_t size, Frame* frame,
+                         uint64_t* payload_size, uint64_t* payload_checksum) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("replication frame header truncated");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("replication frame has a bad magic");
+  }
+  if (static_cast<uint8_t>(data[4]) != kWireVersion) {
+    return Status::InvalidArgument("unsupported replication wire version");
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(data[5]);
+  if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<uint8_t>(FrameType::kHeartbeat)) {
+    return Status::InvalidArgument("unknown replication frame type");
+  }
+  const uint64_t generation = GetU64(data + 6);
+  const uint64_t index = GetU64(data + 14);
+  const uint64_t chain_length = GetU64(data + 22);
+  const uint64_t body = GetU64(data + 30);
+  // A flipped sign bit in any position field, or an over-cap payload size,
+  // marks the header as garbage: positions are small non-negative counts.
+  if (generation > static_cast<uint64_t>(INT64_MAX) ||
+      index > static_cast<uint64_t>(INT64_MAX) ||
+      chain_length > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::InvalidArgument("replication frame position out of range");
+  }
+  if (body > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("replication frame payload exceeds cap");
+  }
+  frame->type = static_cast<FrameType>(raw_type);
+  frame->generation = static_cast<int64_t>(generation);
+  frame->index = static_cast<int64_t>(index);
+  frame->chain_length = static_cast<int64_t>(chain_length);
+  frame->payload.clear();
+  *payload_size = body;
+  *payload_checksum = GetU64(data + 38);
+  return Status::OK();
+}
+
+Status CheckFramePayload(uint64_t expected_size, uint64_t expected_checksum,
+                         const std::string& payload) {
+  if (payload.size() != expected_size) {
+    return Status::InvalidArgument("replication frame payload size mismatch");
+  }
+  if (Fnv1a64(payload) != expected_checksum) {
+    return Status::InvalidArgument(
+        "replication frame payload failed its checksum");
+  }
+  return Status::OK();
+}
+
+}  // namespace serving
+}  // namespace fkc

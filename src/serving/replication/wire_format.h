@@ -1,0 +1,90 @@
+// The replication stream's frame encoding, shared by LogSender and
+// LogReceiver and factored out so the fault-injection tests can corrupt
+// encoded frames and assert the decoder rejects every mutation.
+//
+// A frame is a fixed 46-byte header followed by `payload_size` raw bytes:
+//
+//   offset  size  field
+//        0     4  magic "FKCR"
+//        4     1  wire version (1)
+//        5     1  frame type (FrameType)
+//        6     8  generation      (little-endian unsigned)
+//       14     8  index           (little-endian unsigned)
+//       22     8  chain_length    (little-endian unsigned)
+//       30     8  payload_size    (little-endian unsigned)
+//       38     8  payload FNV-1a  (little-endian unsigned)
+//       46     …  payload bytes
+//
+// The length prefix travels in the header (payload_size), so a reader
+// always knows how many bytes to consume; the per-frame FNV-1a checksum
+// covers the payload. Header integrity rides on the magic, the version
+// byte, the type range, and a hard payload-size cap — a corrupted header
+// fails one of those (or the payload checksum, since a wrong size
+// misframes everything after it) and the receiver drops the connection
+// and resyncs rather than applying garbage.
+//
+// Semantics per type:
+//   kHello      follower -> leader on (re)connect: generation/index name
+//               the next entry the follower wants (index 0 = the base).
+//               No payload.
+//   kBase       leader -> follower: a full CheckpointAll blob opening
+//               `generation` (index is always 0).
+//   kDelta      leader -> follower: the CheckpointDelta blob at `index`
+//               (1-based) of `generation`.
+//   kHeartbeat  leader -> follower when idle: no payload; carries the
+//               leader's current position so a quiet follower still
+//               learns how far behind it is (the staleness bound).
+// Every leader->follower frame carries the leader's current position in
+// (generation, chain_length).
+#ifndef FKC_SERVING_REPLICATION_WIRE_FORMAT_H_
+#define FKC_SERVING_REPLICATION_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fkc {
+namespace serving {
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kBase = 2,
+  kDelta = 3,
+  kHeartbeat = 4,
+};
+
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kFrameHeaderBytes = 46;
+/// Hard cap on a frame payload — far above any real checkpoint blob, low
+/// enough that a corrupted size field cannot drive a multi-GiB allocation.
+constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  int64_t generation = 0;
+  int64_t index = 0;
+  int64_t chain_length = 0;  ///< leader position (deltas in the chain)
+  std::string payload;
+};
+
+/// Serializes `frame` (header + payload) for the wire.
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses a fixed header from `data` (`size` >= kFrameHeaderBytes
+/// required); on success fills everything but the payload and reports how
+/// many payload bytes follow plus their expected checksum.
+/// kInvalidArgument on a bad magic/version/type, a negative-looking or
+/// over-cap size, or negative generation/index.
+Status DecodeFrameHeader(const char* data, size_t size, Frame* frame,
+                         uint64_t* payload_size, uint64_t* payload_checksum);
+
+/// Verifies a received payload against the header's checksum and size.
+Status CheckFramePayload(uint64_t expected_size, uint64_t expected_checksum,
+                         const std::string& payload);
+
+}  // namespace serving
+}  // namespace fkc
+
+#endif  // FKC_SERVING_REPLICATION_WIRE_FORMAT_H_

@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "core/options_io.h"
 #include "serving/delta_log.h"
+#include "serving/replication/replicated_log.h"
 
 namespace fkc {
 namespace serving {
@@ -147,6 +148,35 @@ ShardManager::ShardManager(ShardManagerOptions options,
   if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
 }
 
+namespace {
+
+// Rewraps a backend failure with the operation and addressing context an
+// operator needs (which shard, which store, doing what) while preserving
+// the original code and the backend's own message (which names the path).
+Status AnnotateBackendFailure(const Status& inner, const std::string& context) {
+  const std::string message = context + ": " + inner.message();
+  switch (inner.code()) {
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(message);
+    case StatusCode::kInfeasible:
+      return Status::Infeasible(message);
+    case StatusCode::kIoError:
+    case StatusCode::kOk:  // unreachable: only called on failures
+      break;
+  }
+  return Status::IoError(message);
+}
+
+}  // namespace
+
 ShardManager::~ShardManager() { StopMaintenance(); }
 
 ShardManager::ShardManager(ShardManager&& other) noexcept
@@ -163,7 +193,10 @@ ShardManager::ShardManager(ShardManager&& other) noexcept
       maintenance_ticks_(other.maintenance_ticks_.load()),
       clock_(other.clock_.load()),
       evictions_(other.evictions_.load()),
-      rehydrations_(other.rehydrations_.load()) {
+      rehydrations_(other.rehydrations_.load()),
+      spill_write_failures_(other.spill_write_failures_.load()),
+      rehydration_failures_(other.rehydration_failures_.load()),
+      checkpoint_failures_(other.checkpoint_failures_.load()) {
   // Moving a manager whose maintenance thread is running is unsupported
   // (the thread would keep the old `this`); Restore/Replay outputs — the
   // only places managers are moved — never have one. A finished
@@ -192,6 +225,9 @@ ShardManager& ShardManager::operator=(ShardManager&& other) noexcept {
   clock_.store(other.clock_.load());
   evictions_.store(other.evictions_.load());
   rehydrations_.store(other.rehydrations_.load());
+  spill_write_failures_.store(other.spill_write_failures_.load());
+  rehydration_failures_.store(other.rehydration_failures_.load());
+  checkpoint_failures_.store(other.checkpoint_failures_.load());
   FKC_CHECK(maintenance_ == nullptr || !maintenance_->thread.joinable() ||
             [&] {
               std::lock_guard<std::mutex> lock(maintenance_->mu);
@@ -292,7 +328,12 @@ ShardManager::Shard* ShardManager::RouteLocked(Stripe& stripe,
 Status ShardManager::EnsureLiveHeld(const std::string& key, Shard* shard) {
   if (shard->live != nullptr) return Status::OK();
   auto blob = options_.spill_store->Get(key);
-  if (!blob.ok()) return blob.status();
+  if (!blob.ok()) {
+    rehydration_failures_.fetch_add(1, std::memory_order_relaxed);
+    return AnnotateBackendFailure(
+        blob.status(), "rehydrating shard '" + key + "' from the " +
+                           options_.spill_store->Name() + " spill store");
+  }
   auto window = FairCenterSlidingWindow::DeserializeState(blob.value(),
                                                           metric_, solver_);
   if (!window.ok()) return window.status();
@@ -376,7 +417,12 @@ Result<ShardManager::SpillAttempt> ShardManager::TrySpillShard(
   // Put before dropping the window: a failing backend must leave the shard
   // live and the fleet lossless.
   Status put = options_.spill_store->Put(key, std::move(blob));
-  if (!put.ok()) return put;
+  if (!put.ok()) {
+    spill_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return AnnotateBackendFailure(
+        put, "spilling shard '" + key + "' to the " +
+                 options_.spill_store->Name() + " spill store");
+  }
 
   stripe_lock.lock();
   if (shard->pins > 0) {
@@ -841,7 +887,14 @@ Result<std::string> ShardManager::CheckpointSnapshot(bool dirty_only) {
           CleanMark{entry.shard, entry.shard->live->state_epoch(), true});
     } else {
       auto blob = options_.spill_store->Get(*entry.key);
-      if (!blob.ok()) return blob.status();
+      if (!blob.ok()) {
+        checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+        return AnnotateBackendFailure(
+            blob.status(),
+            std::string(dirty_only ? "delta checkpoint" : "full checkpoint") +
+                " aborted reading spilled shard '" + *entry.key +
+                "' from the " + options_.spill_store->Name() + " spill store");
+      }
       WriteCheckpointRaw(&body, blob.value());
       clean_marks.push_back(CleanMark{entry.shard, kNeverCheckpointed, false});
     }
@@ -1102,8 +1155,14 @@ Result<ShardManager> ShardManager::Restore(
       auto segment = verbatim.find(victim->second);
       // A spill backend that cannot even absorb the restore is fatal to
       // the restore, not the process.
-      FKC_RETURN_IF_ERROR(manager.options_.spill_store->Put(
-          victim->second, std::move(segment->second)));
+      Status put = manager.options_.spill_store->Put(
+          victim->second, std::move(segment->second));
+      if (!put.ok()) {
+        return AnnotateBackendFailure(
+            put, "restore-time spill of shard '" + victim->second +
+                     "' to the " + manager.options_.spill_store->Name() +
+                     " spill store");
+      }
       verbatim.erase(segment);
       victim_shard.live.reset();
       victim_shard.spill_dirty = false;  // restored = checkpointed = clean
@@ -1119,6 +1178,13 @@ Result<ShardManager> ShardManager::Restore(
 Status ShardManager::StartMaintenance(MaintenanceOptions options) {
   if (options.cadence <= std::chrono::milliseconds::zero()) {
     return Status::InvalidArgument("maintenance cadence must be positive");
+  }
+  if (options.delta_log != nullptr && options.replicated_log != nullptr) {
+    // The per-shard dirty bit is a single-consumer cursor: two captors
+    // would each ship only the shards the other had not already marked
+    // clean, and both logs would replay a torn fleet.
+    return Status::InvalidArgument(
+        "at most one of delta_log / replicated_log may capture");
   }
   std::lock_guard<std::mutex> admin(*maintenance_admin_mu_);
   if (maintenance_ != nullptr) {
@@ -1208,8 +1274,21 @@ MaintenanceTickReport ShardManager::RunMaintenanceTick(
     if (report.status.ok()) report.status = spill_status;
   }
 
-  if (options.delta_log != nullptr && dirty_shard_count() > 0) {
+  if (options.delta_log != nullptr && options.replicated_log != nullptr) {
+    if (report.status.ok()) {
+      report.status = Status::InvalidArgument(
+          "at most one of delta_log / replicated_log may capture");
+    }
+  } else if (options.delta_log != nullptr && dirty_shard_count() > 0) {
     auto captured = options.delta_log->Capture(this);
+    if (captured.ok()) {
+      report.capture_bytes = captured.value().bytes;
+      report.rebased = captured.value().rebased;
+    } else if (report.status.ok()) {
+      report.status = captured.status();
+    }
+  } else if (options.replicated_log != nullptr && dirty_shard_count() > 0) {
+    auto captured = options.replicated_log->Capture(this);
     if (captured.ok()) {
       report.capture_bytes = captured.value().bytes;
       report.rebased = captured.value().rebased;

@@ -109,6 +109,7 @@ namespace fkc {
 namespace serving {
 
 class DeltaLog;
+class ReplicatedLog;
 
 /// An arrival addressed to one shard.
 struct KeyedPoint {
@@ -184,12 +185,42 @@ struct MaintenanceOptions {
   /// marks shards clean and the log's next delta silently omits them.
   DeltaLog* delta_log = nullptr;
 
+  /// Like delta_log, but captures into a crash-safe ReplicatedLog
+  /// (serving/replication/replicated_log.h): every appended base/delta is
+  /// also published to the log's directory before the tick reports, so a
+  /// SIGKILL between ticks loses at most the arrivals since the last
+  /// capture. The same single-consumer dirty-bit rule applies, and at most
+  /// ONE of delta_log / replicated_log may be set (StartMaintenance
+  /// rejects both; a manual tick reports kInvalidArgument) — two captors
+  /// would each see only half the deltas.
+  ReplicatedLog* replicated_log = nullptr;
+
   /// Run spill-store GarbageCollect every this many ticks (0 = never).
   int64_t gc_every = 0;
 
   /// Test-visible tick hook, called after each tick outside every manager
   /// lock (so it may call back into the manager).
   std::function<void(const MaintenanceTickReport&)> on_tick;
+};
+
+/// Lifetime counts of backend failures the manager absorbed instead of
+/// aborting (snapshot of internal atomics — see maintenance_stats()).
+/// Durable-backend trouble is otherwise easy to miss: a failed spill
+/// leaves the shard live, a failed rehydration answers with an error, and
+/// both only surface as a Status the caller may drop. Operators alert on
+/// these counters moving, then read the per-operation Status messages
+/// (which name the path/key and the operation) for the diagnosis.
+struct MaintenanceStats {
+  /// Spill-store Put failures (eviction sweeps, LRU-cap enforcement, and
+  /// restore-time cap spills). Each leaves the shard live and lossless.
+  int64_t spill_write_failures = 0;
+  /// Spill-store Get failures while rehydrating a spilled shard for a
+  /// touch (ingest / per-key query / shard()).
+  int64_t rehydration_failures = 0;
+  /// Fleet checkpoints (CheckpointAll / CheckpointDelta, including
+  /// DeltaLog/ReplicatedLog captures) abandoned because a spilled shard's
+  /// blob could not be read back. Dirty bits stay set — nothing is lost.
+  int64_t checkpoint_failures = 0;
 };
 
 /// Per-shard answer of a fan-out query.
@@ -446,6 +477,19 @@ class ShardManager {
     return rehydrations_.load(std::memory_order_relaxed);
   }
 
+  /// Lifetime backend-failure counters (see MaintenanceStats). Monotone;
+  /// a healthy backend keeps every field at zero.
+  MaintenanceStats maintenance_stats() const {
+    MaintenanceStats stats;
+    stats.spill_write_failures =
+        spill_write_failures_.load(std::memory_order_relaxed);
+    stats.rehydration_failures =
+        rehydration_failures_.load(std::memory_order_relaxed);
+    stats.checkpoint_failures =
+        checkpoint_failures_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
   /// Resolved routing-stripe count (a power of two, >= 1).
   int num_stripes() const { return static_cast<int>(stripes_.size()); }
   /// Routing operations (single-shard routes + batch groups) served per
@@ -648,6 +692,11 @@ class ShardManager {
   std::atomic<int64_t> clock_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> rehydrations_{0};
+
+  /// Backend-failure counters behind maintenance_stats().
+  std::atomic<int64_t> spill_write_failures_{0};
+  std::atomic<int64_t> rehydration_failures_{0};
+  std::atomic<int64_t> checkpoint_failures_{0};
 };
 
 }  // namespace serving

@@ -302,7 +302,9 @@ Status FileSpillStore::Erase(const std::string& key) {
   // chain.
   const ChainScan scan = ScanChain(key, /*verify_payload=*/false);
   if (scan.match >= 0) {
-    return RemoveFileIfExists(CandidatePath(key, scan.match));
+    // Durable unlink: without the parent-dir fsync a crash could resurrect
+    // the file, and a later rehydration would trust the stale shard state.
+    return RemoveFileDurable(CandidatePath(key, scan.match));
   }
   // No verifiable slot. An unreadable one might be this key's, and
   // pretending it was erased would leave it to resurface later.
@@ -346,6 +348,12 @@ Result<int64_t> FileSpillStore::GarbageCollect(
       FKC_RETURN_IF_ERROR(RemoveFileIfExists(path));
       ++removed;
     }
+  }
+  if (removed > 0) {
+    // One directory fsync for the whole sweep makes the unlinks durable —
+    // a resurrected orphan would be re-adopted as a live slot by the next
+    // probe-chain scan.
+    FKC_RETURN_IF_ERROR(SyncDirectory(directory_));
   }
   return removed;
 }

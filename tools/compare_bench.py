@@ -79,7 +79,10 @@ THROUGHPUT_FIELDS = ("updates_per_s", "queries_per_s")
 # the wall clock lets them, the speedups are ratios of two wall times,
 # pool_steals / stripe_hot_ratio depend on scheduling order, and the stripe
 # count is host-dependent when the bench runs with --stripes=0 (auto).
-# They stay in the JSON for humans but are never compared.
+# Replication fields ride the same axis: how many frames a leader sends
+# (heartbeats included), how often a follower has to resync, and how many
+# entries a recovery adopts all depend on connection timing and where the
+# kill landed. They stay in the JSON for humans but are never compared.
 VOLATILE_FIELDS = (
     "query_rounds",
     "maintenance_ticks",
@@ -88,6 +91,9 @@ VOLATILE_FIELDS = (
     "pool_steals",
     "stripe_hot_ratio",
     "stripes",
+    "frames_sent",
+    "resyncs",
+    "recovered_entries",
 )
 
 
