@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/fair_center_sliding_window.h"
+#include "core/k_median_sliding_window.h"
 #include "datasets/blobs.h"
 #include "matching/capacitated_matching.h"
 #include "matching/hopcroft_karp.h"
@@ -361,6 +362,57 @@ void BM_DistanceCallLedger(benchmark::State& state) {
   state.counters["coreset_size_planned"] = static_cast<double>(plan_coreset);
 }
 BENCHMARK(BM_DistanceCallLedger);
+
+// The same fixed-work ledger through the k-median objective engine: 6000
+// arrivals into a KMedianSlidingWindow (identical substrate, so the update
+// ledger must match BM_DistanceCallLedger bit-exactly), then 10
+// QueryObjective rounds whose distance calls cover coreset selection PLUS
+// the local-search swap evaluation. All counters are deterministic totals
+// compared at 0% tolerance across kernel widths, like the fair-center
+// ledger above.
+void BM_KMedianLedger(benchmark::State& state) {
+  const auto points = MakePoints(6000, 3, 7);
+  CountingMetric counting(&EngineMetric());
+  SlidingWindowOptions options;
+  options.window_size = 2000;
+  options.delta = 0.5;
+  options.d_min = 0.5;
+  options.d_max = 800.0;
+  options.num_threads = 1;
+  static const ColorConstraint constraint = ColorConstraint::Uniform(7, 2);
+  static const JonesFairCenter jones;
+  KMedianSlidingWindow window(options, constraint, &counting, &jones);
+  for (const Point& p : points) window.Update(p);
+  const int64_t update_calls = counting.count();
+  counting.Reset();
+  double cost_total = 0.0;
+  int64_t coreset_total = 0;
+  int64_t centers_total = 0;
+  for (int q = 0; q < 10; ++q) {
+    QueryStats stats;
+    auto solution = window.QueryObjective(&stats);
+    cost_total += solution.ok() ? solution.value().value : -1.0;
+    coreset_total += stats.coreset_size;
+    centers_total +=
+        solution.ok() ? static_cast<int64_t>(solution.value().centers.size())
+                      : -1;
+  }
+  const int64_t query_calls = counting.count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&window);
+  }
+  state.SetLabel(simd::ActiveKernels().name);
+  state.counters["distance_calls_total_update"] =
+      static_cast<double>(update_calls);
+  state.counters["distance_calls_total_query"] =
+      static_cast<double>(query_calls);
+  state.counters["kmedian_cost_total"] = cost_total;
+  state.counters["kmedian_coreset_total"] =
+      static_cast<double>(coreset_total);
+  state.counters["kmedian_centers_total"] =
+      static_cast<double>(centers_total);
+}
+BENCHMARK(BM_KMedianLedger);
 
 void BM_QueryEngineSequential(benchmark::State& state) {
   RunQueryBench(state, /*num_threads=*/1);

@@ -13,7 +13,8 @@
 //                 [--contention_client_pause_ms=10] [--contention_query_pause_ms=10]
 //                 [--contention_delta=1.0] [--contention_threads=2]
 //                 [--zipf_s=1.1] [--zipf_tenants=0] [--create_every=256]
-//                 [--stripes=0]
+//                 [--stripes=0] [--objective=fair-center]
+//                 [--burst_every=0] [--burst_size=0] [--cross_tenants=4]
 //                 [--spill_dir=<tmp>] [--out=BENCH_shard_scaling.json]
 //
 // After the shard-count sweep, an eviction-churn scenario drives a much
@@ -44,6 +45,15 @@
 // per-shard locking absorbs it into the clients' think time (measurable
 // even on a single-core host); the striping and work-sharing wins on top
 // need a multi-core runner.
+//
+// After contention, the CROSS-OBJECTIVE scenario: the same keyed stream is
+// replayed into three fleets — default fair-center, default k-median, and a
+// mixed fleet where half the tenants are overridden to k-median before
+// their first arrival — recording per-objective ingest throughput, final
+// objective values, window memory, and full-checkpoint size (the mixed
+// fleet's blob carries the fkc-shards-v3 objective table; the pure
+// fair-center fleet stays byte-compatible v2). Objective values and
+// checkpoint bytes are deterministic; the throughputs are wall-clock.
 //
 // Wall-clock throughput is hardware-dependent; the JSON also records the
 // deterministic per-run totals (updates, queries, shard memory, eviction /
@@ -134,6 +144,10 @@ int main(int argc, char** argv) {
   int64_t zipf_tenants = 0;
   int64_t create_every = 256;
   int64_t stripes = 0;
+  std::string objective = "fair-center";
+  int64_t burst_every = 0;
+  int64_t burst_size = 0;
+  int64_t cross_tenants = 4;
   std::string spill_dir;
 
   fkc::FlagParser flags;
@@ -190,6 +204,18 @@ int main(int argc, char** argv) {
   flags.AddInt64("stripes", &stripes,
                  "routing stripes for every manager (0 = auto; rounded up "
                  "to a power of two)");
+  flags.AddString("objective", &objective,
+                  "fleet-default clustering objective of the shard-count "
+                  "sweep: fair-center or k-median");
+  flags.AddInt64("burst_every", &burst_every,
+                 "burst-arrival period of the sweep in arrivals (0 = "
+                 "steady batches, no bursts)");
+  flags.AddInt64("burst_size", &burst_size,
+                 "arrivals delivered as one oversized IngestBatch at the "
+                 "start of each burst period (0 = 8x batch)");
+  flags.AddInt64("cross_tenants", &cross_tenants,
+                 "tenant shards in the cross-objective scenario (0 = "
+                 "skip it)");
   flags.AddString("spill_dir", &spill_dir,
                   "directory for the FileSpillStore churn run (default: "
                   "<out>.spill, removed afterwards)");
@@ -207,6 +233,12 @@ int main(int argc, char** argv) {
   const fkc::EuclideanMetric metric;
   const fkc::JonesFairCenter jones;
   const int num_threads = fkc::ResolveThreadCount(threads);
+  auto objective_kind = fkc::ParseObjectiveTag(objective);
+  if (!objective_kind.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 objective_kind.status().ToString().c_str());
+    return 1;
+  }
 
   // The canonical experiment configuration (sum k_i = 14, proportional
   // caps); adaptive range so no distance bounds are needed per tenant.
@@ -225,6 +257,7 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results;
   for (int64_t shards = 1; shards <= max_shards; shards *= 2) {
     fkc::serving::ShardManagerOptions options;
+    options.objective = objective_kind.value();
     options.window.window_size = window;
     options.window.delta = delta;
     options.window.adaptive_range = true;
@@ -243,6 +276,8 @@ int main(int argc, char** argv) {
     run_options.stream_length = points;
     run_options.batch_size = batch;
     run_options.query_every = query_every;
+    run_options.burst_every = burst_every;
+    run_options.burst_size = burst_size;
 
     RunResult result;
     result.shards = static_cast<int>(shards);
@@ -424,6 +459,82 @@ int main(int argc, char** argv) {
                 speedup, stripe_speedup);
   }
 
+  // --- Cross-objective scenario: the same keyed stream into a fair-center
+  // fleet, a k-median fleet, and a mixed fleet (odd tenants overridden to
+  // k-median before their first arrival). Objective values, memory, and
+  // checkpoint bytes are deterministic; updates/s is wall-clock. ---
+  struct CrossObjectiveResult {
+    std::string mode;
+    fkc::ShardedThroughputReport report;
+    int64_t memory_points = 0;
+    int64_t checkpoint_bytes = 0;
+    double objective_value_sum = 0.0;
+    int64_t answered = 0;
+  };
+  std::vector<CrossObjectiveResult> cross_results;
+  if (cross_tenants > 0) {
+    auto run_cross = [&](const char* mode, fkc::ObjectiveKind kind,
+                         bool mixed) {
+      fkc::serving::ShardManagerOptions options;
+      options.objective = kind;
+      options.window.window_size = window;
+      options.window.delta = delta;
+      options.window.adaptive_range = true;
+      options.num_threads = num_threads;
+      options.num_stripes = static_cast<int>(stripes);
+      fkc::serving::ShardManager manager(options, prepared.constraint,
+                                         &metric, &jones);
+      std::vector<std::string> keys;
+      for (int64_t s = 0; s < cross_tenants; ++s) {
+        keys.push_back(
+            fkc::StrFormat("tenant-%02lld", static_cast<long long>(s)));
+        if (mixed && (s % 2) == 1) {
+          FKC_CHECK_OK(manager.SetTenantObjective(
+              keys.back(), fkc::ObjectiveKind::kKMedian));
+        }
+      }
+      auto stream = fkc::datasets::MakeStream(prepared.dataset);
+      fkc::ShardedRunOptions run_options;
+      run_options.stream_length = points;
+      run_options.batch_size = batch;
+      run_options.query_every = 0;  // one final query below, not periodic
+      run_options.burst_every = burst_every;
+      run_options.burst_size = burst_size;
+      CrossObjectiveResult result;
+      result.mode = mode;
+      result.report =
+          fkc::RunShardedThroughput(&manager, stream.get(), keys, run_options);
+      for (const auto& answer : manager.QueryAll()) {
+        if (!answer.solution.ok()) continue;
+        result.objective_value_sum += answer.solution.value().value;
+        ++result.answered;
+      }
+      result.memory_points = manager.TotalMemory().TotalPoints();
+      auto blob = manager.CheckpointAll();
+      FKC_CHECK_OK(blob.status());
+      result.checkpoint_bytes = static_cast<int64_t>(blob.value().size());
+      return result;
+    };
+    std::printf("# Cross objective: %lld tenants, %lld arrivals\n",
+                static_cast<long long>(cross_tenants),
+                static_cast<long long>(points));
+    cross_results.push_back(
+        run_cross("fair_center", fkc::ObjectiveKind::kFairCenter, false));
+    cross_results.push_back(
+        run_cross("k_median", fkc::ObjectiveKind::kKMedian, false));
+    cross_results.push_back(
+        run_cross("mixed", fkc::ObjectiveKind::kFairCenter, true));
+    for (const auto& r : cross_results) {
+      std::printf(
+          "#   %-12s %10.0f updates/s, value sum %.3f over %lld shards, "
+          "%lld pts, checkpoint %lld B\n",
+          r.mode.c_str(), r.report.UpdatesPerSecond(), r.objective_value_sum,
+          static_cast<long long>(r.answered),
+          static_cast<long long>(r.memory_points),
+          static_cast<long long>(r.checkpoint_bytes));
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -506,6 +617,25 @@ int main(int argc, char** argv) {
     out << ",\n    \"speedup\": " << fkc::StrFormat("%.2f", speedup)
         << ",\n    \"stripe_speedup\": "
         << fkc::StrFormat("%.2f", stripe_speedup) << "\n  }";
+  }
+  if (!cross_results.empty()) {
+    out << ",\n  \"cross_objective\": {\"tenants\": " << cross_tenants
+        << ", \"burst_every\": " << burst_every
+        << ", \"burst_size\": " << burst_size << ",\n";
+    for (size_t i = 0; i < cross_results.size(); ++i) {
+      const CrossObjectiveResult& r = cross_results[i];
+      out << "    \"" << r.mode << "\": {\"updates\": " << r.report.updates
+          << ", \"updates_per_s\": "
+          << fkc::StrFormat("%.1f", r.report.UpdatesPerSecond())
+          << ", \"bursts\": " << r.report.bursts
+          << ", \"shards\": " << r.answered
+          << ", \"objective_value_sum\": "
+          << fkc::StrFormat("%.3f", r.objective_value_sum)
+          << ", \"memory_points\": " << r.memory_points
+          << ", \"checkpoint_bytes\": " << r.checkpoint_bytes << "}"
+          << (i + 1 < cross_results.size() ? "," : "") << "\n";
+    }
+    out << "  }";
   }
   out << "\n}\n";
   std::printf("# wrote %s\n", out_path.c_str());

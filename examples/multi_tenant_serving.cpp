@@ -75,9 +75,9 @@
 
 namespace {
 
-bool SameSolution(const fkc::FairCenterSolution& a,
-                  const fkc::FairCenterSolution& b) {
-  if (a.radius != b.radius || a.centers.size() != b.centers.size()) {
+bool SameSolution(const fkc::ObjectiveSolution& a,
+                  const fkc::ObjectiveSolution& b) {
+  if (a.value != b.value || a.centers.size() != b.centers.size()) {
     return false;
   }
   for (size_t i = 0; i < a.centers.size(); ++i) {
@@ -96,8 +96,8 @@ void PrintAnswers(const std::vector<fkc::serving::ShardAnswer>& answers) {
                   answer.solution.status().ToString().c_str());
       continue;
     }
-    std::printf("  %-10s radius=%8.3f centers=%2zu coreset=%3lld guess=%.3f\n",
-                answer.key.c_str(), answer.solution.value().radius,
+    std::printf("  %-10s value=%8.3f centers=%2zu coreset=%3lld guess=%.3f\n",
+                answer.key.c_str(), answer.solution.value().value,
                 answer.solution.value().centers.size(),
                 static_cast<long long>(answer.stats.coreset_size),
                 answer.stats.guess);
@@ -344,6 +344,7 @@ int main(int argc, char** argv) {
   int64_t points = 12000;
   std::string spill_dir;
   std::string replication_log_dir;
+  std::string objective = "fair-center";
   bool replication_only = false;
   bool recover_only = false;
 
@@ -356,6 +357,9 @@ int main(int argc, char** argv) {
   flags.AddInt64("batch", &batch, "keyed arrivals per IngestBatch");
   flags.AddInt64("window", &window, "per-tenant window size");
   flags.AddInt64("points", &points, "total arrivals across all tenants");
+  flags.AddString("objective", &objective,
+                  "fleet-default clustering objective: fair-center or "
+                  "k-median (per-tenant overrides still apply)");
   flags.AddString("spill_dir", &spill_dir,
                   "directory for the durable-spill phase (default: a "
                   "fresh ./multi_tenant_spill, removed afterwards)");
@@ -402,6 +406,13 @@ int main(int argc, char** argv) {
       fkc::ColorConstraint::Proportional(trace, data_options.ell, 14);
 
   fkc::serving::ShardManagerOptions options;
+  auto objective_kind = fkc::ParseObjectiveTag(objective);
+  if (!objective_kind.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 objective_kind.status().ToString().c_str());
+    return 1;
+  }
+  options.objective = objective_kind.value();
   options.window.window_size = window;
   options.window.delta = 1.0;
   options.window.adaptive_range = true;  // tenant scales unknown a priori
@@ -530,9 +541,9 @@ int main(int argc, char** argv) {
   }
   fkc::QueryStats stats;
   auto touched = leader.Query(spilled_key, &stats);
-  std::printf("Query(%s) rehydrated its shard: %zu live, radius=%.3f\n",
+  std::printf("Query(%s) rehydrated its shard: %zu live, value=%.3f\n",
               spilled_key.c_str(), leader.live_shard_count(),
-              touched.ok() ? touched.value().radius : -1.0);
+              touched.ok() ? touched.value().value : -1.0);
 
   // --- 6. Incremental replication: the follower (restored from the same
   // step-3 blob) missed the second half of the stream; one delta carries

@@ -25,6 +25,7 @@
 #include "core/guess_ladder.h"
 #include "core/guess_structure.h"
 #include "core/memory_footprint.h"
+#include "core/objective_engine.h"
 #include "matroid/color_constraint.h"
 #include "metric/metric.h"
 #include "sequential/fair_center_solver.h"
@@ -109,13 +110,15 @@ struct QueryPlan {
   QueryStats stats;
 };
 
-/// Streaming fair-center clustering over a sliding window.
+/// Streaming fair-center clustering over a sliding window — the paper's
+/// objective, and the reference ObjectiveEngine implementation the generic
+/// serving layer programs against.
 ///
 /// Typical use:
 ///   FairCenterSlidingWindow window(options, constraint, &metric, &solver);
 ///   for each stream point: window.Update(coords, color);
 ///   auto solution = window.Query();
-class FairCenterSlidingWindow {
+class FairCenterSlidingWindow : public ObjectiveEngine {
  public:
   /// `metric` and `solver` must outlive the window. Every color that occurs
   /// in the stream must have a cap >= 1 (the paper assumes positive k_i).
@@ -123,10 +126,12 @@ class FairCenterSlidingWindow {
                           ColorConstraint constraint, const Metric* metric,
                           const FairCenterSolver* solver);
 
+  ObjectiveKind kind() const override { return ObjectiveKind::kFairCenter; }
+
   /// Feeds the next stream point; arrival time and id are assigned
   /// internally (one logical time step per call).
   void Update(Coordinates coords, int color);
-  void Update(Point p);
+  void Update(Point p) override;
 
   /// Feeds a batch of stream points, equivalent to calling Update on each in
   /// order (bit-identical final state), but amortizing the parallel fan-out:
@@ -134,12 +139,24 @@ class FairCenterSlidingWindow {
   /// its own thread; in adaptive mode arrivals are processed one step at a
   /// time (the guess set may shift between arrivals) with the ladder fanned
   /// out per step.
-  void UpdateBatch(std::vector<Point> batch);
+  void UpdateBatch(std::vector<Point> batch) override;
 
   /// Computes a fair-center solution for the current window (Algorithm 3).
   /// Fails with kFailedPrecondition in fixed-range mode if the configured
   /// [d_min, d_max] does not cover the data.
   Result<FairCenterSolution> Query(QueryStats* stats = nullptr);
+
+  /// The typed Query through the objective-generic surface: the solution's
+  /// `value` is the fair-center radius.
+  Result<ObjectiveSolution> QueryObjective(QueryStats* stats = nullptr) override {
+    auto solution = Query(stats);
+    if (!solution.ok()) return solution.status();
+    FairCenterSolution typed = std::move(solution).value();
+    ObjectiveSolution out;
+    out.centers = std::move(typed.centers);
+    out.value = typed.radius;
+    return out;
+  }
 
   /// The guess-selection front half of Algorithm 3, exposed so callers (and
   /// the serving layer) can split selection from solving: expires stale
@@ -169,7 +186,7 @@ class FairCenterSlidingWindow {
   /// structure, and the adaptive-range tracker — into a self-describing
   /// text format with exact (hex-float) coordinates. The metric and solver
   /// are code, not state, and are re-supplied on restore.
-  std::string SerializeState() const;
+  std::string SerializeState() const override;
 
   /// Reconstructs a window from SerializeState output. The restored window
   /// behaves identically to the original under any future Update/Query
@@ -180,15 +197,15 @@ class FairCenterSlidingWindow {
       const FairCenterSolver* solver);
 
   /// Stored-point counts (the paper's memory metric).
-  MemoryStats Memory() const;
+  MemoryStats Memory() const override;
 
   /// Total expiry sweeps actually executed across the ladder since
   /// construction (diagnostic; see GuessStructure::expiry_sweeps). The
   /// batch-level dedup makes this grow far slower than arrivals * guesses.
-  int64_t ExpirySweeps() const;
+  int64_t ExpirySweeps() const override;
 
   /// Logical time = number of points consumed so far.
-  int64_t now() const { return now_; }
+  int64_t now() const override { return now_; }
 
   /// Monotone counter of state-changing arrivals in this process: bumped
   /// once per consumed point, never serialized (a restored window restarts
@@ -197,24 +214,24 @@ class FairCenterSlidingWindow {
   /// housekeeping (expiry sweeps, adaptive-ladder reconciliation) does not
   /// bump it because it is behaviorally neutral: a blob taken before such
   /// housekeeping restores to a window that answers identically.
-  int64_t state_epoch() const { return state_epoch_; }
+  int64_t state_epoch() const override { return state_epoch_; }
 
   /// Number of points currently in the window: min(now, window_size).
-  int64_t WindowPopulation() const;
+  int64_t WindowPopulation() const override;
 
   /// Coordinate dimension this window is pinned to — the dimension of its
   /// most recent arrival, or -1 before the first one. The SoA pools (and
   /// the checkpoint reader's uniformity check) require every stored point
   /// to share one dimension, so front-ends use this to reject mismatched
   /// arrivals before they reach CHECK-guarded code.
-  int64_t dimension() const {
+  int64_t dimension() const override {
     return last_point_.has_value()
                ? static_cast<int64_t>(last_point_->dimension())
                : -1;
   }
 
-  const SlidingWindowOptions& options() const { return options_; }
-  const ColorConstraint& constraint() const { return constraint_; }
+  const SlidingWindowOptions& options() const override { return options_; }
+  const ColorConstraint& constraint() const override { return constraint_; }
 
  private:
   /// Expires stale points in every guess structure, fanned out over the pool

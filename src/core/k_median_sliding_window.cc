@@ -1,0 +1,79 @@
+#include "core/k_median_sliding_window.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/checkpoint_io.h"
+#include "common/stopwatch.h"
+#include "sequential/k_median.h"
+
+namespace fkc {
+
+KMedianSlidingWindow::KMedianSlidingWindow(SlidingWindowOptions options,
+                                           ColorConstraint constraint,
+                                           const Metric* metric,
+                                           const FairCenterSolver* solver)
+    : substrate_(std::move(options), std::move(constraint), metric, solver),
+      metric_(metric) {}
+
+KMedianSlidingWindow::KMedianSlidingWindow(FairCenterSlidingWindow substrate,
+                                           const Metric* metric)
+    : substrate_(std::move(substrate)), metric_(metric) {}
+
+void KMedianSlidingWindow::Update(Coordinates coords, int color) {
+  substrate_.Update(std::move(coords), color);
+}
+
+void KMedianSlidingWindow::Update(Point p) { substrate_.Update(std::move(p)); }
+
+void KMedianSlidingWindow::UpdateBatch(std::vector<Point> batch) {
+  substrate_.UpdateBatch(std::move(batch));
+}
+
+Result<ObjectiveSolution> KMedianSlidingWindow::QueryObjective(
+    QueryStats* stats) {
+  auto plan = substrate_.PlanQuery();
+  if (!plan.ok()) return plan.status();
+  if (stats != nullptr) *stats = plan.value().stats;
+  ObjectiveSolution solution;
+  if (plan.value().coreset.empty()) return solution;
+
+  Stopwatch solver_timer;
+  KMedianSolution solved = KMedianLocalSearch(*metric_, plan.value().coreset,
+                                              constraint().TotalK());
+  if (stats != nullptr) stats->solver_millis = solver_timer.ElapsedMillis();
+  solution.centers = std::move(solved.centers);
+  solution.value = solved.cost;
+  return solution;
+}
+
+std::string KMedianSlidingWindow::SerializeState() const {
+  // The k-median layer holds no state of its own beyond the substrate, so
+  // the blob is the objective magic plus the substrate's self-describing
+  // state, length-prefixed (fkc-checkpoint-v1 round-trips byte-equal, so
+  // this blob does too).
+  std::ostringstream out;
+  out << kMagic << ' ';
+  WriteCheckpointRaw(&out, substrate_.SerializeState());
+  return out.str();
+}
+
+Result<KMedianSlidingWindow> KMedianSlidingWindow::DeserializeState(
+    const std::string& bytes, const Metric* metric,
+    const FairCenterSolver* solver) {
+  CheckpointReader reader(bytes);
+  std::string magic;
+  FKC_RETURN_IF_ERROR(reader.NextToken(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a k-median checkpoint (magic '" +
+                                   magic + "')");
+  }
+  std::string inner;
+  FKC_RETURN_IF_ERROR(reader.NextRaw(&inner));
+  auto substrate =
+      FairCenterSlidingWindow::DeserializeState(inner, metric, solver);
+  if (!substrate.ok()) return substrate.status();
+  return KMedianSlidingWindow(std::move(substrate).value(), metric);
+}
+
+}  // namespace fkc

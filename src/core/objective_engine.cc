@@ -1,0 +1,84 @@
+#include "core/objective_engine.h"
+
+#include <utility>
+
+#include "common/checkpoint_io.h"
+#include "core/fair_center_sliding_window.h"
+#include "core/k_median_sliding_window.h"
+
+namespace fkc {
+namespace {
+
+// The core fair-center checkpoint magic (owned by core/checkpoint.cc; the
+// literal is part of the wire format, stable since v1).
+constexpr const char* kFairCenterMagic = "fkc-checkpoint-v1";
+
+}  // namespace
+
+const char* ObjectiveTag(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kFairCenter:
+      return "fair-center";
+    case ObjectiveKind::kKMedian:
+      return "k-median";
+  }
+  return "unknown";  // unreachable for in-range enum values
+}
+
+Result<ObjectiveKind> ParseObjectiveTag(const std::string& tag) {
+  if (tag == "fair-center") return ObjectiveKind::kFairCenter;
+  if (tag == "k-median") return ObjectiveKind::kKMedian;
+  return Status::InvalidArgument("unknown objective tag '" + tag + "'");
+}
+
+std::unique_ptr<ObjectiveEngine> CreateObjectiveEngine(
+    ObjectiveKind kind, SlidingWindowOptions options,
+    ColorConstraint constraint, const Metric* metric,
+    const FairCenterSolver* solver) {
+  switch (kind) {
+    case ObjectiveKind::kFairCenter:
+      return std::make_unique<FairCenterSlidingWindow>(
+          std::move(options), std::move(constraint), metric, solver);
+    case ObjectiveKind::kKMedian:
+      return std::make_unique<KMedianSlidingWindow>(
+          std::move(options), std::move(constraint), metric, solver);
+  }
+  return nullptr;  // unreachable for in-range enum values
+}
+
+Result<ObjectiveKind> SniffObjectiveBlob(const std::string& bytes) {
+  CheckpointReader reader(bytes);
+  std::string magic;
+  FKC_RETURN_IF_ERROR(reader.NextToken(&magic));
+  if (magic == kFairCenterMagic) return ObjectiveKind::kFairCenter;
+  if (magic == KMedianSlidingWindow::kMagic) return ObjectiveKind::kKMedian;
+  return Status::InvalidArgument("unknown engine checkpoint magic '" + magic +
+                                 "'");
+}
+
+Result<std::unique_ptr<ObjectiveEngine>> DeserializeObjectiveEngine(
+    const std::string& bytes, const Metric* metric,
+    const FairCenterSolver* solver) {
+  auto kind = SniffObjectiveBlob(bytes);
+  if (!kind.ok()) return kind.status();
+  switch (kind.value()) {
+    case ObjectiveKind::kFairCenter: {
+      auto window =
+          FairCenterSlidingWindow::DeserializeState(bytes, metric, solver);
+      if (!window.ok()) return window.status();
+      return std::unique_ptr<ObjectiveEngine>(
+          std::make_unique<FairCenterSlidingWindow>(
+              std::move(window).value()));
+    }
+    case ObjectiveKind::kKMedian: {
+      auto window =
+          KMedianSlidingWindow::DeserializeState(bytes, metric, solver);
+      if (!window.ok()) return window.status();
+      return std::unique_ptr<ObjectiveEngine>(
+          std::make_unique<KMedianSlidingWindow>(std::move(window).value()));
+    }
+  }
+  return Status::InvalidArgument("unknown objective kind");  // unreachable
+}
+
+}  // namespace fkc

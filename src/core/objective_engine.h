@@ -1,0 +1,140 @@
+// The objective seam of the sliding-window engine. The guess ladder, the
+// coreset assembly, the SoA distance pools, and the whole serving stack
+// (ShardManager -> SpillStore -> DeltaLog -> replication) are agnostic to
+// WHICH clustering objective a window optimizes; only the query-time solver
+// and the reported cost differ. ObjectiveEngine names that seam: the
+// update / expire / query / serialize / epoch / memory hooks every
+// objective must provide. FairCenterSlidingWindow (the paper's objective)
+// implements it by delegating to the existing ladder; KMedianSlidingWindow
+// implements sliding-window k-median on the same substrate.
+//
+// Wire identity: each objective has a stable tag ("fair-center",
+// "k-median") used by the fkc-shards-v3 fleet format, and each engine's
+// SerializeState blob opens with a self-describing magic token, so a blob
+// can be restored without out-of-band knowledge (DeserializeObjectiveEngine)
+// and a forged tag/blob mismatch is detected as a Status, never an abort.
+#ifndef FKC_CORE_OBJECTIVE_ENGINE_H_
+#define FKC_CORE_OBJECTIVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/memory_footprint.h"
+#include "matroid/color_constraint.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+class Metric;
+class FairCenterSolver;
+struct SlidingWindowOptions;
+struct QueryStats;
+
+/// The clustering objectives the engine can optimize over a sliding window.
+enum class ObjectiveKind {
+  kFairCenter = 0,  ///< the paper's fair k-center (minimize max distance)
+  kKMedian = 1,     ///< sliding-window k-median (minimize sum of distances)
+};
+
+/// Stable wire tag of an objective ("fair-center" / "k-median"), used by the
+/// fkc-shards-v3 fleet format and the --objective flags.
+const char* ObjectiveTag(ObjectiveKind kind);
+
+/// Inverse of ObjectiveTag. kInvalidArgument on an unknown tag — restore
+/// paths must reject forged tags gracefully, never abort.
+Result<ObjectiveKind> ParseObjectiveTag(const std::string& tag);
+
+/// An objective-generic clustering answer: the chosen centers plus the
+/// objective value — the covering radius for fair-center, the sum of
+/// point-to-nearest-center distances for k-median. Lower is better for both.
+struct ObjectiveSolution {
+  std::vector<Point> centers;
+  double value = 0.0;
+};
+
+/// A sliding-window clustering engine over one objective. Implementations
+/// share the determinism contracts of the substrate: bit-identical state at
+/// any thread count, a state_epoch dirty cursor for checkpointing layers,
+/// and a self-describing SerializeState blob whose restore round-trips
+/// byte-equal.
+class ObjectiveEngine {
+ public:
+  virtual ~ObjectiveEngine() = default;
+
+  /// Which objective this engine optimizes (fixed at construction).
+  virtual ObjectiveKind kind() const = 0;
+
+  /// Feeds the next stream point (arrival time assigned internally).
+  virtual void Update(Point p) = 0;
+
+  /// Feeds a batch, bit-identical to updating each point in order.
+  virtual void UpdateBatch(std::vector<Point> batch) = 0;
+
+  /// Computes this objective's solution for the current window. The stats
+  /// fields other than solver_millis are deterministic per state.
+  virtual Result<ObjectiveSolution> QueryObjective(
+      QueryStats* stats = nullptr) = 0;
+
+  /// Serializes complete algorithm state into a self-describing blob whose
+  /// leading magic token identifies the objective (see
+  /// DeserializeObjectiveEngine). Metric and solver are code, not state.
+  virtual std::string SerializeState() const = 0;
+
+  /// Stored-point counts (the paper's memory metric).
+  virtual MemoryStats Memory() const = 0;
+
+  /// Total expiry sweeps executed across the ladder since construction.
+  virtual int64_t ExpirySweeps() const = 0;
+
+  /// Logical time = number of points consumed so far.
+  virtual int64_t now() const = 0;
+
+  /// Monotone per-process counter of state-changing arrivals (never
+  /// serialized); checkpointing layers use it as a dirty cursor.
+  virtual int64_t state_epoch() const = 0;
+
+  /// Number of points currently in the window: min(now, window_size).
+  virtual int64_t WindowPopulation() const = 0;
+
+  /// Coordinate dimension this engine is pinned to, or -1 before the first
+  /// arrival (front-ends reject mismatched arrivals against this).
+  virtual int64_t dimension() const = 0;
+
+  virtual const SlidingWindowOptions& options() const = 0;
+  virtual const ColorConstraint& constraint() const = 0;
+
+ protected:
+  // The base is an empty interface: derived engines stay copyable/movable
+  // value types (Result<T> needs that), so the special members are defaulted
+  // here rather than suppressed by the virtual destructor.
+  ObjectiveEngine() = default;
+  ObjectiveEngine(const ObjectiveEngine&) = default;
+  ObjectiveEngine& operator=(const ObjectiveEngine&) = default;
+};
+
+/// Constructs a fresh engine of the given objective on the shared substrate.
+/// `metric` and `solver` must outlive the engine (the k-median engine keeps
+/// the solver only for substrate plumbing; its query-time solver is its
+/// own deterministic local search).
+std::unique_ptr<ObjectiveEngine> CreateObjectiveEngine(
+    ObjectiveKind kind, SlidingWindowOptions options,
+    ColorConstraint constraint, const Metric* metric,
+    const FairCenterSolver* solver);
+
+/// Identifies which objective serialized `bytes` from its leading magic
+/// token ("fkc-checkpoint-v1" -> fair-center, "fkc-kmedian-v1" -> k-median)
+/// without deserializing the state. kInvalidArgument on unknown magic.
+Result<ObjectiveKind> SniffObjectiveBlob(const std::string& bytes);
+
+/// Restores any engine from its SerializeState blob, dispatching on the
+/// blob's own magic. Malformed input fails with a Status, never aborts.
+Result<std::unique_ptr<ObjectiveEngine>> DeserializeObjectiveEngine(
+    const std::string& bytes, const Metric* metric,
+    const FairCenterSolver* solver);
+
+}  // namespace fkc
+
+#endif  // FKC_CORE_OBJECTIVE_ENGINE_H_

@@ -1,8 +1,9 @@
-// Checkpoint I/O and validation for SlidingWindowOptions, shared by the
-// core window checkpoint (fkc-checkpoint-v1) and the serving layer's fleet
-// formats (fkc-shards-v1/v2 and the incremental delta): one writer, one
-// reader, and one validator, so the field order, the hex-float encoding,
-// and the notion of "plausible options" cannot drift between layers.
+// Checkpoint I/O and validation for SlidingWindowOptions and the objective
+// tag, shared by the core window checkpoint (fkc-checkpoint-v1) and the
+// serving layer's fleet formats (fkc-shards-v1/v2/v3 and the incremental
+// deltas): one writer, one reader, and one validator, so the field order,
+// the hex-float encoding, and the notion of "plausible options" cannot
+// drift between layers.
 #ifndef FKC_CORE_OPTIONS_IO_H_
 #define FKC_CORE_OPTIONS_IO_H_
 
@@ -68,6 +69,14 @@ Status ReadSlidingWindowOptions(CheckpointReader* reader,
 /// deviates from the fleet template.
 bool SameCheckpointedOptions(const SlidingWindowOptions& a,
                              const SlidingWindowOptions& b);
+
+/// Writes the objective's wire tag ("fair-center" / "k-median") as one
+/// token, used by the fkc-shards-v3 fleet format.
+void WriteObjectiveTag(std::ostringstream* out, ObjectiveKind kind);
+
+/// Reads the token WriteObjectiveTag wrote. kInvalidArgument on an unknown
+/// or forged tag — restore paths reject, never abort.
+Status ReadObjectiveTag(CheckpointReader* reader, ObjectiveKind* out);
 
 }  // namespace fkc
 

@@ -1,0 +1,48 @@
+// Deterministic k-median over a point set: pick k medoids (actual input
+// points) minimizing the SUM of point-to-nearest-medoid distances — the
+// sibling objective to the fair-center solvers in this directory (which
+// minimize the MAX). Gonzalez seeding followed by bounded best-improvement
+// single-swap local search, the classical (3+2/p)-style scheme of
+// Arya et al. restricted to single swaps; with Gonzalez seeds it converges
+// in a handful of rounds on coreset-sized inputs.
+//
+// Determinism contract (same spirit as the streaming core): given the same
+// metric and point order the result is bit-identical — seeding starts from
+// index 0, argmins break ties toward the lowest index, and a swap is
+// applied only when it strictly improves the cost, so no randomness or
+// iteration-order dependence leaks into the output.
+#ifndef FKC_SEQUENTIAL_K_MEDIAN_H_
+#define FKC_SEQUENTIAL_K_MEDIAN_H_
+
+#include <vector>
+
+#include "metric/metric.h"
+#include "metric/point.h"
+
+namespace fkc {
+
+/// A k-median answer: the chosen medoids (in ascending input-index order)
+/// and the sum of distances from every input point to its nearest medoid.
+struct KMedianSolution {
+  std::vector<Point> centers;
+  double cost = 0.0;
+};
+
+struct KMedianOptions {
+  /// Local-search rounds bound; each round applies at most one swap.
+  /// <= 0 resolves to 2k + 8, enough for Gonzalez seeds to settle on
+  /// coreset-sized inputs while bounding the worst case.
+  int max_rounds = 0;
+};
+
+/// Solves k-median on `points` (k clamped to the input size; empty input
+/// yields an empty zero-cost solution). Builds the full n x n distance
+/// matrix through the SoA kernels — O(n^2) space and O(rounds * k * n^2)
+/// time, sized for query-time coresets, not raw windows.
+KMedianSolution KMedianLocalSearch(const Metric& metric,
+                                   const std::vector<Point>& points, int k,
+                                   const KMedianOptions& options = {});
+
+}  // namespace fkc
+
+#endif  // FKC_SEQUENTIAL_K_MEDIAN_H_

@@ -580,6 +580,18 @@ void LogReceiver::DrainConnection(int fd) {
             ? staleness_.leader_entries - staleness_.applied_entries
             : staleness_.leader_entries;
     if (staleness_.entries_behind < 0) staleness_.entries_behind = 0;
+    if (frame.type == FrameType::kHeartbeat &&
+        staleness_.entries_behind > 0) {
+      // The sender only heartbeats a connection it believes caught up, and
+      // TCP delivers in order — so a heartbeat announcing a position ahead
+      // of what we applied proves the tail was dropped on the wire (its
+      // sender-side cursor advanced past a frame we never got). Without
+      // this, a replica behind an exhausted-fault link would stay
+      // "connected" but stale until the next log append flushed the gap
+      // out. Reconnect and let HELLO fetch the missing entries.
+      ++stats_.gap_resyncs;
+      return;
+    }
   }
 }
 

@@ -64,6 +64,7 @@ struct ReceiverStats {
   int64_t bases_applied = 0;    ///< full resyncs absorbed
   int64_t deltas_applied = 0;
   int64_t decode_errors = 0;    ///< bad magic/checksum/gap -> reconnect
+  int64_t gap_resyncs = 0;      ///< idle-link heartbeat proved a dropped tail
 };
 
 class LogSender {

@@ -19,11 +19,16 @@ namespace serving {
 namespace {
 
 // Full-fleet formats: v1 (PR 2, template + constraint + shards) is still
-// accepted by Restore; v2 adds the per-tenant override table. Deltas are
-// v2-only.
+// accepted by Restore; v2 adds the per-tenant override table; v3 adds the
+// fleet-default objective tag and the per-tenant objective table right
+// after the magic. Writers emit v2 / delta-v2 bytes whenever the whole
+// fleet runs default fair-center — byte-identical to pre-objective builds —
+// and switch to v3 as soon as any other objective is involved.
 constexpr const char* kMagicV1 = "fkc-shards-v1";
 constexpr const char* kMagicV2 = "fkc-shards-v2";
+constexpr const char* kMagicV3 = "fkc-shards-v3";
 constexpr const char* kDeltaMagic = "fkc-shards-delta-v2";
+constexpr const char* kDeltaMagicV3 = "fkc-shards-delta-v3";
 
 // Shard keys travel as length-prefixed raw segments in the fleet checkpoint
 // (CheckpointReader::NextRaw); this cap keeps write and read sides agreeing
@@ -66,6 +71,40 @@ void WriteOverrides(std::ostringstream* out,
   for (const auto& [key, options] : map) {
     WriteCheckpointRaw(out, key);
     WriteSlidingWindowOptions(out, options);
+  }
+}
+
+// Reads the v3 "<count> { <raw key> <tag> }*" objective-override table.
+// Unknown tags reject here (ReadObjectiveTag), before any engine exists.
+Status ReadObjectiveOverrides(CheckpointReader* cursor,
+                              std::map<std::string, ObjectiveKind>* out) {
+  int64_t count = 0;
+  FKC_RETURN_IF_ERROR(cursor->NextInt(&count));
+  if (count < 0 || count > kMaxShards ||
+      static_cast<size_t>(count) > cursor->Remaining()) {
+    return Status::InvalidArgument(
+        "implausible objective-override count in checkpoint");
+  }
+  out->clear();
+  for (int64_t i = 0; i < count; ++i) {
+    std::string key;
+    ObjectiveKind kind = ObjectiveKind::kFairCenter;
+    FKC_RETURN_IF_ERROR(cursor->NextRaw(&key, kMaxKeyBytes));
+    FKC_RETURN_IF_ERROR(ReadObjectiveTag(cursor, &kind));
+    if (!out->emplace(std::move(key), kind).second) {
+      return Status::InvalidArgument(
+          "duplicate objective-override key in checkpoint");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteObjectiveOverrides(std::ostringstream* out,
+                             const std::map<std::string, ObjectiveKind>& map) {
+  *out << map.size() << ' ';
+  for (const auto& [key, kind] : map) {
+    WriteCheckpointRaw(out, key);
+    WriteObjectiveTag(out, kind);
   }
 }
 
@@ -302,6 +341,13 @@ SlidingWindowOptions ShardManager::OptionsForKey(const Stripe& stripe,
   return options;
 }
 
+ObjectiveKind ShardManager::ObjectiveForKey(const Stripe& stripe,
+                                            const std::string& key) const {
+  auto it = stripe.objective_overrides.find(key);
+  return it == stripe.objective_overrides.end() ? options_.objective
+                                                : it->second;
+}
+
 ShardManager::Shard* ShardManager::RouteLocked(Stripe& stripe,
                                                const std::string& key,
                                                bool create_missing,
@@ -310,8 +356,10 @@ ShardManager::Shard* ShardManager::RouteLocked(Stripe& stripe,
   if (it == stripe.shards.end()) {
     if (!create_missing) return nullptr;
     it = stripe.shards.try_emplace(key).first;
-    it->second.live = std::make_unique<FairCenterSlidingWindow>(
-        OptionsForKey(stripe, key), constraint_, metric_, solver_);
+    it->second.kind = ObjectiveForKey(stripe, key);
+    it->second.live =
+        CreateObjectiveEngine(it->second.kind, OptionsForKey(stripe, key),
+                              constraint_, metric_, solver_);
     live_count_.fetch_add(1, std::memory_order_relaxed);
   }
   Shard* shard = &it->second;
@@ -334,29 +382,34 @@ Status ShardManager::EnsureLiveHeld(const std::string& key, Shard* shard) {
         blob.status(), "rehydrating shard '" + key + "' from the " +
                            options_.spill_store->Name() + " spill store");
   }
-  auto window = FairCenterSlidingWindow::DeserializeState(blob.value(),
-                                                          metric_, solver_);
-  if (!window.ok()) return window.status();
+  auto engine = DeserializeObjectiveEngine(blob.value(), metric_, solver_);
+  if (!engine.ok()) return engine.status();
   // Same forged-blob guards as Restore/ApplyDelta: with a durable backend
   // the bytes come from a directory two fleets could share (or anyone
   // could write — the FNV checksum is integrity, not authentication). A
   // shard under a different constraint would pass ValidateArrival yet
   // CHECK-abort in StampArrival on its next ingest; a different dimension
   // would feed mismatched points into the coordinate pools.
-  if (window.value().constraint().caps() != constraint_.caps()) {
+  if (engine.value()->constraint().caps() != constraint_.caps()) {
     return Status::InvalidArgument(
         "spilled shard's constraint does not match the fleet constraint");
   }
   {
     Stripe& stripe = StripeOf(key);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    if (shard->dim >= 0 && window.value().dimension() >= 0 &&
-        window.value().dimension() != shard->dim) {
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
+    // The blob's own magic must agree with the objective this shard was
+    // created under — a store handing back another objective's state is
+    // corruption (or another fleet's entry), not a valid rehydration.
+    if (engine.value()->kind() != shard->kind) {
+      return Status::InvalidArgument(
+          "spilled shard's objective does not match the shard's objective");
+    }
+    if (shard->dim >= 0 && engine.value()->dimension() >= 0 &&
+        engine.value()->dimension() != shard->dim) {
       return Status::InvalidArgument(
           "spilled shard's dimension does not match its pinned dimension");
     }
-    shard->live = std::make_unique<FairCenterSlidingWindow>(
-        std::move(window).value());
+    shard->live = std::move(engine).value();
     if (shard->live->dimension() >= 0) shard->dim = shard->live->dimension();
     // A fresh deserialization restarts the epoch counter at 0; a clean
     // spill therefore rehydrates clean, a dirty one stays dirty via the
@@ -388,7 +441,7 @@ void ShardManager::TouchLive(Stripe& stripe, const std::string& key,
 Result<ShardManager::SpillAttempt> ShardManager::TrySpillShard(
     const std::string& key, int64_t idle_ttl) {
   Stripe& stripe = StripeOf(key);
-  std::unique_lock<std::mutex> stripe_lock(stripe.mu);
+  std::unique_lock<std::shared_mutex> stripe_lock(stripe.mu);
   auto it = stripe.shards.find(key);
   if (it == stripe.shards.end()) return SpillAttempt::kSkipped;
   Shard* shard = &it->second;
@@ -405,7 +458,7 @@ Result<ShardManager::SpillAttempt> ShardManager::TrySpillShard(
   std::unique_lock<std::mutex> shard_lock(shard->mu, std::try_to_lock);
   if (!shard_lock.owns_lock()) return SpillAttempt::kSkipped;
   const bool dirty = IsDirty(*shard);
-  FairCenterSlidingWindow* window = shard->live.get();
+  ObjectiveEngine* window = shard->live.get();
   stripe_lock.unlock();
 
   // Serialize and write outside the stripe lock (the shard lock keeps the
@@ -460,7 +513,7 @@ void ShardManager::EnforceLiveCap(const std::string* exclude) {
     bool found = false;
     std::pair<int64_t, std::string> best;
     for (const auto& stripe : stripes_) {
-      std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+      std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
       for (const auto& entry : stripe->live_lru) {
         const std::string& key = entry.second;
         if (exclude != nullptr && key == *exclude) continue;
@@ -485,12 +538,13 @@ void ShardManager::EnforceLiveCap(const std::string* exclude) {
 }
 
 std::vector<ShardManager::PinnedShard> ShardManager::PinFleet(
-    std::map<std::string, SlidingWindowOptions>* overrides_out) {
+    std::map<std::string, SlidingWindowOptions>* overrides_out,
+    std::map<std::string, ObjectiveKind>* objectives_out) {
   // All stripe locks at once, taken in ascending index order (the one
   // sanctioned multi-stripe acquisition), so the snapshot is a consistent
   // cut of the routing layer: every shard that existed before the call is
   // pinned, and the override table travels with exactly that shard set.
-  std::vector<std::unique_lock<std::mutex>> held;
+  std::vector<std::unique_lock<std::shared_mutex>> held;
   held.reserve(stripes_.size());
   for (const auto& stripe : stripes_) held.emplace_back(stripe->mu);
   std::vector<PinnedShard> pinned;
@@ -498,6 +552,7 @@ std::vector<ShardManager::PinnedShard> ShardManager::PinFleet(
   for (const auto& stripe : stripes_) total += stripe->shards.size();
   pinned.reserve(total);
   if (overrides_out != nullptr) overrides_out->clear();
+  if (objectives_out != nullptr) objectives_out->clear();
   for (const auto& stripe : stripes_) {
     for (auto& [key, shard] : stripe->shards) {
       ++shard.pins;
@@ -506,6 +561,10 @@ std::vector<ShardManager::PinnedShard> ShardManager::PinFleet(
     if (overrides_out != nullptr) {
       overrides_out->insert(stripe->overrides.begin(),
                             stripe->overrides.end());
+    }
+    if (objectives_out != nullptr) {
+      objectives_out->insert(stripe->objective_overrides.begin(),
+                             stripe->objective_overrides.end());
     }
   }
   held.clear();  // release every stripe before the (possibly long) visit
@@ -522,7 +581,7 @@ void ShardManager::UnpinFleet(const std::vector<PinnedShard>& pinned) {
   if (pinned.empty()) return;
   // Same ascending all-stripes hold as PinFleet; one acquisition per
   // stripe instead of one per shard.
-  std::vector<std::unique_lock<std::mutex>> held;
+  std::vector<std::unique_lock<std::shared_mutex>> held;
   held.reserve(stripes_.size());
   for (const auto& stripe : stripes_) held.emplace_back(stripe->mu);
   for (const PinnedShard& entry : pinned) --entry.shard->pins;
@@ -532,7 +591,7 @@ Status ShardManager::Ingest(const std::string& key, Point p) {
   Stripe& stripe = StripeOf(key);
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
     // Validate and route in ONE stripe critical section, and pin the
     // dimension at routing time: two first arrivals racing on a fresh key
     // with different dimensions must resolve to first-writer-wins, the
@@ -552,7 +611,7 @@ Status ShardManager::Ingest(const std::string& key, Point p) {
     if (status.ok()) shard->live->Update(std::move(p));
   }
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
     --shard->pins;
   }
   EnforceLiveCap(&key);
@@ -617,7 +676,7 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   // key validates against the dimension pinned here.
   auto group_stripe = [&](int64_t w) {
     StripeBatch& sb = stripe_work[w];
-    std::lock_guard<std::mutex> stripe_lock(sb.stripe->mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(sb.stripe->mu);
     for (int64_t i : sb.indices) {
       KeyedPoint& kp = batch[i];
       // For a key already accepted earlier in this batch the group carries
@@ -678,7 +737,7 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
   int64_t first_error_index = n;
   for (StripeBatch& sb : stripe_work) {
     {
-      std::lock_guard<std::mutex> stripe_lock(sb.stripe->mu);
+      std::lock_guard<std::shared_mutex> stripe_lock(sb.stripe->mu);
       for (auto& [key, group] : sb.groups) --group.shard->pins;
     }
     dropped += sb.dropped;
@@ -711,7 +770,7 @@ Status ShardManager::IngestBatch(std::vector<KeyedPoint> batch) {
 Status ShardManager::SetTenantOptions(const std::string& key,
                                       SlidingWindowOptions options) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
   if (key.size() >= kMaxKeyBytes) {
     return Status::InvalidArgument("tenant key exceeds the size limit");
   }
@@ -732,17 +791,43 @@ Status ShardManager::SetTenantOptions(const std::string& key,
 const SlidingWindowOptions* ShardManager::TenantOptions(
     const std::string& key) const {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  std::shared_lock<std::shared_mutex> stripe_lock(stripe.mu);
   auto it = stripe.overrides.find(key);
   return it == stripe.overrides.end() ? nullptr : &it->second;
 }
 
-Result<FairCenterSolution> ShardManager::Query(const std::string& key,
-                                               QueryStats* stats) {
+Status ShardManager::SetTenantObjective(const std::string& key,
+                                        ObjectiveKind objective) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
+  if (key.size() >= kMaxKeyBytes) {
+    return Status::InvalidArgument("tenant key exceeds the size limit");
+  }
+  if (stripe.shards.count(key) != 0) {
+    return Status::FailedPrecondition("shard '" + key +
+                                      "' already exists; its objective is "
+                                      "fixed at creation");
+  }
+  if (objective == options_.objective) {
+    stripe.objective_overrides.erase(key);  // same as the default: no store
+  } else {
+    stripe.objective_overrides[key] = objective;
+  }
+  return Status::OK();
+}
+
+ObjectiveKind ShardManager::TenantObjective(const std::string& key) const {
+  Stripe& stripe = StripeOf(key);
+  std::shared_lock<std::shared_mutex> stripe_lock(stripe.mu);
+  return ObjectiveForKey(stripe, key);
+}
+
+Result<ObjectiveSolution> ShardManager::Query(const std::string& key,
+                                              QueryStats* stats) {
   Stripe& stripe = StripeOf(key);
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
     shard = RouteLocked(stripe, key, /*create_missing=*/false,
                         clock_.load(std::memory_order_relaxed));
     if (shard == nullptr) {
@@ -751,13 +836,13 @@ Result<FairCenterSolution> ShardManager::Query(const std::string& key,
     ++shard->pins;
     ++stripe.ops;
   }
-  Result<FairCenterSolution> result = [&]() -> Result<FairCenterSolution> {
+  Result<ObjectiveSolution> result = [&]() -> Result<ObjectiveSolution> {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     FKC_RETURN_IF_ERROR(EnsureLiveHeld(key, shard));
-    return shard->live->Query(stats);
+    return shard->live->QueryObjective(stats);
   }();
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
     --shard->pins;
   }
   EnforceLiveCap(&key);
@@ -783,26 +868,33 @@ std::vector<ShardAnswer> ShardManager::QueryAll() {
     Shard* shard = pinned[i].shard;
     std::unique_lock<std::mutex> shard_lock(shard->mu);
     if (shard->live != nullptr) {
-      answers[i].solution = shard->live->Query(&answers[i].stats);
+      answers[i].solution = shard->live->QueryObjective(&answers[i].stats);
       return;
     }
     // The blob read happens under the shard lock (a concurrent rehydration
     // commits and erases the entry under the same lock); deserialization
-    // and the query run outside every manager lock.
+    // and the query run outside every manager lock. The shard's objective
+    // is captured beside the blob: ApplyDelta, the only post-creation
+    // writer of `kind`, swaps it under this same shard lock.
+    const ObjectiveKind expected = shard->kind;
     Result<std::string> blob = options_.spill_store->Get(answers[i].key);
     shard_lock.unlock();
     if (!blob.ok()) {
       answers[i].solution = blob.status();
       return;
     }
-    auto window = FairCenterSlidingWindow::DeserializeState(blob.value(),
-                                                            metric_, solver_);
-    blob = std::string();  // the deserialized window supersedes the bytes
-    if (!window.ok()) {
-      answers[i].solution = window.status();
+    auto engine = DeserializeObjectiveEngine(blob.value(), metric_, solver_);
+    blob = std::string();  // the deserialized engine supersedes the bytes
+    if (!engine.ok()) {
+      answers[i].solution = engine.status();
       return;
     }
-    answers[i].solution = window.value().Query(&answers[i].stats);
+    if (engine.value()->kind() != expected) {
+      answers[i].solution = Status::InvalidArgument(
+          "spilled shard's objective does not match the shard's objective");
+      return;
+    }
+    answers[i].solution = engine.value()->QueryObjective(&answers[i].stats);
   });
   return answers;
 }
@@ -819,7 +911,7 @@ int64_t ShardManager::EvictIdle(int64_t idle_ttl, Status* spill_status) {
   const int64_t now = clock_.load(std::memory_order_relaxed);
   std::vector<std::pair<int64_t, std::string>> candidates;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     for (const auto& [touch, key] : stripe->live_lru) {
       if (now - touch <= idle_ttl) break;
       candidates.emplace_back(touch, key);
@@ -846,11 +938,24 @@ Result<std::string> ShardManager::CheckpointSnapshot(bool dirty_only) {
   // iteration order of the unstriped (or serially built) fleet — the
   // byte-equality contract at every stripe count.
   std::map<std::string, SlidingWindowOptions> overrides;
-  std::vector<PinnedShard> pinned = PinFleet(&overrides);
+  std::map<std::string, ObjectiveKind> objectives;
+  std::vector<PinnedShard> pinned = PinFleet(&overrides, &objectives);
   FleetPin unpin(this, &pinned);
 
+  // Format choice: a fleet whose every tenant runs the default fair-center
+  // objective serializes as v2 — byte-identical to pre-objective builds —
+  // and switches to v3 (magic, then the default tag, then the objective
+  // table after the option overrides) as soon as any other objective is
+  // configured, fleet-wide or per tenant.
+  const bool mixed = options_.objective != ObjectiveKind::kFairCenter ||
+                     !objectives.empty();
   std::ostringstream out;
-  out << (dirty_only ? kDeltaMagic : kMagicV2) << ' ';
+  if (mixed) {
+    out << (dirty_only ? kDeltaMagicV3 : kMagicV3) << ' ';
+    WriteObjectiveTag(&out, options_.objective);
+  } else {
+    out << (dirty_only ? kDeltaMagic : kMagicV2) << ' ';
+  }
   if (!dirty_only) {
     // The window template (needed to spawn shards for keys first seen
     // after a restore). num_threads, num_stripes, max_live_shards, and the
@@ -860,6 +965,7 @@ Result<std::string> ShardManager::CheckpointSnapshot(bool dirty_only) {
   }
   WriteColorCaps(&out, constraint_);
   WriteOverrides(&out, overrides);
+  if (mixed) WriteObjectiveOverrides(&out, objectives);
 
   // Every captured shard: length-prefixed key, length-prefixed core
   // checkpoint, taken one shard lock at a time. A spilled shard's state is
@@ -930,7 +1036,7 @@ size_t ShardManager::dirty_shard_count() const {
   // the stripe locks are dropped; dirtiness is then read per shard lock.
   std::vector<const Shard*> snapshot;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     for (const auto& [key, shard] : stripe->shards) snapshot.push_back(&shard);
   }
   size_t dirty = 0;
@@ -945,7 +1051,8 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
-  if (magic != kDeltaMagic) {
+  const bool v3 = magic == kDeltaMagicV3;
+  if (!v3 && magic != kDeltaMagic) {
     return Status::InvalidArgument("not an fkc shard delta (bad magic '" +
                                    magic + "')");
   }
@@ -953,6 +1060,13 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   // Parse and stage everything with NO manager lock held — the inputs
   // (constraint, metric, solver) are immutable after construction, and a
   // truncated or corrupt delta must leave the fleet exactly as it was.
+  // A v2 delta (no objective data) is by construction all-fair-center.
+  ObjectiveKind default_objective = ObjectiveKind::kFairCenter;
+  if (v3) FKC_RETURN_IF_ERROR(ReadObjectiveTag(&cursor, &default_objective));
+  if (default_objective != options_.objective) {
+    return Status::InvalidArgument(
+        "delta fleet objective does not match this manager's");
+  }
   std::vector<int> caps;
   FKC_RETURN_IF_ERROR(ReadColorCaps(&cursor, &caps));
   if (caps != constraint_.caps()) {
@@ -961,6 +1075,10 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   }
   std::map<std::string, SlidingWindowOptions> overrides;
   FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &overrides));
+  std::map<std::string, ObjectiveKind> objective_overrides;
+  if (v3) {
+    FKC_RETURN_IF_ERROR(ReadObjectiveOverrides(&cursor, &objective_overrides));
+  }
 
   int64_t shard_count = 0;
   FKC_RETURN_IF_ERROR(cursor.NextInt(&shard_count));
@@ -970,51 +1088,67 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
   }
   // No reserve from the blob-supplied count: growth is paid only for
   // entries that actually parse.
-  std::vector<std::pair<std::string, FairCenterSlidingWindow>> staged;
+  std::vector<std::pair<std::string, std::unique_ptr<ObjectiveEngine>>> staged;
   for (int64_t s = 0; s < shard_count; ++s) {
     std::string key, blob;
     FKC_RETURN_IF_ERROR(cursor.NextRaw(&key, kMaxKeyBytes));
     FKC_RETURN_IF_ERROR(cursor.NextRaw(&blob));
-    auto window =
-        FairCenterSlidingWindow::DeserializeState(blob, metric_, solver_);
-    if (!window.ok()) return window.status();
+    auto engine = DeserializeObjectiveEngine(blob, metric_, solver_);
+    if (!engine.ok()) return engine.status();
+    // The blob's own magic must match the objective the delta's table
+    // assigns this tenant — a forged or misfiled segment rejects here,
+    // before anything has been mutated.
+    auto ov = objective_overrides.find(key);
+    const ObjectiveKind expected =
+        ov == objective_overrides.end() ? default_objective : ov->second;
+    if (engine.value()->kind() != expected) {
+      return Status::InvalidArgument(
+          "shard blob objective does not match the delta's objective table");
+    }
     // An interior-corrupt or forged shard blob under a different constraint
     // would restore fine and then CHECK-abort on its next in-range ingest
     // (StampArrival checks color against the shard's own ell).
-    if (window.value().constraint().caps() != constraint_.caps()) {
+    if (engine.value()->constraint().caps() != constraint_.caps()) {
       return Status::InvalidArgument(
           "shard constraint does not match the fleet constraint in delta");
     }
-    staged.emplace_back(std::move(key), std::move(window).value());
+    staged.emplace_back(std::move(key), std::move(engine).value());
   }
 
   {
-    // Replace the override table as one unit: all stripe locks, ascending,
-    // then scatter the merged table into the per-stripe slices.
-    std::vector<std::unique_lock<std::mutex>> held;
+    // Replace the override tables (options AND objectives) as one unit:
+    // all stripe locks, ascending, then scatter the merged tables into the
+    // per-stripe slices.
+    std::vector<std::unique_lock<std::shared_mutex>> held;
     held.reserve(stripes_.size());
     for (const auto& stripe : stripes_) held.emplace_back(stripe->mu);
-    for (const auto& stripe : stripes_) stripe->overrides.clear();
+    for (const auto& stripe : stripes_) {
+      stripe->overrides.clear();
+      stripe->objective_overrides.clear();
+    }
     for (auto& [key, opts] : overrides) {
       StripeOf(key).overrides.emplace(key, std::move(opts));
+    }
+    for (const auto& [key, kind] : objective_overrides) {
+      StripeOf(key).objective_overrides.emplace(key, kind);
     }
   }
   // Swap each staged shard in under its own lock: per-shard atomicity (a
   // concurrent QueryAll may see a partially applied delta, never a torn
   // shard), and ingest to untouched tenants proceeds throughout.
-  for (auto& [key, window] : staged) {
+  for (auto& [key, engine] : staged) {
     Stripe& stripe = StripeOf(key);
     Shard* shard = nullptr;
     {
-      std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+      std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
       auto it = stripe.shards.find(key);
       if (it == stripe.shards.end()) {
         // A tenant first seen in this delta: build the entry fully formed
         // under the stripe lock (nobody can hold its shard lock yet).
         it = stripe.shards.try_emplace(key).first;
         Shard* fresh = &it->second;
-        fresh->live =
-            std::make_unique<FairCenterSlidingWindow>(std::move(window));
+        fresh->kind = engine->kind();
+        fresh->live = std::move(engine);
         fresh->dim = fresh->live->dimension();
         // The shard now matches the leader's checkpointed state exactly.
         fresh->clean_epoch = fresh->live->state_epoch();
@@ -1030,10 +1164,13 @@ Status ShardManager::ApplyDelta(const std::string& bytes) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     bool was_live;
     {
-      std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+      std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
       was_live = shard->live != nullptr;
-      shard->live =
-          std::make_unique<FairCenterSlidingWindow>(std::move(window));
+      // The kind follows the engine it was validated against above — an
+      // objective change for an existing tenant arrives only this way, as
+      // a whole replacement state, never as a live mutation.
+      shard->kind = engine->kind();
+      shard->live = std::move(engine);
       shard->dim = shard->live->dimension();
       shard->clean_epoch = shard->live->state_epoch();
       shard->spill_dirty = false;
@@ -1059,8 +1196,9 @@ Result<ShardManager> ShardManager::Restore(
   CheckpointReader cursor(bytes);
   std::string magic;
   FKC_RETURN_IF_ERROR(cursor.NextToken(&magic));
+  const bool v3 = magic == kMagicV3;
   const bool v2 = magic == kMagicV2;
-  if (!v2 && magic != kMagicV1) {
+  if (!v3 && !v2 && magic != kMagicV1) {
     return Status::InvalidArgument("not an fkc shard checkpoint (bad magic '" +
                                    magic + "')");
   }
@@ -1070,6 +1208,9 @@ Result<ShardManager> ShardManager::Restore(
   options.num_stripes = num_stripes;
   options.max_live_shards = max_live_shards;
   options.spill_store = std::move(spill_store);
+  // v1/v2 blobs predate the objective layer and restore unchanged, as
+  // all-fair-center (the only objective those builds had).
+  if (v3) FKC_RETURN_IF_ERROR(ReadObjectiveTag(&cursor, &options.objective));
   // ReadSlidingWindowOptions validates what it parses (window size, delta,
   // beta, variant, slack exponents, range bounds): a corrupted or
   // adversarial blob must fail here, not abort in a constructor CHECK.
@@ -1082,11 +1223,18 @@ Result<ShardManager> ShardManager::Restore(
   // thread until Restore returns, so its members are mutated directly.
   ShardManager manager(options, ColorConstraint(std::move(caps)), metric,
                        solver);
-  if (v2) {
+  if (v2 || v3) {
     std::map<std::string, SlidingWindowOptions> overrides;
     FKC_RETURN_IF_ERROR(ReadOverrides(&cursor, &overrides));
     for (auto& [key, opts] : overrides) {
       manager.StripeOf(key).overrides.emplace(key, std::move(opts));
+    }
+  }
+  if (v3) {
+    std::map<std::string, ObjectiveKind> objective_overrides;
+    FKC_RETURN_IF_ERROR(ReadObjectiveOverrides(&cursor, &objective_overrides));
+    for (const auto& [key, kind] : objective_overrides) {
+      manager.StripeOf(key).objective_overrides.emplace(key, kind);
     }
   }
 
@@ -1105,25 +1253,33 @@ Result<ShardManager> ShardManager::Restore(
     std::string key, blob;
     FKC_RETURN_IF_ERROR(cursor.NextRaw(&key, kMaxKeyBytes));
     FKC_RETURN_IF_ERROR(cursor.NextRaw(&blob));
-    auto window =
-        FairCenterSlidingWindow::DeserializeState(blob, metric, solver);
-    if (!window.ok()) return window.status();
+    auto engine = DeserializeObjectiveEngine(blob, metric, solver);
+    if (!engine.ok()) return engine.status();
     // Same forged-blob guard as ApplyDelta: a shard under a different
     // constraint would pass the manager's ValidateArrival yet CHECK-abort
     // inside the window on the next ingest.
-    if (window.value().constraint().caps() != manager.constraint_.caps()) {
+    if (engine.value()->constraint().caps() != manager.constraint_.caps()) {
       return Status::InvalidArgument(
           "shard constraint does not match the fleet constraint");
     }
     // Shards carry their mutex, so entries are built in place.
     Stripe& stripe = manager.StripeOf(key);
+    // The blob's own magic must match the objective the checkpoint's own
+    // table (default tag + overrides, scattered above) assigns this
+    // tenant; v1/v2 tables are implicitly all-fair-center. Forged or
+    // swapped segments reject here, never abort.
+    if (engine.value()->kind() != manager.ObjectiveForKey(stripe, key)) {
+      return Status::InvalidArgument(
+          "shard blob objective does not match the checkpoint's objective "
+          "table");
+    }
     auto [pos, inserted] = stripe.shards.try_emplace(std::move(key));
     if (!inserted) {
       return Status::InvalidArgument("duplicate shard key in checkpoint");
     }
     Shard& shard = pos->second;
-    shard.live = std::make_unique<FairCenterSlidingWindow>(
-        std::move(window).value());
+    shard.kind = engine.value()->kind();
+    shard.live = std::move(engine).value();
     shard.dim = shard.live->dimension();
     shard.clean_epoch = shard.live->state_epoch();  // restored = checkpointed
     stripe.live_lru.insert({shard.last_touch, pos->first});
@@ -1318,7 +1474,7 @@ Result<int64_t> ShardManager::GarbageCollectSpill() {
   std::lock_guard<std::mutex> gc(*gc_mu_);
   std::set<std::string> spilled;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     for (const auto& [key, shard] : stripe->shards) {
       if (!shard.live) spilled.insert(key);
     }
@@ -1329,41 +1485,40 @@ Result<int64_t> ShardManager::GarbageCollectSpill() {
 std::vector<std::string> ShardManager::Keys() const {
   std::vector<std::string> keys;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     for (const auto& [key, shard] : stripe->shards) keys.push_back(key);
   }
   std::sort(keys.begin(), keys.end());
   return keys;
 }
 
-FairCenterSlidingWindow* ShardManager::shard(const std::string& key) {
+ObjectiveEngine* ShardManager::shard(const std::string& key) {
   Stripe& stripe = StripeOf(key);
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
     shard = RouteLocked(stripe, key, /*create_missing=*/false,
                         clock_.load(std::memory_order_relaxed));
     if (shard == nullptr) return nullptr;
     ++shard->pins;
     ++stripe.ops;
   }
-  FairCenterSlidingWindow* window = nullptr;
+  ObjectiveEngine* window = nullptr;
   {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     if (EnsureLiveHeld(key, shard).ok()) window = shard->live.get();
   }
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::shared_mutex> stripe_lock(stripe.mu);
     --shard->pins;
   }
   EnforceLiveCap(&key);
   return window;
 }
 
-const FairCenterSlidingWindow* ShardManager::shard(
-    const std::string& key) const {
+const ObjectiveEngine* ShardManager::shard(const std::string& key) const {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  std::shared_lock<std::shared_mutex> stripe_lock(stripe.mu);
   auto it = stripe.shards.find(key);
   return it == stripe.shards.end() ? nullptr : it->second.live.get();
 }
@@ -1371,7 +1526,7 @@ const FairCenterSlidingWindow* ShardManager::shard(
 size_t ShardManager::shard_count() const {
   size_t total = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     total += stripe->shards.size();
   }
   return total;
@@ -1393,7 +1548,7 @@ std::vector<int64_t> ShardManager::StripeOps() const {
   std::vector<int64_t> ops;
   ops.reserve(stripes_.size());
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     ops.push_back(stripe->ops);
   }
   return ops;
@@ -1403,7 +1558,7 @@ std::vector<int64_t> ShardManager::StripePins() const {
   std::vector<int64_t> pins;
   pins.reserve(stripes_.size());
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     int64_t total = 0;
     for (const auto& [key, shard] : stripe->shards) total += shard.pins;
     pins.push_back(total);
@@ -1426,7 +1581,7 @@ MemoryStats ShardManager::TotalMemory() const {
   // stripe locks, read each shard under its own.
   std::vector<const Shard*> snapshot;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    std::shared_lock<std::shared_mutex> stripe_lock(stripe->mu);
     for (const auto& [key, shard] : stripe->shards) snapshot.push_back(&shard);
   }
   MemoryStats stats;

@@ -2,10 +2,21 @@
 // sliding windows (per tenant, per sensor, per data stream), all driven
 // through one shared thread pool.
 //
-// Each shard is a full FairCenterSlidingWindow keyed by an opaque string.
-// Shards share no state, so ingest batches and query multiplexing fan out
-// across the pool with bit-identical per-shard results at any thread count —
-// the same determinism contract as the core engine.
+// Each shard is a full ObjectiveEngine (core/objective_engine.h) keyed by an
+// opaque string. Shards share no state, so ingest batches and query
+// multiplexing fan out across the pool with bit-identical per-shard results
+// at any thread count — the same determinism contract as the core engine.
+//
+// The OBJECTIVE LAYER: shards are constructed through the objective factory
+// (CreateObjectiveEngine), so one fleet can host mixed-objective tenants —
+// fair-center dashboards beside k-median tenants on the same streams. The
+// fleet default objective lives in ShardManagerOptions; per-tenant
+// deviations are registered with SetTenantObjective before the tenant's
+// first arrival, exactly like option overrides. The spill / delta /
+// replication paths are untouched by the objective: they move each engine's
+// self-describing blob opaquely, and restore paths cross-check the blob's
+// own magic against the fleet's objective table, rejecting forged or
+// mismatched tags with a Status, never an abort.
 //
 // Multi-tenant hardening on top of the basic routing:
 //   * per-tenant options: a tenant key may carry its own SlidingWindowOptions
@@ -22,8 +33,12 @@
 //     ingest, cleared on checkpoint); CheckpointDelta() serializes only the
 //     dirty shards and ApplyDelta() folds such a delta into a fleet restored
 //     from the matching base — steady-state fleets ship deltas, not the
-//     whole blob. Full checkpoints use the fkc-shards-v2 format; Restore
-//     still accepts v1 blobs from earlier builds. DeltaLog
+//     whole blob. Full checkpoints use the fkc-shards-v2 format when every
+//     tenant runs the default fair-center objective (so pure fair-center
+//     fleets stay byte-identical to pre-objective builds) and fkc-shards-v3
+//     — v2 plus the objective tag and per-tenant objective table — as soon
+//     as any other objective is involved; Restore accepts v1/v2/v3 blobs
+//     (v1/v2 restore unchanged, as all-fair-center). DeltaLog
 //     (serving/delta_log.h) turns the delta stream into a replayable,
 //     self-compacting log.
 //   * background maintenance: StartMaintenance(options) runs the eviction
@@ -36,13 +51,18 @@
 //
 //   * The routing layer is split into N hash-partitioned STRIPES. Each
 //     stripe owns its slice of the shard map, its slice of the per-tenant
-//     override table, its own LRU index of live shards, and the pin counts
-//     of its shards — all guarded by that stripe's mutex, held only for
-//     map lookups and bookkeeping mutations (plus shard construction),
-//     never across a window update, a query, a (de)serialization, or
-//     spill-store IO. Ingest and shard creation on keys in different
-//     stripes never touch the same lock. The fleet-wide clock and the
-//     lifetime counters are plain atomics.
+//     override tables (options and objectives), its own LRU index of live
+//     shards, and the pin counts of its shards — all guarded by that
+//     stripe's reader-writer lock (std::shared_mutex), held only for map
+//     lookups and bookkeeping mutations (plus shard construction), never
+//     across a window update, a query, a (de)serialization, or spill-store
+//     IO. Pure lookups (TenantOptions, Keys, counts, memory/pin gauges,
+//     eviction candidate scans) take it SHARED and run concurrently;
+//     anything that mutates stripe state — routing (it bumps LRU/ops and
+//     pins), creation, residency commits, override registration — takes it
+//     EXCLUSIVE. Ingest and shard creation on keys in different stripes
+//     never touch the same lock. The fleet-wide clock and the lifetime
+//     counters are plain atomics.
 //   * Each shard owns a PER-SHARD mutex guarding its window's contents and
 //     its dirty-tracking state. Ingest and per-key queries touch only the
 //     shards they route to, so two tenants never contend.
@@ -64,13 +84,15 @@
 //     bit-exact and the staged-commit checkpoint invariants hold.
 //
 //   Lock order: a per-shard mutex is only ever acquired blocking while no
-//   stripe lock is held; a stripe lock may be acquired while holding a
-//   shard lock (residency commits); multiple stripe locks are only ever
-//   taken in ascending stripe-index order; under a stripe lock, shard
-//   mutexes are only try_lock'ed (eviction). Spill-store writes and GC are
-//   additionally serialized by a GC mutex so a sweep can never reap a
-//   blob spilled after it snapshotted the keep-set. Full order:
-//   shard mu -> gc_mu_ -> stripe mu (ascending).
+//   stripe lock is held (shared or exclusive); a stripe lock may be
+//   acquired while holding a shard lock (residency commits); multiple
+//   stripe locks are only ever taken in ascending stripe-index order;
+//   under a stripe lock, shard mutexes are only try_lock'ed (eviction).
+//   Shared and exclusive modes of one stripe's lock rank identically in
+//   the order — the mode changes contention, not the hierarchy. Spill-
+//   store writes and GC are additionally serialized by a GC mutex so a
+//   sweep can never reap a blob spilled after it snapshotted the keep-set.
+//   Full order: shard mu -> gc_mu_ -> stripe mu (ascending).
 //
 // Compound caller sequences are still not atomic, and a fleet-wide
 // operation concurrent with ingest sees each shard's state at the moment
@@ -96,6 +118,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -103,6 +126,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/fair_center_sliding_window.h"
+#include "core/objective_engine.h"
 #include "serving/spill_store.h"
 
 namespace fkc {
@@ -124,6 +148,13 @@ struct ShardManagerOptions {
   /// parallelism lives at the manager level (one pool fanned across
   /// shards), never nested inside a shard.
   SlidingWindowOptions window;
+
+  /// Fleet-default clustering objective applied when a shard is created
+  /// (per-tenant deviations via SetTenantObjective). Checkpointed: a
+  /// non-default value (or any per-tenant objective override) switches the
+  /// fleet blob to the fkc-shards-v3 format; all-fair-center fleets keep
+  /// emitting v2 bytes, byte-identical to pre-objective builds.
+  ObjectiveKind objective = ObjectiveKind::kFairCenter;
 
   /// Worker threads of the shared pool multiplexing ingest and queries over
   /// the shards. 1 = fully sequential; 0 = hardware concurrency. An
@@ -223,10 +254,12 @@ struct MaintenanceStats {
   int64_t checkpoint_failures = 0;
 };
 
-/// Per-shard answer of a fan-out query.
+/// Per-shard answer of a fan-out query. `solution.value` is the shard's
+/// objective value — covering radius for fair-center tenants, sum-of-
+/// distances cost for k-median tenants (see ObjectiveSolution).
 struct ShardAnswer {
   std::string key;
-  Result<FairCenterSolution> solution = FairCenterSolution{};
+  Result<ObjectiveSolution> solution = ObjectiveSolution{};
   QueryStats stats;
 };
 
@@ -311,11 +344,25 @@ class ShardManager {
   /// while no such call can interleave.
   const SlidingWindowOptions* TenantOptions(const std::string& key) const;
 
+  /// Registers the clustering objective `key`'s shard will optimize,
+  /// overriding the fleet default. Same lifecycle contract as
+  /// SetTenantOptions: must precede the tenant's first arrival
+  /// (kFailedPrecondition once the shard exists — a window's objective is
+  /// fixed at creation), and a registration equal to the fleet default is
+  /// not stored. Objective overrides travel in v3 fleet checkpoints.
+  Status SetTenantObjective(const std::string& key, ObjectiveKind objective);
+
+  /// The objective `key`'s shard runs (or would run when created):
+  /// the registered override, else the fleet default.
+  ObjectiveKind TenantObjective(const std::string& key) const;
+
   /// Queries one shard, transparently rehydrating it if spilled. Fails with
   /// kNotFound for an unknown key. Holds only `key`'s shard lock during
   /// the query pipeline — concurrent ingest to other tenants proceeds.
-  Result<FairCenterSolution> Query(const std::string& key,
-                                   QueryStats* stats = nullptr);
+  /// The solution's `value` is the shard's objective value (radius or
+  /// k-median cost).
+  Result<ObjectiveSolution> Query(const std::string& key,
+                                  QueryStats* stats = nullptr);
 
   /// Queries every shard — live and spilled — multiplexed over the pool
   /// (each shard's query pipeline runs sequentially inside its task).
@@ -345,9 +392,12 @@ class ShardManager {
   /// error is reported through `spill_status` when provided.
   int64_t EvictIdle(int64_t idle_ttl, Status* spill_status = nullptr);
 
-  /// Serializes the fleet — template, constraint, tenant overrides, and
-  /// every shard (live or spilled) — into one self-describing v2 blob, and
-  /// marks every shard clean. An epoch snapshot like QueryAll: the shard
+  /// Serializes the fleet — template, constraint, tenant overrides (options
+  /// and, in v3, objectives), and every shard (live or spilled) — into one
+  /// self-describing blob, and marks every shard clean. The format is v2
+  /// when the whole fleet is default fair-center (byte-identical to
+  /// pre-objective builds) and v3 otherwise. An epoch snapshot like
+  /// QueryAll: the shard
   /// set (and override table) is pinned under the stripe locks — all
   /// stripes held at once, acquired in ascending index order — then
   /// serialized one shard lock at a time in ascending key order, so the
@@ -369,16 +419,19 @@ class ShardManager {
   Result<std::string> CheckpointDelta();
 
   /// Folds a CheckpointDelta blob into this manager: replaces the override
-  /// table and upserts every contained shard as live-and-clean. Validates
+  /// tables and upserts every contained shard as live-and-clean. Validates
   /// everything before mutating anything — on a non-OK return the manager
-  /// is unchanged. The delta's constraint must match this manager's.
+  /// is unchanged. The delta's constraint and fleet-default objective must
+  /// match this manager's, and every shard blob's own magic must match the
+  /// objective the delta's table assigns it (forged tags reject).
   /// Shards are swapped in one at a time under their own locks; a
   /// concurrent QueryAll may observe a partially applied delta (per-shard
   /// atomicity), never a torn shard.
   Status ApplyDelta(const std::string& bytes);
 
-  /// Reconstructs a manager from CheckpointAll output — v2 or the earlier
-  /// v1 format. The restored fleet answers every query identically and
+  /// Reconstructs a manager from CheckpointAll output — v3, v2, or the
+  /// earliest v1 format (v1/v2 restore as all-fair-center, unchanged).
+  /// The restored fleet answers every query identically and
   /// behaves identically under any future ingest sequence. Shards come
   /// back live until `max_live_shards` is reached; past the cap the
   /// verbatim blob segment is handed to the spill store directly (never
@@ -454,10 +507,10 @@ class ShardManager {
   /// concurrent ingest to the same key mutates it. Use the pointer before
   /// the next manager call, from the only thread driving this key, and
   /// not while the maintenance thread runs.
-  FairCenterSlidingWindow* shard(const std::string& key);
+  ObjectiveEngine* shard(const std::string& key);
   /// Const access never changes residency: returns nullptr for spilled as
   /// well as unknown keys.
-  const FairCenterSlidingWindow* shard(const std::string& key) const;
+  const ObjectiveEngine* shard(const std::string& key) const;
 
   /// All shards the manager knows, live + spilled.
   size_t shard_count() const;
@@ -533,7 +586,8 @@ class ShardManager {
   ///   * `mu` (the per-shard lock) guards the contents of `live` (every
   ///     Update/Query/SerializeState call), `spill_dirty`, and
   ///     `clean_epoch`.
-  ///   * The owning stripe's lock guards `pins`, `last_touch`, and `dim`.
+  ///   * The owning stripe's lock (exclusive) guards `pins`, `last_touch`,
+  ///     `dim`, and `kind`.
   ///   * The `live` POINTER itself (residency) changes only with BOTH the
   ///     stripe lock and `mu` held, so either lock suffices to read it.
   struct Shard {
@@ -541,7 +595,14 @@ class ShardManager {
     /// held; try_lock'ed under the stripe lock by eviction. Mutable so
     /// const fleet accessors can lock shards they only read.
     mutable std::mutex mu;
-    std::unique_ptr<FairCenterSlidingWindow> live;  ///< null when spilled
+    std::unique_ptr<ObjectiveEngine> live;  ///< null when spilled
+    /// The objective this shard's engine runs. Fixed when the entry is
+    /// created (factory table lookup) or restored (the blob's own magic);
+    /// ApplyDelta may replace it together with the whole engine. Read by
+    /// rehydration and ephemeral QueryAll reads to cross-check a spill
+    /// blob's magic — a store returning a different objective's blob is a
+    /// corruption, answered with a Status.
+    ObjectiveKind kind = ObjectiveKind::kFairCenter;
     bool spill_dirty = false;  ///< spilled state not yet in a fleet blob
     /// Live shards: state_epoch() at the last fleet checkpoint;
     /// kNeverCheckpointed marks dirty-since-birth (or since a dirty spill
@@ -559,15 +620,19 @@ class ShardManager {
   };
 
   /// One hash partition of the routing layer (see the file comment). All
-  /// fields are guarded by `mu`. Held in unique_ptrs so Stripe addresses
-  /// are stable and the manager stays movable.
+  /// fields are guarded by `mu` — shared mode suffices for pure reads,
+  /// every mutation holds it exclusive. Held in unique_ptrs so Stripe
+  /// addresses are stable and the manager stays movable.
   struct Stripe {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;
     /// Shards keyed by tenant id; std::map for deterministic iteration AND
     /// stable Shard addresses (entries are never erased).
     std::map<std::string, Shard> shards;
     /// This stripe's slice of the per-tenant option overrides.
     std::map<std::string, SlidingWindowOptions> overrides;
+    /// This stripe's slice of the per-tenant objective overrides (tenants
+    /// deviating from options_.objective).
+    std::map<std::string, ObjectiveKind> objective_overrides;
     /// (last_touch, key) of this stripe's live shards: the stripe-local
     /// LRU victim is begin(); the fleet-wide victim is the minimum of the
     /// stripes' fronts, preserving the global deterministic order.
@@ -614,6 +679,10 @@ class ShardManager {
   /// `stripe`'s lock (reads the stripe's override slice).
   SlidingWindowOptions OptionsForKey(const Stripe& stripe,
                                      const std::string& key) const;
+  /// Fleet default or registered objective override for `key`. Requires
+  /// `stripe`'s lock (shared suffices).
+  ObjectiveKind ObjectiveForKey(const Stripe& stripe,
+                                const std::string& key) const;
   /// Routing step of every single-shard operation. Requires `stripe`'s
   /// lock: finds `key`'s entry (creating a live one when `create_missing`),
   /// and refreshes its last_touch to `touch`. Returns nullptr for an
@@ -644,11 +713,13 @@ class ShardManager {
   void EnforceLiveCap(const std::string* exclude);
   /// Pins every current shard entry — all stripe locks held at once, taken
   /// in ascending index order — and returns the snapshot in deterministic
-  /// (ascending key) order. When `overrides_out` is non-null, the merged
-  /// override table is copied out under the same hold, so it travels with
-  /// the exact shard set it was snapshotted beside.
+  /// (ascending key) order. When `overrides_out` / `objectives_out` are
+  /// non-null, the merged override tables are copied out under the same
+  /// hold, so they travel with the exact shard set they were snapshotted
+  /// beside.
   std::vector<PinnedShard> PinFleet(
-      std::map<std::string, SlidingWindowOptions>* overrides_out = nullptr);
+      std::map<std::string, SlidingWindowOptions>* overrides_out = nullptr,
+      std::map<std::string, ObjectiveKind>* objectives_out = nullptr);
   void UnpinFleet(const std::vector<PinnedShard>& pinned);
   /// Shared body of CheckpointAll / CheckpointDelta (`dirty_only`).
   Result<std::string> CheckpointSnapshot(bool dirty_only);

@@ -223,14 +223,46 @@ ShardedThroughputReport RunShardedThroughput(
 
   KeyedBatchFeeder feeder(manager, options.batch_size,
                           &report.update_seconds);
+
+  // Burst schedule: the first burst_size arrivals of every burst_every
+  // cycle accumulate here and land as one oversized IngestBatch. The burst
+  // is always delivered before the next paced arrival is read, so per-key
+  // arrival order matches the paced stream exactly.
+  int64_t burst_size = 0;
+  if (options.burst_every > 0) {
+    burst_size = options.burst_size > 0 ? options.burst_size
+                                        : 8 * options.batch_size;
+    burst_size = std::min(burst_size, options.burst_every);
+  }
+  std::vector<serving::KeyedPoint> burst;
+  if (burst_size > 0) burst.reserve(static_cast<size_t>(burst_size));
+  auto deliver_burst = [&] {
+    if (burst.empty()) return;
+    feeder.Flush();  // paced arrivals buffered earlier precede the burst
+    Stopwatch timer;
+    const Status status = manager->IngestBatch(std::move(burst));
+    FKC_CHECK(status.ok()) << status.ToString();
+    report.update_seconds += timer.ElapsedMillis() / 1e3;
+    ++report.bursts;
+    burst = {};
+    burst.reserve(static_cast<size_t>(burst_size));
+  };
+
   for (int64_t t = 0; t < options.stream_length; ++t) {
     auto next = stream->Next();
     FKC_CHECK(next.has_value()) << "stream exhausted at arrival " << t;
-    feeder.Add(keys[static_cast<size_t>(t % static_cast<int64_t>(keys.size()))],
-               std::move(*next));
+    const std::string& key =
+        keys[static_cast<size_t>(t % static_cast<int64_t>(keys.size()))];
+    if (burst_size > 0 && t % options.burst_every < burst_size) {
+      burst.push_back({key, std::move(*next)});
+      if (static_cast<int64_t>(burst.size()) >= burst_size) deliver_burst();
+    } else {
+      feeder.Add(key, std::move(*next));
+    }
     ++report.updates;
 
     if (options.query_every > 0 && (t + 1) % options.query_every == 0) {
+      deliver_burst();  // a query mid-cycle ships the partial burst first
       feeder.Flush();  // answers must reflect every arrival delivered so far
       Stopwatch timer;
       const auto answers = manager->QueryAll();
@@ -243,6 +275,7 @@ ShardedThroughputReport RunShardedThroughput(
       report.queries += static_cast<int64_t>(answers.size());
     }
   }
+  deliver_burst();
   feeder.Flush();
   return report;
 }

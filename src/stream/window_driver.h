@@ -171,6 +171,17 @@ struct ShardedRunOptions {
   int64_t batch_size = 64;
   /// A QueryAll fan-out after every this many arrivals (0 = never).
   int64_t query_every = 1024;
+  /// Burst arrivals: every `burst_every` arrivals the driver withholds the
+  /// next `burst_size` arrivals and delivers them as ONE oversized
+  /// IngestBatch call (bypassing `batch_size`), modelling synchronized
+  /// sensor flushes or thundering-herd tenants instead of a perfectly
+  /// paced stream. Any paced arrivals still buffered are flushed before
+  /// the burst, so per-key arrival order — the only order that matters —
+  /// is exactly the paced stream's. 0 disables bursts.
+  int64_t burst_every = 0;
+  /// Arrivals per burst; clamped to `burst_every`, and 0 defaults to
+  /// 8 * batch_size when bursts are enabled.
+  int64_t burst_size = 0;
 };
 
 /// Aggregate throughput of one sharded run.
@@ -178,6 +189,7 @@ struct ShardedThroughputReport {
   int shards = 0;
   int64_t updates = 0;
   int64_t queries = 0;  ///< per-shard answers, i.e. QueryAll calls * shards
+  int64_t bursts = 0;   ///< oversized burst batches delivered
   double update_seconds = 0.0;
   double query_seconds = 0.0;
 

@@ -866,6 +866,87 @@ TEST(TransportTest, FaultInjectedFollowerStillConvergesByteEqual) {
   EXPECT_EQ(leader_blob.value(), reopened_blob.value());
 }
 
+TEST(TransportTest, ThreeFaultInjectedFollowersAllConvergeByteEqual) {
+  // One leader fanning to three independent followers through a single
+  // sender, with the shared fault schedule mangling frames across all
+  // three connections: every follower must still reach the same byte-equal
+  // checkpoint, each through its own drop/resync history.
+  const auto stream = KeyedStream(360, 149);
+  ShardManager leader(ManagerOptions(), kConstraint, &kMetric, &kJones);
+  ReplicatedLog log(FreshDir("fanout_leader"));
+  ASSERT_TRUE(log.Open().ok());
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(leader.Ingest(stream[i].key, stream[i].point).ok());
+  }
+  ASSERT_TRUE(log.Capture(&leader).ok());
+
+  FaultInjector::Options fault_options;
+  fault_options.seed = 4321;
+  fault_options.drop_prob = 0.30;
+  fault_options.corrupt_prob = 0.20;
+  fault_options.truncate_prob = 0.10;
+  fault_options.max_faults = 12;
+  FaultInjector injector(fault_options);
+
+  LogSender::Options sender_options;
+  sender_options.unix_socket_path = SocketPath("fanout");
+  sender_options.heartbeat_interval = std::chrono::milliseconds(10);
+  sender_options.poll_interval = std::chrono::milliseconds(2);
+  sender_options.fault_injector = &injector;
+  LogSender sender(&log, sender_options);
+  ASSERT_TRUE(sender.Start().ok());
+
+  constexpr int kFollowers = 3;
+  std::vector<std::unique_ptr<LogReceiver>> receivers;
+  for (int f = 0; f < kFollowers; ++f) {
+    LogReceiver::Options receiver_options;
+    receiver_options.unix_socket_path = sender_options.unix_socket_path;
+    receiver_options.receive_timeout = std::chrono::milliseconds(200);
+    receiver_options.initial_backoff = std::chrono::milliseconds(2);
+    receiver_options.max_backoff = std::chrono::milliseconds(50);
+    receiver_options.backoff_seed = 1000 + f;  // decorrelated reconnects
+    receivers.push_back(std::make_unique<LogReceiver>(&kMetric, &kJones,
+                                                      receiver_options));
+    ASSERT_TRUE(receivers.back()->Start().ok()) << "follower " << f;
+  }
+
+  for (size_t tranche = 1; tranche < 6; ++tranche) {
+    for (size_t i = tranche * 60; i < (tranche + 1) * 60; ++i) {
+      ASSERT_TRUE(leader.Ingest(stream[i].key, stream[i].point).ok());
+    }
+    ASSERT_TRUE(log.Capture(&leader).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  const int64_t want = 1 + static_cast<int64_t>(log.chain_length());
+  auto leader_fleet = log.Replay(&kMetric, &kJones);
+  ASSERT_TRUE(leader_fleet.ok());
+  auto leader_blob = leader_fleet.value().CheckpointAll();
+  ASSERT_TRUE(leader_blob.ok());
+  for (int f = 0; f < kFollowers; ++f) {
+    const auto bound = AwaitConverged(receivers[f].get(), want);
+    ASSERT_TRUE(bound.has_fleet) << "follower " << f;
+    ASSERT_EQ(bound.entries_behind, 0)
+        << "follower " << f << " never converged";
+    EXPECT_EQ(bound.applied_generation, log.generation()) << "follower " << f;
+    auto follower_blob = receivers[f]->CheckpointAll();
+    ASSERT_TRUE(follower_blob.ok()) << "follower " << f;
+    EXPECT_EQ(leader_blob.value(), follower_blob.value())
+        << "follower " << f << " diverged from the leader";
+    EXPECT_EQ(receivers[f]->QueryAll().size(), 3u) << "follower " << f;
+  }
+
+  // The shared schedule exhausted its budget across the fan-out, so the
+  // convergence above was earned through real resyncs, not a quiet link.
+  const auto counters = injector.counters();
+  EXPECT_EQ(counters.frames_dropped + counters.frames_corrupted +
+                counters.frames_truncated + counters.frames_delayed,
+            12);
+
+  for (auto& receiver : receivers) receiver->Stop();
+  sender.Stop();
+}
+
 TEST(TransportTest, ReceiverOutlivesAbsentLeaderAndBacksOff) {
   LogReceiver::Options options;
   options.unix_socket_path = SocketPath("nobody_home");

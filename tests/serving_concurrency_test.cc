@@ -69,8 +69,8 @@ std::string MustCheckpoint(serving::ShardManager* manager) {
   return blob.ValueOr("");
 }
 
-bool SameSolution(const FairCenterSolution& a, const FairCenterSolution& b) {
-  if (a.radius != b.radius || a.centers.size() != b.centers.size()) {
+bool SameSolution(const ObjectiveSolution& a, const ObjectiveSolution& b) {
+  if (a.value != b.value || a.centers.size() != b.centers.size()) {
     return false;
   }
   for (size_t i = 0; i < a.centers.size(); ++i) {

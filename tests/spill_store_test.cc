@@ -259,8 +259,8 @@ TEST(SpillStoreTest, ManagerRoundTripsShardsBitExactlyThroughFileStore) {
   ASSERT_EQ(expect.size(), got.size());
   for (size_t i = 0; i < expect.size(); ++i) {
     ASSERT_TRUE(got[i].solution.ok()) << got[i].key;
-    EXPECT_EQ(got[i].solution.value().radius,
-              expect[i].solution.value().radius)
+    EXPECT_EQ(got[i].solution.value().value,
+              expect[i].solution.value().value)
         << got[i].key;
   }
 
@@ -398,8 +398,8 @@ TEST(SpillStoreTest, RestoreSpillsVerbatimSegmentsPastTheCap) {
   ASSERT_EQ(expect.size(), got.size());
   for (size_t i = 0; i < expect.size(); ++i) {
     ASSERT_TRUE(got[i].solution.ok()) << got[i].key;
-    EXPECT_EQ(got[i].solution.value().radius,
-              expect[i].solution.value().radius);
+    EXPECT_EQ(got[i].solution.value().value,
+              expect[i].solution.value().value);
   }
 }
 

@@ -25,7 +25,13 @@ Two input formats are auto-detected:
   as many rounds as the clock allows), speedup / stripe_speedup (ratios
   of two wall times), pool_steals / stripe_hot_ratio (scheduling-order
   gauges), stripes (host-dependent when auto) — are excluded from
-  comparison entirely. Wall-time comparison is only meaningful when both
+  comparison entirely. The cross_objective scenario's dict children
+  (cross_objective/fair_center, cross_objective/k_median,
+  cross_objective/mixed) flatten the same way: objective_value_sum,
+  memory_points, checkpoint_bytes, bursts, updates, and shards are
+  deterministic counters (bit-identical engine state contract),
+  updates_per_s rides the wall-time axis, and the VOLATILE_FIELDS filter
+  applies so any future timing-dependent field is excluded by name. Wall-time comparison is only meaningful when both
   files were produced in the same run environment — the CI walltime job
   builds the PR's base commit and head in the same runner and runs both,
   so the pair IS comparable.
@@ -68,6 +74,7 @@ STABLE_PREFIXES = (
     "expiry_sweeps",
     "guesses_inspected",
     "coreset_size",
+    "kmedian",
 )
 
 # shard_scaling fields: higher-is-better throughputs (wall time axis) vs
@@ -140,6 +147,16 @@ def flatten_shard_scaling(data):
         sub = contention[mode]
         if isinstance(sub, dict):
             entries[f"contention/{mode}"] = {
+                k: float(v) for k, v in sub.items()
+                if isinstance(v, (int, float)) and k not in VOLATILE_FIELDS
+            }
+    cross = data.get("cross_objective", {})
+    # Dict children are per-objective runs (fair_center, k_median, mixed);
+    # scalar children (tenants, burst flags) are header fields.
+    for mode in sorted(cross):
+        sub = cross[mode]
+        if isinstance(sub, dict):
+            entries[f"cross_objective/{mode}"] = {
                 k: float(v) for k, v in sub.items()
                 if isinstance(v, (int, float)) and k not in VOLATILE_FIELDS
             }
