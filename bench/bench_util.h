@@ -5,6 +5,7 @@
 #ifndef FKC_BENCH_BENCH_UTIL_H_
 #define FKC_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -78,6 +79,44 @@ inline void PrintPreamble(const char* figure, const char* expectation) {
   std::printf("# Reproduces %s\n# Paper's shape: %s\n#\n", figure,
               expectation);
 }
+
+/// Machine-readable result output behind the `--output_csv` flag every
+/// figure bench carries: one raw row per (dataset, algorithm, x, seed) in
+/// the schema `tools/summarize_results.py` aggregates. Constructed with an
+/// empty path it is a no-op, so benches call Row() unconditionally.
+class CsvSink {
+ public:
+  CsvSink(const std::string& path, const std::string& figure,
+          const std::string& x_name)
+      : figure_(figure), x_name_(x_name) {
+    if (path.empty()) return;
+    file_ = std::fopen(path.c_str(), "w");
+    FKC_CHECK(file_ != nullptr) << "cannot open --output_csv path " << path;
+    std::fprintf(file_,
+                 "figure,dataset,algorithm,x_name,x,seed,ratio,memory_pts,"
+                 "update_ms,query_ms,queries\n");
+  }
+  ~CsvSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  CsvSink(const CsvSink&) = delete;
+  CsvSink& operator=(const CsvSink&) = delete;
+
+  void Row(const std::string& dataset, const AlgorithmReport& r, double x,
+           uint64_t seed) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s,%s,%s,%s,%g,%llu,%.6f,%.3f,%.6f,%.6f,%lld\n",
+                 figure_.c_str(), dataset.c_str(), r.name.c_str(),
+                 x_name_.c_str(), x, static_cast<unsigned long long>(seed),
+                 r.mean_ratio, r.mean_memory_points, r.mean_update_ms,
+                 r.mean_query_ms, static_cast<long long>(r.queries));
+  }
+
+ private:
+  std::string figure_;
+  std::string x_name_;
+  std::FILE* file_ = nullptr;
+};
 
 }  // namespace bench
 }  // namespace fkc

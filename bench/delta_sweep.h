@@ -34,6 +34,13 @@ struct DeltaSweepConfig {
   /// per-arrival measurements unless explicitly overridden.
   int64_t num_threads = 1;
   int64_t update_batch_size = 1;
+  /// Stream/simulator seed. Repeats rerun the whole sweep at seed,
+  /// seed + 1, ... so the summarizer can take median/p95 across them.
+  uint64_t seed = 42;
+  int64_t repeats = 1;
+  /// When non-empty, raw rows are appended to this CSV (schema in
+  /// bench_util.h CsvSink) in addition to the stdout table.
+  std::string output_csv;
 };
 
 struct DeltaSweepResult {
@@ -42,9 +49,10 @@ struct DeltaSweepResult {
   AlgorithmReport report;
 };
 
-/// Runs the sweep and returns one row per (dataset, algorithm, delta).
+/// Runs the sweep once at `seed` and returns one row per
+/// (dataset, algorithm, delta).
 inline std::vector<DeltaSweepResult> RunDeltaSweep(
-    const DeltaSweepConfig& config) {
+    const DeltaSweepConfig& config, uint64_t seed) {
   const EuclideanMetric metric;
   const JonesFairCenter jones;
   const ChenMatroidCenter chen;
@@ -53,7 +61,8 @@ inline std::vector<DeltaSweepResult> RunDeltaSweep(
   for (const std::string& name : config.dataset_names) {
     const int64_t stream_length = config.window_size + config.window_size / 2 +
                                   config.num_queries * config.query_stride;
-    PreparedDataset prepared = Prepare(name, stream_length, metric);
+    PreparedDataset prepared =
+        Prepare(name, stream_length, metric, /*total_k=*/14, seed);
 
     // Own the windows for the whole driver run.
     std::vector<std::unique_ptr<FairCenterSlidingWindow>> windows;
@@ -102,6 +111,28 @@ inline std::vector<DeltaSweepResult> RunDeltaSweep(
   return rows;
 }
 
+/// Runs `config.repeats` seeded sweeps, printing every row and mirroring it
+/// into `config.output_csv` when set. Shared by fig1 and fig2 (same grid,
+/// different commentary).
+inline void RunDeltaSweepRepeats(const DeltaSweepConfig& config,
+                                 const char* figure) {
+  CsvSink sink(config.output_csv, figure, "delta");
+  for (int64_t r = 0; r < config.repeats; ++r) {
+    const uint64_t seed = config.seed + static_cast<uint64_t>(r);
+    if (config.repeats > 1) {
+      std::printf("# repeat %lld/%lld seed=%llu\n",
+                  static_cast<long long>(r + 1),
+                  static_cast<long long>(config.repeats),
+                  static_cast<unsigned long long>(seed));
+    }
+    const auto rows = RunDeltaSweep(config, seed);
+    for (const auto& row : rows) {
+      PrintRow(row.dataset, row.report, row.delta);
+      sink.Row(row.dataset, row.report, row.delta, seed);
+    }
+  }
+}
+
 /// Shared flag wiring for the two delta-sweep figures. Returns false (after
 /// printing usage) when --help was requested.
 inline bool ParseDeltaSweepFlags(int argc, char** argv,
@@ -112,27 +143,44 @@ inline bool ParseDeltaSweepFlags(int argc, char** argv,
   int64_t stride = config->query_stride;
   int64_t threads = config->num_threads;
   int64_t batch = config->update_batch_size;
+  int64_t seed = static_cast<int64_t>(config->seed);
+  int64_t repeats = config->repeats;
   bool paper_scale = false;
   std::string datasets_csv;
+  std::string deltas_csv;
+  std::string output_csv;
   flags.AddInt64("window", &window, "window size in points");
   flags.AddInt64("queries", &queries, "number of measured windows");
   flags.AddInt64("stride", &stride, "arrivals between measured windows");
   AddThreadsFlag(&flags, &threads);
   flags.AddInt64("batch", &batch, "arrivals per UpdateBatch call");
+  flags.AddInt64("seed", &seed, "stream/simulator seed");
+  flags.AddInt64("repeats", &repeats,
+                 "rerun the sweep this many times at seed, seed+1, ...");
   flags.AddBool("paper_scale", &paper_scale,
                 "use the paper's window size (10000) and 200 queries");
   flags.AddString("datasets", &datasets_csv,
                   "comma-separated dataset names (default: all three)");
+  flags.AddString("deltas", &deltas_csv,
+                  "comma-separated delta grid (default: the paper's "
+                  "0.5..4 in steps of 0.5)");
+  flags.AddString("output_csv", &output_csv,
+                  "also write raw rows to this CSV (summarizer schema)");
   FKC_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::printf("%s", flags.Usage(argv[0]).c_str());
     return false;
   }
+  FKC_CHECK_GE(seed, 0) << "--seed must be non-negative";
+  FKC_CHECK_GE(repeats, 1) << "--repeats must be >= 1";
   config->window_size = window;
   config->num_queries = queries;
   config->query_stride = stride;
   config->num_threads = threads;
   config->update_batch_size = batch;
+  config->seed = static_cast<uint64_t>(seed);
+  config->repeats = repeats;
+  config->output_csv = output_csv;
   if (paper_scale) {
     config->window_size = 10000;
     config->num_queries = 200;
@@ -140,6 +188,15 @@ inline bool ParseDeltaSweepFlags(int argc, char** argv,
   }
   if (!datasets_csv.empty()) {
     config->dataset_names = StrSplit(datasets_csv, ',');
+  }
+  if (!deltas_csv.empty()) {
+    config->deltas.clear();
+    for (const std::string& text : StrSplit(deltas_csv, ',')) {
+      auto parsed = ParseDouble(text);
+      FKC_CHECK(parsed.ok() && parsed.value() > 0.0)
+          << "bad --deltas entry '" << text << "'";
+      config->deltas.push_back(parsed.value());
+    }
   }
   return true;
 }

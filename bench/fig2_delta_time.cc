@@ -31,9 +31,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(config.query_stride));
   fkc::bench::PrintHeader("delta");
 
-  const auto rows = fkc::bench::RunDeltaSweep(config);
-  for (const auto& row : rows) {
-    fkc::bench::PrintRow(row.dataset, row.report, row.delta);
-  }
+  fkc::bench::RunDeltaSweepRepeats(config, "fig2");
   return 0;
 }

@@ -1,25 +1,69 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Downloads the three real UCI datasets of the paper's evaluation and
 # converts them into the prepared CSV format the library ingests
 # (src/datasets/registry.cc LoadRealDataset): numeric coordinates, one point
 # per row, 0-based integer color label in the LAST column.
 #
-#   sh datasets/download_real_datasets.sh [target_dir]
+#   bash datasets/download_real_datasets.sh [target_dir]
 #
 # Target dir defaults to this script's directory (datasets/). Point the
-# binaries at it with FKC_DATA_DIR (default "datasets"); when a prepared
-# <name>.csv is absent the library transparently falls back to its
-# statistical simulator, so running this script is optional.
+# binaries at it with FKC_DATA_DIR (default "datasets"). When a prepared
+# <name>.csv is absent the library falls back to its statistical simulator
+# with a stderr warning naming FKC_DATA_DIR and the missing path; export
+# FKC_REQUIRE_REAL_DATA=1 to make that fallback a hard error instead
+# (recommended whenever you intend to report real-data numbers).
+#
+# Checksums: the SHA-256 of every prepared CSV is recorded in
+# <target_dir>/CHECKSUMS.sha256 on first successful preparation and
+# verified against it on every later run (trust-on-first-use). A mismatch —
+# a torn download, a silently changed upstream file, local corruption —
+# aborts with both sums printed; delete the file and its CHECKSUMS line to
+# re-download deliberately.
 #
 # Prepared formats:
 #   phones.csv   x,y,z,activity           (3-d, ell=7; activity 0..6)
 #   higgs.csv    f1,...,f7,label          (the 7 high-level features, ell=2)
 #   covtype.csv  c1,...,c54,covertype     (54-d, ell=7; label shifted to 0..6)
-set -eu
+set -euo pipefail
+trap 'echo "download_real_datasets.sh: FAILED at line $LINENO (exit $?)" >&2' ERR
 
-dir="${1:-$(dirname "$0")}"
+dir="${1:-$(cd -- "$(dirname -- "$0")" && pwd)}"
 mkdir -p "$dir"
 cd "$dir"
+sums_file="CHECKSUMS.sha256"
+
+sha256_of() {
+  if command -v sha256sum >/dev/null 2>&1; then
+    sha256sum "$1" | awk '{print $1}'
+  elif command -v shasum >/dev/null 2>&1; then
+    shasum -a 256 "$1" | awk '{print $1}'
+  else
+    echo "need sha256sum or shasum for checksum verification" >&2
+    exit 1
+  fi
+}
+
+# Verifies $1 against the recorded checksum, or records it on first sight.
+verify_or_record() {
+  local file="$1" have want
+  have="$(sha256_of "$file")"
+  want="$(awk -v f="$file" '$2 == f {print $1}' "$sums_file" 2>/dev/null ||
+          true)"
+  if [ -z "$want" ]; then
+    printf '%s %s\n' "$have" "$file" >>"$sums_file"
+    echo "checksum recorded (first preparation): $file sha256=$have"
+  elif [ "$have" != "$want" ]; then
+    echo "ERROR: checksum mismatch for $dir/$file" >&2
+    echo "  recorded $want" >&2
+    echo "  actual   $have" >&2
+    echo "The file changed since it was first prepared (torn download," >&2
+    echo "upstream change, or local corruption). Delete $dir/$file and" >&2
+    echo "its line in $dir/$sums_file to re-download deliberately." >&2
+    exit 1
+  else
+    echo "checksum OK: $file"
+  fi
+}
 
 fetch() {
   url="$1"; out="$2"
@@ -44,6 +88,7 @@ if [ ! -f higgs.csv ]; then
   }' > higgs.csv
   rm -f higgs.csv.gz
 fi
+verify_or_record higgs.csv
 
 # --- COVTYPE (UCI covtype): 54 features, cover type 1..7 last -> 0..6.
 if [ ! -f covtype.csv ]; then
@@ -55,6 +100,7 @@ if [ ! -f covtype.csv ]; then
   }' > covtype.csv
   rm -f covtype.data.gz
 fi
+verify_or_record covtype.csv
 
 # --- PHONES (UCI 00344, Heterogeneity Activity Recognition,
 # Phones_accelerometer.csv): x,y,z accelerometer readings labelled with one
@@ -72,5 +118,9 @@ if [ ! -f phones.csv ]; then
   }' "Activity recognition exp/Phones_accelerometer.csv" > phones.csv
   rm -rf phones.zip "Activity recognition exp"
 fi
+verify_or_record phones.csv
 
-echo "prepared CSVs in $(pwd): $(ls -lh *.csv | awk '{print $9" ("$5")"}' | tr '\n' ' ')"
+echo "prepared CSVs in $(pwd):"
+ls -lh ./*.csv | awk '{print "  "$9" ("$5")"}'
+echo "Point the binaries at them with FKC_DATA_DIR=$(pwd)"
+echo "(export FKC_REQUIRE_REAL_DATA=1 to forbid the simulator fallback)."

@@ -1,0 +1,88 @@
+# Shared plumbing for the figure-experiment runners (run/run_exp_fig*.sh).
+# Sourced, not executed; the sourcing script must set EXP and BIN first.
+#
+# Environment overrides (all optional):
+#   BUILD_DIR    cmake build tree holding the bench binaries (default: build)
+#   RESULTS_DIR  where raw CSV + summaries land        (default: results/raw)
+#   REPEATS      repeats per sweep, seeded BASE_SEED..+R-1      (default: 3)
+#   BASE_SEED    first seed                                    (default: 42)
+#   THREADS      worker threads per window; 1 keeps timings comparable with
+#                the paper's single-threaded measurements       (default: 1)
+#   PAPER_SCALE  =1 runs the paper's full grids (window 10000, 200 queries —
+#                hours of wall time on real data)               (default: 0)
+#   FKC_DATA_DIR directory with the prepared real CSVs (default: datasets).
+#                A missing file falls back to the statistical simulator with
+#                a stderr warning; export FKC_REQUIRE_REAL_DATA=1 to turn
+#                that fallback into a hard error.
+#
+# Per-figure sweep overrides (WINDOW, QUERIES, STRIDE, DELTAS, DATASETS,
+# WINDOWS, DIMS, ...) are documented in each run_exp_fig*.sh.
+#
+# Conventions (mirrored from the Join-Sampling-style run/ harness this
+# reproduces): fail-loud ERR trap naming script and line, scratch files in a
+# mktemp dir removed on exit, one raw CSV per seed under
+# $RESULTS_DIR/$EXP/raw_seed<SEED>.csv, and a median/p95 summary.csv +
+# summary.md regenerated from the raw files after every run.
+set -euo pipefail
+
+[[ -n "${EXP:-}" && -n "${BIN:-}" ]] ||
+  { echo "common.sh: EXP and BIN must be set before sourcing" >&2; exit 1; }
+
+RUN_DIR="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname -- "$RUN_DIR")"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+RESULTS_DIR="${RESULTS_DIR:-$REPO_ROOT/results/raw}"
+REPEATS="${REPEATS:-3}"
+BASE_SEED="${BASE_SEED:-42}"
+THREADS="${THREADS:-1}"
+PAPER_SCALE="${PAPER_SCALE:-0}"
+
+trap 'echo "[run/$EXP] FAILED at ${BASH_SOURCE[0]}:$LINENO (exit $?)" >&2' ERR
+
+TMP_DIR="$(mktemp -d "${TMPDIR:-/tmp}/fkc_${EXP}.XXXXXX")"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+fail() { echo "[run/$EXP] ERROR: $*" >&2; exit 1; }
+
+# Builds $BIN if the binary is missing. A build tree is configured on first
+# use; an existing one is reused as-is (its build type included).
+ensure_built() {
+  if [[ ! -x "$BUILD_DIR/$BIN" ]]; then
+    if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+      echo "[run/$EXP] configuring $BUILD_DIR (Release)"
+      cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+    fi
+    echo "[run/$EXP] building $BIN"
+    cmake --build "$BUILD_DIR" --target "$BIN" -j "$(nproc)"
+  fi
+  [[ -x "$BUILD_DIR/$BIN" ]] || fail "$BUILD_DIR/$BIN missing after build"
+}
+
+# Runs $BIN once per seed (BASE_SEED .. BASE_SEED+REPEATS-1), landing one
+# raw CSV per seed under $RESULTS_DIR/$EXP/. The bench's stdout table goes
+# to a log in $TMP_DIR and is replayed on failure.
+run_repeats() {
+  local out_dir="$RESULTS_DIR/$EXP"
+  mkdir -p "$out_dir"
+  rm -f "$out_dir"/raw_seed*.csv
+  local r seed csv log
+  for ((r = 0; r < REPEATS; ++r)); do
+    seed=$((BASE_SEED + r))
+    csv="$out_dir/raw_seed${seed}.csv"
+    log="$TMP_DIR/seed${seed}.log"
+    echo "[run/$EXP] repeat $((r + 1))/$REPEATS (seed $seed)"
+    "$BUILD_DIR/$BIN" "$@" --threads="$THREADS" --seed="$seed" \
+        --output_csv="$csv" >"$log" 2>&1 ||
+      { cat "$log" >&2; fail "$BIN exited non-zero at seed $seed"; }
+    # Header plus at least one data row, or the run measured nothing.
+    [[ "$(wc -l <"$csv")" -ge 2 ]] || fail "$BIN wrote no rows to $csv"
+  done
+}
+
+# Joins the raw seeds into summary.csv (stable schema) + summary.md.
+summarize() {
+  python3 "$REPO_ROOT/tools/summarize_results.py" "$RESULTS_DIR/$EXP" \
+    --out-csv "$RESULTS_DIR/$EXP/summary.csv" \
+    --out-md "$RESULTS_DIR/$EXP/summary.md"
+  echo "[run/$EXP] done: raw + summary under $RESULTS_DIR/$EXP"
+}

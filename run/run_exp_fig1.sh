@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Figure 1: approximation ratio (top) and memory in points (bottom) vs the
+# coreset precision delta, on PHONES / HIGGS / COVTYPE, algorithms
+# Ours / OursOblivious vs the full-window baselines Jones and ChenEtAl.
+#
+# Sweep overrides (env, beyond the common knobs in run/common.sh):
+#   WINDOW   window size in points                (default 2000; paper 10000)
+#   QUERIES  measured windows per run             (default 10; paper 200)
+#   STRIDE   arrivals between measured windows    (default 20; paper 1)
+#   DELTAS   comma-separated delta grid           (default 0.5..4 step 0.5)
+#   DATASETS comma-separated datasets             (default phones,higgs,covtype)
+#
+#   PAPER_SCALE=1 runs the paper's exact grid instead of the defaults.
+EXP=fig1
+BIN=fig1_delta_quality
+source "$(dirname -- "${BASH_SOURCE[0]}")/common.sh"
+
+args=(
+  --window="${WINDOW:-2000}"
+  --queries="${QUERIES:-10}"
+  --stride="${STRIDE:-20}"
+  --deltas="${DELTAS:-0.5,1,1.5,2,2.5,3,3.5,4}"
+  --datasets="${DATASETS:-phones,higgs,covtype}"
+)
+[[ "$PAPER_SCALE" == 1 ]] && args+=(--paper_scale)
+
+ensure_built
+run_repeats "${args[@]}"
+summarize

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Figure 2: update time (top) and query time (bottom) vs the coreset
+# precision delta — the same grid as Figure 1, measured on the time axis
+# (ChenEtAl dominates the run time, hence the smaller default query count).
+#
+# Sweep overrides (env, beyond the common knobs in run/common.sh):
+#   WINDOW   window size in points                (default 2000; paper 10000)
+#   QUERIES  measured windows per run             (default 8; paper 200)
+#   STRIDE   arrivals between measured windows    (default 20; paper 1)
+#   DELTAS   comma-separated delta grid           (default 0.5..4 step 0.5)
+#   DATASETS comma-separated datasets             (default phones,higgs,covtype)
+#
+#   PAPER_SCALE=1 runs the paper's exact grid instead of the defaults.
+EXP=fig2
+BIN=fig2_delta_time
+source "$(dirname -- "${BASH_SOURCE[0]}")/common.sh"
+
+args=(
+  --window="${WINDOW:-2000}"
+  --queries="${QUERIES:-8}"
+  --stride="${STRIDE:-20}"
+  --deltas="${DELTAS:-0.5,1,1.5,2,2.5,3,3.5,4}"
+  --datasets="${DATASETS:-phones,higgs,covtype}"
+)
+[[ "$PAPER_SCALE" == 1 ]] && args+=(--paper_scale)
+
+ensure_built
+run_repeats "${args[@]}"
+summarize

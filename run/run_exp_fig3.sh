@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Figure 3: memory (top) and query time (bottom) vs the window size at the
+# most accurate setting delta = 0.5. The baselines mirror the paper's
+# timeouts with per-baseline window caps (ChenEtAl 30k, Jones 200k at paper
+# scale).
+#
+# Sweep overrides (env, beyond the common knobs in run/common.sh):
+#   WINDOWS     comma-separated window sizes   (default 500,1000,2000,4000,8000)
+#   QUERIES     measured windows per run       (default 8; paper 200)
+#   STRIDE      arrivals between measured windows          (default 25)
+#   DELTA       coreset precision                          (default 0.5)
+#   CHEN_LIMIT  largest window ChenEtAl runs on            (default 2000)
+#   JONES_LIMIT largest window Jones runs on               (default 8000)
+#   DATASETS    comma-separated datasets       (default phones,higgs,covtype)
+#
+#   PAPER_SCALE=1 runs windows 10000..500000 with the paper's timeouts.
+EXP=fig3
+BIN=fig3_window_size
+source "$(dirname -- "${BASH_SOURCE[0]}")/common.sh"
+
+args=(
+  --windows="${WINDOWS:-500,1000,2000,4000,8000}"
+  --queries="${QUERIES:-8}"
+  --stride="${STRIDE:-25}"
+  --delta="${DELTA:-0.5}"
+  --chen_limit="${CHEN_LIMIT:-2000}"
+  --jones_limit="${JONES_LIMIT:-8000}"
+  --datasets="${DATASETS:-phones,higgs,covtype}"
+)
+[[ "$PAPER_SCALE" == 1 ]] && args+=(--paper_scale)
+
+ensure_built
+run_repeats "${args[@]}"
+summarize

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Figure 4: query time and memory vs the data dimensionality on the `blobs`
+# synthetic datasets (21 Gaussians, ell = 7, k_i = 3), delta in {0.5, 2},
+# Jones as the only baseline — the (c/delta)^D growth of Theorem 2.
+#
+# Sweep overrides (env, beyond the common knobs in run/common.sh):
+#   DIMS     comma-separated blob dimensionalities (default 2,3,4,5,6,8,10)
+#   WINDOW   window size in points                 (default 2000; paper 10000)
+#   QUERIES  measured windows per run              (default 8; paper 200)
+#   STRIDE   arrivals between measured windows     (default 25)
+#
+#   PAPER_SCALE=1 runs the paper's window (10000) and 200 queries.
+EXP=fig4
+BIN=fig4_blobs_dimensionality
+source "$(dirname -- "${BASH_SOURCE[0]}")/common.sh"
+
+args=(
+  --dims="${DIMS:-2,3,4,5,6,8,10}"
+  --window="${WINDOW:-2000}"
+  --queries="${QUERIES:-8}"
+  --stride="${STRIDE:-25}"
+)
+[[ "$PAPER_SCALE" == 1 ]] && args+=(--paper_scale)
+
+ensure_built
+run_repeats "${args[@]}"
+summarize

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Figure 5: query time and memory vs the number of COORDINATES on the
+# `rotated` datasets — PHONES-like 3-d data zero-padded to D dimensions and
+# rigidly rotated, so the intrinsic (doubling) dimension stays 3. The
+# paper's point: cost tracks the intrinsic dimension, not the coordinate
+# count (contrast with Figure 4).
+#
+# Sweep overrides (env, beyond the common knobs in run/common.sh):
+#   DIMS     comma-separated ambient dimensions    (default 3,6,9,12,15)
+#   WINDOW   window size in points                 (default 2000; paper 10000)
+#   QUERIES  measured windows per run              (default 8; paper 200)
+#   STRIDE   arrivals between measured windows     (default 25)
+#
+#   PAPER_SCALE=1 runs the paper's window (10000) and 200 queries.
+EXP=fig5
+BIN=fig5_rotated_dimensionality
+source "$(dirname -- "${BASH_SOURCE[0]}")/common.sh"
+
+args=(
+  --dims="${DIMS:-3,6,9,12,15}"
+  --window="${WINDOW:-2000}"
+  --queries="${QUERIES:-8}"
+  --stride="${STRIDE:-25}"
+)
+[[ "$PAPER_SCALE" == 1 ]] && args+=(--paper_scale)
+
+ensure_built
+run_repeats "${args[@]}"
+summarize

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <set>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "datasets/blobs.h"
 #include "datasets/covtype_sim.h"
@@ -27,6 +30,32 @@ std::string ResolveDataDir(const std::string& dir) {
 
 bool IsRealDatasetName(const std::string& name) {
   return name == "phones" || name == "higgs" || name == "covtype";
+}
+
+/// True when FKC_REQUIRE_REAL_DATA is set to anything but "" or "0": the
+/// caller wants real-data numbers, so a missing prepared CSV must be an
+/// error, never a silent switch to the statistical simulator.
+bool RealDataRequired() {
+  const char* env = std::getenv("FKC_REQUIRE_REAL_DATA");
+  return env != nullptr && env[0] != '\0' &&
+         std::string(env) != "0";
+}
+
+/// Warns (once per dataset name per process) that the simulator is standing
+/// in for a missing prepared CSV, naming the path probed and FKC_DATA_DIR
+/// so the fix is obvious from the log line alone.
+void WarnSimulatorFallback(const std::string& name, const std::string& path) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned->insert(name).second) return;
+  FKC_LOG(Warning) << "no prepared CSV for '" << name << "' at " << path
+                   << " (FKC_DATA_DIR="
+                   << ResolveDataDir("") << "); falling back to the "
+                   << "statistical simulator. Run "
+                   << "datasets/download_real_datasets.sh or point "
+                   << "FKC_DATA_DIR at the prepared files; set "
+                   << "FKC_REQUIRE_REAL_DATA=1 to make this an error.";
 }
 
 }  // namespace
@@ -76,6 +105,15 @@ Result<Dataset> MakeDataset(const std::string& name, int64_t num_points,
     auto real = LoadRealDataset(name, num_points);
     if (real.ok()) return real;
     if (real.status().code() != StatusCode::kNotFound) return real.status();
+    const std::string path = ResolveDataDir("") + "/" + name + ".csv";
+    if (RealDataRequired()) {
+      return Status::NotFound(
+          "FKC_REQUIRE_REAL_DATA is set but no prepared CSV for '" + name +
+          "' exists at " + path +
+          " (FKC_DATA_DIR resolves to " + ResolveDataDir("") +
+          "); run datasets/download_real_datasets.sh");
+    }
+    WarnSimulatorFallback(name, path);
   }
 
   Dataset dataset;

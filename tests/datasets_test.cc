@@ -310,6 +310,44 @@ TEST(RegistryTest, RealCsvPreferredOverSimulatorWhenPresent) {
             StatusCode::kInvalidArgument);
 }
 
+// FKC_REQUIRE_REAL_DATA turns the simulator fallback into a hard error: a
+// run that is supposed to report real-data numbers must not silently
+// measure the statistical stand-in. "0"/unset keep the (warning) fallback.
+TEST(RegistryTest, RequireRealDataForbidsSimulatorFallback) {
+  const std::string dir = ::testing::TempDir() + "fkc_require_real";
+  ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+  std::remove((dir + "/higgs.csv").c_str());  // stale copy from a prior run
+  setenv("FKC_DATA_DIR", dir.c_str(), /*overwrite=*/1);
+  setenv("FKC_REQUIRE_REAL_DATA", "1", /*overwrite=*/1);
+
+  auto missing = MakeDataset("higgs", 20);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The error must name the knob and the probed location so the log line
+  // alone tells the operator what to fix.
+  EXPECT_NE(missing.status().ToString().find("FKC_REQUIRE_REAL_DATA"),
+            std::string::npos);
+  EXPECT_NE(missing.status().ToString().find(dir), std::string::npos);
+
+  // Synthetic families are unaffected: there is no real file to require.
+  EXPECT_TRUE(MakeDataset("blobs3", 20).ok());
+
+  // A prepared file satisfies the requirement.
+  {
+    std::ofstream csv(dir + "/higgs.csv");
+    csv << "1.0,2.0,3.0,4.0,5.0,6.0,7.0,0\n"
+        << "7.0,6.0,5.0,4.0,3.0,2.0,1.0,1\n";
+  }
+  EXPECT_TRUE(MakeDataset("higgs", 6).ok());
+
+  setenv("FKC_REQUIRE_REAL_DATA", "0", /*overwrite=*/1);
+  setenv("FKC_DATA_DIR", (dir + "/nonexistent").c_str(), /*overwrite=*/1);
+  EXPECT_TRUE(MakeDataset("higgs", 6).ok());  // "0" keeps the fallback
+
+  unsetenv("FKC_REQUIRE_REAL_DATA");
+  unsetenv("FKC_DATA_DIR");
+}
+
 // The checked-in ~2k-row sample (datasets/ci_sample, see its README) keeps
 // the real-CSV ingest path exercised in CI without the download script: the
 // same LoadRealDataset entry the full-size prepared files go through.

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Smoke tests for tools/summarize_results.py and tools/trend_walltime.py.
+
+Run directly (python3 tests/tools/test_summarize_results.py) or through
+ctest (summarize_results_test). The fixture CSVs under fixtures/fig1/ are
+three hand-written seeds with values chosen so every median and p95 below
+is checkable by hand:
+
+  Ours@1 update_ms over seeds = [1.0, 3.0, 2.0]
+    median = 2.0
+    p95    = interpolated rank 0.95*(3-1) = 1.9 -> 2.0 + 0.9*(3.0-2.0) = 2.9
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TESTS_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TESTS_TOOLS_DIR))
+FIXTURES = os.path.join(TESTS_TOOLS_DIR, "fixtures", "fig1")
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import summarize_results  # noqa: E402
+import trend_walltime  # noqa: E402
+
+
+class StatsTest(unittest.TestCase):
+    def test_median_odd_and_even(self):
+        self.assertEqual(summarize_results.median([3.0, 1.0, 2.0]), 2.0)
+        self.assertEqual(summarize_results.median([4.0, 1.0, 2.0, 3.0]), 2.5)
+        self.assertEqual(summarize_results.median([7.0]), 7.0)
+
+    def test_p95_interpolates_between_order_statistics(self):
+        # rank = 0.95 * (n - 1); n=3 -> 1.9 -> xs[1] + 0.9 * (xs[2] - xs[1])
+        self.assertAlmostEqual(summarize_results.p95([1.0, 3.0, 2.0]), 2.9)
+        # n=1: the single repeat IS the p95.
+        self.assertEqual(summarize_results.p95([5.0]), 5.0)
+        # n=2: rank 0.95 -> 1 + 0.95 * (3 - 1)
+        self.assertAlmostEqual(summarize_results.p95([1.0, 3.0]), 2.9)
+
+
+class SummarizeFixtureTest(unittest.TestCase):
+    """End-to-end over the committed three-seed fixture."""
+
+    def run_tool(self, *argv):
+        return subprocess.run(
+            [sys.executable,
+             os.path.join(REPO_ROOT, "tools", "summarize_results.py"),
+             *argv],
+            capture_output=True, text=True)
+
+    def summarize_fixture(self):
+        rows = summarize_results.read_raw(
+            summarize_results.expand_inputs([FIXTURES]))
+        return summarize_results.summarize(rows)
+
+    def test_median_p95_math_on_fixture(self):
+        summary = self.summarize_fixture()
+        by_key = {(r["dataset"], r["algorithm"]): r for r in summary}
+        ours = by_key[("higgs", "Ours@1")]
+        self.assertEqual(ours["n"], 3)
+        self.assertAlmostEqual(ours["update_ms_median"], 2.0)
+        self.assertAlmostEqual(ours["update_ms_p95"], 2.9)
+        self.assertAlmostEqual(ours["ratio_median"], 1.1)
+        self.assertAlmostEqual(ours["ratio_p95"], 1.19)
+        self.assertAlmostEqual(ours["memory_pts_median"], 120.0)
+        self.assertAlmostEqual(ours["memory_pts_p95"], 138.0)
+        self.assertAlmostEqual(ours["query_ms_median"], 20.0)
+        self.assertAlmostEqual(ours["query_ms_p95"], 29.0)
+        # Constant across seeds: median == p95 == the constant.
+        jones = by_key[("higgs", "Jones")]
+        self.assertEqual(jones["ratio_median"], 1.0)
+        self.assertEqual(jones["ratio_p95"], 1.0)
+
+    def test_nan_ratio_stays_nan_without_poisoning_other_metrics(self):
+        summary = self.summarize_fixture()
+        nobase = next(r for r in summary if r["dataset"] == "nobase")
+        self.assertNotEqual(nobase["ratio_median"], nobase["ratio_median"])
+        self.assertAlmostEqual(nobase["update_ms_median"], 0.55)
+
+    def test_summary_csv_column_order_is_stable(self):
+        expected = (
+            "figure,dataset,algorithm,x_name,x,n,"
+            "ratio_median,ratio_p95,memory_pts_median,memory_pts_p95,"
+            "update_ms_median,update_ms_p95,query_ms_median,query_ms_p95")
+        self.assertEqual(",".join(summarize_results.SUMMARY_COLUMNS),
+                         expected)
+        with tempfile.TemporaryDirectory() as tmp:
+            out_csv = os.path.join(tmp, "summary.csv")
+            result = self.run_tool(FIXTURES, "--out-csv", out_csv)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            with open(out_csv) as f:
+                lines = f.read().splitlines()
+            self.assertEqual(lines[0], expected)
+            # Deterministic sort: same input twice -> identical bytes.
+            out_csv2 = os.path.join(tmp, "summary2.csv")
+            self.run_tool(FIXTURES, "--out-csv", out_csv2)
+            with open(out_csv2) as f:
+                self.assertEqual(f.read().splitlines(), lines)
+
+    def test_update_report_rewrites_only_the_autogen_block(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            report = os.path.join(tmp, "REPORT.md")
+            with open(report, "w") as f:
+                f.write("# Title\nprose stays\n\n"
+                        "<!-- BEGIN AUTOGEN:fig1 -->\nstale\n"
+                        "<!-- END AUTOGEN:fig1 -->\n\ntrailing prose\n")
+            result = self.run_tool(FIXTURES, "--update-report", report)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            with open(report) as f:
+                text = f.read()
+            self.assertIn("prose stays", text)
+            self.assertIn("trailing prose", text)
+            self.assertNotIn("stale", text)
+            self.assertIn("| higgs | Ours@1 | 1 |", text)
+            # Idempotent: a second regeneration yields identical bytes.
+            self.run_tool(FIXTURES, "--update-report", report)
+            with open(report) as f:
+                self.assertEqual(f.read(), text)
+
+    def test_missing_marker_fails_loud(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            report = os.path.join(tmp, "REPORT.md")
+            with open(report, "w") as f:
+                f.write("# No markers here\n")
+            result = self.run_tool(FIXTURES, "--update-report", report)
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("AUTOGEN:fig1", result.stderr)
+
+    def test_malformed_raw_fails_loud(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "raw_seed1.csv")
+            with open(bad, "w") as f:
+                f.write("wrong,header\n1,2\n")
+            result = self.run_tool(tmp)
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("schema", result.stderr)
+
+
+class TrendWalltimeTest(unittest.TestCase):
+    """trend_walltime.py chains per-PR slowdowns into cumulative drift."""
+
+    @staticmethod
+    def write_pair(root, name, shard_tp, micro_ns):
+        pair = os.path.join(root, name)
+        os.makedirs(pair)
+        base_tp, head_tp = shard_tp
+        base_ns, head_ns = micro_ns
+        shard = lambda tp: {"bench": "shard_scaling", "runs": [
+            {"shards": 1, "updates": 10, "updates_per_s": tp,
+             "queries_per_s": tp / 10.0, "memory_points": 5}]}
+        micro = lambda ns: {"benchmarks": [
+            {"name": "BM_X", "run_type": "iteration", "real_time": ns}]}
+        for fname, data in (("base_shard.json", shard(base_tp)),
+                            ("head_shard.json", shard(head_tp)),
+                            ("base_micro.json", micro(base_ns)),
+                            ("head_micro.json", micro(head_ns))):
+            with open(os.path.join(pair, fname), "w") as f:
+                json.dump(data, f)
+        return pair
+
+    def test_cumulative_drift_is_the_product_of_per_pair_ratios(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            # Two PRs each 10% slower on micro: cumulative 1.21.
+            a = self.write_pair(tmp, "walltime-pair-aaa",
+                                (1000.0, 1000.0), (10.0, 11.0))
+            b = self.write_pair(tmp, "walltime-pair-bbb",
+                                (1000.0, 800.0), (11.0, 12.1))
+            labels, rows = trend_walltime.build_trend([a, b])
+            self.assertEqual(labels, ["aaa", "bbb"])
+            by_key = {key: cumulative for key, _, cumulative in rows}
+            self.assertAlmostEqual(
+                by_key[("micro_kernels", "BM_X", "real_time")], 1.21)
+            # Throughput slowdown convention: base/head = 1000/800.
+            self.assertAlmostEqual(
+                by_key[("shard_scaling", "shards/1", "updates_per_s")], 1.25)
+
+    def test_fail_on_drift_exit_code(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_pair(tmp, "walltime-pair-slow",
+                            (1000.0, 500.0), (10.0, 10.0))
+            result = subprocess.run(
+                [sys.executable,
+                 os.path.join(REPO_ROOT, "tools", "trend_walltime.py"),
+                 os.path.join(tmp, "walltime-pair-slow"),
+                 "--max-cumulative-drift", "0.25", "--fail-on-drift"],
+                capture_output=True, text=True)
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("updates_per_s", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

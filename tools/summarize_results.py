@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Aggregates raw figure-bench CSVs into median/p95 summary tables.
+
+The figure benches (`bench/fig1_delta_quality` ... `fig5_rotated_dimensionality`)
+emit one raw row per (dataset, algorithm, swept value, seed) when run with
+`--output_csv` — the `run/run_exp_fig*.sh` runners invoke them once per seed
+and land the raw files under `results/raw/<exp>/raw_seed<SEED>.csv`. This
+tool joins those repeats into one summary row per configuration:
+
+  figure,dataset,algorithm,x_name,x,n,
+  ratio_median,ratio_p95,memory_pts_median,memory_pts_p95,
+  update_ms_median,update_ms_p95,query_ms_median,query_ms_p95
+
+The column order above is the stable public schema (tests pin it); new
+columns may only be appended. `n` is the number of raw rows aggregated
+(seeds x in-binary repeats). Median is the textbook midpoint (mean of the
+two middle values for even n); p95 linearly interpolates between order
+statistics at rank 0.95*(n-1), so p95 of a single repeat is that repeat.
+
+Usage:
+  # summary CSV + markdown for one experiment directory of raw_*.csv files
+  python3 tools/summarize_results.py results/raw/fig1 \
+      --out-csv results/raw/fig1/summary.csv \
+      --out-md results/raw/fig1/summary.md
+
+  # regenerate the per-figure tables inside REPRODUCTION.md: every block
+  #   <!-- BEGIN AUTOGEN:figN --> ... <!-- END AUTOGEN:figN -->
+  # whose figure appears in the input data is rewritten in place
+  python3 tools/summarize_results.py results/raw/fig1 ... results/raw/fig5 \
+      --update-report REPRODUCTION.md
+
+Inputs may be raw CSV files or directories (directories glob raw_*.csv so a
+previously written summary.csv is never re-ingested). Exit code 1 on empty
+input, malformed rows, or a report whose AUTOGEN markers are missing for a
+figure present in the data — fail loud, never silently summarize nothing.
+"""
+
+import argparse
+import glob
+import math
+import os
+import sys
+
+RAW_COLUMNS = [
+    "figure", "dataset", "algorithm", "x_name", "x", "seed",
+    "ratio", "memory_pts", "update_ms", "query_ms", "queries",
+]
+
+# Aggregated metrics, in output order.
+METRICS = ["ratio", "memory_pts", "update_ms", "query_ms"]
+
+SUMMARY_COLUMNS = ["figure", "dataset", "algorithm", "x_name", "x", "n"] + [
+    f"{metric}_{stat}" for metric in METRICS for stat in ("median", "p95")
+]
+
+BEGIN_MARKER = "<!-- BEGIN AUTOGEN:{fig} -->"
+END_MARKER = "<!-- END AUTOGEN:{fig} -->"
+
+
+def median(values):
+    """Midpoint of the sorted values (mean of the two middles for even n)."""
+    if not values:
+        raise ValueError("median of empty list")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def p95(values):
+    """95th percentile with linear interpolation between order statistics
+    (numpy's default): rank = 0.95 * (n - 1)."""
+    if not values:
+        raise ValueError("p95 of empty list")
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    rank = 0.95 * (n - 1)
+    lower = int(math.floor(rank))
+    frac = rank - lower
+    if lower + 1 >= n:
+        return ordered[-1]
+    return ordered[lower] + frac * (ordered[lower + 1] - ordered[lower])
+
+
+def expand_inputs(paths):
+    """Files stay files; directories glob raw_*.csv (sorted)."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            found = sorted(glob.glob(os.path.join(path, "raw_*.csv")))
+            if not found:
+                raise SystemExit(f"error: no raw_*.csv files under {path}")
+            files.extend(found)
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise SystemExit(f"error: no such raw input {path}")
+    return files
+
+
+def read_raw(files):
+    """Parses raw rows from every file, validating the schema."""
+    rows = []
+    for path in files:
+        with open(path) as f:
+            header = f.readline().strip()
+            if header.split(",") != RAW_COLUMNS:
+                raise SystemExit(
+                    f"error: {path} header {header!r} does not match the raw "
+                    f"schema {','.join(RAW_COLUMNS)}")
+            for lineno, line in enumerate(f, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.split(",")
+                if len(parts) != len(RAW_COLUMNS):
+                    raise SystemExit(
+                        f"error: {path}:{lineno} has {len(parts)} fields, "
+                        f"expected {len(RAW_COLUMNS)}")
+                row = dict(zip(RAW_COLUMNS, parts))
+                try:
+                    row["x"] = float(row["x"])
+                    for metric in METRICS:
+                        row[metric] = float(row[metric])
+                except ValueError as err:
+                    raise SystemExit(f"error: {path}:{lineno}: {err}")
+                rows.append(row)
+    if not rows:
+        raise SystemExit("error: no raw rows in any input")
+    return rows
+
+
+def summarize(rows):
+    """One summary row per (figure, dataset, algorithm, x_name, x)."""
+    groups = {}
+    for row in rows:
+        key = (row["figure"], row["dataset"], row["algorithm"],
+               row["x_name"], row["x"])
+        groups.setdefault(key, []).append(row)
+
+    summary = []
+    for key in sorted(groups):
+        figure, dataset, algorithm, x_name, x = key
+        group = groups[key]
+        out = {
+            "figure": figure,
+            "dataset": dataset,
+            "algorithm": algorithm,
+            "x_name": x_name,
+            "x": x,
+            "n": len(group),
+        }
+        for metric in METRICS:
+            values = [row[metric] for row in group]
+            # A NaN ratio (no baseline ran at this configuration) stays NaN
+            # rather than poisoning sorts on some platforms: filter, and
+            # only fall back to NaN when every repeat was NaN.
+            finite = [v for v in values if not math.isnan(v)]
+            use = finite if finite else values
+            out[f"{metric}_median"] = median(use) if finite else float("nan")
+            out[f"{metric}_p95"] = p95(use) if finite else float("nan")
+        summary.append(out)
+    return summary
+
+
+def format_value(column, value):
+    if column in ("figure", "dataset", "algorithm", "x_name"):
+        return str(value)
+    if column == "n":
+        return str(value)
+    if column == "x":
+        return f"{value:g}"
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if column.startswith("ratio"):
+        return f"{value:.3f}"
+    if column.startswith("memory_pts"):
+        return f"{value:.1f}"
+    return f"{value:.4f}"  # update_ms / query_ms
+
+
+def write_summary_csv(summary, path):
+    with open(path, "w") as f:
+        f.write(",".join(SUMMARY_COLUMNS) + "\n")
+        for row in summary:
+            f.write(",".join(format_value(c, row[c])
+                             for c in SUMMARY_COLUMNS) + "\n")
+
+
+def markdown_cell(column, row):
+    value = row[column]
+    if isinstance(value, float) and math.isnan(value):
+        return "n/a"
+    return format_value(column, value)
+
+
+def markdown_for_figure(summary, figure):
+    """One markdown table for a single figure's summary rows."""
+    rows = [r for r in summary if r["figure"] == figure]
+    if not rows:
+        return None
+    x_name = rows[0]["x_name"]
+    header = ["dataset", "algorithm", x_name, "ratio (med / p95)",
+              "memory pts (med)", "update ms (med / p95)",
+              "query ms (med / p95)", "n"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for r in rows:
+        cells = [
+            r["dataset"],
+            r["algorithm"],
+            format_value("x", r["x"]),
+            f"{markdown_cell('ratio_median', r)} / "
+            f"{markdown_cell('ratio_p95', r)}",
+            markdown_cell("memory_pts_median", r),
+            f"{markdown_cell('update_ms_median', r)} / "
+            f"{markdown_cell('update_ms_p95', r)}",
+            f"{markdown_cell('query_ms_median', r)} / "
+            f"{markdown_cell('query_ms_p95', r)}",
+            str(r["n"]),
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def write_markdown(summary, path):
+    figures = sorted({r["figure"] for r in summary})
+    blocks = []
+    for figure in figures:
+        blocks.append(f"### {figure}\n\n{markdown_for_figure(summary, figure)}")
+    with open(path, "w") as f:
+        f.write("\n".join(blocks))
+
+
+def update_report(summary, report_path):
+    """Rewrites every AUTOGEN block whose figure appears in the summary."""
+    with open(report_path) as f:
+        text = f.read()
+    figures = sorted({r["figure"] for r in summary})
+    for figure in figures:
+        begin = BEGIN_MARKER.format(fig=figure)
+        end = END_MARKER.format(fig=figure)
+        start = text.find(begin)
+        stop = text.find(end)
+        if start < 0 or stop < 0 or stop < start:
+            raise SystemExit(
+                f"error: {report_path} lacks the markers {begin} ... {end} "
+                f"for figure {figure!r} present in the input data")
+        table = markdown_for_figure(summary, figure)
+        text = (text[:start + len(begin)] + "\n" + table + text[stop:])
+    with open(report_path, "w") as f:
+        f.write(text)
+    return figures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("inputs", nargs="+",
+                        help="raw CSV files or directories of raw_*.csv")
+    parser.add_argument("--out-csv", help="write the summary CSV here")
+    parser.add_argument("--out-md", help="write per-figure markdown here")
+    parser.add_argument("--update-report",
+                        help="rewrite AUTOGEN blocks in this markdown report")
+    args = parser.parse_args()
+
+    rows = read_raw(expand_inputs(args.inputs))
+    summary = summarize(rows)
+
+    if args.out_csv:
+        write_summary_csv(summary, args.out_csv)
+        print(f"wrote {args.out_csv} ({len(summary)} summary rows)")
+    if args.out_md:
+        write_markdown(summary, args.out_md)
+        print(f"wrote {args.out_md}")
+    if args.update_report:
+        figures = update_report(summary, args.update_report)
+        print(f"updated {args.update_report}: {', '.join(figures)}")
+    if not (args.out_csv or args.out_md or args.update_report):
+        # No sink chosen: print the summary CSV to stdout.
+        print(",".join(SUMMARY_COLUMNS))
+        for row in summary:
+            print(",".join(format_value(c, row[c]) for c in SUMMARY_COLUMNS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
